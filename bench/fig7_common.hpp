@@ -1,0 +1,39 @@
+// Shared driver for the Figure 7 reproduction benches: for one (rho', M)
+// panel it sweeps the time constraint K and prints the paper's series --
+// the controlled protocol's analytic loss (eq. 4.7 + the iteration in K),
+// corroborating simulation points, and the [Kurose 83] FCFS/LCFS baselines
+// (analytic where stable, simulated always).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+
+namespace tcw::bench {
+
+struct Fig7Options {
+  double offered_load = 0.5;    // rho'
+  double message_length = 25.0; // M
+  double t_end = 150000.0;      // slots simulated per replication
+  double warmup = 10000.0;
+  long long replications = 2;
+  unsigned long long seed = 20261983;
+  std::string csv;              // output path ("" = <panel>.csv)
+  bool quick = false;           // shrink runs (CI smoke)
+  std::vector<double> k_over_m =
+      {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0};
+};
+
+/// Register the common flags on `flags` so every panel binary accepts the
+/// same overrides.
+void register_fig7_flags(Flags& flags, Fig7Options& opts);
+
+/// Run one panel; returns the process exit code.
+int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts);
+
+/// Standard main body used by the six panel binaries.
+int fig7_main(const std::string& panel_name, double rho, double m, int argc,
+              char** argv);
+
+}  // namespace tcw::bench

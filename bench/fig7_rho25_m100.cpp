@@ -1,0 +1,6 @@
+// Figure 7 panel: rho' = 0.25, M = 100.
+#include "fig7_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcw::bench::fig7_main("fig7_rho25_m100", 0.25, 100, argc, argv);
+}

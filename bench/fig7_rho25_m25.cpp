@@ -1,0 +1,6 @@
+// Figure 7 panel: rho' = 0.25, M = 25.
+#include "fig7_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcw::bench::fig7_main("fig7_rho25_m25", 0.25, 25, argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 7 panel: rho' = 0.50, M = 25.
+#include "fig7_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcw::bench::fig7_main("fig7_rho50_m25", 0.50, 25, argc, argv);
+}

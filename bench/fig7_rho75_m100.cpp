@@ -1,0 +1,6 @@
+// Figure 7 panel: rho' = 0.75, M = 100.
+#include "fig7_common.hpp"
+
+int main(int argc, char** argv) {
+  return tcw::bench::fig7_main("fig7_rho75_m100", 0.75, 100, argc, argv);
+}

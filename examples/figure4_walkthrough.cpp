@@ -1,0 +1,110 @@
+// A text-mode reproduction of the paper's Figures 1 and 4: step through
+// the controlled window protocol's operation on a small workload and
+// narrate every probe -- the window examined, the channel outcome, the
+// splits after collisions, and how t_past advances as time is resolved.
+//
+//   $ ./figure4_walkthrough [--rho 0.9] [--m 6] [--k 60] [--steps 40]
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "analysis/splitting.hpp"
+#include "chan/arrivals.hpp"
+#include "core/controller.hpp"
+#include "sim/rng.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  double rho = 0.9;
+  double m = 6.0;
+  double k = 60.0;
+  long long steps = 40;
+  unsigned long long seed = 12;
+  tcw::Flags flags("figure4_walkthrough",
+                   "Narrated probe-by-probe protocol trace (paper Fig. 4)");
+  flags.add("rho", &rho, "offered load rho' = lambda*M");
+  flags.add("m", &m, "message length M in slots");
+  flags.add("k", &k, "time constraint K in slots");
+  flags.add("steps", &steps, "probe steps to narrate");
+  flags.add("seed", &seed, "workload seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const double lambda = rho / m;
+  const double width = tcw::analysis::optimal_window_load() / lambda;
+  tcw::core::WindowController ctrl(
+      tcw::core::ControlPolicy::optimal(k, width));
+  tcw::chan::PoissonProcess arrivals(lambda);
+  tcw::sim::Rng rng(seed);
+
+  std::printf("controlled window protocol, probe by probe\n");
+  std::printf("(rho'=%.2f, M=%.0f, K=%.0f, window width %.1f slots; "
+              "'#' marks arrivals awaiting service)\n\n",
+              rho, m, k, width);
+  std::printf("%8s  %-22s %-9s %8s  %s\n", "time", "window probed",
+              "outcome", "t_past", "pending arrivals");
+
+  std::multiset<double> pending;
+  double next_arrival = arrivals.next(rng);
+  double now = 20.0;  // start with a little history to examine
+
+  for (long long step = 0; step < steps; ++step) {
+    while (next_arrival <= now) {
+      pending.insert(next_arrival);
+      next_arrival = arrivals.next(rng);
+    }
+    // Element (4): drop what the controller has aged out.
+    const bool fresh = !ctrl.in_process();
+    const auto window = ctrl.next_probe(now);
+    while (!pending.empty() && *pending.begin() < ctrl.floor()) {
+      pending.erase(pending.begin());
+    }
+    if (!window) {
+      std::printf("%8.2f  %-22s %-9s %8.2f\n", now, "(nothing unresolved)",
+                  "idle", ctrl.t_past(now));
+      now += 1.0;
+      continue;
+    }
+
+    std::size_t in_window = 0;
+    for (auto it = pending.lower_bound(window->lo);
+         it != pending.end() && *it < window->hi; ++it) {
+      ++in_window;
+    }
+
+    char desc[64];
+    std::snprintf(desc, sizeof desc, "[%7.2f, %7.2f)", window->lo,
+                  window->hi);
+    const char* outcome;
+    double advance;
+    if (in_window == 0) {
+      outcome = "silence";
+      ctrl.on_feedback(tcw::core::Feedback::Idle);
+      advance = 1.0;
+    } else if (in_window == 1) {
+      outcome = "SUCCESS";
+      const auto it = pending.lower_bound(window->lo);
+      pending.erase(it);
+      ctrl.on_feedback(tcw::core::Feedback::Success);
+      advance = m + 1.0;
+    } else {
+      outcome = "collision";
+      ctrl.on_feedback(tcw::core::Feedback::Collision);
+      advance = 1.0;
+    }
+
+    std::printf("%8.2f  %-22s %-9s %8.2f  ", now, desc, outcome,
+                ctrl.t_past(now));
+    for (const double a : pending) {
+      if (a >= now - k) std::printf("#%.1f ", a);
+    }
+    if (fresh && step > 0) std::printf(" <- new windowing process");
+    std::printf("\n");
+    now += advance;
+  }
+  std::printf("\nReading the trace: a collision is followed by probes of\n"
+              "ever-narrower older halves until one arrival is isolated\n"
+              "(SUCCESS), after which t_past jumps to the start of the\n"
+              "still-unresolved remainder -- exactly the evolution the\n"
+              "paper's Figure 4 illustrates.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Mixed-criticality traffic (paper Section 5 extension): interactive
+// voice packets with a tight playout deadline share the channel with bulk
+// sensor data that merely needs to arrive eventually. The weighted
+// round-robin over windowing processes gives the operator a single dial
+// between the two classes' losses.
+#include <cstdio>
+
+#include "net/priority.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  double voice_rate = 0.012;
+  double data_rate = 0.012;
+  double m = 25.0;
+  double k_voice = 75.0;
+  double k_data = 900.0;
+  long long voice_weight = 3;
+  long long data_weight = 1;
+  double t_end = 250000.0;
+  tcw::Flags flags("priority_demo",
+                   "Voice + data classes over the controlled protocol");
+  flags.add("voice-rate", &voice_rate, "voice arrivals per slot");
+  flags.add("data-rate", &data_rate, "data arrivals per slot");
+  flags.add("m", &m, "message length M in slots");
+  flags.add("k-voice", &k_voice, "voice playout deadline");
+  flags.add("k-data", &k_data, "data staleness deadline");
+  flags.add("voice-weight", &voice_weight, "voice windowing processes per cycle");
+  flags.add("data-weight", &data_weight, "data windowing processes per cycle");
+  flags.add("t-end", &t_end, "simulated slots");
+  if (!flags.parse(argc, argv)) return 1;
+
+  tcw::net::PriorityConfig cfg;
+  tcw::net::PriorityClassSpec voice;
+  voice.deadline = k_voice;
+  voice.arrival_rate = voice_rate;
+  voice.weight = static_cast<std::uint32_t>(voice_weight);
+  tcw::net::PriorityClassSpec data;
+  data.deadline = k_data;
+  data.arrival_rate = data_rate;
+  data.weight = static_cast<std::uint32_t>(data_weight);
+  cfg.classes = {voice, data};
+  cfg.message_length = m;
+  cfg.t_end = t_end;
+  cfg.warmup = t_end / 15.0;
+
+  std::printf("priority demo: rho'_total = %.2f, weights voice:data = "
+              "%lld:%lld\n\n",
+              (voice_rate + data_rate) * m, voice_weight, data_weight);
+
+  tcw::net::PrioritySimulator sim(cfg);
+  const auto& metrics = sim.run();
+
+  const char* names[] = {"voice", "data"};
+  const double deadlines[] = {k_voice, k_data};
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto& m_c = metrics[c];
+    std::printf("%s (K = %.0f):\n", names[c], deadlines[c]);
+    std::printf("  on time      : %.2f%%  (%llu of %llu)\n",
+                100.0 * (1.0 - m_c.p_loss()),
+                static_cast<unsigned long long>(m_c.delivered),
+                static_cast<unsigned long long>(m_c.decided()));
+    std::printf("  wait p50/p90 : %.1f / %.1f slots\n",
+                m_c.wait_p50.value(), m_c.wait_p90.value());
+    std::printf("  mean backlog : %.1f slots of pseudo time\n\n",
+                m_c.pseudo_backlog.mean());
+  }
+  std::printf("try --voice-weight 1 --data-weight 3 to see the dial move "
+              "the other way.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// M/G/1 busy-period distributions on the slot lattice, and the waiting
+// time of the non-preemptive LCFS M/G/1 queue built from them.
+//
+// Because service times are integer slot counts, the busy period T
+// initiated by V slots of work is itself integer valued, and the
+// Takacs/Kemperman cycle-lemma identity applies exactly:
+//
+//     P(T = n | V = j) = (j/n) * P(A_n = n - j),    n >= j >= 1,
+//
+// where A_n is the total work (in slots) arriving over an interval of
+// length n -- an n-fold convolution of the one-slot compound-Poisson work.
+//
+// Non-preemptive LCFS waiting (the analytic counterpart of the paper's
+// LCFS baseline, which [Kurose 83] handled by approximation): an arrival
+// finding the server idle (prob. 1 - rho, PASTA) waits 0; otherwise it
+// waits exactly one sub-busy period initiated by the residual service of
+// the customer in progress, because later arrivals all jump ahead of it.
+#pragma once
+
+#include "dist/pmf.hpp"
+
+namespace tcw::analysis {
+
+/// Distribution of the total work arriving in one slot: a compound
+/// Poisson(lambda) of the service distribution, truncated at `tol`.
+dist::Pmf one_slot_work(const dist::Pmf& service, double lambda,
+                        double tol = 1e-15);
+
+/// Busy period initiated by work distributed as `initial` (which may have
+/// an atom at 0 meaning "no busy period"). Truncated at `max_len` slots;
+/// the truncated probability is reported as tail mass. Requires rho < 1
+/// for the tail to vanish as max_len grows.
+dist::Pmf busy_period_from_work(const dist::Pmf& initial,
+                                const dist::Pmf& service, double lambda,
+                                std::size_t max_len);
+
+/// The standard busy period: initiated by one customer's service.
+dist::Pmf busy_period_distribution(const dist::Pmf& service, double lambda,
+                                   std::size_t max_len);
+
+/// Full waiting-time distribution of the non-preemptive LCFS M/G/1 queue
+/// on `max_len` lattice points: an atom 1-rho at 0 plus rho times the
+/// sub-busy period initiated by the residual service. Requires rho < 1.
+dist::Pmf lcfs_waiting_distribution(const dist::Pmf& service, double lambda,
+                                    std::size_t max_len);
+
+/// P(W <= K) for the non-preemptive LCFS M/G/1 queue. Requires rho < 1.
+/// `max_len` truncates the busy-period computation; probabilities beyond
+/// it are counted as waiting longer than K (a conservative bound).
+double lcfs_waiting_cdf(const dist::Pmf& service, double lambda, double K,
+                        std::size_t max_len = 0 /* 0 -> K + 2 */);
+
+}  // namespace tcw::analysis

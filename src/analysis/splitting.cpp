@@ -1,0 +1,331 @@
+#include "analysis/splitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace tcw::analysis {
+
+namespace {
+
+/// Rows of Pascal's triangle scaled by 2^-n: w[n][l] = C(n,l) / 2^n,
+/// i.e. the probability that l of n uniform arrivals land in the older half.
+std::vector<std::vector<double>> half_split_probabilities(std::size_t n_max) {
+  std::vector<std::vector<double>> w(n_max + 1);
+  w[0] = {1.0};
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    w[n].assign(n + 1, 0.0);
+    for (std::size_t l = 0; l < n; ++l) {
+      w[n][l] += 0.5 * w[n - 1][l];
+      w[n][l + 1] += 0.5 * w[n - 1][l];
+    }
+  }
+  return w;
+}
+
+/// Poisson(nu) pmf truncated at n_max (tail mass dropped; callers choose
+/// n_max so the tail is negligible at the loads of interest, nu <~ 8).
+std::vector<double> poisson_pmf(double nu, std::size_t n_max) {
+  std::vector<double> p(n_max + 1, 0.0);
+  p[0] = std::exp(-nu);
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    p[n] = p[n - 1] * nu / static_cast<double>(n);
+  }
+  return p;
+}
+
+/// Cached table of split-probe distributions Q_n (see header): Q[n][s] =
+/// P(splitting a window with n arrivals takes s probes to the success).
+struct SplitProbeTable {
+  std::size_t n_max = 0;
+  std::size_t max_len = 0;
+  std::vector<std::vector<double>> q;  // q[n][s], s in [0, max_len)
+};
+
+const SplitProbeTable& split_probe_table(std::size_t n_max,
+                                         std::size_t max_len) {
+  static SplitProbeTable table;
+  if (table.n_max >= n_max && table.max_len >= max_len) return table;
+  n_max = std::max(n_max, table.n_max);
+  max_len = std::max(max_len, table.max_len);
+
+  const auto w = half_split_probabilities(n_max);
+  table.q.assign(n_max + 1, std::vector<double>(max_len, 0.0));
+  for (std::size_t s = 1; s < max_len; ++s) {
+    for (std::size_t n = 2; n <= n_max; ++n) {
+      double mass = 0.0;
+      if (s == 1) {
+        mass += w[n][1];  // exactly one arrival in the older half: success
+      }
+      if (s >= 2) {
+        // L == 0 (older empty, split the younger, which holds all n) and
+        // L == n (older collides again) both re-enter state n.
+        mass += (w[n][0] + w[n][n]) * table.q[n][s - 1];
+        for (std::size_t l = 2; l < n; ++l) {
+          mass += w[n][l] * table.q[l][s - 1];
+        }
+      }
+      table.q[n][s] = mass;
+    }
+  }
+  table.n_max = n_max;
+  table.max_len = max_len;
+  return table;
+}
+
+}  // namespace
+
+std::vector<double> expected_split_probes(std::size_t n_max) {
+  const auto w = half_split_probabilities(n_max);
+  std::vector<double> r(n_max + 1, 0.0);
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    double rhs = 1.0;
+    for (std::size_t l = 2; l < n; ++l) rhs += w[n][l] * r[l];
+    const double self = w[n][0] + w[n][n];  // branches that re-enter state n
+    TCW_ASSERT(self < 1.0);
+    r[n] = rhs / (1.0 - self);
+  }
+  return r;
+}
+
+dist::Pmf split_probe_distribution(std::size_t n, std::size_t max_len) {
+  TCW_EXPECTS(n >= 2);
+  const auto& table = split_probe_table(n, max_len);
+  std::vector<double> p(table.q[n].begin(),
+                        table.q[n].begin() + static_cast<std::ptrdiff_t>(max_len));
+  double mass = 0.0;
+  for (const double v : p) mass += v;
+  return dist::Pmf(std::move(p), std::max(0.0, 1.0 - mass));
+}
+
+double expected_process_slots(double nu, std::size_t n_max) {
+  TCW_EXPECTS(nu >= 0.0);
+  const auto p = poisson_pmf(nu, n_max);
+  const auto r = expected_split_probes(n_max);
+  double slots = 1.0;  // the initial probe always happens
+  for (std::size_t n = 2; n <= n_max; ++n) slots += p[n] * r[n];
+  return slots;
+}
+
+double expected_process_messages(double nu) {
+  TCW_EXPECTS(nu >= 0.0);
+  return -std::expm1(-nu);
+}
+
+double slots_per_message(double nu, std::size_t n_max) {
+  TCW_EXPECTS(nu > 0.0);
+  return expected_process_slots(nu, n_max) / expected_process_messages(nu);
+}
+
+double conditional_scheduling_mean(double nu, std::size_t n_max) {
+  TCW_EXPECTS(nu >= 0.0);
+  if (nu == 0.0) return 0.0;
+  const auto p = poisson_pmf(nu, n_max);
+  const auto r = expected_split_probes(n_max);
+  double acc = 0.0;
+  for (std::size_t n = 2; n <= n_max; ++n) acc += p[n] * r[n];
+  return acc / expected_process_messages(nu);
+}
+
+double optimal_window_load() {
+  static const double cached = [] {
+    // Golden-section search on the unimodal slots_per_message.
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = 0.05;
+    double b = 8.0;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    double fc = slots_per_message(c);
+    double fd = slots_per_message(d);
+    while (b - a > 1e-10) {
+      if (fc < fd) {
+        b = d;
+        d = c;
+        fd = fc;
+        c = b - phi * (b - a);
+        fc = slots_per_message(c);
+      } else {
+        a = c;
+        c = d;
+        fc = fd;
+        d = a + phi * (b - a);
+        fd = slots_per_message(d);
+      }
+    }
+    return (a + b) / 2.0;
+  }();
+  return cached;
+}
+
+dist::Pmf scheduling_distribution(double nu, std::size_t n_max,
+                                  std::size_t max_len) {
+  TCW_EXPECTS(nu > 0.0);
+  TCW_EXPECTS(max_len >= 2);
+  const auto p = poisson_pmf(nu, n_max);
+  const auto& table = split_probe_table(n_max, max_len);
+  const double p_some = expected_process_messages(nu);
+  std::vector<double> out(max_len, 0.0);
+  out[0] = p[1] / p_some;  // a lone arrival is transmitted on the spot
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    const double weight = p[n] / p_some;
+    if (weight == 0.0) continue;
+    for (std::size_t s = 1; s < max_len; ++s) {
+      out[s] += weight * table.q[n][s];
+    }
+  }
+  double mass = 0.0;
+  for (const double v : out) mass += v;
+  return dist::Pmf(std::move(out), std::max(0.0, 1.0 - mass));
+}
+
+std::vector<double> resolved_fraction_by_count(std::size_t n_max) {
+  const auto w = half_split_probabilities(n_max);
+  std::vector<double> f(n_max + 1, 1.0);  // n <= 1 resolves everything
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    // F(n) over a unit window: older-empty contributes 1/2 + F(n)/2 on the
+    // younger half; older-success resolves exactly the older half; a
+    // sub-collision with l arrivals resolves F(l)/2 of the whole.
+    double rhs = w[n][0] * 0.5 + w[n][1] * 0.5;
+    for (std::size_t l = 2; l < n; ++l) rhs += w[n][l] * 0.5 * f[l];
+    const double self = w[n][0] * 0.5 + w[n][n] * 0.5;
+    TCW_ASSERT(self < 1.0);
+    f[n] = rhs / (1.0 - self);
+  }
+  return f;
+}
+
+double expected_resolved_fraction(double nu, std::size_t n_max) {
+  TCW_EXPECTS(nu >= 0.0);
+  const auto p = poisson_pmf(nu, n_max);
+  const auto f = resolved_fraction_by_count(n_max);
+  double acc = p[0] + p[1];
+  for (std::size_t n = 2; n <= n_max; ++n) acc += p[n] * f[n];
+  return acc;
+}
+
+namespace {
+
+/// Binomial split weights w[n][l] = C(n,l) alpha^l (1-alpha)^(n-l): the
+/// probability that l of n uniform arrivals land in the probed part.
+std::vector<std::vector<double>> alpha_split_probabilities(std::size_t n_max,
+                                                           double alpha) {
+  TCW_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  std::vector<std::vector<double>> w(n_max + 1);
+  w[0] = {1.0};
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    w[n].assign(n + 1, 0.0);
+    for (std::size_t l = 0; l < n; ++l) {
+      w[n][l] += (1.0 - alpha) * w[n - 1][l];
+      w[n][l + 1] += alpha * w[n - 1][l];
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> expected_split_probes_alpha(std::size_t n_max,
+                                                double alpha) {
+  const auto w = alpha_split_probabilities(n_max, alpha);
+  std::vector<double> r(n_max + 1, 0.0);
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    // L = 0: the sibling holds all n (known >= 2) and is split at alpha
+    // again; L = n: the probed part collides again. Both re-enter state n.
+    double rhs = 1.0;
+    for (std::size_t l = 2; l < n; ++l) rhs += w[n][l] * r[l];
+    const double self = w[n][0] + w[n][n];
+    TCW_ASSERT(self < 1.0);
+    r[n] = rhs / (1.0 - self);
+  }
+  return r;
+}
+
+double expected_process_slots_alpha(double nu, double alpha,
+                                    std::size_t n_max) {
+  TCW_EXPECTS(nu >= 0.0);
+  std::vector<double> p(n_max + 1, 0.0);
+  p[0] = std::exp(-nu);
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    p[n] = p[n - 1] * nu / static_cast<double>(n);
+  }
+  const auto r = expected_split_probes_alpha(n_max, alpha);
+  double slots = 1.0;
+  for (std::size_t n = 2; n <= n_max; ++n) slots += p[n] * r[n];
+  return slots;
+}
+
+double slots_per_message_alpha(double nu, double alpha, std::size_t n_max) {
+  TCW_EXPECTS(nu > 0.0);
+  return expected_process_slots_alpha(nu, alpha, n_max) /
+         expected_process_messages(nu);
+}
+
+AlphaOptimum optimal_window_load_alpha(double alpha_lo, double alpha_hi) {
+  TCW_EXPECTS(alpha_lo > 0.0 && alpha_hi < 1.0 && alpha_lo < alpha_hi);
+  const auto best_nu_for = [](double alpha) {
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = 0.05;
+    double b = 8.0;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    double fc = slots_per_message_alpha(c, alpha);
+    double fd = slots_per_message_alpha(d, alpha);
+    while (b - a > 1e-8) {
+      if (fc < fd) {
+        b = d;
+        d = c;
+        fd = fc;
+        c = b - phi * (b - a);
+        fc = slots_per_message_alpha(c, alpha);
+      } else {
+        a = c;
+        c = d;
+        fc = fd;
+        d = a + phi * (b - a);
+        fd = slots_per_message_alpha(d, alpha);
+      }
+    }
+    const double nu = (a + b) / 2.0;
+    return std::pair<double, double>{nu, slots_per_message_alpha(nu, alpha)};
+  };
+
+  AlphaOptimum best;
+  best.slots_per_message = std::numeric_limits<double>::infinity();
+  // Coarse grid, then one refinement pass around the winner.
+  for (int pass = 0; pass < 2; ++pass) {
+    const double lo = pass == 0 ? alpha_lo
+                                : std::max(alpha_lo, best.alpha - 0.05);
+    const double hi = pass == 0 ? alpha_hi
+                                : std::min(alpha_hi, best.alpha + 0.05);
+    const int steps = pass == 0 ? 25 : 21;
+    for (int i = 0; i <= steps; ++i) {
+      const double alpha =
+          lo + (hi - lo) * static_cast<double>(i) / steps;
+      const auto [nu, f] = best_nu_for(alpha);
+      if (f < best.slots_per_message) {
+        best = AlphaOptimum{nu, alpha, f};
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<double> resolved_fraction_by_count_alpha(std::size_t n_max,
+                                                     double alpha) {
+  const auto w = alpha_split_probabilities(n_max, alpha);
+  std::vector<double> f(n_max + 1, 1.0);
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    // Probed (older) part has length alpha of the whole.
+    double rhs = w[n][0] * alpha + w[n][1] * alpha;
+    for (std::size_t l = 2; l < n; ++l) rhs += w[n][l] * alpha * f[l];
+    const double self = w[n][0] * (1.0 - alpha) + w[n][n] * alpha;
+    TCW_ASSERT(self < 1.0);
+    f[n] = rhs / (1.0 - self);
+  }
+  return f;
+}
+
+}  // namespace tcw::analysis

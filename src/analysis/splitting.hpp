@@ -1,0 +1,114 @@
+// Renewal analysis of one "windowing process" of the time-window protocol
+// (paper Section 2): an initial window is probed; on a collision it is
+// repeatedly halved (older half first) until exactly one message is
+// isolated and transmitted.
+//
+// With Poisson arrivals, the n arrivals inside a window are iid uniform, so
+// each split sends each arrival to the older half independently with
+// probability 1/2. That gives exact recursions for the number of probe
+// slots a process consumes -- the protocol's *scheduling* overhead, which
+// element (2) of the control policy (the initial window length) is chosen
+// to minimize (paper Section 4.1 heuristic).
+//
+// Conventions:
+//  * A "probe" is one channel slot (tau).
+//  * The probe that observes the success is the first slot of the message
+//    transmission, so "scheduling slots" counts only the probes *before*
+//    the success: 0 when the initial window already holds exactly one
+//    arrival.
+//  * nu denotes the expected number of arrivals in the initial window
+//    (nu = lambda * w).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/pmf.hpp"
+
+namespace tcw::analysis {
+
+/// Exact recursion for the splitting phase. R(n) = expected number of
+/// probes, including the final success probe, needed to isolate the first
+/// message once a window known to contain n >= 2 arrivals is split.
+/// Returns R for n = 0..n_max with R[0] = R[1] = 0 by convention.
+std::vector<double> expected_split_probes(std::size_t n_max);
+
+/// Distribution of the probe count counted by R(n) (support {1, 2, ...}),
+/// truncated to `max_len` lattice points.
+dist::Pmf split_probe_distribution(std::size_t n, std::size_t max_len = 512);
+
+/// Expected probe slots consumed by one windowing process whose initial
+/// window holds Poisson(nu) arrivals: 1 + sum_{n>=2} p_n R(n).
+double expected_process_slots(double nu, std::size_t n_max = 64);
+
+/// Expected messages transmitted per windowing process: 1 - exp(-nu).
+double expected_process_messages(double nu);
+
+/// Long-run probe slots consumed per transmitted message under saturation:
+/// expected_process_slots / expected_process_messages. This is the
+/// quantity the element-(2) heuristic minimizes.
+double slots_per_message(double nu, std::size_t n_max = 64);
+
+/// Expected scheduling slots of a message's *own* windowing process (the
+/// probes before its success), conditioned on the process transmitting:
+/// sum_{n>=2} [p_n/(1-p_0)] R(n).
+double conditional_scheduling_mean(double nu, std::size_t n_max = 64);
+
+/// The window load nu* minimizing slots_per_message (golden-section search;
+/// result cached after the first call). This is the paper's heuristic
+/// element (2): the initial window width is nu*/lambda.
+double optimal_window_load();
+
+/// Full distribution of a transmitted message's scheduling slots when its
+/// windowing process starts with Poisson(nu) arrivals (support {0,1,...}):
+/// 0 slots when n = 1, the split-probe count when n >= 2.
+dist::Pmf scheduling_distribution(double nu, std::size_t n_max = 64,
+                                  std::size_t max_len = 512);
+
+/// Expected fraction of the initial window that the process resolves
+/// (removes from future consideration). 1 when n <= 1; for n >= 2 the
+/// resolved prefix ends where the first success ends. Used by the SMDP
+/// transition kernel.
+double expected_resolved_fraction(double nu, std::size_t n_max = 64);
+
+/// Same, conditioned on exactly n arrivals (F(n); F(0) = F(1) = 1).
+std::vector<double> resolved_fraction_by_count(std::size_t n_max);
+
+// ---------------------------------------------------------------------------
+// Generalized (alpha) splitting -- the paper's Section 5 first extension:
+// "introducing additional policy elements (e.g., not necessarily splitting
+// a window in half) may result in further performance improvements."
+// A collided window is cut at fraction `alpha` of its width; the probed
+// part receives each arrival independently with probability alpha.
+// alpha = 0.5 recovers the binary protocol above.
+// ---------------------------------------------------------------------------
+
+/// R_alpha(n): expected probes (incl. the success) after splitting a
+/// window with n >= 2 arrivals at fraction alpha.
+std::vector<double> expected_split_probes_alpha(std::size_t n_max,
+                                                double alpha);
+
+/// Expected probe slots of one windowing process under alpha-splitting.
+double expected_process_slots_alpha(double nu, double alpha,
+                                    std::size_t n_max = 64);
+
+/// Long-run probe slots per transmitted message under alpha-splitting.
+double slots_per_message_alpha(double nu, double alpha,
+                               std::size_t n_max = 64);
+
+/// Jointly optimal (nu*, alpha*) minimizing slots per message, found by a
+/// grid-plus-golden-section search over alpha in [alpha_lo, alpha_hi].
+struct AlphaOptimum {
+  double nu = 0.0;
+  double alpha = 0.0;
+  double slots_per_message = 0.0;
+};
+AlphaOptimum optimal_window_load_alpha(double alpha_lo = 0.2,
+                                       double alpha_hi = 0.8);
+
+/// Expected resolved fraction of a unit window with n >= 2 arrivals under
+/// alpha-splitting (F(0) = F(1) = 1).
+std::vector<double> resolved_fraction_by_count_alpha(std::size_t n_max,
+                                                     double alpha);
+
+}  // namespace tcw::analysis

@@ -1,0 +1,127 @@
+#include "chan/arrivals.hpp"
+
+#include <cmath>
+
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::chan {
+
+PoissonProcess::PoissonProcess(double rate, double start)
+    : rate_(rate), t_(start) {
+  TCW_EXPECTS(rate > 0.0);
+}
+
+double PoissonProcess::next(sim::Rng& rng) {
+  t_ += sim::exponential(rng, rate_);
+  return t_;
+}
+
+OnOffVoiceProcess::OnOffVoiceProcess(double mean_on, double mean_off,
+                                     double packet_period, double start)
+    : mean_on_(mean_on), mean_off_(mean_off), period_(packet_period),
+      t_(start), on_until_(start) {
+  TCW_EXPECTS(mean_on > 0.0);
+  TCW_EXPECTS(mean_off > 0.0);
+  TCW_EXPECTS(packet_period > 0.0);
+}
+
+double OnOffVoiceProcess::next(sim::Rng& rng) {
+  while (true) {
+    if (!in_talkspurt_) {
+      // Wait out the silence, then open a talkspurt.
+      t_ += sim::exponential(rng, 1.0 / mean_off_);
+      on_until_ = t_ + sim::exponential(rng, 1.0 / mean_on_);
+      in_talkspurt_ = true;
+      return t_;  // first packet at talkspurt start
+    }
+    t_ += period_;
+    if (t_ < on_until_) return t_;
+    t_ = on_until_;
+    in_talkspurt_ = false;
+  }
+}
+
+double OnOffVoiceProcess::mean_rate() const {
+  // Packets per slot while ON, weighted by the ON fraction. The +1 packet
+  // at each talkspurt start is second order for mean_on >> period.
+  const double on_fraction = mean_on_ / (mean_on_ + mean_off_);
+  return on_fraction / period_;
+}
+
+PeriodicJitterProcess::PeriodicJitterProcess(double period, double jitter,
+                                             double phase)
+    : period_(period), jitter_(jitter), next_tick_(phase),
+      last_emitted_(phase - period) {
+  TCW_EXPECTS(period > 0.0);
+  TCW_EXPECTS(jitter >= 0.0 && jitter <= period);
+}
+
+double PeriodicJitterProcess::next(sim::Rng& rng) {
+  double t = next_tick_ + (jitter_ > 0.0 ? sim::uniform(rng, 0.0, jitter_) : 0.0);
+  // Monotonicity guard for the jitter == period corner.
+  if (t <= last_emitted_) t = last_emitted_ + 1e-9;
+  next_tick_ += period_;
+  last_emitted_ = t;
+  return t;
+}
+
+BernoulliSlotProcess::BernoulliSlotProcess(double p_per_slot, double start)
+    : p_(p_per_slot), slot_(std::floor(start)) {
+  TCW_EXPECTS(p_per_slot > 0.0 && p_per_slot <= 1.0);
+}
+
+double BernoulliSlotProcess::next(sim::Rng& rng) {
+  while (true) {
+    slot_ += 1.0;
+    if (sim::bernoulli(rng, p_)) {
+      return slot_ + sim::uniform01(rng);
+    }
+  }
+}
+
+MmppProcess::MmppProcess(double rate0, double rate1, double mean_sojourn0,
+                         double mean_sojourn1, double start)
+    : rate_{rate0, rate1}, mean_sojourn_{mean_sojourn0, mean_sojourn1},
+      t_(start), state_until_(start) {
+  TCW_EXPECTS(rate0 >= 0.0 && rate1 >= 0.0);
+  TCW_EXPECTS(rate0 > 0.0 || rate1 > 0.0);
+  TCW_EXPECTS(mean_sojourn0 > 0.0 && mean_sojourn1 > 0.0);
+}
+
+double MmppProcess::next(sim::Rng& rng) {
+  while (true) {
+    if (t_ >= state_until_) {
+      state_until_ = t_ + sim::exponential(rng, 1.0 / mean_sojourn_[state_]);
+    }
+    if (rate_[state_] <= 0.0) {
+      t_ = state_until_;
+      state_ ^= 1;
+      continue;
+    }
+    const double gap = sim::exponential(rng, rate_[state_]);
+    if (t_ + gap < state_until_) {
+      t_ += gap;
+      return t_;
+    }
+    // The candidate arrival falls past the state switch: discard it and
+    // resample in the next state (memorylessness makes this exact).
+    t_ = state_until_;
+    state_ ^= 1;
+  }
+}
+
+double MmppProcess::mean_rate() const {
+  const double w0 = mean_sojourn_[0];
+  const double w1 = mean_sojourn_[1];
+  return (w0 * rate_[0] + w1 * rate_[1]) / (w0 + w1);
+}
+
+std::unique_ptr<ArrivalProcess> make_poisson_for_offered_load(
+    double offered_load, double message_length) {
+  TCW_EXPECTS(offered_load > 0.0);
+  TCW_EXPECTS(message_length > 0.0);
+  return std::make_unique<PoissonProcess>(offered_load / message_length);
+}
+
+}  // namespace tcw::chan

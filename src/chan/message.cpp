@@ -1,0 +1,5 @@
+#include "chan/message.hpp"
+
+// Message is a plain aggregate; this translation unit exists so the target
+// has a definition anchor and to keep room for future out-of-line helpers.
+namespace tcw::chan {}

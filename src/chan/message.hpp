@@ -1,0 +1,38 @@
+// The unit of traffic. All times are in channel slots (one slot = the
+// end-to-end propagation delay tau of the broadcast channel, the paper's
+// unit of time).
+#pragma once
+
+#include <cstdint>
+
+namespace tcw::chan {
+
+using MessageId = std::uint64_t;
+using StationId = std::uint32_t;
+
+struct Message {
+  MessageId id = 0;
+  StationId station = 0;
+  /// True arrival time at the sending station (slots).
+  double arrival = 0.0;
+  /// Arrival stamp used for window eligibility. Normally equals `arrival`;
+  /// re-stamped only in finite-station mode when a station is left holding
+  /// a message whose interval the network already resolved (see DESIGN.md).
+  double window_stamp = 0.0;
+  /// Transmission length in slots (the paper's M).
+  double length = 1.0;
+
+  static Message make(MessageId id, StationId station, double arrival,
+                      double length) {
+    return Message{id, station, arrival, arrival, length};
+  }
+};
+
+/// Terminal states a message can reach.
+enum class MessageFate : std::uint8_t {
+  Delivered,      // transmitted, true waiting time <= K
+  LostAtSender,   // discarded by policy element (4) before transmission
+  LostAtReceiver  // transmitted, but true waiting time > K
+};
+
+}  // namespace tcw::chan

@@ -1,0 +1,178 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::core {
+
+namespace {
+// Two distinct continuous arrival times are never closer than this in any
+// supported workload, so a collision always separates within ~50 splits.
+constexpr double kMinSplitWidth = 1e-9;
+}  // namespace
+
+WindowController::WindowController(const ControlPolicy& policy,
+                                   double t_origin)
+    : policy_(policy), floor_(t_origin), shared_rng_(policy.shared_seed) {
+  TCW_EXPECTS(policy.window_width > 0.0);
+  TCW_EXPECTS(policy.deadline >= 0.0);
+  TCW_EXPECTS(policy.split_fraction > 0.0 && policy.split_fraction < 1.0);
+}
+
+std::optional<Interval> WindowController::next_probe(double now) {
+  if (!current_) {
+    start_process(now);
+    if (!current_) return std::nullopt;
+  }
+  ++process_probes_;
+  return current_;
+}
+
+void WindowController::start_process(double now) {
+  TCW_EXPECTS(pending_.empty());
+  process_probes_ = 0;
+  process_start_ = now;
+
+  // Element (4): everything older than the deadline is marked resolved --
+  // arrivals there would be useless work (paper Section 3.1).
+  if (policy_.discard) {
+    floor_ = std::max(floor_, now - policy_.deadline);
+  }
+  // Compact: slide the floor over the fully resolved prefix.
+  resolved_.erase_below(floor_);
+  floor_ = resolved_.first_uncovered(floor_);
+  resolved_.erase_below(floor_);
+
+  // Element (2): fixed width, or the adaptive per-backlog table (the
+  // deployed form of the SMDP's optimal w*(i)).
+  double width = policy_.window_width;
+  if (!policy_.width_table.empty()) {
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(std::llround(
+            std::max(0.0, pseudo_backlog(now)))),
+        policy_.width_table.size() - 1);
+    width = policy_.width_table[idx];
+    if (width <= 0.0) return;  // the table says: wait this slot
+  }
+
+  double a = now;
+  double b = now;
+  switch (policy_.position) {
+    case PositionRule::OldestFirst:
+      a = floor_;
+      b = std::min(a + width, now);
+      break;
+    case PositionRule::NewestFirst: {
+      // LCFS in pseudo time: the window covers the newest `width` of
+      // *unresolved* time, skipping resolved stretches, so old backlog is
+      // reclaimed once recent time is clear (every message is eventually
+      // served, as the [Kurose 83] LCFS baseline requires).
+      double need = width;
+      a = floor_;
+      const auto gap_list = resolved_.gaps(floor_, now);
+      for (auto it = gap_list.rbegin(); it != gap_list.rend(); ++it) {
+        if (it->length() >= need) {
+          a = it->hi - need;
+          break;
+        }
+        need -= it->length();
+        a = it->lo;
+      }
+      b = now;
+      break;
+    }
+    case PositionRule::RandomGap: {
+      const double unresolved =
+          (now - floor_) - resolved_.measure(floor_, now);
+      if (unresolved <= 0.0) return;  // nothing to probe
+      // Map a uniform draw over the unresolved measure to a time instant.
+      double offset = sim::uniform(shared_rng_, 0.0, unresolved);
+      a = now;
+      for (const Interval& gap : resolved_.gaps(floor_, now)) {
+        if (offset < gap.length()) {
+          a = gap.lo + offset;
+          break;
+        }
+        offset -= gap.length();
+      }
+      b = std::min(a + width, now);
+      break;
+    }
+  }
+  if (b - a <= 0.0) return;  // no past time to examine this slot
+  current_ = Interval{a, b};
+}
+
+void WindowController::split(const Interval& window) {
+  TCW_EXPECTS(window.length() > kMinSplitWidth);
+  const double mid = window.lo + window.length() * policy_.split_fraction;
+  const Interval older{window.lo, mid};
+  const Interval younger{mid, window.hi};
+  bool older_first = true;
+  switch (policy_.split) {
+    case SplitRule::OlderHalf: older_first = true; break;
+    case SplitRule::YoungerHalf: older_first = false; break;
+    case SplitRule::RandomHalf:
+      older_first = sim::bernoulli(shared_rng_, 0.5);
+      break;
+  }
+  pending_.push_back(older_first ? younger : older);
+  current_ = older_first ? older : younger;
+}
+
+void WindowController::on_feedback(Feedback fb) {
+  TCW_EXPECTS(current_.has_value());
+  const Interval window = *current_;
+  switch (fb) {
+    case Feedback::Idle:
+      resolved_.insert(window.lo, window.hi);
+      if (pending_.empty()) {
+        current_.reset();  // empty initial window: process over
+      } else {
+        // The sibling of an empty half is known to hold >= 2 arrivals, so
+        // it is split immediately without probing it whole (Section 2).
+        const Interval sibling = pending_.back();
+        pending_.pop_back();
+        split(sibling);
+      }
+      break;
+    case Feedback::Success:
+      // Exactly one arrival was in the window; it is now transmitted, so
+      // the window holds no *untransmitted* arrivals. Unexplored siblings
+      // simply remain unresolved for later processes.
+      resolved_.insert(window.lo, window.hi);
+      pending_.clear();
+      current_.reset();
+      break;
+    case Feedback::Collision:
+      split(window);
+      break;
+  }
+}
+
+double WindowController::t_past(double now) const {
+  return std::min(resolved_.first_uncovered(floor_), now);
+}
+
+double WindowController::pseudo_backlog(double now) const {
+  const double lo = std::max(floor_, now - policy_.deadline);
+  if (now <= lo) return 0.0;
+  return (now - lo) - resolved_.measure(lo, now);
+}
+
+double WindowController::unresolved_backlog(double now) const {
+  const double lo = t_past(now);
+  if (now <= lo) return 0.0;
+  return (now - lo) - resolved_.measure(lo, now);
+}
+
+bool WindowController::state_equals(const WindowController& other) const {
+  return floor_ == other.floor_ && resolved_ == other.resolved_ &&
+         pending_ == other.pending_ && current_ == other.current_ &&
+         process_probes_ == other.process_probes_;
+}
+
+}  // namespace tcw::core

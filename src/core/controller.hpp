@@ -1,0 +1,94 @@
+// The window controller: the deterministic distributed algorithm every
+// station runs (paper Section 2). Given only the shared channel feedback
+// sequence, each station maintains an identical view of which stretches of
+// past time may still contain untransmitted message arrivals, selects the
+// same probe windows, and splits them the same way -- that is what makes
+// the protocol work without any explicit coordination.
+//
+// Usage per probe step (driven by net::Network or net::AggregateSimulator):
+//
+//   auto window = ctrl.next_probe(now);     // maybe starts a new process
+//   ... stations with an eligible arrival in *window transmit ...
+//   ctrl.on_feedback(outcome);              // advance the window machine
+//
+// A "windowing process" (initial window choice + splits) ends with either
+// a successful transmission or an empty initial window; next_probe then
+// starts a new process at the next call.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+#include "util/interval_set.hpp"
+
+namespace tcw::core {
+
+class WindowController {
+ public:
+  explicit WindowController(const ControlPolicy& policy, double t_origin = 0.0);
+
+  const ControlPolicy& policy() const { return policy_; }
+
+  /// The window to probe in the slot beginning at `now`. Starts a new
+  /// windowing process if none is active; applies element (4) discard at
+  /// process start. Returns nullopt when no unresolved past time exists
+  /// (the slot idles and no process starts).
+  std::optional<Interval> next_probe(double now);
+
+  /// Report the outcome of the probe previously returned by next_probe.
+  /// Must not be called without a pending probe.
+  void on_feedback(Feedback fb);
+
+  /// True while a windowing process is active (a probe is outstanding).
+  bool in_process() const { return current_.has_value(); }
+
+  /// Probes issued so far by the active process (0 when idle).
+  int process_probes() const { return process_probes_; }
+
+  /// Time at which the active process began (its first probe slot).
+  double process_start() const { return process_start_; }
+
+  /// Oldest instant that may still contain untransmitted arrivals,
+  /// clamped to `now`. Under the Theorem-1 policy this is the paper's
+  /// t_past scalar.
+  double t_past(double now) const;
+
+  /// Lebesgue measure of unresolved time in [now - deadline, now): the
+  /// pseudo-time backlog of Section 3.1.
+  double pseudo_backlog(double now) const;
+
+  /// Total unresolved measure in [t_past, now) (ignores the deadline).
+  double unresolved_backlog(double now) const;
+
+  /// Everything at or below this point is known resolved (compaction
+  /// floor; also the left edge after element-4 discards).
+  double floor() const { return floor_; }
+
+  /// Structural equality of protocol state -- used by the distributed-
+  /// consistency checks (every station must agree at every step).
+  bool state_equals(const WindowController& other) const;
+
+  /// Number of interval fragments currently tracked (memory diagnostics).
+  std::size_t fragment_count() const { return resolved_.size(); }
+
+ private:
+  void start_process(double now);
+  /// Split `window` per the policy's SplitRule; probes `first`, stacks
+  /// `second` for later.
+  void split(const Interval& window);
+
+  ControlPolicy policy_;
+  IntervalSet resolved_;             // resolved intervals above floor_
+  std::vector<Interval> pending_;    // stacked sibling halves (younger ones
+                                     // under OlderHalf), top = back()
+  std::optional<Interval> current_;  // window probed this slot
+  double floor_ = 0.0;
+  double process_start_ = 0.0;
+  int process_probes_ = 0;
+  sim::Rng shared_rng_;              // protocol-shared stream (Random rules)
+};
+
+}  // namespace tcw::core

@@ -1,0 +1,71 @@
+#include "core/policy.hpp"
+
+#include "util/contract.hpp"
+
+namespace tcw::core {
+
+ControlPolicy ControlPolicy::optimal(double deadline, double window_width) {
+  TCW_EXPECTS(deadline >= 0.0);
+  TCW_EXPECTS(window_width > 0.0);
+  ControlPolicy p;
+  p.position = PositionRule::OldestFirst;
+  p.split = SplitRule::OlderHalf;
+  p.window_width = window_width;
+  p.discard = true;
+  p.deadline = deadline;
+  return p;
+}
+
+ControlPolicy ControlPolicy::fcfs_baseline(double deadline,
+                                           double window_width) {
+  ControlPolicy p = optimal(deadline, window_width);
+  p.discard = false;
+  return p;
+}
+
+ControlPolicy ControlPolicy::lcfs_baseline(double deadline,
+                                           double window_width) {
+  ControlPolicy p = optimal(deadline, window_width);
+  p.position = PositionRule::NewestFirst;
+  p.split = SplitRule::YoungerHalf;
+  p.discard = false;
+  return p;
+}
+
+ControlPolicy ControlPolicy::random_baseline(double deadline,
+                                             double window_width) {
+  ControlPolicy p = optimal(deadline, window_width);
+  p.position = PositionRule::RandomGap;
+  p.split = SplitRule::RandomHalf;
+  p.discard = false;
+  return p;
+}
+
+std::string to_string(PositionRule rule) {
+  switch (rule) {
+    case PositionRule::OldestFirst: return "oldest-first";
+    case PositionRule::NewestFirst: return "newest-first";
+    case PositionRule::RandomGap: return "random-gap";
+  }
+  return "?";
+}
+
+std::string to_string(SplitRule rule) {
+  switch (rule) {
+    case SplitRule::OlderHalf: return "older-half";
+    case SplitRule::YoungerHalf: return "younger-half";
+    case SplitRule::RandomHalf: return "random-half";
+  }
+  return "?";
+}
+
+std::string to_string(Feedback fb) {
+  switch (fb) {
+    case Feedback::Idle: return "idle";
+    case Feedback::Success: return "success";
+    case Feedback::Collision: return "collision";
+  }
+  return "?";
+}
+
+}  // namespace tcw::core

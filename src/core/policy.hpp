@@ -1,0 +1,79 @@
+// The four control-policy elements of the paper's Section 2:
+//   (1) where the initial window is placed        -> PositionRule
+//   (2) how long the initial window is            -> window_width
+//   (3) which half of a split window goes first   -> SplitRule
+//   (4) whether over-age messages are discarded   -> discard
+//
+// Theorem 1: with (4) active, the loss-minimizing choices are
+// PositionRule::OldestFirst and SplitRule::OlderHalf, independent of (2).
+// The other variants exist to express the paper's baselines ([Kurose 83]
+// FCFS/LCFS/RANDOM service without sender discard) and the Theorem-1
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcw::core {
+
+/// What every station observes one propagation delay after a probe slot.
+enum class Feedback : std::uint8_t { Idle, Success, Collision };
+
+/// Element (1): placement of the initial window.
+enum class PositionRule : std::uint8_t {
+  OldestFirst,  // start at the oldest unresolved instant (optimal; FCFS)
+  NewestFirst,  // end at the current instant (LCFS-like service)
+  RandomGap,    // start at a uniformly random unresolved instant (RANDOM)
+};
+
+/// Element (3): which half of a split window is probed first.
+enum class SplitRule : std::uint8_t {
+  OlderHalf,    // optimal per Theorem 1
+  YoungerHalf,
+  RandomHalf,   // coin flip from the shared protocol seed
+};
+
+struct ControlPolicy {
+  PositionRule position = PositionRule::OldestFirst;
+  SplitRule split = SplitRule::OlderHalf;
+  /// Element (2): initial window width in slots. The paper's heuristic
+  /// sets this to nu*/lambda (see analysis::optimal_window_load()).
+  double window_width = 1.0;
+  /// Extension (paper Section 5): where a collided window is cut, as a
+  /// fraction of its width given to the older part. 0.5 = the paper's
+  /// binary splitting; see analysis::optimal_window_load_alpha().
+  double split_fraction = 0.5;
+  /// Adaptive element (2): when non-empty, the initial width is looked up
+  /// by the current pseudo-time backlog (in whole slots, clamped to the
+  /// table end) instead of using `window_width`. Entry 0 is the width at
+  /// zero backlog; a 0 entry means "wait this slot" (probe nothing).
+  /// This is how the Section-3 SMDP's optimal w*(i) table is deployed.
+  std::vector<double> width_table;
+  /// Element (4): discard messages older than `deadline` at the sender.
+  bool discard = true;
+  /// The time constraint K in slots.
+  double deadline = 100.0;
+  /// Seed of the protocol-shared random stream used by the Random* rules;
+  /// every station must use the same value (it is part of the protocol).
+  std::uint64_t shared_seed = 0x7C57C01DULL;
+
+  /// Theorem-1 optimal policy: elements (1), (3), (4) fixed at their
+  /// optimal values; only the width (element 2) remains free.
+  static ControlPolicy optimal(double deadline, double window_width);
+
+  /// [Kurose 83] baseline: FCFS order, all messages sent (no discard).
+  static ControlPolicy fcfs_baseline(double deadline, double window_width);
+
+  /// [Kurose 83] baseline: LCFS-like order, all messages sent.
+  static ControlPolicy lcfs_baseline(double deadline, double window_width);
+
+  /// [Kurose 83] baseline: random-order service, all messages sent.
+  static ControlPolicy random_baseline(double deadline, double window_width);
+};
+
+std::string to_string(PositionRule rule);
+std::string to_string(SplitRule rule);
+std::string to_string(Feedback fb);
+
+}  // namespace tcw::core

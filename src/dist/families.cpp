@@ -1,0 +1,93 @@
+#include "dist/families.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace tcw::dist {
+
+Pmf delta(std::size_t k) {
+  std::vector<double> p(k + 1, 0.0);
+  p[k] = 1.0;
+  return Pmf(std::move(p));
+}
+
+Pmf uniform_int(std::size_t a, std::size_t b) {
+  TCW_EXPECTS(a <= b);
+  std::vector<double> p(b + 1, 0.0);
+  const double w = 1.0 / static_cast<double>(b - a + 1);
+  for (std::size_t k = a; k <= b; ++k) p[k] = w;
+  return Pmf(std::move(p));
+}
+
+Pmf geometric1(double p, double tol, std::size_t max_len) {
+  TCW_EXPECTS(p > 0.0 && p <= 1.0);
+  std::vector<double> out;
+  out.push_back(0.0);  // no mass at 0
+  double mass = p;
+  double remaining = 1.0;
+  while (remaining > tol && out.size() < max_len) {
+    out.push_back(mass);
+    remaining -= mass;
+    mass *= (1.0 - p);
+  }
+  return Pmf(std::move(out), std::max(remaining, 0.0));
+}
+
+Pmf geometric0(double p, double tol, std::size_t max_len) {
+  TCW_EXPECTS(p > 0.0 && p <= 1.0);
+  std::vector<double> out;
+  double mass = p;
+  double remaining = 1.0;
+  while (remaining > tol && out.size() < max_len) {
+    out.push_back(mass);
+    remaining -= mass;
+    mass *= (1.0 - p);
+  }
+  return Pmf(std::move(out), std::max(remaining, 0.0));
+}
+
+Pmf geometric1_with_mean(double mean, double tol) {
+  TCW_EXPECTS(mean >= 1.0);
+  return geometric1(1.0 / mean, tol);
+}
+
+Pmf geometric0_with_mean(double mean, double tol) {
+  TCW_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return delta(0);
+  return geometric0(1.0 / (1.0 + mean), tol);
+}
+
+Pmf poisson(double mu, double tol, std::size_t max_len) {
+  TCW_EXPECTS(mu >= 0.0);
+  if (mu == 0.0) return delta(0);
+  std::vector<double> out;
+  double mass = std::exp(-mu);
+  double remaining = 1.0;
+  std::size_t k = 0;
+  while ((remaining > tol || static_cast<double>(k) < mu) &&
+         out.size() < max_len) {
+    out.push_back(mass);
+    remaining -= mass;
+    ++k;
+    mass *= mu / static_cast<double>(k);
+  }
+  return Pmf(std::move(out), std::max(remaining, 0.0));
+}
+
+Pmf binomial(std::size_t n, double p) {
+  TCW_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<double> out(n + 1, 0.0);
+  // Iterative Pascal update avoids overflow of binomial coefficients.
+  out[0] = 1.0;
+  for (std::size_t trial = 0; trial < n; ++trial) {
+    for (std::size_t k = trial + 1; k-- > 0;) {
+      out[k + 1] += out[k] * p;
+      out[k] *= (1.0 - p);
+    }
+  }
+  return Pmf(std::move(out));
+}
+
+}  // namespace tcw::dist

@@ -1,0 +1,40 @@
+// Named lattice distribution families. Infinite-support families are
+// truncated once their remaining tail drops below `tol`; the dropped mass
+// is recorded in the Pmf's tail_mass().
+#pragma once
+
+#include <cstddef>
+
+#include "dist/pmf.hpp"
+
+namespace tcw::dist {
+
+/// Point mass at k.
+Pmf delta(std::size_t k);
+
+/// Deterministic value k (alias of delta, reads better for service times).
+inline Pmf deterministic(std::size_t k) { return delta(k); }
+
+/// Uniform on {a, ..., b} inclusive.
+Pmf uniform_int(std::size_t a, std::size_t b);
+
+/// Geometric on {1, 2, ...}: P(X=k) = (1-p)^(k-1) p. Mean 1/p.
+Pmf geometric1(double p, double tol = 1e-12, std::size_t max_len = 1u << 20);
+
+/// Geometric on {0, 1, ...}: P(X=k) = (1-p)^k p. Mean (1-p)/p.
+Pmf geometric0(double p, double tol = 1e-12, std::size_t max_len = 1u << 20);
+
+/// Geometric on {1,2,...} with the given mean (mean >= 1).
+Pmf geometric1_with_mean(double mean, double tol = 1e-12);
+
+/// Geometric on {0,1,...} with the given mean (mean >= 0). A mean of 0
+/// degenerates to delta(0).
+Pmf geometric0_with_mean(double mean, double tol = 1e-12);
+
+/// Poisson with mean mu.
+Pmf poisson(double mu, double tol = 1e-12, std::size_t max_len = 1u << 20);
+
+/// Binomial(n, p).
+Pmf binomial(std::size_t n, double p);
+
+}  // namespace tcw::dist

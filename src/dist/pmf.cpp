@@ -1,0 +1,167 @@
+#include "dist/pmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace tcw::dist {
+
+Pmf::Pmf(std::vector<double> p, double tail_mass)
+    : p_(std::move(p)), tail_(tail_mass) {
+  TCW_EXPECTS(tail_mass >= 0.0);
+  for (const double v : p_) TCW_EXPECTS(v >= 0.0);
+}
+
+double Pmf::total_mass() const {
+  double acc = tail_;
+  for (const double v : p_) acc += v;
+  return acc;
+}
+
+double Pmf::cdf(std::size_t k) const {
+  double acc = 0.0;
+  const std::size_t end = std::min(k + 1, p_.size());
+  for (std::size_t i = 0; i < end; ++i) acc += p_[i];
+  return acc;
+}
+
+double Pmf::mean() const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < p_.size(); ++k) {
+    acc += static_cast<double>(k) * p_[k];
+  }
+  return acc;
+}
+
+double Pmf::variance() const {
+  const double m = mean();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < p_.size(); ++k) {
+    const double d = static_cast<double>(k) - m;
+    acc += d * d * p_[k];
+  }
+  return acc;
+}
+
+std::size_t Pmf::quantile(double q) const {
+  TCW_EXPECTS(q >= 0.0 && q <= 1.0);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < p_.size(); ++k) {
+    acc += p_[k];
+    if (acc >= q) return k;
+  }
+  return p_.size();
+}
+
+void Pmf::normalize() {
+  const double total = total_mass();
+  TCW_EXPECTS(total > 0.0);
+  for (double& v : p_) v /= total;
+  tail_ /= total;
+}
+
+void Pmf::trim(double eps) {
+  while (!p_.empty() && p_.back() <= eps) {
+    tail_ += p_.back();
+    p_.pop_back();
+  }
+}
+
+void Pmf::truncate(std::size_t max_len) {
+  if (p_.size() <= max_len) return;
+  for (std::size_t k = max_len; k < p_.size(); ++k) tail_ += p_[k];
+  p_.resize(max_len);
+}
+
+Pmf Pmf::convolve(const Pmf& x, const Pmf& y, std::size_t max_len) {
+  TCW_EXPECTS(max_len > 0);
+  if (x.empty() || y.empty()) {
+    // Convolving with an empty pmf yields pure tail mass.
+    return Pmf(std::vector<double>{}, x.total_mass() * y.total_mass());
+  }
+  const std::size_t full = x.size() + y.size() - 1;
+  const std::size_t out_len = std::min(full, max_len);
+  std::vector<double> out(out_len, 0.0);
+  double tail = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xv = x.p_[i];
+    if (xv == 0.0) continue;
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      const double m = xv * y.p_[j];
+      if (m == 0.0) continue;
+      const std::size_t k = i + j;
+      if (k < out_len) {
+        out[k] += m;
+      } else {
+        tail += m;
+      }
+    }
+  }
+  // Tail mass of either operand stays tail mass of the sum.
+  tail += x.tail_ * y.total_mass() + y.tail_ * (x.total_mass() - x.tail_);
+  return Pmf(std::move(out), tail);
+}
+
+Pmf Pmf::convolve_power(const Pmf& x, std::size_t n, std::size_t max_len) {
+  Pmf acc(std::vector<double>{1.0});  // delta at 0
+  Pmf base = x;
+  // Exponentiation by squaring keeps truncation error low for large n.
+  while (n > 0) {
+    if ((n & 1u) != 0) acc = convolve(acc, base, max_len);
+    n >>= 1u;
+    if (n > 0) base = convolve(base, base, max_len);
+  }
+  return acc;
+}
+
+Pmf Pmf::equilibrium() const {
+  const double m = mean();
+  TCW_EXPECTS(m > 0.0);
+  TCW_EXPECTS(tail_ < 1e-6);  // equilibrium needs a (near-)complete pmf
+  // beta(j) = P(X > j)/E[X] for j = 0 .. max(X)-1; for an integer-valued X
+  // the identity sum_j P(X > j) = E[X] makes this sum to exactly 1.
+  std::vector<double> out;
+  if (p_.size() >= 2) {
+    out.reserve(p_.size() - 1);
+    double sf = total_mass() - p_[0];  // P(X > 0)
+    for (std::size_t j = 0; j + 1 < p_.size(); ++j) {
+      out.push_back(std::max(sf, 0.0) / m);
+      sf -= p_[j + 1];
+    }
+  }
+  TCW_ASSERT(!out.empty());  // m > 0 implies support beyond {0}
+  return Pmf(std::move(out), 0.0);
+}
+
+Pmf Pmf::mixture(const std::vector<Pmf>& components,
+                 const std::vector<double>& weights) {
+  TCW_EXPECTS(!components.empty());
+  TCW_EXPECTS(components.size() == weights.size());
+  double wsum = 0.0;
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    TCW_EXPECTS(weights[i] >= 0.0);
+    wsum += weights[i];
+    len = std::max(len, components[i].size());
+  }
+  TCW_EXPECTS(wsum > 0.0);
+  std::vector<double> out(len, 0.0);
+  double tail = 0.0;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const double w = weights[i] / wsum;
+    for (std::size_t k = 0; k < components[i].size(); ++k) {
+      out[k] += w * components[i].p_[k];
+    }
+    tail += w * components[i].tail_;
+  }
+  return Pmf(std::move(out), tail);
+}
+
+Pmf Pmf::shifted(std::size_t c) const {
+  std::vector<double> out(p_.size() + c, 0.0);
+  std::copy(p_.begin(), p_.end(), out.begin() + static_cast<std::ptrdiff_t>(c));
+  return Pmf(std::move(out), tail_);
+}
+
+}  // namespace tcw::dist

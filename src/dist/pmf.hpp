@@ -1,0 +1,85 @@
+// Probability mass functions on the non-negative integer lattice
+// {0, 1, 2, ...}. The library measures time in channel slots (the paper's
+// propagation delay tau), so lattice index k means "k slots".
+//
+// A Pmf may be a *truncated* representation of a distribution with an
+// infinite support (e.g. geometric); the truncated probability is tracked
+// in tail_mass() so conservation checks remain exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tcw::dist {
+
+class Pmf {
+ public:
+  Pmf() = default;
+
+  /// Take ownership of raw probabilities; `tail_mass` is any probability
+  /// beyond the stored support (e.g. from truncation).
+  explicit Pmf(std::vector<double> p, double tail_mass = 0.0);
+
+  /// Number of stored lattice points (support is {0..size()-1}).
+  std::size_t size() const { return p_.size(); }
+  bool empty() const { return p_.empty(); }
+
+  /// P(X = k); 0 outside the stored support.
+  double at(std::size_t k) const { return k < p_.size() ? p_[k] : 0.0; }
+
+  /// Probability mass truncated off the stored support.
+  double tail_mass() const { return tail_; }
+
+  /// Sum of stored masses + tail (should be ~1 for a proper distribution).
+  double total_mass() const;
+
+  /// P(X <= k) over the stored support.
+  double cdf(std::size_t k) const;
+
+  /// P(X > k).
+  double sf(std::size_t k) const { return total_mass() - cdf(k); }
+
+  /// Mean over the stored support (tail mass contributes nothing; callers
+  /// should keep truncation error small).
+  double mean() const;
+  double variance() const;
+
+  /// Smallest k with cdf(k) >= q; size() if never reached.
+  std::size_t quantile(double q) const;
+
+  /// Rescale stored masses so total_mass() == 1 (tail kept proportionally).
+  void normalize();
+
+  /// Drop trailing entries below `eps`, accumulating them into tail_mass.
+  void trim(double eps = 0.0);
+
+  /// Truncate the support to `max_len` points, moving excess into the tail.
+  void truncate(std::size_t max_len);
+
+  const std::vector<double>& probabilities() const { return p_; }
+
+  /// Distribution of X + Y for independent X, Y; result truncated to
+  /// `max_len` lattice points (excess mass goes to the tail).
+  static Pmf convolve(const Pmf& x, const Pmf& y, std::size_t max_len);
+
+  /// n-fold convolution of `x` with itself (n >= 0; n == 0 is delta at 0).
+  static Pmf convolve_power(const Pmf& x, std::size_t n, std::size_t max_len);
+
+  /// Integer-lattice equilibrium (residual / remaining-work) distribution:
+  /// beta(j) = P(X > j) / E[X], j = 0, 1, ...  For an integer-valued
+  /// non-negative X this sums exactly to 1. Requires mean() > 0.
+  Pmf equilibrium() const;
+
+  /// Mixture: sum_i w_i * components_i, weights need not be normalized.
+  static Pmf mixture(const std::vector<Pmf>& components,
+                     const std::vector<double>& weights);
+
+  /// Distribution of X + c for a non-negative integer shift c.
+  Pmf shifted(std::size_t c) const;
+
+ private:
+  std::vector<double> p_;
+  double tail_ = 0.0;
+};
+
+}  // namespace tcw::dist

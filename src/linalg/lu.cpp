@@ -1,0 +1,96 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace tcw::linalg {
+
+std::optional<Lu> Lu::factor(const Matrix& a, double pivot_tol) {
+  TCW_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: pick the largest magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < pivot_tol) return std::nullopt;
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu(k, c), lu(pivot, c));
+      }
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu(r, k) * inv_pivot;
+      lu(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(k, c);
+      }
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  TCW_EXPECTS(b.size() == n);
+  Vector x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double det = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<Vector> solve(const Matrix& a, const Vector& b) {
+  const auto lu = Lu::factor(a);
+  if (!lu) return std::nullopt;
+  return lu->solve(b);
+}
+
+std::optional<Matrix> inverse(const Matrix& a) {
+  const auto lu = Lu::factor(a);
+  if (!lu) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const Vector col = lu->solve(e);
+    e[c] = 0.0;
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = col[r];
+  }
+  return out;
+}
+
+}  // namespace tcw::linalg

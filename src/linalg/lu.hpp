@@ -1,0 +1,41 @@
+// LU decomposition with partial pivoting and linear solving. This is the
+// workhorse behind semi-Markov policy evaluation (Howard's value equations,
+// paper Appendix A eq. A1) and stationary-distribution computation.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace tcw::linalg {
+
+/// PA = LU factorization (Doolittle, partial pivoting).
+class Lu {
+ public:
+  /// Factor `a`; returns nullopt when the matrix is (numerically) singular.
+  static std::optional<Lu> factor(const Matrix& a, double pivot_tol = 1e-12);
+
+  /// Solve A x = b for the factored A.
+  Vector solve(const Vector& b) const;
+
+  /// Determinant of the original matrix.
+  double determinant() const;
+
+  std::size_t order() const { return lu_.rows(); }
+
+ private:
+  Lu(Matrix lu, std::vector<std::size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                       // L (unit diagonal) and U packed together
+  std::vector<std::size_t> perm_;   // row permutation
+  int sign_ = 1;                    // permutation parity for determinant
+};
+
+/// One-shot solve of A x = b; nullopt if A is singular.
+std::optional<Vector> solve(const Matrix& a, const Vector& b);
+
+/// Matrix inverse; nullopt if singular.
+std::optional<Matrix> inverse(const Matrix& a);
+
+}  // namespace tcw::linalg

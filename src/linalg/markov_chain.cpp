@@ -1,0 +1,79 @@
+#include "linalg/markov_chain.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::linalg {
+
+bool is_stochastic(const Matrix& p, double tol) {
+  if (p.rows() != p.cols()) return false;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      const double v = p(r, c);
+      if (v < -tol || v > 1.0 + tol) return false;
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+std::optional<Vector> stationary_distribution(const Matrix& p) {
+  TCW_EXPECTS(p.rows() == p.cols());
+  const std::size_t n = p.rows();
+  if (n == 0) return std::nullopt;
+  // Solve (P^T - I) pi = 0 with the last balance equation replaced by the
+  // normalization sum(pi) = 1.
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = p(c, r) - (r == c ? 1.0 : 0.0);
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  auto pi = solve(a, b);
+  if (!pi) return std::nullopt;
+  for (double& v : *pi) {
+    if (v < 0.0) {
+      if (v < -1e-8) return std::nullopt;  // not a unichain / bad numerics
+      v = 0.0;
+    }
+  }
+  return pi;
+}
+
+std::optional<Vector> stationary_by_power_iteration(const Matrix& p,
+                                                    double tol,
+                                                    std::size_t max_iter) {
+  TCW_EXPECTS(p.rows() == p.cols());
+  const std::size_t n = p.rows();
+  if (n == 0) return std::nullopt;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  Vector next(n, 0.0);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    for (double& v : next) v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = pi[i];
+      if (w == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) next[j] += w * p(i, j);
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      delta = std::max(delta, std::abs(next[j] - pi[j]));
+    }
+    pi.swap(next);
+    if (delta < tol) return pi;
+  }
+  return std::nullopt;
+}
+
+double long_run_average(const Vector& pi, const Vector& reward) {
+  return dot(pi, reward);
+}
+
+}  // namespace tcw::linalg

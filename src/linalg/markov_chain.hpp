@@ -1,0 +1,31 @@
+// Discrete-time Markov chain utilities: stationary distributions and
+// occupancy measures. The SMDP module uses these to turn a fixed policy's
+// embedded chain into long-run averages (gain), mirroring Howard's
+// formulation referenced in the paper's Appendix A.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace tcw::linalg {
+
+/// Is `p` row-stochastic within `tol` (rows sum to 1, entries in [0,1])?
+bool is_stochastic(const Matrix& p, double tol = 1e-9);
+
+/// Stationary distribution pi with pi P = pi, sum(pi)=1, solved directly
+/// via LU on the (singular-adjusted) balance equations. Requires the chain
+/// to have a single recurrent class; returns nullopt otherwise (or on
+/// numerically singular input).
+std::optional<Vector> stationary_distribution(const Matrix& p);
+
+/// Power iteration fallback: pi_{n+1} = pi_n P until convergence.
+/// Works for aperiodic unichains; `max_iter` bounds the work.
+std::optional<Vector> stationary_by_power_iteration(const Matrix& p,
+                                                    double tol = 1e-12,
+                                                    std::size_t max_iter = 200000);
+
+/// Expected long-run average reward: sum_i pi_i r_i under stationary pi.
+double long_run_average(const Vector& pi, const Vector& reward);
+
+}  // namespace tcw::linalg

@@ -1,0 +1,132 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace tcw::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    TCW_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  TCW_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  TCW_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  TCW_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix out(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] = a.data_[i] + b.data_[i];
+  }
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  TCW_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix out(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] = a.data_[i] - b.data_[i];
+  }
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  TCW_EXPECTS(a.cols_ == b.rows_);
+  Matrix out(a.rows_, b.cols_);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double av = a(r, k);
+      if (av == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols_; ++c) {
+        out(r, c) += av * b(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix out = a;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  TCW_EXPECTS(a.cols_ == x.size());
+  Vector out(a.rows_, 0.0);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < a.cols_; ++c) acc += a(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  TCW_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+double norm2(const Vector& v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  TCW_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  TCW_EXPECTS(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace tcw::linalg

@@ -1,0 +1,119 @@
+#include "net/experiment.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/splitting.hpp"
+#include "sim/batch_means.hpp"
+#include "sim/stats.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::net {
+
+std::string to_string(ProtocolVariant variant) {
+  switch (variant) {
+    case ProtocolVariant::Controlled: return "controlled";
+    case ProtocolVariant::FcfsNoDiscard: return "fcfs-nodiscard";
+    case ProtocolVariant::LcfsNoDiscard: return "lcfs-nodiscard";
+    case ProtocolVariant::RandomNoDiscard: return "random-nodiscard";
+  }
+  return "?";
+}
+
+core::ControlPolicy policy_for(ProtocolVariant variant, double deadline,
+                               double window_width) {
+  switch (variant) {
+    case ProtocolVariant::Controlled:
+      return core::ControlPolicy::optimal(deadline, window_width);
+    case ProtocolVariant::FcfsNoDiscard:
+      return core::ControlPolicy::fcfs_baseline(deadline, window_width);
+    case ProtocolVariant::LcfsNoDiscard:
+      return core::ControlPolicy::lcfs_baseline(deadline, window_width);
+    case ProtocolVariant::RandomNoDiscard:
+      return core::ControlPolicy::random_baseline(deadline, window_width);
+  }
+  TCW_ASSERT(false);
+  return {};
+}
+
+double SweepConfig::heuristic_window_width() const {
+  return analysis::optimal_window_load() / lambda();
+}
+
+std::vector<SweepPoint> simulate_loss_curve_custom(
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints) {
+  TCW_EXPECTS(config.replications >= 1);
+  std::vector<SweepPoint> out;
+  out.reserve(constraints.size());
+
+  for (std::size_t ki = 0; ki < constraints.size(); ++ki) {
+    const double k = constraints[ki];
+    sim::RunningStats loss_reps;
+    sim::RunningStats wait_reps;
+    sim::RunningStats sched_reps;
+    sim::RunningStats util_reps;
+    std::uint64_t messages = 0;
+    double within_run_ci = 0.0;
+
+    for (int rep = 0; rep < config.replications; ++rep) {
+      AggregateConfig sim_cfg;
+      sim_cfg.policy = make_policy(k);
+      sim_cfg.message_length = config.message_length;
+      sim_cfg.success_overhead = config.success_overhead;
+      sim_cfg.t_end = config.t_end;
+      sim_cfg.warmup = config.warmup;
+      sim_cfg.seed = config.base_seed + 1000003ULL * static_cast<std::uint64_t>(rep) +
+                     17ULL * ki;
+      AggregateSimulator sim(
+          sim_cfg, std::make_unique<chan::PoissonProcess>(config.lambda()));
+      const SimMetrics& m = sim.run();
+      loss_reps.add(m.p_loss());
+      wait_reps.add(m.wait_delivered.mean());
+      sched_reps.add(m.scheduling.mean());
+      util_reps.add(m.usage.utilization());
+      messages += m.decided();
+      within_run_ci = m.p_loss_ci95();
+    }
+
+    SweepPoint point;
+    point.constraint = k;
+    point.p_loss = loss_reps.mean();
+    point.ci95 = config.replications >= 2
+                     ? sim::student_t_975(
+                           static_cast<std::uint64_t>(config.replications - 1)) *
+                           loss_reps.stddev() /
+                           std::sqrt(static_cast<double>(config.replications))
+                     : within_run_ci;
+    point.mean_wait = wait_reps.mean();
+    point.mean_scheduling = sched_reps.mean();
+    point.utilization = util_reps.mean();
+    point.messages = messages;
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<SweepPoint> simulate_loss_curve(
+    const SweepConfig& config, ProtocolVariant variant,
+    const std::vector<double>& constraints) {
+  const double width = config.heuristic_window_width();
+  return simulate_loss_curve_custom(
+      config,
+      [variant, width](double k) { return policy_for(variant, k, width); },
+      constraints);
+}
+
+std::vector<double> linear_grid(double lo, double hi, std::size_t n) {
+  TCW_EXPECTS(n >= 2);
+  TCW_EXPECTS(hi >= lo);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+}  // namespace tcw::net

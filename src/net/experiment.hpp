@@ -1,0 +1,71 @@
+// Experiment driver: sweeps the time constraint K over a grid for a given
+// workload and protocol variant, with independent replications, producing
+// the loss-vs-K series of the paper's Figure 7 and the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "net/aggregate_sim.hpp"
+
+namespace tcw::net {
+
+/// The protocol variants evaluated in the paper.
+enum class ProtocolVariant {
+  Controlled,       // Theorem-1 elements + discard (the paper's protocol)
+  FcfsNoDiscard,    // [Kurose 83] FCFS baseline, loss at receiver only
+  LcfsNoDiscard,    // [Kurose 83] LCFS baseline
+  RandomNoDiscard,  // [Kurose 83] RANDOM baseline
+};
+
+std::string to_string(ProtocolVariant variant);
+
+/// Build the ControlPolicy for a variant at constraint K. `window_width`
+/// is element (2); pass analysis-derived nu*/lambda for the heuristic.
+core::ControlPolicy policy_for(ProtocolVariant variant, double deadline,
+                               double window_width);
+
+struct SweepConfig {
+  double offered_load = 0.5;      // rho' = lambda * M
+  double message_length = 25.0;   // M, slots
+  double success_overhead = 1.0;
+  double t_end = 200000.0;        // slots per replication
+  double warmup = 10000.0;
+  int replications = 3;
+  std::uint64_t base_seed = 20261983;
+
+  double lambda() const { return offered_load / message_length; }
+  /// Element (2) heuristic width: nu*/lambda (paper Section 4.1).
+  double heuristic_window_width() const;
+};
+
+struct SweepPoint {
+  double constraint = 0.0;  // K
+  double p_loss = 0.0;      // mean over replications
+  double ci95 = 0.0;        // across-replication CI (normal, t-quantile)
+  double mean_wait = 0.0;   // mean true wait of delivered messages
+  double mean_scheduling = 0.0;
+  double utilization = 0.0; // payload fraction of channel time
+  std::uint64_t messages = 0;
+};
+
+/// Sweep one protocol variant over an ascending K grid using the
+/// infinite-population simulator. Deterministic given base_seed.
+std::vector<SweepPoint> simulate_loss_curve(
+    const SweepConfig& config, ProtocolVariant variant,
+    const std::vector<double>& constraints);
+
+/// Sweep with a caller-supplied policy factory (for ablations over
+/// arbitrary element combinations). The factory receives K.
+std::vector<SweepPoint> simulate_loss_curve_custom(
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints);
+
+/// Evenly spaced K grid helper: n points from lo to hi inclusive.
+std::vector<double> linear_grid(double lo, double hi, std::size_t n);
+
+}  // namespace tcw::net

@@ -1,0 +1,15 @@
+#include "net/metrics.hpp"
+
+#include <cmath>
+
+namespace tcw::net {
+
+double SimMetrics::p_loss_ci95() const {
+  const std::uint64_t d = decided();
+  if (d < 2) return 0.0;
+  const double p = p_loss();
+  return 1.959963984540054 *
+         std::sqrt(std::fmax(p * (1.0 - p), 0.0) / static_cast<double>(d));
+}
+
+}  // namespace tcw::net

@@ -1,0 +1,69 @@
+// Per-run output metrics shared by the aggregate and finite-station
+// simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "chan/channel.hpp"
+#include "sim/histogram.hpp"
+#include "sim/quantile.hpp"
+#include "sim/stats.hpp"
+
+namespace tcw::net {
+
+struct SimMetrics {
+  // Message accounting (post-warmup messages only).
+  std::uint64_t arrivals = 0;        // messages counted toward the run
+  std::uint64_t delivered = 0;       // transmitted with true wait <= K
+  std::uint64_t lost_sender = 0;     // discarded by element (4)
+  std::uint64_t lost_receiver = 0;   // transmitted too late (true wait > K)
+  std::uint64_t censored_lost = 0;   // still queued at end but already > K
+  std::uint64_t pending_at_end = 0;  // still queued, fate unknown
+
+  // True waiting time (arrival -> start of own successful transmission)
+  // of every transmitted message, and of delivered messages only.
+  sim::RunningStats wait_all;
+  sim::RunningStats wait_delivered;
+
+  // Streaming quantiles of the true wait of transmitted messages.
+  sim::P2Quantile wait_p50{0.5};
+  sim::P2Quantile wait_p90{0.9};
+  sim::P2Quantile wait_p99{0.99};
+
+  // Scheduling-time component per transmitted message (paper Section 4
+  // definition: from max(arrival, end of previous transmission) to own
+  // transmission start).
+  sim::RunningStats scheduling;
+
+  // Probe slots consumed per windowing process (incl. empty processes).
+  sim::RunningStats process_slots;
+
+  // Pseudo-time backlog sampled at each process start.
+  sim::RunningStats pseudo_backlog;
+
+  // How channel time was spent.
+  chan::ChannelUsage usage;
+
+  // Delay (true wait) histogram of transmitted messages, in slots.
+  sim::Histogram wait_hist{0.0, 1.0, 1};
+  bool wait_hist_enabled = false;
+
+  /// Messages with a decided fate (denominator of the loss estimate).
+  std::uint64_t decided() const {
+    return delivered + lost_sender + lost_receiver + censored_lost;
+  }
+
+  /// Fraction of messages lost: the paper's primary performance measure.
+  double p_loss() const {
+    const std::uint64_t d = decided();
+    if (d == 0) return 0.0;
+    return static_cast<double>(lost_sender + lost_receiver + censored_lost) /
+           static_cast<double>(d);
+  }
+
+  /// Normal-approximation 95% half-width for p_loss (iid approximation;
+  /// use replications for publication-grade intervals).
+  double p_loss_ci95() const;
+};
+
+}  // namespace tcw::net

@@ -1,0 +1,223 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace tcw::net {
+
+Network::Network(const NetworkConfig& config)
+    : config_(config), rng_(config.seed) {
+  TCW_EXPECTS(config_.t_end > config_.warmup);
+  TCW_EXPECTS(config_.message_length >= 1.0);
+}
+
+void Network::add_station(std::unique_ptr<chan::ArrivalProcess> arrivals) {
+  TCW_EXPECTS(arrivals != nullptr);
+  TCW_EXPECTS(!finished_);
+  Station st;
+  st.id = static_cast<chan::StationId>(stations_.size());
+  st.arrivals = std::move(arrivals);
+  st.next_arrival = st.arrivals->next(rng_);
+  stations_.push_back(std::move(st));
+  controllers_.emplace_back(config_.policy);
+}
+
+Network Network::homogeneous_poisson(const NetworkConfig& config,
+                                     std::size_t n_stations,
+                                     double total_rate) {
+  TCW_EXPECTS(n_stations > 0);
+  TCW_EXPECTS(total_rate > 0.0);
+  Network net(config);
+  for (std::size_t i = 0; i < n_stations; ++i) {
+    net.add_station(std::make_unique<chan::PoissonProcess>(
+        total_rate / static_cast<double>(n_stations)));
+  }
+  return net;
+}
+
+void Network::generate_arrivals_until(double t) {
+  for (Station& st : stations_) {
+    while (st.next_arrival <= t) {
+      chan::Message msg = chan::Message::make(
+          next_msg_id_++, st.id, st.next_arrival, config_.message_length);
+      st.queue.push_back(msg);
+      if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
+      st.next_arrival = st.arrivals->next(rng_);
+    }
+  }
+}
+
+void Network::purge_expired() {
+  if (!config_.policy.discard) return;
+  const double cutoff = now_ - config_.policy.deadline;
+  for (Station& st : stations_) {
+    for (auto it = st.queue.begin(); it != st.queue.end();) {
+      if (it->arrival < cutoff) {
+        if (it->arrival >= config_.warmup) ++metrics_.lost_sender;
+        if (config_.trace != nullptr) {
+          config_.trace->record(now_, sim::TraceKind::SenderDiscard,
+                                it->arrival);
+        }
+        it = st.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::ptrdiff_t Network::eligible_index(const Station& st, double lo,
+                                       double hi) {
+  for (std::size_t i = 0; i < st.queue.size(); ++i) {
+    const double stamp = st.queue[i].window_stamp;
+    if (stamp >= hi) break;  // queue is sorted by stamp
+    if (stamp >= lo) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+void Network::check_consistency() {
+  ++checks_run_;
+  for (std::size_t i = 1; i < controllers_.size(); ++i) {
+    if (!controllers_[0].state_equals(controllers_[i])) {
+      consistent_ = false;
+      return;
+    }
+  }
+}
+
+const SimMetrics& Network::run() {
+  TCW_EXPECTS(!finished_);
+  TCW_EXPECTS(!stations_.empty());
+  const double k = config_.policy.deadline;
+
+  while (now_ < config_.t_end) {
+    generate_arrivals_until(now_);
+    const bool was_in_process = controllers_[0].in_process();
+    // Every station runs the same algorithm on the same feedback.
+    std::optional<Interval> window;
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+      const auto w = controllers_[i].next_probe(now_);
+      if (i == 0) window = w;
+    }
+    ++probe_steps_;
+    if (!was_in_process) {
+      purge_expired();
+      if (now_ >= config_.warmup) {
+        metrics_.pseudo_backlog.add(controllers_[0].pseudo_backlog(now_));
+      }
+    }
+    if (config_.consistency_check_every != 0 &&
+        probe_steps_ % config_.consistency_check_every == 0) {
+      check_consistency();
+    }
+    if (!window) {
+      metrics_.usage.add_idle_slot();
+      now_ += 1.0;
+      continue;
+    }
+    const auto probes_so_far =
+        static_cast<double>(controllers_[0].process_probes());
+
+    // Who transmits in this probe slot?
+    Station* transmitter = nullptr;
+    std::ptrdiff_t tx_index = -1;
+    std::size_t tx_count = 0;
+    for (Station& st : stations_) {
+      const std::ptrdiff_t idx = eligible_index(st, window->lo, window->hi);
+      if (idx >= 0) {
+        ++tx_count;
+        transmitter = &st;
+        tx_index = idx;
+      }
+    }
+
+    if (tx_count == 0) {
+      metrics_.usage.add_idle_slot();
+      if (config_.trace != nullptr) {
+        config_.trace->record(now_, sim::TraceKind::ProbeIdle, window->lo,
+                              window->hi);
+      }
+      for (auto& c : controllers_) c.on_feedback(core::Feedback::Idle);
+      if (!controllers_[0].in_process() && now_ >= config_.warmup) {
+        metrics_.process_slots.add(probes_so_far);
+      }
+      now_ += 1.0;
+    } else if (tx_count == 1) {
+      const chan::Message msg = (*transmitter).queue[static_cast<std::size_t>(tx_index)];
+      transmitter->queue.erase(transmitter->queue.begin() + tx_index);
+      const double wait = now_ - msg.arrival;
+      if (config_.trace != nullptr) {
+        config_.trace->record(now_, sim::TraceKind::Transmission,
+                              msg.arrival);
+        if (wait > k) {
+          config_.trace->record(now_, sim::TraceKind::LateAtReceiver,
+                                msg.arrival);
+        }
+      }
+      if (msg.arrival >= config_.warmup) {
+        metrics_.wait_all.add(wait);
+        metrics_.wait_p50.add(wait);
+        metrics_.wait_p90.add(wait);
+        metrics_.wait_p99.add(wait);
+        if (metrics_.wait_hist_enabled) metrics_.wait_hist.add(wait);
+        metrics_.scheduling.add(now_ - std::max(msg.arrival, last_tx_end_));
+        if (wait <= k) {
+          ++metrics_.delivered;
+          metrics_.wait_delivered.add(wait);
+        } else {
+          ++metrics_.lost_receiver;
+        }
+      }
+      if (now_ >= config_.warmup) metrics_.process_slots.add(probes_so_far);
+      metrics_.usage.add_success(config_.message_length,
+                                 config_.success_overhead);
+      // Re-stamp any other messages of this station stranded inside the
+      // window that is about to be resolved (see header).
+      double restamp = now_;
+      for (auto& pending : transmitter->queue) {
+        if (pending.window_stamp >= window->lo &&
+            pending.window_stamp < window->hi) {
+          restamp += 1e-7;
+          pending.window_stamp = restamp;
+        }
+      }
+      std::sort(transmitter->queue.begin(), transmitter->queue.end(),
+                [](const chan::Message& a, const chan::Message& b) {
+                  return a.window_stamp < b.window_stamp;
+                });
+      for (auto& c : controllers_) c.on_feedback(core::Feedback::Success);
+      last_tx_end_ = now_ + config_.message_length + config_.success_overhead;
+      now_ = last_tx_end_;
+    } else {
+      metrics_.usage.add_collision_slot();
+      if (config_.trace != nullptr) {
+        config_.trace->record(now_, sim::TraceKind::ProbeCollision,
+                              window->lo, window->hi);
+      }
+      for (auto& c : controllers_) c.on_feedback(core::Feedback::Collision);
+      now_ += 1.0;
+    }
+  }
+  finalize();
+  finished_ = true;
+  return metrics_;
+}
+
+void Network::finalize() {
+  const double k = config_.policy.deadline;
+  for (const Station& st : stations_) {
+    for (const chan::Message& msg : st.queue) {
+      if (msg.arrival < config_.warmup) continue;
+      if (now_ - msg.arrival > k) {
+        ++metrics_.censored_lost;
+      } else {
+        ++metrics_.pending_at_end;
+      }
+    }
+  }
+  if (config_.consistency_check_every != 0) check_consistency();
+}
+
+}  // namespace tcw::net

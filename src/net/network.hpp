@@ -1,0 +1,95 @@
+// Finite-station simulation of the protocol, with one WindowController per
+// station driven ONLY by the shared channel feedback -- the distributed
+// system the paper describes, rather than its infinite-population
+// abstraction. Used to validate that
+//   * every station derives the identical protocol state from feedback
+//     alone (the consistency checks), and
+//   * finite-population results approach the aggregate model as the
+//     station count grows.
+//
+// Finite-population wrinkle (see DESIGN.md): a success resolves the probed
+// window at every station, but the transmitting station may still hold
+// further messages whose arrivals lie in that window. Those are re-stamped
+// to the current instant for window eligibility (their true arrival time,
+// used for deadlines and delay metrics, is unchanged).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "chan/arrivals.hpp"
+#include "chan/message.hpp"
+#include "core/controller.hpp"
+#include "net/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace tcw::net {
+
+struct NetworkConfig {
+  core::ControlPolicy policy;
+  double message_length = 25.0;
+  double success_overhead = 1.0;
+  double t_end = 50000.0;
+  double warmup = 2000.0;
+  std::uint64_t seed = 1;
+  /// Cross-check full controller state across stations every N probe steps
+  /// (0 disables; checks are O(stations * state)).
+  std::size_t consistency_check_every = 0;
+  /// Optional event trace; must outlive the network. Not owned.
+  sim::TraceLog* trace = nullptr;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config);
+
+  /// Add a station fed by `arrivals`. Call before run().
+  void add_station(std::unique_ptr<chan::ArrivalProcess> arrivals);
+
+  /// Convenience: n stations with iid Poisson streams splitting
+  /// `total_rate` messages/slot evenly.
+  static Network homogeneous_poisson(const NetworkConfig& config,
+                                     std::size_t n_stations,
+                                     double total_rate);
+
+  const SimMetrics& run();
+
+  std::size_t station_count() const { return stations_.size(); }
+  std::uint64_t consistency_checks_run() const { return checks_run_; }
+  bool stations_consistent() const { return consistent_; }
+  const SimMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Station {
+    chan::StationId id = 0;
+    std::unique_ptr<chan::ArrivalProcess> arrivals;
+    double next_arrival = 0.0;
+    std::deque<chan::Message> queue;  // sorted by window_stamp
+  };
+
+  void generate_arrivals_until(double t);
+  void purge_expired();
+  /// Index of the message with the oldest stamp inside [lo, hi); -1 if none.
+  static std::ptrdiff_t eligible_index(const Station& st, double lo,
+                                       double hi);
+  void check_consistency();
+  void finalize();
+
+  NetworkConfig config_;
+  std::vector<Station> stations_;
+  std::vector<core::WindowController> controllers_;  // one per station
+  sim::Rng rng_;
+  double now_ = 0.0;
+  double last_tx_end_ = 0.0;
+  chan::MessageId next_msg_id_ = 1;
+  std::uint64_t probe_steps_ = 0;
+  std::uint64_t checks_run_ = 0;
+  bool consistent_ = true;
+  bool finished_ = false;
+  SimMetrics metrics_;
+};
+
+}  // namespace tcw::net

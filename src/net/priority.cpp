@@ -1,0 +1,170 @@
+#include "net/priority.hpp"
+
+#include <algorithm>
+
+#include "analysis/splitting.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::net {
+
+PrioritySimulator::PrioritySimulator(const PriorityConfig& config)
+    : config_(config), rng_(config.seed) {
+  TCW_EXPECTS(!config.classes.empty());
+  TCW_EXPECTS(config.t_end > config.warmup);
+  TCW_EXPECTS(config.message_length >= 1.0);
+
+  for (std::size_t c = 0; c < config.classes.size(); ++c) {
+    const PriorityClassSpec& spec = config.classes[c];
+    TCW_EXPECTS(spec.arrival_rate > 0.0);
+    TCW_EXPECTS(spec.weight >= 1);
+    const double width =
+        spec.window_width > 0.0
+            ? spec.window_width
+            : analysis::optimal_window_load() / spec.arrival_rate;
+    core::ControlPolicy policy = core::ControlPolicy::optimal(
+        spec.deadline, width);
+    policy.discard = spec.discard;
+    policy.split_fraction = spec.split_fraction;
+    classes_.emplace_back(policy, spec.arrival_rate);
+    for (std::uint32_t w = 0; w < spec.weight; ++w) cycle_.push_back(c);
+  }
+  metrics_.resize(classes_.size());
+  for (ClassState& cls : classes_) {
+    cls.next_arrival = cls.arrivals->next(rng_);
+  }
+}
+
+const SimMetrics& PrioritySimulator::metrics_for(std::size_t cls) const {
+  TCW_EXPECTS(cls < metrics_.size());
+  return metrics_[cls];
+}
+
+void PrioritySimulator::generate_arrivals_until(double t) {
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    ClassState& cls = classes_[c];
+    while (cls.next_arrival <= t) {
+      cls.pending.insert(cls.next_arrival);
+      if (cls.next_arrival >= config_.warmup) ++metrics_[c].arrivals;
+      cls.next_arrival = cls.arrivals->next(rng_);
+    }
+  }
+}
+
+void PrioritySimulator::purge_discarded(std::size_t c) {
+  ClassState& cls = classes_[c];
+  const double floor = cls.controller.floor();
+  auto it = cls.pending.begin();
+  while (it != cls.pending.end() && *it < floor) {
+    if (*it >= config_.warmup) ++metrics_[c].lost_sender;
+    it = cls.pending.erase(it);
+  }
+}
+
+void PrioritySimulator::advance_turn() {
+  turn_ = (turn_ + 1) % cycle_.size();
+}
+
+const std::vector<SimMetrics>& PrioritySimulator::run() {
+  TCW_EXPECTS(!finished_);
+  while (now_ < config_.t_end) {
+    generate_arrivals_until(now_);
+
+    // Find the next class in the cycle whose controller can probe. A class
+    // with nothing to probe forfeits its turn at zero channel cost; if no
+    // class can probe, the slot idles.
+    std::optional<Interval> window;
+    std::size_t cls_index = 0;
+    for (std::size_t tries = 0; tries < cycle_.size(); ++tries) {
+      cls_index = cycle_[turn_];
+      ClassState& cls = classes_[cls_index];
+      const bool fresh = !cls.controller.in_process();
+      window = cls.controller.next_probe(now_);
+      if (fresh) {
+        purge_discarded(cls_index);
+        if (now_ >= config_.warmup) {
+          metrics_[cls_index].pseudo_backlog.add(
+              cls.controller.pseudo_backlog(now_));
+        }
+      }
+      if (window) break;
+      advance_turn();  // forfeit: nothing to probe for this class
+    }
+    if (!window) {
+      // Nobody has anything to probe: the slot idles, charged to the class
+      // whose turn it is.
+      metrics_[cycle_[turn_]].usage.add_idle_slot();
+      now_ += 1.0;
+      continue;
+    }
+
+    ClassState& cls = classes_[cls_index];
+    SimMetrics& m = metrics_[cls_index];
+    const auto probes_so_far =
+        static_cast<double>(cls.controller.process_probes());
+
+    auto first = cls.pending.lower_bound(window->lo);
+    std::size_t count = 0;
+    auto it = first;
+    while (it != cls.pending.end() && *it < window->hi && count < 2) {
+      ++count;
+      ++it;
+    }
+
+    if (count == 0) {
+      m.usage.add_idle_slot();
+      cls.controller.on_feedback(core::Feedback::Idle);
+      if (!cls.controller.in_process()) {
+        if (now_ >= config_.warmup) m.process_slots.add(probes_so_far);
+        advance_turn();  // empty process: this class's turn is spent
+      }
+      now_ += 1.0;
+    } else if (count == 1) {
+      const double arrival = *first;
+      cls.pending.erase(first);
+      const double wait = now_ - arrival;
+      if (arrival >= config_.warmup) {
+        m.wait_all.add(wait);
+        m.wait_p50.add(wait);
+        m.wait_p90.add(wait);
+        m.wait_p99.add(wait);
+        m.scheduling.add(now_ - std::max(arrival, cls.last_tx_end));
+        if (wait <= cls.controller.policy().deadline) {
+          ++m.delivered;
+          m.wait_delivered.add(wait);
+        } else {
+          ++m.lost_receiver;
+        }
+      }
+      if (now_ >= config_.warmup) m.process_slots.add(probes_so_far);
+      m.usage.add_success(config_.message_length, config_.success_overhead);
+      cls.controller.on_feedback(core::Feedback::Success);
+      cls.last_tx_end =
+          now_ + config_.message_length + config_.success_overhead;
+      now_ = cls.last_tx_end;
+      advance_turn();  // a process ended in a transmission
+    } else {
+      m.usage.add_collision_slot();
+      cls.controller.on_feedback(core::Feedback::Collision);
+      now_ += 1.0;
+    }
+  }
+  finalize();
+  finished_ = true;
+  return metrics_;
+}
+
+void PrioritySimulator::finalize() {
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const double k = classes_[c].controller.policy().deadline;
+    for (const double arrival : classes_[c].pending) {
+      if (arrival < config_.warmup) continue;
+      if (now_ - arrival > k) {
+        ++metrics_[c].censored_lost;
+      } else {
+        ++metrics_[c].pending_at_end;
+      }
+    }
+  }
+}
+
+}  // namespace tcw::net

@@ -1,0 +1,70 @@
+#include "sim/batch_means.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace tcw::sim {
+
+BatchMeans::BatchMeans(std::uint64_t batch_size, std::uint64_t warmup)
+    : batch_size_(batch_size), warmup_(warmup) {
+  TCW_EXPECTS(batch_size > 0);
+}
+
+void BatchMeans::add(double x) {
+  ++seen_;
+  if (seen_ <= warmup_) return;
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batch_means_.push_back(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  if (batch_means_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double m : batch_means_) acc += m;
+  return acc / static_cast<double>(batch_means_.size());
+}
+
+double BatchMeans::ci95_halfwidth() const {
+  const std::size_t k = batch_means_.size();
+  if (k < 2) return 0.0;
+  const double grand = mean();
+  double ss = 0.0;
+  for (const double m : batch_means_) ss += (m - grand) * (m - grand);
+  const double var = ss / static_cast<double>(k - 1);
+  return student_t_975(k - 1) * std::sqrt(var / static_cast<double>(k));
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  const std::size_t k = batch_means_.size();
+  if (k < 3) return 0.0;
+  const double grand = mean();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = batch_means_[i] - grand;
+    den += d * d;
+    if (i + 1 < k) num += d * (batch_means_[i + 1] - grand);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double student_t_975(std::uint64_t dof) {
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (dof == 0) return kTable[1];
+  if (dof <= 30) return kTable[dof];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+}  // namespace tcw::sim

@@ -1,0 +1,50 @@
+// Batch-means confidence intervals for steady-state simulation output.
+// Observations are grouped into fixed-size batches; the batch averages are
+// (approximately) independent, giving a valid CI for correlated series such
+// as per-message delays from one long run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace tcw::sim {
+
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch; the first `warmup` observations
+  /// are discarded (simulation transient removal).
+  explicit BatchMeans(std::uint64_t batch_size, std::uint64_t warmup = 0);
+
+  void add(double x);
+
+  std::uint64_t completed_batches() const { return static_cast<std::uint64_t>(batch_means_.size()); }
+  std::uint64_t observations() const { return seen_; }
+
+  /// Grand mean over completed batches.
+  double mean() const;
+
+  /// 95% CI half-width using the Student-t quantile for the batch count.
+  double ci95_halfwidth() const;
+
+  /// Lag-1 autocorrelation of batch means; near 0 indicates the batches are
+  /// large enough to be treated as independent.
+  double lag1_autocorrelation() const;
+
+  const std::vector<double>& batch_means() const { return batch_means_; }
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t warmup_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::vector<double> batch_means_;
+};
+
+/// Two-sided Student-t 97.5% quantile for `dof` degrees of freedom
+/// (exact table for small dof, normal limit beyond).
+double student_t_975(std::uint64_t dof);
+
+}  // namespace tcw::sim

@@ -1,0 +1,79 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace tcw::sim {
+
+EventId EventQueue::schedule(double time, Action action) {
+  TCW_EXPECTS(action != nullptr);
+  const EventId id = next_id_++;
+  actions_.emplace(id, std::move(action));
+  heap_.push_back(HeapItem{time, id});
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  return actions_.erase(id) > 0;  // heap entry removed lazily by prune()
+}
+
+void EventQueue::prune() {
+  while (!heap_.empty() && actions_.find(heap_.front().id) == actions_.end()) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+std::optional<double> EventQueue::next_time() {
+  prune();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().time;
+}
+
+std::optional<EventQueue::Entry> EventQueue::pop() {
+  prune();
+  if (heap_.empty()) return std::nullopt;
+  const HeapItem top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  auto it = actions_.find(top.id);
+  TCW_ASSERT(it != actions_.end());
+  Entry entry{top.time, top.id, std::move(it->second)};
+  actions_.erase(it);
+  return entry;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  actions_.clear();
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace tcw::sim

@@ -1,0 +1,63 @@
+// Pending-event set for the discrete-event kernel: a binary min-heap keyed
+// by (time, sequence). The sequence number makes ordering of simultaneous
+// events deterministic (FIFO in scheduling order). Cancellation is lazy:
+// cancelled entries are skipped when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tcw::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  struct Entry {
+    double time = 0.0;
+    EventId id = 0;
+    Action action;
+  };
+
+  bool empty() const { return actions_.empty(); }
+  std::size_t size() const { return actions_.size(); }
+
+  /// Schedule `action` at absolute `time`; returns a handle for cancel().
+  EventId schedule(double time, Action action);
+
+  /// Cancel a pending event. Returns false if it already fired/was cancelled.
+  bool cancel(EventId id);
+
+  /// Time of the earliest pending event (nullopt if empty).
+  std::optional<double> next_time();
+
+  /// Remove and return the earliest pending event (nullopt if empty).
+  std::optional<Entry> pop();
+
+  void clear();
+
+ private:
+  struct HeapItem {
+    double time;
+    EventId id;
+  };
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  bool less(const HeapItem& a, const HeapItem& b) const {
+    return a.time < b.time || (a.time == b.time && a.id < b.id);
+  }
+  /// Drop cancelled items off the heap top.
+  void prune();
+
+  std::vector<HeapItem> heap_;
+  std::unordered_map<EventId, Action> actions_;  // live events only
+  EventId next_id_ = 1;
+};
+
+}  // namespace tcw::sim

@@ -1,0 +1,108 @@
+#include "sim/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace tcw::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  TCW_EXPECTS(hi > lo);
+  TCW_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp rounding at hi edge
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  TCW_EXPECTS(i < counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  std::uint64_t running = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    out[i] = static_cast<double>(running) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double Histogram::fraction_at_most(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  std::uint64_t running = underflow_;
+  const auto full_bins = x >= hi_
+      ? counts_.size()
+      : static_cast<std::size_t>((x - lo_) / width_);
+  for (std::size_t i = 0; i < std::min(full_bins, counts_.size()); ++i) {
+    running += counts_[i];
+  }
+  if (x >= hi_) running += overflow_;
+  return static_cast<double>(running) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  TCW_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double running = static_cast<double>(underflow_);
+  if (running >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = running + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - running) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    running = next;
+  }
+  return hi_;
+}
+
+double Histogram::approximate_mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = static_cast<double>(underflow_) * lo_ +
+               static_cast<double>(overflow_) * hi_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(counts_[i]) * bin_center(i);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) *
+                     static_cast<double>(max_width)));
+    os << '[' << lo_ + static_cast<double>(i) * width_ << ", "
+       << lo_ + static_cast<double>(i + 1) * width_ << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow: " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace tcw::sim

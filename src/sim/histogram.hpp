@@ -1,0 +1,58 @@
+// Fixed-bin histogram with underflow/overflow tracking; used for message
+// delay distributions and channel-slot breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcw::sim {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins spanning [lo, hi); values outside are counted
+  /// in dedicated underflow/overflow buckets.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Midpoint of bin `i`.
+  double bin_center(std::size_t i) const;
+
+  /// Empirical CDF evaluated at bin upper edges; includes underflow mass.
+  std::vector<double> cdf() const;
+
+  /// Fraction of samples <= x (bin-resolution approximation).
+  double fraction_at_most(double x) const;
+
+  /// Approximate quantile by inverse CDF over bins.
+  double quantile(double q) const;
+
+  /// Mean of recorded samples approximated by bin centers (under/overflow
+  /// contribute their boundary values).
+  double approximate_mean() const;
+
+  /// Render a compact text bar chart (for example programs).
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tcw::sim

@@ -1,0 +1,98 @@
+#include "sim/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace tcw::sim {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  TCW_EXPECTS(q > 0.0 && q < 1.0);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::insert_initial(double x) {
+  heights_[n_] = x;
+  ++n_;
+  if (n_ == 5) {
+    std::sort(heights_, heights_ + 5);
+    for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+  }
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (pos_[i + 1] - pos_[i - 1]) *
+             ((pos_[i] - pos_[i - 1] + d) * (heights_[i + 1] - heights_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              (pos_[i + 1] - pos_[i] - d) * (heights_[i] - heights_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (pos_[j] - pos_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    insert_initial(x);
+    return;
+  }
+  int k;  // cell containing x
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double step = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (candidate <= heights_[i - 1] || candidate >= heights_[i + 1]) {
+        candidate = linear(i, step);
+      }
+      heights_[i] = candidate;
+      pos_[i] += step;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Sample quantile of the few stored values.
+    double tmp[5];
+    std::copy(heights_, heights_ + n_, tmp);
+    std::sort(tmp, tmp + n_);
+    const auto idx = static_cast<std::size_t>(
+        q_ * static_cast<double>(n_ - 1) + 0.5);
+    return tmp[std::min<std::size_t>(idx, n_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace tcw::sim

@@ -1,0 +1,38 @@
+// P² (P-square) streaming quantile estimator (Jain & Chlamtac 1985).
+// Estimates a single quantile without storing samples; used for delay
+// percentiles in long simulation runs.
+#pragma once
+
+#include <cstdint>
+
+namespace tcw::sim {
+
+class P2Quantile {
+ public:
+  /// Track quantile `q` in (0, 1).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate. Before 5 samples arrive this is the sample median
+  /// of what has been seen; with < 1 sample it is 0.
+  double value() const;
+
+  std::uint64_t count() const { return n_; }
+  double quantile_tracked() const { return q_; }
+
+ private:
+  void insert_initial(double x);
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t n_ = 0;
+  // Five markers: heights and (1-based, fractional desired) positions.
+  double heights_[5] = {};
+  double pos_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+};
+
+}  // namespace tcw::sim

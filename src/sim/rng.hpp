@@ -1,0 +1,71 @@
+// Deterministic, cross-platform pseudo-random number generators.
+//
+// Three generators are provided:
+//  * SplitMix64 -- fast 64-bit mixer; used mainly to seed the others.
+//  * Xoshiro256ss -- xoshiro256** 1.0 (Blackman & Vigna), the library's
+//    default generator for simulations.
+//  * Pcg32 -- PCG-XSH-RR 64/32 (O'Neill), kept for independent cross-checks
+//    in statistical tests.
+//
+// All satisfy std::uniform_random_bit_generator.
+#pragma once
+
+#include <cstdint>
+
+namespace tcw::sim {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64, per the
+  /// reference implementation's recommendation.
+  explicit Xoshiro256ss(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Equivalent to 2^128 calls of operator(); yields independent streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853C49E6748FEA9BULL,
+                 std::uint64_t stream = 0xDA3E39CB94B95BDBULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint32_t{0}; }
+
+  result_type operator()();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// The library-wide default generator.
+using Rng = Xoshiro256ss;
+
+}  // namespace tcw::sim

@@ -1,0 +1,48 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace tcw::sim {
+
+EventId Simulator::schedule_in(double delay, EventQueue::Action action) {
+  TCW_EXPECTS(delay >= 0.0);
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(double time, EventQueue::Action action) {
+  TCW_EXPECTS(time >= now_);
+  return queue_.schedule(time, std::move(action));
+}
+
+std::size_t Simulator::run_until(double t_end) {
+  std::size_t dispatched = 0;
+  while (true) {
+    const auto t_next = queue_.next_time();
+    if (!t_next || *t_next > t_end) break;
+    auto entry = queue_.pop();
+    TCW_ASSERT(entry.has_value());
+    now_ = entry->time;
+    entry->action();
+    ++dispatched;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return dispatched;
+}
+
+bool Simulator::step() {
+  auto entry = queue_.pop();
+  if (!entry) return false;
+  TCW_ASSERT(entry->time >= now_);
+  now_ = entry->time;
+  entry->action();
+  return true;
+}
+
+void Simulator::reset() {
+  now_ = 0.0;
+  queue_.clear();
+}
+
+}  // namespace tcw::sim

@@ -1,0 +1,46 @@
+// Discrete-event simulation kernel: a clock plus the pending-event set.
+// Processes (arrival generators, the channel slot loop) schedule callbacks;
+// the kernel advances time monotonically and dispatches them in order.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/event_queue.hpp"
+
+namespace tcw::sim {
+
+class Simulator {
+ public:
+  double now() const { return now_; }
+
+  /// Schedule `action` `delay` time units from now (delay >= 0).
+  EventId schedule_in(double delay, EventQueue::Action action);
+
+  /// Schedule `action` at absolute time `time` (>= now()).
+  EventId schedule_at(double time, EventQueue::Action action);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue is empty or the clock would pass `t_end`.
+  /// Events at exactly `t_end` are processed. Returns events dispatched.
+  std::size_t run_until(double t_end);
+
+  /// Dispatch exactly one event if present; returns false when idle.
+  bool step();
+
+  /// Pending-event count.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Time of the next event, if any.
+  std::optional<double> next_event_time() { return queue_.next_time(); }
+
+  /// Reset clock and queue.
+  void reset();
+
+ private:
+  double now_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace tcw::sim

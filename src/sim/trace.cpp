@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "util/contract.hpp"
+
+namespace tcw::sim {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::ProcessStart: return "process-start";
+    case TraceKind::ProbeIdle: return "probe-idle";
+    case TraceKind::ProbeCollision: return "probe-collision";
+    case TraceKind::Transmission: return "transmission";
+    case TraceKind::SenderDiscard: return "sender-discard";
+    case TraceKind::LateAtReceiver: return "late-at-receiver";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  TCW_EXPECTS(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void TraceLog::record(double time, TraceKind kind, double lo, double hi) {
+  ++total_;
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+  if (ring_.size() < capacity_) {
+    ring_.push_back(TraceRecord{time, kind, lo, hi});
+    return;
+  }
+  ring_[head_] = TraceRecord{time, kind, lo, hi};
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::uint64_t TraceLog::dropped() const {
+  return total_ - static_cast<std::uint64_t>(ring_.size());
+}
+
+std::uint64_t TraceLog::count(TraceKind kind) const {
+  return kind_counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<TraceRecord> TraceLog::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceLog::write(std::ostream& os) const {
+  for (const TraceRecord& r : snapshot()) {
+    os << r.time << ' ' << to_string(r.kind);
+    if (r.hi > r.lo) {
+      os << " [" << r.lo << ", " << r.hi << ")";
+    } else if (r.lo != 0.0) {
+      os << " arrival=" << r.lo;
+    }
+    os << '\n';
+  }
+}
+
+void TraceLog::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  for (auto& c : kind_counts_) c = 0;
+}
+
+}  // namespace tcw::sim

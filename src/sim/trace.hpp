@@ -1,0 +1,64 @@
+// Bounded protocol event trace: a ring buffer of typed records that the
+// simulators fill when a TraceLog is attached. Useful for debugging
+// protocol dynamics and for the examples' visualizations; cheap enough to
+// leave compiled in (a branch on a null pointer when disabled).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcw::sim {
+
+enum class TraceKind : std::uint8_t {
+  ProcessStart,     // a new windowing process began
+  ProbeIdle,        // a probe slot observed silence
+  ProbeCollision,   // a probe slot observed a collision
+  Transmission,     // a message transmission began
+  SenderDiscard,    // element (4) dropped a message at the sender
+  LateAtReceiver,   // a transmitted message exceeded its deadline
+};
+
+std::string to_string(TraceKind kind);
+
+struct TraceRecord {
+  double time = 0.0;
+  TraceKind kind = TraceKind::ProbeIdle;
+  // Probe window (or the discarded/transmitted message's arrival in lo).
+  double lo = 0.0;
+  double hi = 0.0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+class TraceLog {
+ public:
+  /// Keeps the most recent `capacity` records; older ones are dropped
+  /// (counted in dropped()).
+  explicit TraceLog(std::size_t capacity = 65536);
+
+  void record(double time, TraceKind kind, double lo = 0.0, double hi = 0.0);
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const;
+  std::uint64_t count(TraceKind kind) const;
+
+  /// The retained records, oldest first.
+  std::vector<TraceRecord> snapshot() const;
+
+  /// Human-readable dump of the retained records.
+  void write(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // next write position once the ring is full
+  std::uint64_t total_ = 0;
+  std::uint64_t kind_counts_[6] = {};
+};
+
+}  // namespace tcw::sim

@@ -1,0 +1,43 @@
+// Howard policy iteration for average-cost SMDPs (the procedure the paper
+// invokes in Appendix A), plus exact policy evaluation and brute-force
+// enumeration for small models (used to verify optimality in tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "smdp/smdp.hpp"
+
+namespace tcw::smdp {
+
+/// Solve Howard's value equations for a fixed policy:
+///   v_i + g * tau_i = r_i + sum_j p_ij v_j,   v_{N-1} = 0.
+/// Requires the policy's embedded chain to be a unichain (true for every
+/// window-protocol model built here). nullopt on singular systems.
+std::optional<Evaluation> evaluate_policy(const Smdp& model,
+                                          const Policy& policy);
+
+struct IterationStats {
+  Policy policy;             // the final (optimal) policy
+  Evaluation eval;           // its gain and relative values
+  int iterations = 0;        // policy-improvement rounds
+  std::uint64_t linear_solves = 0;
+  std::uint64_t test_quantities = 0;  // Appendix A gamma evaluations
+  bool converged = false;
+};
+
+/// Minimize the long-run average cost starting from `initial` (default:
+/// first action everywhere). Each round solves one linear system and
+/// improves via the Appendix A test quantity
+///   gamma_i^k = (r_i^k + sum_j p_ij^k v_j - v_i) / tau_i^k.
+IterationStats policy_iteration(const Smdp& model,
+                                std::optional<Policy> initial = std::nullopt,
+                                int max_iterations = 1000);
+
+/// Exhaustively evaluate every policy and return the best; the number of
+/// policies is prod_i |A(i)| so this is only for tiny models (guarded at
+/// `max_policies`). nullopt when the model exceeds the guard.
+std::optional<IterationStats> brute_force_optimal(
+    const Smdp& model, std::uint64_t max_policies = 2000000);
+
+}  // namespace tcw::smdp

@@ -1,0 +1,49 @@
+#include "smdp/smdp.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace tcw::smdp {
+
+Smdp::Smdp(std::size_t num_states) : actions_(num_states) {
+  TCW_EXPECTS(num_states > 0);
+}
+
+std::size_t Smdp::num_state_actions() const {
+  std::size_t total = 0;
+  for (const auto& acts : actions_) total += acts.size();
+  return total;
+}
+
+std::size_t Smdp::add_action(std::size_t state, ActionData data) {
+  TCW_EXPECTS(state < actions_.size());
+  TCW_EXPECTS(data.holding > 0.0);
+  TCW_EXPECTS(!data.transitions.empty());
+  actions_[state].push_back(std::move(data));
+  return actions_[state].size() - 1;
+}
+
+const ActionData& Smdp::action(std::size_t state, std::size_t a) const {
+  TCW_EXPECTS(state < actions_.size());
+  TCW_EXPECTS(a < actions_[state].size());
+  return actions_[state][a];
+}
+
+bool Smdp::validate(double tol) const {
+  for (const auto& acts : actions_) {
+    if (acts.empty()) return false;  // every state needs a decision
+    for (const ActionData& act : acts) {
+      if (act.holding <= 0.0) return false;
+      double sum = 0.0;
+      for (const Transition& t : act.transitions) {
+        if (t.next >= actions_.size() || t.prob < -tol) return false;
+        sum += t.prob;
+      }
+      if (std::abs(sum - 1.0) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tcw::smdp

@@ -1,0 +1,68 @@
+// Generic finite semi-Markov decision process with the long-run average
+// cost criterion, after Howard's formulation -- the machinery behind the
+// paper's Section 3 and Appendix A. A decision k in state s_i fixes
+//   * the transition law p_ij^k of the embedded chain,
+//   * the expected holding time tau_i^k until the next decision, and
+//   * the expected one-step cost r_i^k (the paper's one-step pseudo loss).
+// A policy assigns one decision per state; its gain g is the long-run
+// average cost per unit time, the quantity Theorem 1 minimizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tcw::smdp {
+
+struct Transition {
+  std::size_t next = 0;
+  double prob = 0.0;
+};
+
+struct ActionData {
+  std::vector<Transition> transitions;
+  double holding = 1.0;  // expected time until the next decision (> 0)
+  double cost = 0.0;     // expected one-step cost
+  std::string label;     // diagnostics only
+};
+
+class Smdp {
+ public:
+  explicit Smdp(std::size_t num_states);
+
+  std::size_t num_states() const { return actions_.size(); }
+  std::size_t num_actions(std::size_t state) const {
+    return actions_[state].size();
+  }
+  /// Total (state, action) pairs -- the model size the paper calls
+  /// "computationally too expensive" to iterate over.
+  std::size_t num_state_actions() const;
+
+  /// Register an action for `state`; returns its action index.
+  std::size_t add_action(std::size_t state, ActionData data);
+
+  const ActionData& action(std::size_t state, std::size_t a) const;
+
+  /// Checks each action's transition law sums to 1 within `tol` and all
+  /// holding times are positive.
+  bool validate(double tol = 1e-9) const;
+
+ private:
+  std::vector<std::vector<ActionData>> actions_;
+};
+
+/// One decision per state (indices into the state's action list).
+struct Policy {
+  std::vector<std::size_t> choice;
+
+  friend bool operator==(const Policy&, const Policy&) = default;
+};
+
+/// Gain and relative values of a fixed policy (Howard's value equations,
+/// paper Appendix A eq. A1, with v[num_states-1] = 0).
+struct Evaluation {
+  double gain = 0.0;
+  std::vector<double> values;
+};
+
+}  // namespace tcw::smdp

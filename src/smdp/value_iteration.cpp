@@ -1,0 +1,74 @@
+#include "smdp/value_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace tcw::smdp {
+
+ValueIterationResult value_iteration(const Smdp& model, double tol,
+                                     int max_iterations) {
+  TCW_EXPECTS(model.validate());
+  const std::size_t n = model.num_states();
+
+  // eta: strictly inside (0, min holding) keeps the transformed chain
+  // aperiodic (a self-loop appears in every state).
+  double min_holding = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < model.num_actions(i); ++a) {
+      min_holding = std::min(min_holding, model.action(i, a).holding);
+    }
+  }
+  const double eta = 0.5 * min_holding;
+
+  ValueIterationResult out;
+  out.policy.choice.assign(n, 0);
+  std::vector<double> v(n, 0.0);
+  std::vector<double> next(n, 0.0);
+
+  for (int m = 0; m < max_iterations; ++m) {
+    ++out.iterations;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_a = 0;
+      for (std::size_t a = 0; a < model.num_actions(i); ++a) {
+        const ActionData& act = model.action(i, a);
+        const double scale = eta / act.holding;
+        double value = act.cost / act.holding * eta + (1.0 - scale) * v[i];
+        for (const Transition& t : act.transitions) {
+          value += scale * t.prob * v[t.next];
+        }
+        if (value < best) {
+          best = value;
+          best_a = a;
+        }
+      }
+      next[i] = best;
+      out.policy.choice[i] = best_a;
+    }
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = next[i] - v[i];
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    // Renormalize to keep values bounded (relative VI).
+    const double ref = next[n - 1];
+    for (std::size_t i = 0; i < n; ++i) v[i] = next[i] - ref;
+
+    out.gain_lower = lo / eta;
+    out.gain_upper = hi / eta;
+    out.gain = 0.5 * (out.gain_lower + out.gain_upper);
+    if (hi - lo < tol * eta) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tcw::smdp

@@ -1,0 +1,28 @@
+// Relative value iteration for average-cost SMDPs via Schweitzer's data
+// transformation: the SMDP is converted to an equivalent discrete-time MDP
+// whose steps last eta <= min holding time, then ordinary relative value
+// iteration runs until the value-difference span contracts. Cheaper per
+// step than policy iteration's linear solve, at the cost of geometric
+// (not finite) convergence -- the trade-off discussed around the paper's
+// "computationally too expensive" remark.
+#pragma once
+
+#include <cstdint>
+
+#include "smdp/smdp.hpp"
+
+namespace tcw::smdp {
+
+struct ValueIterationResult {
+  Policy policy;
+  double gain = 0.0;        // bracket midpoint of the average cost
+  double gain_lower = 0.0;  // Odoni bounds
+  double gain_upper = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+ValueIterationResult value_iteration(const Smdp& model, double tol = 1e-9,
+                                     int max_iterations = 200000);
+
+}  // namespace tcw::smdp

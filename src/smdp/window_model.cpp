@@ -1,0 +1,169 @@
+#include "smdp/window_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::smdp {
+
+namespace {
+
+struct ProcessOutcome {
+  double probe_slots = 0.0;    // idle/collision probe slots (success slot
+                               // is absorbed into the transmission time)
+  double resolved = 0.0;       // resolved prefix, fraction of the window
+  bool transmitted = false;
+};
+
+/// Exact splitting dynamics over one windowing process whose (unit-width)
+/// initial window holds the given sorted arrival positions. Elements (1)
+/// and (3) fixed at their Theorem-1 values (oldest placement is implied by
+/// the caller; older half first here).
+ProcessOutcome simulate_process(const std::vector<double>& pos) {
+  ProcessOutcome out;
+  const auto count_in = [&pos](double lo, double hi) {
+    const auto first = std::lower_bound(pos.begin(), pos.end(), lo);
+    const auto last = std::lower_bound(pos.begin(), pos.end(), hi);
+    return static_cast<std::size_t>(last - first);
+  };
+
+  std::vector<std::pair<double, double>> pending;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t probes = 0;
+  while (true) {
+    ++probes;
+    const std::size_t n = count_in(lo, hi);
+    if (n == 1) {
+      out.transmitted = true;
+      out.resolved = hi;
+      out.probe_slots = static_cast<double>(probes - 1);
+      return out;
+    }
+    if (n == 0) {
+      if (pending.empty()) {  // empty initial window: process over
+        out.resolved = hi;
+        out.probe_slots = static_cast<double>(probes);
+        return out;
+      }
+      // Sibling known to hold >= 2 arrivals: split it immediately.
+      const auto sib = pending.back();
+      pending.pop_back();
+      const double mid = (sib.first + sib.second) / 2.0;
+      pending.emplace_back(mid, sib.second);
+      lo = sib.first;
+      hi = mid;
+    } else {
+      const double mid = (lo + hi) / 2.0;
+      pending.emplace_back(mid, hi);
+      hi = mid;
+    }
+  }
+}
+
+}  // namespace
+
+Smdp build_window_smdp(const WindowSmdpConfig& config) {
+  TCW_EXPECTS(config.deadline >= 1);
+  TCW_EXPECTS(config.lambda > 0.0);
+  TCW_EXPECTS(config.tx_slots >= 1);
+  TCW_EXPECTS(config.mc_samples >= 100);
+
+  const std::size_t k = config.deadline;
+  Smdp model(k + 1);
+
+  // "Wait one slot": no window is probed; one slot of fresh time accrues.
+  for (std::size_t i = 0; i <= k; ++i) {
+    ActionData wait;
+    wait.label = "wait";
+    wait.holding = 1.0;
+    const std::size_t next = std::min(i + 1, k);
+    wait.transitions.push_back({next, 1.0});
+    // Waiting at the boundary lets one slot of arrivals age out.
+    wait.cost = (i + 1 > k) ? config.lambda : 0.0;
+    model.add_action(i, std::move(wait));
+  }
+
+  sim::Rng rng(config.seed);
+  std::vector<double> positions;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::size_t w_cap =
+        config.max_window == 0 ? i : std::min(i, config.max_window);
+    for (std::size_t w = 1; w <= w_cap; ++w) {
+      const double nu = config.lambda * static_cast<double>(w);
+      // Monte Carlo kernel estimate for (state i, window width w).
+      std::map<std::size_t, double> hits;
+      double total_cost = 0.0;
+      double total_holding = 0.0;
+      for (std::size_t s = 0; s < config.mc_samples; ++s) {
+        const auto n = sim::poisson(rng, nu);
+        ProcessOutcome oc;
+        if (n == 0) {
+          oc.probe_slots = 1.0;
+          oc.resolved = 1.0;
+        } else if (n == 1) {
+          oc.transmitted = true;
+          oc.resolved = 1.0;
+        } else {
+          positions.clear();
+          for (std::uint64_t j = 0; j < n; ++j) {
+            positions.push_back(sim::uniform01(rng));
+          }
+          std::sort(positions.begin(), positions.end());
+          oc = simulate_process(positions);
+        }
+        const double sigma =
+            oc.probe_slots +
+            (oc.transmitted ? static_cast<double>(config.tx_slots) : 0.0);
+        const double next_backlog = static_cast<double>(i) -
+                                    oc.resolved * static_cast<double>(w) +
+                                    sigma;
+        const double overflow = std::max(0.0, next_backlog - static_cast<double>(k));
+        total_cost += config.lambda * overflow;
+        total_holding += sigma;
+
+        // Probabilistic rounding onto the lattice preserves the mean.
+        const double clipped = std::clamp(next_backlog, 0.0,
+                                          static_cast<double>(k));
+        const double fl = std::floor(clipped);
+        const double frac = clipped - fl;
+        const auto j0 = static_cast<std::size_t>(fl);
+        hits[j0] += 1.0 - frac;
+        if (frac > 0.0) hits[std::min(j0 + 1, k)] += frac;
+      }
+      ActionData act;
+      act.label = "w=" + std::to_string(w);
+      const auto samples = static_cast<double>(config.mc_samples);
+      act.holding = std::max(total_holding / samples, 1e-9);
+      act.cost = total_cost / samples;
+      act.transitions.reserve(hits.size());
+      for (const auto& [next, weight] : hits) {
+        act.transitions.push_back({next, weight / samples});
+      }
+      model.add_action(i, std::move(act));
+    }
+  }
+  TCW_ENSURES(model.validate(1e-6));
+  return model;
+}
+
+WindowPolicyResult solve_window_model(const WindowSmdpConfig& config) {
+  const Smdp model = build_window_smdp(config);
+  WindowPolicyResult out;
+  out.state_actions = model.num_state_actions();
+  out.stats = policy_iteration(model);
+  out.loss_fraction = out.stats.eval.gain / config.lambda;
+  out.width_per_state.assign(config.deadline + 1, 0);
+  for (std::size_t i = 0; i <= config.deadline; ++i) {
+    // Action 0 is "wait"; widths start at action index 1.
+    out.width_per_state[i] = out.stats.policy.choice[i];
+  }
+  return out;
+}
+
+}  // namespace tcw::smdp

@@ -1,0 +1,50 @@
+// The semi-Markov decision model of the controlled window protocol
+// (paper Section 3): pseudo-time state space S = {0, 1, ..., K} (slots of
+// past time that may still hold untransmitted arrivals; element (4) caps
+// the backlog at K), with one decision per state -- the initial window
+// width, element (2), the one policy element Theorem 1 leaves open.
+// Elements (1) and (3) are fixed at their optimal values inside the
+// transition kernel (window at the oldest end, older half first).
+//
+// The kernel of each (state, width) pair is estimated by Monte Carlo over
+// the windowing process (Poisson arrivals, exact splitting dynamics), with
+// probabilistic rounding onto the slot lattice. Costs are the expected
+// one-step pseudo losses: lambda times the expected backlog overflow past
+// K during the process. Solving the model yields both the optimal width
+// table w*(i) and the minimal loss rate -- and demonstrates, timed, the
+// computational expense the paper cites for using the decision model as a
+// performance tool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smdp/policy_iteration.hpp"
+#include "smdp/smdp.hpp"
+
+namespace tcw::smdp {
+
+struct WindowSmdpConfig {
+  std::size_t deadline = 32;     // K, slots (state space size K+1)
+  double lambda = 0.08;          // arrivals per slot
+  std::size_t tx_slots = 5;      // transmission + detection slots (M + 1)
+  std::size_t max_window = 0;    // cap on widths offered per state; 0 = i
+  std::size_t mc_samples = 20000;  // kernel samples per (state, width)
+  std::uint64_t seed = 7;
+};
+
+/// Build the SMDP. State i offers widths w = 1..min(i, cap) plus, in state
+/// 0 (and as a fallback everywhere), the "wait one slot" action.
+Smdp build_window_smdp(const WindowSmdpConfig& config);
+
+struct WindowPolicyResult {
+  std::vector<std::size_t> width_per_state;  // chosen w per state (0 = wait)
+  double loss_fraction = 0.0;  // gain / lambda: fraction of messages lost
+  IterationStats stats;        // policy-iteration cost diagnostics
+  std::size_t state_actions = 0;
+};
+
+/// Build and solve the model with Howard policy iteration.
+WindowPolicyResult solve_window_model(const WindowSmdpConfig& config);
+
+}  // namespace tcw::smdp

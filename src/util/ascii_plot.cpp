@@ -1,0 +1,97 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contract.hpp"
+#include "util/strings.hpp"
+
+namespace tcw {
+
+std::string render_plot(const std::vector<double>& x,
+                        const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  TCW_EXPECTS(!x.empty());
+  TCW_EXPECTS(!series.empty());
+  TCW_EXPECTS(options.width >= 8 && options.height >= 4);
+  for (const PlotSeries& s : series) {
+    TCW_EXPECTS(s.y.size() == x.size());
+  }
+
+  const auto transform = [&options](double v) {
+    if (!options.log_y) return v;
+    return std::log10(std::max(v, options.log_floor));
+  };
+
+  // Value range over all finite points.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const PlotSeries& s : series) {
+    for (const double v : s.y) {
+      if (!std::isfinite(v)) continue;
+      const double t = transform(v);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  const auto col_of = [&](std::size_t i) {
+    if (x.size() == 1) return std::size_t{0};
+    return i * (options.width - 1) / (x.size() - 1);
+  };
+  const auto row_of = [&](double v) {
+    const double frac = (transform(v) - lo) / (hi - lo);
+    const auto r = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(options.height - 1)));
+    return options.height - 1 - std::min(r, options.height - 1);
+  };
+
+  for (const PlotSeries& s : series) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!std::isfinite(s.y[i])) continue;
+      grid[row_of(s.y[i])][col_of(i)] = s.symbol;
+    }
+  }
+
+  std::ostringstream os;
+  const auto label = [&](double v) {
+    return options.log_y ? format_fixed(std::pow(10.0, v), 4)
+                         : format_fixed(v, 4);
+  };
+  for (std::size_t r = 0; r < options.height; ++r) {
+    const double row_value =
+        hi - (hi - lo) * static_cast<double>(r) /
+                 static_cast<double>(options.height - 1);
+    const std::string tick =
+        (r == 0 || r + 1 == options.height) ? label(row_value) : "";
+    os << (tick.empty() ? std::string(8, ' ')
+                        : (tick + std::string(tick.size() < 8 ? 8 - tick.size() : 0, ' ')))
+       << '|' << grid[r] << '\n';
+  }
+  os << std::string(8, ' ') << '+' << std::string(options.width, '-') << '\n';
+  std::ostringstream xs;
+  xs << std::string(9, ' ') << format_fixed(x.front(), 0);
+  const std::string right = format_fixed(x.back(), 0);
+  std::string xline = xs.str();
+  const std::size_t target = 9 + options.width - right.size();
+  if (xline.size() < target) xline += std::string(target - xline.size(), ' ');
+  xline += right;
+  os << xline << '\n';
+  os << std::string(9, ' ');
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si != 0) os << "   ";
+    os << series[si].symbol << " = " << series[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace tcw

@@ -1,0 +1,33 @@
+// Minimal ASCII chart renderer for the bench binaries: overlays several
+// series against a shared categorical x-grid, so the Figure-7 loss curves
+// can be eyeballed straight from the terminal (the paper's figures are
+// loss-vs-K plots; this is their text-mode echo).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tcw {
+
+struct PlotSeries {
+  std::string name;
+  char symbol = '*';
+  std::vector<double> y;  // one value per x grid point; NaN = skip
+};
+
+struct PlotOptions {
+  std::size_t width = 64;   // plot-area columns
+  std::size_t height = 16;  // plot-area rows
+  bool log_y = false;       // log10 y axis (values clamped to log_floor)
+  double log_floor = 1e-4;
+};
+
+/// Render the series over the categorical x grid (labels shown at the
+/// first/last columns). Series are drawn in order; later series overwrite
+/// earlier ones where they collide. Returns the multi-line chart plus a
+/// legend.
+std::string render_plot(const std::vector<double>& x,
+                        const std::vector<PlotSeries>& series,
+                        const PlotOptions& options = {});
+
+}  // namespace tcw

@@ -1,0 +1,14 @@
+#include "util/contract.hpp"
+
+#include <sstream>
+
+namespace tcw::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line) {
+  std::ostringstream os;
+  os << kind << " failed: `" << expr << "` at " << file << ':' << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace tcw::detail

@@ -1,0 +1,39 @@
+// Lightweight contract checking for the tcw library.
+//
+// TCW_EXPECTS(cond)  -- precondition  (checked in all build types)
+// TCW_ENSURES(cond)  -- postcondition (checked in all build types)
+// TCW_ASSERT(cond)   -- internal invariant
+//
+// Violations throw tcw::ContractViolation (rather than aborting) so unit
+// tests can assert on them; the simulator never catches it, so a violation
+// in production use still terminates the run with a precise message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tcw {
+
+/// Exception thrown when a contract annotation fails.
+class ContractViolation final : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line);
+}  // namespace detail
+
+}  // namespace tcw
+
+#define TCW_CONTRACT_CHECK(kind, cond)                                 \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::tcw::detail::contract_fail(kind, #cond, __FILE__, __LINE__);   \
+    }                                                                  \
+  } while (false)
+
+#define TCW_EXPECTS(cond) TCW_CONTRACT_CHECK("precondition", cond)
+#define TCW_ENSURES(cond) TCW_CONTRACT_CHECK("postcondition", cond)
+#define TCW_ASSERT(cond) TCW_CONTRACT_CHECK("invariant", cond)

@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/contract.hpp"
+#include "util/strings.hpp"
+
+namespace tcw {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TCW_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TCW_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (const double v : cells) out.push_back(format_fixed(v, digits));
+  add_row(std::move(out));
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << "  ";
+      os << row[i];
+      for (std::size_t p = row[i].size(); p < width[i]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule(header_.size());
+  for (std::size_t i = 0; i < rule.size(); ++i) rule[i] = std::string(width[i], '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace tcw

@@ -1,0 +1,45 @@
+// CSV emission and aligned console tables for benchmark/experiment output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcw {
+
+/// Accumulates rows of stringly-typed cells; can render as CSV or an
+/// aligned ASCII table. Column count is fixed by the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int digits = 6);
+
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Write CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  /// Human-readable aligned table.
+  void write_pretty(std::ostream& os) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace tcw

@@ -1,0 +1,175 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/contract.hpp"
+#include "util/strings.hpp"
+
+namespace tcw {
+
+Flags::Flags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Flags::add_spec(Spec spec) {
+  TCW_EXPECTS(find(spec.name) == nullptr);
+  specs_.push_back(std::move(spec));
+}
+
+void Flags::add(std::string name, double* out, std::string help) {
+  TCW_EXPECTS(out != nullptr);
+  Spec s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.default_repr = format_fixed(*out, 6);
+  s.assign = [out](std::string_view v) {
+    const auto parsed = parse_double(v);
+    if (!parsed) return false;
+    *out = *parsed;
+    return true;
+  };
+  add_spec(std::move(s));
+}
+
+void Flags::add(std::string name, long long* out, std::string help) {
+  TCW_EXPECTS(out != nullptr);
+  Spec s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.default_repr = std::to_string(*out);
+  s.assign = [out](std::string_view v) {
+    const auto parsed = parse_int(v);
+    if (!parsed) return false;
+    *out = *parsed;
+    return true;
+  };
+  add_spec(std::move(s));
+}
+
+void Flags::add(std::string name, int* out, std::string help) {
+  TCW_EXPECTS(out != nullptr);
+  Spec s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.default_repr = std::to_string(*out);
+  s.assign = [out](std::string_view v) {
+    const auto parsed = parse_int(v);
+    if (!parsed) return false;
+    *out = static_cast<int>(*parsed);
+    return true;
+  };
+  add_spec(std::move(s));
+}
+
+void Flags::add(std::string name, unsigned long long* out, std::string help) {
+  TCW_EXPECTS(out != nullptr);
+  Spec s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.default_repr = std::to_string(*out);
+  s.assign = [out](std::string_view v) {
+    const auto parsed = parse_int(v);
+    if (!parsed || *parsed < 0) return false;
+    *out = static_cast<unsigned long long>(*parsed);
+    return true;
+  };
+  add_spec(std::move(s));
+}
+
+void Flags::add(std::string name, bool* out, std::string help) {
+  TCW_EXPECTS(out != nullptr);
+  Spec s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.default_repr = *out ? "true" : "false";
+  s.is_bool = true;
+  s.assign = [out](std::string_view v) {
+    const auto parsed = parse_bool(v);
+    if (!parsed) return false;
+    *out = *parsed;
+    return true;
+  };
+  add_spec(std::move(s));
+}
+
+void Flags::add(std::string name, std::string* out, std::string help) {
+  TCW_EXPECTS(out != nullptr);
+  Spec s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.default_repr = *out;
+  s.assign = [out](std::string_view v) {
+    *out = std::string(v);
+    return true;
+  };
+  add_spec(std::move(s));
+}
+
+const Flags::Spec* Flags::find(std::string_view name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << program_ << " -- " << description_ << "\n\nflags:\n";
+  for (const Spec& s : specs_) {
+    os << "  --" << s.name << "  (default: " << s.default_repr << ")\n"
+       << "      " << s.help << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    std::string_view name = arg;
+    std::string_view value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag --%.*s\n%s", program_.c_str(),
+                   static_cast<int>(name.size()), name.data(),
+                   usage().c_str());
+      return false;
+    }
+    if (!have_value) {
+      if (spec->is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s: flag --%s needs a value\n", program_.c_str(),
+                     spec->name.c_str());
+        return false;
+      }
+    }
+    if (!spec->assign(value)) {
+      std::fprintf(stderr, "%s: bad value '%.*s' for flag --%s\n",
+                   program_.c_str(), static_cast<int>(value.size()),
+                   value.data(), spec->name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tcw

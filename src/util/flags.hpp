@@ -1,0 +1,59 @@
+// Minimal declarative command-line flag parser used by examples and benches.
+//
+//   tcw::Flags flags("fig7", "Reproduce Figure 7 panel");
+//   double rho = 0.5;
+//   flags.add("rho", &rho, "offered load rho'");
+//   if (!flags.parse(argc, argv)) return 1;   // prints error/usage itself
+//
+// Accepted syntax: --name=value, --name value, --bool-flag (implies true),
+// and --help (prints usage, parse() returns false).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcw {
+
+class Flags {
+ public:
+  Flags(std::string program, std::string description);
+
+  /// Register a flag bound to an out-variable. Pointers must outlive parse().
+  void add(std::string name, double* out, std::string help);
+  void add(std::string name, long long* out, std::string help);
+  void add(std::string name, int* out, std::string help);
+  void add(std::string name, unsigned long long* out, std::string help);
+  void add(std::string name, bool* out, std::string help);
+  void add(std::string name, std::string* out, std::string help);
+
+  /// Parse argv. Returns false (after printing a message) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  /// Render the usage text (also printed on --help / error).
+  std::string usage() const;
+
+  /// Positional arguments left over after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    // Returns false if the value fails to parse.
+    std::function<bool(std::string_view)> assign;
+  };
+
+  const Spec* find(std::string_view name) const;
+  void add_spec(Spec spec);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tcw

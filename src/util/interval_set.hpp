@@ -1,0 +1,70 @@
+// A set of disjoint half-open real intervals [lo, hi), kept sorted and
+// coalesced. Used by the protocol's TimeAxis to record which stretches of
+// past time are known to contain no untransmitted message arrivals
+// (the shaded regions of Figure 2 in the paper).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace tcw {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;  // exclusive
+
+  double length() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool contains(double x) const { return x >= lo && x < hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  bool empty() const { return parts_.empty(); }
+  std::size_t size() const { return parts_.size(); }
+  const std::vector<Interval>& parts() const { return parts_; }
+
+  /// Add [lo, hi) to the set, merging with any overlapping/adjacent parts.
+  void insert(double lo, double hi);
+
+  /// Remove [lo, hi) from the set (splitting parts as needed).
+  void erase(double lo, double hi);
+
+  /// Remove everything below `x` (parts straddling x are trimmed).
+  void erase_below(double x);
+
+  void clear() { parts_.clear(); }
+
+  /// Is `x` inside some interval of the set?
+  bool contains(double x) const;
+
+  /// Total length of the set's intersection with [lo, hi).
+  double measure(double lo, double hi) const;
+
+  /// Total length of all parts.
+  double total_measure() const;
+
+  /// Smallest point >= x that is NOT covered by the set. Since the set is
+  /// a finite union, such a point always exists.
+  double first_uncovered(double x) const;
+
+  /// Largest covered point is parts_.back().hi; nullopt if empty.
+  std::optional<double> max_covered() const;
+
+  /// The maximal uncovered gaps within [lo, hi), in increasing order.
+  std::vector<Interval> gaps(double lo, double hi) const;
+
+  /// Structural invariant: sorted, disjoint, non-empty, non-adjacent parts.
+  bool check_invariant() const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  std::vector<Interval> parts_;  // sorted by lo, pairwise disjoint
+};
+
+}  // namespace tcw

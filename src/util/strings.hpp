@@ -1,0 +1,35 @@
+// Small string helpers shared across the library (no locale dependence).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcw {
+
+/// Split `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a double; nullopt on any trailing garbage or empty input.
+std::optional<double> parse_double(std::string_view s);
+
+/// Parse a signed 64-bit integer; nullopt on any trailing garbage.
+std::optional<long long> parse_int(std::string_view s);
+
+/// Parse a boolean: accepts 1/0/true/false/yes/no/on/off (case-insensitive).
+std::optional<bool> parse_bool(std::string_view s);
+
+/// Fixed-point formatting with `digits` decimals (no locale).
+std::string format_fixed(double v, int digits);
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view s);
+
+}  // namespace tcw

@@ -1,0 +1,175 @@
+// The adaptive element-(2) table (ControlPolicy::width_table) and the
+// slot-jitter robustness knob.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "net/aggregate_sim.hpp"
+#include "net/experiment.hpp"
+#include "smdp/window_model.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::core::ControlPolicy;
+using tcw::core::Feedback;
+using tcw::core::WindowController;
+
+TEST(WidthTable, LookupByBacklog) {
+  ControlPolicy policy = ControlPolicy::optimal(100.0, 50.0);
+  policy.width_table = {0.0, 1.0, 2.0, 3.0};  // width = backlog, capped
+  WindowController c(policy);
+  // At now = 2, pseudo backlog = 2 -> width 2.
+  const auto w = c.next_probe(2.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->length(), 2.0);
+}
+
+TEST(WidthTable, ClampsToLastEntry) {
+  ControlPolicy policy = ControlPolicy::optimal(100.0, 50.0);
+  policy.width_table = {0.0, 1.0, 2.0, 3.0};
+  WindowController c(policy);
+  // Backlog far beyond the table end: use the last entry.
+  const auto w = c.next_probe(80.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->length(), 3.0);
+}
+
+TEST(WidthTable, ZeroEntryMeansWait) {
+  ControlPolicy policy = ControlPolicy::optimal(100.0, 50.0);
+  policy.width_table = {0.0, 0.0, 5.0};
+  WindowController c(policy);
+  // Backlog ~1 -> table entry 0 -> no probe this slot.
+  EXPECT_FALSE(c.next_probe(1.0).has_value());
+  EXPECT_FALSE(c.in_process());
+  // Backlog ~2 -> width 5 (clipped at now).
+  const auto w = c.next_probe(2.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->length(), 2.0);  // clipped to available past
+}
+
+TEST(WidthTable, EmptyTableUsesFixedWidth) {
+  ControlPolicy policy = ControlPolicy::optimal(100.0, 7.0);
+  WindowController c(policy);
+  const auto w = c.next_probe(50.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->length(), 7.0);
+}
+
+TEST(WidthTable, SmdpTableRunsEndToEnd) {
+  // Deploy a solved SMDP table in the simulator; conservation must hold
+  // and loss must stay sane.
+  tcw::smdp::WindowSmdpConfig wcfg;
+  wcfg.deadline = 16;
+  wcfg.lambda = 0.1;
+  wcfg.tx_slots = 5;
+  wcfg.mc_samples = 2000;
+  const auto solved = tcw::smdp::solve_window_model(wcfg);
+
+  tcw::net::AggregateConfig cfg;
+  cfg.policy = ControlPolicy::optimal(16.0, 10.0);
+  cfg.policy.width_table.assign(solved.width_per_state.begin(),
+                                solved.width_per_state.end());
+  cfg.message_length = 4.0;
+  cfg.t_end = 60000.0;
+  cfg.warmup = 4000.0;
+  tcw::net::AggregateSimulator sim(
+      cfg, std::make_unique<tcw::chan::PoissonProcess>(0.1));
+  const auto& m = sim.run();
+  EXPECT_EQ(m.arrivals, m.delivered + m.lost_sender + m.lost_receiver +
+                            m.censored_lost + m.pending_at_end);
+  EXPECT_GT(m.delivered, 0u);
+  EXPECT_LT(m.p_loss(), 0.5);
+}
+
+TEST(WidthTable, AdaptiveBeatsOrMatchesStaticAtTightDeadline) {
+  tcw::smdp::WindowSmdpConfig wcfg;
+  wcfg.deadline = 24;
+  wcfg.lambda = 0.12;
+  wcfg.tx_slots = 5;
+  wcfg.mc_samples = 4000;
+  const auto solved = tcw::smdp::solve_window_model(wcfg);
+
+  tcw::net::SweepConfig cfg;
+  cfg.offered_load = 0.48;
+  cfg.message_length = 4.0;
+  cfg.t_end = 150000.0;
+  cfg.warmup = 10000.0;
+  cfg.replications = 2;
+  const double width = cfg.heuristic_window_width();
+
+  const double static_loss = tcw::net::simulate_loss_curve_custom(
+      cfg,
+      [width](double k) { return ControlPolicy::optimal(k, width); },
+      {24.0})[0].p_loss;
+  const double adaptive_loss = tcw::net::simulate_loss_curve_custom(
+      cfg,
+      [&](double k) {
+        auto p = ControlPolicy::optimal(k, width);
+        p.width_table.assign(solved.width_per_state.begin(),
+                             solved.width_per_state.end());
+        return p;
+      },
+      {24.0})[0].p_loss;
+  EXPECT_LE(adaptive_loss, static_loss + 0.015);
+}
+
+TEST(SlotJitter, ZeroJitterUnchanged) {
+  tcw::net::AggregateConfig a;
+  a.policy = ControlPolicy::optimal(75.0, 54.0);
+  a.message_length = 25.0;
+  a.t_end = 30000.0;
+  a.warmup = 2000.0;
+  auto b = a;
+  b.slot_jitter = 0.0;
+  tcw::net::AggregateSimulator sa(
+      a, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+  tcw::net::AggregateSimulator sb(
+      b, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+  EXPECT_DOUBLE_EQ(sa.run().wait_all.mean(), sb.run().wait_all.mean());
+}
+
+TEST(SlotJitter, LargeJitterDegradesLoss) {
+  const auto run_with = [](double jitter) {
+    tcw::net::AggregateConfig cfg;
+    cfg.policy = ControlPolicy::optimal(75.0, 54.0);
+    cfg.message_length = 25.0;
+    cfg.t_end = 80000.0;
+    cfg.warmup = 5000.0;
+    cfg.slot_jitter = jitter;
+    tcw::net::AggregateSimulator sim(
+        cfg, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+    return sim.run().p_loss();
+  };
+  // A 4-slot jitter stretches every transmission ~8%: loss must rise.
+  EXPECT_GT(run_with(4.0), run_with(0.0));
+}
+
+TEST(SlotJitter, NegativeJitterRejected) {
+  tcw::net::AggregateConfig cfg;
+  cfg.policy = ControlPolicy::optimal(75.0, 54.0);
+  cfg.slot_jitter = -1.0;
+  EXPECT_THROW(tcw::net::AggregateSimulator sim(
+                   cfg, std::make_unique<tcw::chan::PoissonProcess>(0.02)),
+               tcw::ContractViolation);
+}
+
+TEST(WaitQuantiles, OrderedAndWithinRange) {
+  tcw::net::AggregateConfig cfg;
+  cfg.policy = ControlPolicy::optimal(200.0, 54.0);
+  cfg.message_length = 25.0;
+  cfg.t_end = 120000.0;
+  cfg.warmup = 5000.0;
+  tcw::net::AggregateSimulator sim(
+      cfg, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+  const auto& m = sim.run();
+  EXPECT_LE(m.wait_p50.value(), m.wait_p90.value() + 1e-9);
+  EXPECT_LE(m.wait_p90.value(), m.wait_p99.value() + 1e-9);
+  EXPECT_GE(m.wait_p50.value(), 0.0);
+  EXPECT_LE(m.wait_p99.value(), m.wait_all.max() + 1e-9);
+  // Median should be near the arithmetic mean's ballpark for this load.
+  EXPECT_LT(m.wait_p50.value(), m.wait_all.mean() * 3.0 + 1.0);
+}
+
+}  // namespace

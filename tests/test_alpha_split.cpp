@@ -1,0 +1,191 @@
+// The Section 5 extension: windows cut at fraction alpha instead of in
+// half. Validates the generalized recursions against the binary special
+// case, Monte Carlo, and checks the joint (nu, alpha) optimizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/splitting.hpp"
+#include "core/controller.hpp"
+#include "net/experiment.hpp"
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+#include "sim/stats.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+namespace analysis = tcw::analysis;
+
+TEST(AlphaSplit, HalfRecoversBinaryRecursion) {
+  const auto binary = analysis::expected_split_probes(16);
+  const auto alpha = analysis::expected_split_probes_alpha(16, 0.5);
+  for (std::size_t n = 0; n <= 16; ++n) {
+    EXPECT_NEAR(alpha[n], binary[n], 1e-12) << n;
+  }
+}
+
+TEST(AlphaSplit, HalfRecoversBinaryResolvedFraction) {
+  const auto binary = analysis::resolved_fraction_by_count(16);
+  const auto alpha = analysis::resolved_fraction_by_count_alpha(16, 0.5);
+  for (std::size_t n = 0; n <= 16; ++n) {
+    EXPECT_NEAR(alpha[n], binary[n], 1e-12) << n;
+  }
+}
+
+TEST(AlphaSplit, N2ClosedForm) {
+  // Two arrivals, cut at alpha: success iff exactly one lands in the
+  // probed part (prob 2*alpha*(1-alpha) per attempt, attempts iid):
+  // R(2) = 1 / (2 alpha (1-alpha)).
+  for (const double a : {0.3, 0.5, 0.7}) {
+    const auto r = analysis::expected_split_probes_alpha(4, a);
+    EXPECT_NEAR(r[2], 1.0 / (2.0 * a * (1.0 - a)), 1e-9) << a;
+  }
+}
+
+TEST(AlphaSplit, ExtremeCutsAreWorse) {
+  const auto mid = analysis::expected_split_probes_alpha(8, 0.5);
+  const auto skew = analysis::expected_split_probes_alpha(8, 0.9);
+  for (std::size_t n = 2; n <= 8; ++n) {
+    EXPECT_LT(mid[n], skew[n]) << n;
+  }
+}
+
+TEST(AlphaSplit, InvalidAlphaRejected) {
+  EXPECT_THROW(analysis::expected_split_probes_alpha(4, 0.0),
+               tcw::ContractViolation);
+  EXPECT_THROW(analysis::expected_split_probes_alpha(4, 1.0),
+               tcw::ContractViolation);
+}
+
+// Independent Monte-Carlo of alpha-splitting.
+struct McOut {
+  double probes = 0.0;
+  double resolved = 0.0;
+};
+
+McOut mc_alpha_split(const std::vector<double>& pos, double alpha) {
+  std::vector<std::pair<double, double>> stack;
+  const auto count_in = [&pos](double lo, double hi) {
+    return static_cast<std::size_t>(
+        std::count_if(pos.begin(), pos.end(),
+                      [&](double x) { return x >= lo && x < hi; }));
+  };
+  double lo = 0.0;
+  double cut = alpha;
+  stack.emplace_back(alpha, 1.0);
+  int probes = 0;
+  while (true) {
+    ++probes;
+    const std::size_t n = count_in(lo, cut);
+    if (n == 1) return {static_cast<double>(probes), cut};
+    if (n == 0) {
+      const auto sib = stack.back();
+      stack.pop_back();
+      const double mid = sib.first + alpha * (sib.second - sib.first);
+      stack.emplace_back(mid, sib.second);
+      lo = sib.first;
+      cut = mid;
+    } else {
+      const double mid = lo + alpha * (cut - lo);
+      stack.emplace_back(mid, cut);
+      cut = mid;
+    }
+  }
+}
+
+class AlphaSplitMcTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AlphaSplitMcTest, RecursionsMatchMonteCarlo) {
+  const auto [n, alpha] = GetParam();
+  const auto r = analysis::expected_split_probes_alpha(
+      static_cast<std::size_t>(n), alpha);
+  const auto f = analysis::resolved_fraction_by_count_alpha(
+      static_cast<std::size_t>(n), alpha);
+  tcw::sim::Rng rng(9000 + static_cast<unsigned>(n * 10 + alpha * 10));
+  tcw::sim::RunningStats probes;
+  tcw::sim::RunningStats resolved;
+  std::vector<double> pos(static_cast<std::size_t>(n));
+  for (int rep = 0; rep < 30000; ++rep) {
+    for (auto& x : pos) x = tcw::sim::uniform01(rng);
+    std::sort(pos.begin(), pos.end());
+    const auto out = mc_alpha_split(pos, alpha);
+    probes.add(out.probes);
+    resolved.add(out.resolved);
+  }
+  EXPECT_NEAR(probes.mean(), r[static_cast<std::size_t>(n)],
+              4.0 * probes.ci95_halfwidth() + 0.02);
+  EXPECT_NEAR(resolved.mean(), f[static_cast<std::size_t>(n)],
+              4.0 * resolved.ci95_halfwidth() + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlphaSplitMcTest,
+    ::testing::Values(std::make_tuple(2, 0.3), std::make_tuple(3, 0.3),
+                      std::make_tuple(2, 0.6), std::make_tuple(4, 0.6),
+                      std::make_tuple(5, 0.45)));
+
+TEST(AlphaOptimum, JointOptimizerBeatsOrMatchesBinary) {
+  const auto best = analysis::optimal_window_load_alpha();
+  const double binary_cost =
+      analysis::slots_per_message(analysis::optimal_window_load());
+  EXPECT_LE(best.slots_per_message, binary_cost + 1e-9);
+  EXPECT_GT(best.alpha, 0.2);
+  EXPECT_LT(best.alpha, 0.8);
+  EXPECT_GT(best.nu, 0.3);
+}
+
+TEST(AlphaOptimum, CostConsistentWithDirectEvaluation) {
+  const auto best = analysis::optimal_window_load_alpha();
+  EXPECT_NEAR(best.slots_per_message,
+              analysis::slots_per_message_alpha(best.nu, best.alpha), 1e-9);
+}
+
+TEST(AlphaSplitController, SplitFractionHonored) {
+  auto policy = tcw::core::ControlPolicy::optimal(1e9, 8.0);
+  policy.split_fraction = 0.25;
+  tcw::core::WindowController c(policy);
+  (void)c.next_probe(10.0);  // [0,8)
+  c.on_feedback(tcw::core::Feedback::Collision);
+  const auto w = c.next_probe(11.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 0.0);
+  EXPECT_DOUBLE_EQ(w->hi, 2.0);  // 25% of the window, older side
+}
+
+TEST(AlphaSplitController, InvalidFractionRejected) {
+  auto policy = tcw::core::ControlPolicy::optimal(1e9, 8.0);
+  policy.split_fraction = 1.0;
+  EXPECT_THROW(tcw::core::WindowController c(policy),
+               tcw::ContractViolation);
+}
+
+TEST(AlphaSplitEndToEnd, SimulatedLossComparableToBinary) {
+  // The protocol still works end to end with a skewed cut; loss should be
+  // in the same ballpark as binary splitting at the same width.
+  tcw::net::SweepConfig cfg;
+  cfg.offered_load = 0.5;
+  cfg.message_length = 25.0;
+  cfg.t_end = 60000.0;
+  cfg.warmup = 4000.0;
+  cfg.replications = 2;
+  const double width = cfg.heuristic_window_width();
+  const double k = 75.0;
+  const auto run_alpha = [&](double alpha) {
+    return tcw::net::simulate_loss_curve_custom(
+        cfg,
+        [&, alpha](double deadline) {
+          auto p = tcw::core::ControlPolicy::optimal(deadline, width);
+          p.split_fraction = alpha;
+          return p;
+        },
+        {k})[0].p_loss;
+  };
+  const double binary = run_alpha(0.5);
+  const double skewed = run_alpha(0.4);
+  EXPECT_NEAR(binary, skewed, 0.03);
+}
+
+}  // namespace

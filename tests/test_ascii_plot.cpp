@@ -1,0 +1,89 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::PlotOptions;
+using tcw::PlotSeries;
+using tcw::render_plot;
+
+TEST(AsciiPlot, RendersAllSymbolsAndLegend) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<PlotSeries> series{
+      {"up", 'u', {0.0, 1.0, 2.0, 3.0}},
+      {"down", 'd', {3.0, 2.0, 1.0, 0.0}},
+  };
+  const std::string out = render_plot(x, series);
+  EXPECT_NE(out.find('u'), std::string::npos);
+  EXPECT_NE(out.find('d'), std::string::npos);
+  EXPECT_NE(out.find("u = up"), std::string::npos);
+  EXPECT_NE(out.find("d = down"), std::string::npos);
+}
+
+TEST(AsciiPlot, HasRequestedDimensions) {
+  const std::vector<double> x{0.0, 10.0};
+  const std::vector<PlotSeries> series{{"s", '*', {1.0, 2.0}}};
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 6;
+  const std::string out = render_plot(x, series, opts);
+  // height rows + axis + x labels + legend.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            static_cast<std::ptrdiff_t>(opts.height) + 3);
+}
+
+TEST(AsciiPlot, MonotoneSeriesDescendsOnScreen) {
+  // Higher values are drawn on higher rows (smaller row index).
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<PlotSeries> series{{"s", '*', {0.0, 1.0}}};
+  const std::string out = render_plot(x, series);
+  const auto first_star = out.find('*');
+  const auto last_star = out.rfind('*');
+  // The larger value (x=1) must appear on an earlier line than the smaller.
+  const auto line_of = [&](std::size_t pos) {
+    return std::count(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(pos), '\n');
+  };
+  EXPECT_LT(line_of(first_star), line_of(last_star));
+}
+
+TEST(AsciiPlot, LogScaleClampsFloor) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  PlotOptions opts;
+  opts.log_y = true;
+  opts.log_floor = 1e-4;
+  const std::vector<PlotSeries> series{{"s", '*', {0.5, 1e-9, 0.05}}};
+  EXPECT_NO_THROW(render_plot(x, series, opts));
+}
+
+TEST(AsciiPlot, ConstantSeriesStillRenders) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<PlotSeries> series{{"s", '*', {0.5, 0.5}}};
+  EXPECT_NO_THROW(render_plot(x, series));
+}
+
+TEST(AsciiPlot, NanPointsAreSkipped) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<PlotSeries> series{
+      {"s", '*', {1.0, std::nan(""), 2.0}}};
+  const std::string out = render_plot(x, series);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 3);  // 2 pts + legend
+}
+
+TEST(AsciiPlot, InvalidInputsRejected) {
+  const std::vector<double> x{0.0, 1.0};
+  EXPECT_THROW(render_plot({}, {{"s", '*', {}}}), tcw::ContractViolation);
+  EXPECT_THROW(render_plot(x, {}), tcw::ContractViolation);
+  EXPECT_THROW(render_plot(x, {{"s", '*', {1.0}}}),
+               tcw::ContractViolation);  // length mismatch
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_plot(x, {{"s", '*', {1.0, 2.0}}}, tiny),
+               tcw::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "sim/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::sim::BatchMeans;
+using tcw::sim::student_t_975;
+
+TEST(StudentT, KnownQuantiles) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(1000000), 1.960, 1e-3);
+}
+
+TEST(BatchMeans, RejectsZeroBatch) {
+  EXPECT_THROW(BatchMeans(0), tcw::ContractViolation);
+}
+
+TEST(BatchMeans, BatchesCompleteOnSchedule) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 35; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 3u);
+  EXPECT_EQ(bm.observations(), 35u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, WarmupIsDiscarded) {
+  BatchMeans bm(5, 10);
+  for (int i = 0; i < 10; ++i) bm.add(100.0);  // warmup junk
+  for (int i = 0; i < 10; ++i) bm.add(2.0);
+  EXPECT_EQ(bm.completed_batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 2.0);
+}
+
+TEST(BatchMeans, MeanOfIidStream) {
+  BatchMeans bm(100);
+  tcw::sim::Rng rng(5);
+  for (int i = 0; i < 50000; ++i) bm.add(tcw::sim::exponential(rng, 0.5));
+  EXPECT_NEAR(bm.mean(), 2.0, 0.05);
+  EXPECT_GT(bm.ci95_halfwidth(), 0.0);
+  EXPECT_LT(bm.ci95_halfwidth(), 0.1);
+}
+
+TEST(BatchMeans, CiCoversTruthForIidNormal90PercentOfSeeds) {
+  int covered = 0;
+  for (unsigned seed = 0; seed < 40; ++seed) {
+    BatchMeans bm(50);
+    tcw::sim::Rng rng(seed);
+    for (int i = 0; i < 5000; ++i) {
+      // Uniform(0,2) has mean 1.
+      bm.add(tcw::sim::uniform(rng, 0.0, 2.0));
+    }
+    if (std::abs(bm.mean() - 1.0) <= bm.ci95_halfwidth()) ++covered;
+  }
+  // 95% nominal; allow generous slack on 40 trials.
+  EXPECT_GE(covered, 33);
+}
+
+TEST(BatchMeans, Lag1AutocorrelationNearZeroForIid) {
+  BatchMeans bm(20);
+  tcw::sim::Rng rng(6);
+  for (int i = 0; i < 40000; ++i) bm.add(tcw::sim::uniform01(rng));
+  EXPECT_LT(std::abs(bm.lag1_autocorrelation()), 0.1);
+}
+
+TEST(BatchMeans, Lag1AutocorrelationDetectsTrend) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 2000; ++i) bm.add(static_cast<double>(i));
+  EXPECT_GT(bm.lag1_autocorrelation(), 0.9);
+}
+
+TEST(BatchMeans, NoCompleteBatchYieldsZeroCi) {
+  BatchMeans bm(1000);
+  for (int i = 0; i < 50; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 0u);
+  EXPECT_DOUBLE_EQ(bm.ci95_halfwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+}
+
+}  // namespace

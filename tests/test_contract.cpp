@@ -1,0 +1,47 @@
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Contract, PassingChecksDoNothing) {
+  EXPECT_NO_THROW(TCW_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(TCW_ENSURES(true));
+  EXPECT_NO_THROW(TCW_ASSERT(42 > 0));
+}
+
+TEST(Contract, FailingPreconditionThrows) {
+  EXPECT_THROW(TCW_EXPECTS(false), tcw::ContractViolation);
+}
+
+TEST(Contract, FailingPostconditionThrows) {
+  EXPECT_THROW(TCW_ENSURES(2 < 1), tcw::ContractViolation);
+}
+
+TEST(Contract, FailingInvariantThrows) {
+  EXPECT_THROW(TCW_ASSERT(false), tcw::ContractViolation);
+}
+
+TEST(Contract, MessageNamesKindExpressionAndLocation) {
+  try {
+    TCW_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const tcw::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contract, SideEffectsInConditionRunOnce) {
+  int calls = 0;
+  const auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  TCW_ASSERT(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Scripted unit tests of the window controller state machine: windows it
+// probes, how it splits on collisions, how resolved time and t_past evolve,
+// and the Section 3.1 discard (element 4).
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::core::ControlPolicy;
+using tcw::core::Feedback;
+using tcw::core::PositionRule;
+using tcw::core::SplitRule;
+using tcw::core::WindowController;
+using tcw::Interval;
+
+ControlPolicy wide_optimal(double width) {
+  // Deadline large enough that discard never fires in these scripts.
+  return ControlPolicy::optimal(1e9, width);
+}
+
+TEST(Controller, FirstProbeStartsAtOrigin) {
+  WindowController c(wide_optimal(10.0));
+  const auto w = c.next_probe(50.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 0.0);
+  EXPECT_DOUBLE_EQ(w->hi, 10.0);
+  EXPECT_TRUE(c.in_process());
+  EXPECT_EQ(c.process_probes(), 1);
+}
+
+TEST(Controller, WindowClippedAtNow) {
+  WindowController c(wide_optimal(10.0));
+  const auto w = c.next_probe(4.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 0.0);
+  EXPECT_DOUBLE_EQ(w->hi, 4.0);
+}
+
+TEST(Controller, NothingToProbeAtTimeZero) {
+  WindowController c(wide_optimal(10.0));
+  EXPECT_FALSE(c.next_probe(0.0).has_value());
+  EXPECT_FALSE(c.in_process());
+}
+
+TEST(Controller, IdleResolvesWindowAndEndsProcess) {
+  WindowController c(wide_optimal(10.0));
+  (void)c.next_probe(50.0);
+  c.on_feedback(Feedback::Idle);
+  EXPECT_FALSE(c.in_process());
+  EXPECT_DOUBLE_EQ(c.t_past(50.0), 10.0);
+  // Next process starts where the last one left off.
+  const auto w = c.next_probe(51.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 10.0);
+  EXPECT_DOUBLE_EQ(w->hi, 20.0);
+}
+
+TEST(Controller, CollisionSplitsOlderHalfFirst) {
+  WindowController c(wide_optimal(8.0));
+  (void)c.next_probe(10.0);  // [0, 8)
+  c.on_feedback(Feedback::Collision);
+  EXPECT_TRUE(c.in_process());
+  const auto w = c.next_probe(11.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 0.0);
+  EXPECT_DOUBLE_EQ(w->hi, 4.0);
+  EXPECT_EQ(c.process_probes(), 2);
+}
+
+TEST(Controller, YoungerHalfRuleProbesYoungerFirst) {
+  auto policy = wide_optimal(8.0);
+  policy.split = SplitRule::YoungerHalf;
+  WindowController c(policy);
+  (void)c.next_probe(10.0);
+  c.on_feedback(Feedback::Collision);
+  const auto w = c.next_probe(11.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 4.0);
+  EXPECT_DOUBLE_EQ(w->hi, 8.0);
+}
+
+TEST(Controller, EmptyHalfTriggersImmediateSplitOfSibling) {
+  WindowController c(wide_optimal(8.0));
+  (void)c.next_probe(10.0);            // [0,8)
+  c.on_feedback(Feedback::Collision);  // split -> probe [0,4)
+  (void)c.next_probe(11.0);
+  c.on_feedback(Feedback::Idle);       // [0,4) empty => [4,8) has >= 2
+  EXPECT_TRUE(c.in_process());
+  const auto w = c.next_probe(12.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 4.0);  // quarter of the sibling, older half
+  EXPECT_DOUBLE_EQ(w->hi, 6.0);
+  EXPECT_DOUBLE_EQ(c.t_past(12.0), 4.0);  // [0,4) resolved
+}
+
+TEST(Controller, SuccessResolvesWindowAndReleasesSiblings) {
+  WindowController c(wide_optimal(8.0));
+  (void)c.next_probe(10.0);            // [0,8)
+  c.on_feedback(Feedback::Collision);  // probe [0,4), sibling [4,8)
+  (void)c.next_probe(11.0);
+  c.on_feedback(Feedback::Success);
+  EXPECT_FALSE(c.in_process());
+  // [0,4) resolved; [4,8) back in the unresolved pool.
+  EXPECT_DOUBLE_EQ(c.t_past(20.0), 4.0);
+  const auto w = c.next_probe(20.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 4.0);
+  EXPECT_DOUBLE_EQ(w->hi, 12.0);
+}
+
+TEST(Controller, DeepSplitSequence) {
+  WindowController c(wide_optimal(16.0));
+  (void)c.next_probe(20.0);            // [0,16)
+  c.on_feedback(Feedback::Collision);  // -> [0,8)
+  (void)c.next_probe(21.0);
+  c.on_feedback(Feedback::Collision);  // -> [0,4)
+  (void)c.next_probe(22.0);
+  c.on_feedback(Feedback::Collision);  // -> [0,2)
+  const auto w = c.next_probe(23.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 0.0);
+  EXPECT_DOUBLE_EQ(w->hi, 2.0);
+  c.on_feedback(Feedback::Success);
+  // Siblings [2,4), [4,8), [8,16) all remain unresolved.
+  EXPECT_DOUBLE_EQ(c.t_past(23.0), 2.0);
+}
+
+TEST(Controller, DiscardAdvancesFloorPastDeadline) {
+  auto policy = ControlPolicy::optimal(50.0, 10.0);
+  WindowController c(policy);
+  const auto w = c.next_probe(200.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 150.0);  // now - K
+  EXPECT_DOUBLE_EQ(w->hi, 160.0);
+  EXPECT_DOUBLE_EQ(c.floor(), 150.0);
+}
+
+TEST(Controller, DiscardOnlyAtProcessStart) {
+  auto policy = ControlPolicy::optimal(50.0, 10.0);
+  WindowController c(policy);
+  (void)c.next_probe(200.0);           // floor = 150, probe [150,160)
+  c.on_feedback(Feedback::Collision);  // still mid-process
+  (void)c.next_probe(260.0);           // long transmission elapsed meanwhile
+  EXPECT_DOUBLE_EQ(c.floor(), 150.0);  // not re-floored mid-process
+  c.on_feedback(Feedback::Success);
+  (void)c.next_probe(261.0);  // fresh process: discard now applies
+  EXPECT_DOUBLE_EQ(c.floor(), 211.0);
+}
+
+TEST(Controller, NoDiscardKeepsOldBacklog) {
+  auto policy = ControlPolicy::fcfs_baseline(50.0, 10.0);
+  WindowController c(policy);
+  const auto w = c.next_probe(500.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 0.0);  // far older than the deadline
+}
+
+TEST(Controller, NewestFirstWindowEndsAtNow) {
+  auto policy = ControlPolicy::lcfs_baseline(1e9, 10.0);
+  WindowController c(policy);
+  const auto w = c.next_probe(100.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 90.0);
+  EXPECT_DOUBLE_EQ(w->hi, 100.0);
+}
+
+TEST(Controller, NewestFirstCoversNewestUnresolvedMeasure) {
+  auto policy = ControlPolicy::lcfs_baseline(1e9, 10.0);
+  WindowController c(policy);
+  (void)c.next_probe(100.0);  // [90,100)
+  c.on_feedback(Feedback::Idle);
+  // [90,100) resolved; [0,90) is an unresolved gap behind it.
+  EXPECT_DOUBLE_EQ(c.t_past(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.unresolved_backlog(100.0), 90.0);
+  // LCFS in pseudo time: the next window spans the fresh strip (100,105)
+  // plus the newest 5 slots of the stranded gap, ending at now.
+  const auto w = c.next_probe(105.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->lo, 85.0);
+  EXPECT_DOUBLE_EQ(w->hi, 105.0);
+}
+
+TEST(Controller, NewestFirstReclaimsStrandedBacklog) {
+  // Old unresolved time must eventually be probed once fresh time is
+  // clear; otherwise LCFS starves messages forever.
+  auto policy = ControlPolicy::lcfs_baseline(1e9, 5.0);
+  WindowController c(policy);
+  double now = 50.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto w = c.next_probe(now);
+    ASSERT_TRUE(w.has_value());
+    c.on_feedback(Feedback::Idle);
+    now += 1.0;
+  }
+  // Everything up to ~now should be resolved by now.
+  EXPECT_GT(c.t_past(now), now - 15.0);
+}
+
+TEST(Controller, RandomRulesAreDeterministicGivenSeed) {
+  auto policy = ControlPolicy::random_baseline(1e9, 10.0);
+  policy.shared_seed = 1234;
+  WindowController a(policy);
+  WindowController b(policy);
+  for (int step = 0; step < 200; ++step) {
+    const double now = 10.0 * (step + 1);
+    const auto wa = a.next_probe(now);
+    const auto wb = b.next_probe(now);
+    ASSERT_EQ(wa.has_value(), wb.has_value());
+    if (wa) {
+      EXPECT_DOUBLE_EQ(wa->lo, wb->lo);
+      EXPECT_DOUBLE_EQ(wa->hi, wb->hi);
+      const auto fb = step % 3 == 0   ? Feedback::Collision
+                      : step % 3 == 1 ? Feedback::Idle
+                                      : Feedback::Success;
+      a.on_feedback(fb);
+      b.on_feedback(fb);
+    }
+    ASSERT_TRUE(a.state_equals(b));
+  }
+}
+
+TEST(Controller, PseudoBacklogMeasuresUnresolvedWithinDeadline) {
+  auto policy = ControlPolicy::optimal(100.0, 10.0);
+  WindowController c(policy);
+  (void)c.next_probe(50.0);  // [0,10)
+  c.on_feedback(Feedback::Idle);
+  // Unresolved: [10, 50) => 40 within the last 100 slots.
+  EXPECT_DOUBLE_EQ(c.pseudo_backlog(50.0), 40.0);
+  EXPECT_DOUBLE_EQ(c.pseudo_backlog(120.0), 100.0);  // clipped at K window
+}
+
+TEST(Controller, FeedbackWithoutProbeRejected) {
+  WindowController c(wide_optimal(10.0));
+  EXPECT_THROW(c.on_feedback(Feedback::Idle), tcw::ContractViolation);
+}
+
+TEST(Controller, FragmentsStayBoundedUnderFcfs) {
+  WindowController c(wide_optimal(10.0));
+  for (int i = 0; i < 1000; ++i) {
+    const double now = 10.0 + i;
+    const auto w = c.next_probe(now);
+    if (!w) continue;
+    c.on_feedback(Feedback::Idle);
+  }
+  // Under oldest-first probing the resolved set stays a compact prefix.
+  EXPECT_LE(c.fragment_count(), 2u);
+}
+
+TEST(Controller, StateEqualsDetectsDivergence) {
+  WindowController a(wide_optimal(10.0));
+  WindowController b(wide_optimal(10.0));
+  (void)a.next_probe(20.0);
+  (void)b.next_probe(20.0);
+  EXPECT_TRUE(a.state_equals(b));
+  a.on_feedback(Feedback::Idle);
+  b.on_feedback(Feedback::Collision);
+  EXPECT_FALSE(a.state_equals(b));
+}
+
+TEST(Controller, ProcessProbesCountsSlots) {
+  WindowController c(wide_optimal(8.0));
+  (void)c.next_probe(10.0);
+  EXPECT_EQ(c.process_probes(), 1);
+  c.on_feedback(Feedback::Collision);
+  (void)c.next_probe(11.0);
+  EXPECT_EQ(c.process_probes(), 2);
+  c.on_feedback(Feedback::Idle);
+  (void)c.next_probe(12.0);
+  EXPECT_EQ(c.process_probes(), 3);
+  c.on_feedback(Feedback::Success);
+  EXPECT_FALSE(c.in_process());
+  (void)c.next_probe(13.0);
+  EXPECT_EQ(c.process_probes(), 1);  // fresh process resets the count
+}
+
+}  // namespace

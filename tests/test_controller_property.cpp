@@ -1,0 +1,170 @@
+// Property tests: the window controller's structural invariants must hold
+// under arbitrary (even adversarial) feedback sequences, for every policy
+// shape. The invariants checked after every step:
+//   * a probe window always lies in [floor, now) and has positive length;
+//   * the probe window and all stacked siblings are pairwise disjoint and
+//     disjoint from the resolved set;
+//   * t_past never exceeds now and never moves backwards except when the
+//     element-(4) discard advances the floor;
+//   * pseudo backlog stays within [0, K].
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+
+namespace {
+
+using tcw::core::ControlPolicy;
+using tcw::core::Feedback;
+using tcw::core::PositionRule;
+using tcw::core::SplitRule;
+using tcw::core::WindowController;
+using tcw::Interval;
+
+struct PolicyCase {
+  PositionRule position;
+  SplitRule split;
+  bool discard;
+  double split_fraction;
+};
+
+class ControllerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ControllerPropertyTest, InvariantsHoldUnderRandomFeedback) {
+  const auto [case_index, seed] = GetParam();
+  static const PolicyCase kCases[] = {
+      {PositionRule::OldestFirst, SplitRule::OlderHalf, true, 0.5},
+      {PositionRule::OldestFirst, SplitRule::OlderHalf, false, 0.5},
+      {PositionRule::NewestFirst, SplitRule::YoungerHalf, false, 0.5},
+      {PositionRule::RandomGap, SplitRule::RandomHalf, false, 0.5},
+      {PositionRule::OldestFirst, SplitRule::OlderHalf, true, 0.3},
+      {PositionRule::NewestFirst, SplitRule::OlderHalf, true, 0.7},
+  };
+  const PolicyCase& pc = kCases[static_cast<std::size_t>(case_index)];
+
+  ControlPolicy policy = ControlPolicy::optimal(40.0, 12.0);
+  policy.position = pc.position;
+  policy.split = pc.split;
+  policy.discard = pc.discard;
+  policy.split_fraction = pc.split_fraction;
+
+  WindowController c(policy);
+  tcw::sim::Rng rng(7000 + static_cast<unsigned>(seed));
+  double now = 0.0;
+  double last_t_past = 0.0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double floor_before = c.floor();
+    const auto window = c.next_probe(now);
+    if (window) {
+      // Probe window inside the legal range.
+      ASSERT_GE(window->lo, c.floor() - 1e-9) << step;
+      ASSERT_LE(window->hi, now + 1e-9) << step;
+      ASSERT_GT(window->length(), 0.0) << step;
+
+      // Random but protocol-legal feedback. A Collision on a too-narrow
+      // window is physically impossible (arrivals are distinct); keep
+      // splits above the controller's minimum width.
+      const double roll = tcw::sim::uniform01(rng);
+      Feedback fb;
+      if (roll < 0.35) {
+        fb = Feedback::Idle;
+      } else if (roll < 0.6 || window->length() < 1e-6) {
+        fb = Feedback::Success;
+      } else {
+        fb = Feedback::Collision;
+      }
+      c.on_feedback(fb);
+      now += fb == Feedback::Success ? 26.0 : 1.0;
+    } else {
+      ASSERT_FALSE(c.in_process()) << step;
+      now += 1.0;
+    }
+
+    // t_past monotone except for floor jumps (discard / compaction).
+    const double tp = c.t_past(now);
+    ASSERT_LE(tp, now + 1e-9) << step;
+    if (c.floor() <= floor_before + 1e-12) {
+      ASSERT_GE(tp, last_t_past - 1e-9) << step;
+    }
+    last_t_past = tp;
+
+    // Pseudo backlog bounded by the deadline window.
+    const double backlog = c.pseudo_backlog(now);
+    ASSERT_GE(backlog, -1e-9) << step;
+    ASSERT_LE(backlog, policy.deadline + 1e-9) << step;
+
+    // Fragment count stays bounded (no unbounded memory growth).
+    ASSERT_LT(c.fragment_count(), 4096u) << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicyShapes, ControllerPropertyTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 3)));
+
+TEST(ControllerProperty, TwinControllersStayIdenticalUnderStress) {
+  // The distributed-consistency property at the unit level: two
+  // controllers fed the same randomized feedback remain bit-identical.
+  ControlPolicy policy = ControlPolicy::random_baseline(60.0, 15.0);
+  policy.shared_seed = 99;
+  WindowController a(policy);
+  WindowController b(policy);
+  tcw::sim::Rng rng(123);
+  double now = 0.0;
+  for (int step = 0; step < 5000; ++step) {
+    const auto wa = a.next_probe(now);
+    const auto wb = b.next_probe(now);
+    ASSERT_EQ(wa.has_value(), wb.has_value()) << step;
+    if (wa) {
+      ASSERT_DOUBLE_EQ(wa->lo, wb->lo) << step;
+      ASSERT_DOUBLE_EQ(wa->hi, wb->hi) << step;
+      const double roll = tcw::sim::uniform01(rng);
+      const Feedback fb = roll < 0.4    ? Feedback::Idle
+                          : roll < 0.7  ? Feedback::Success
+                          : wa->length() > 1e-6 ? Feedback::Collision
+                                                : Feedback::Success;
+      a.on_feedback(fb);
+      b.on_feedback(fb);
+      now += fb == Feedback::Success ? 11.0 : 1.0;
+    } else {
+      now += 1.0;
+    }
+    ASSERT_TRUE(a.state_equals(b)) << step;
+  }
+}
+
+TEST(ControllerProperty, ResolvedTimeOnlyGrowsWithinAProcess) {
+  // Within a windowing process, resolved measure within any fixed span is
+  // non-decreasing (resolution is never undone).
+  ControlPolicy policy = ControlPolicy::optimal(1e9, 16.0);
+  WindowController c(policy);
+  tcw::sim::Rng rng(5);
+  double now = 100.0;
+  double last_resolved = -1.0;
+  for (int step = 0; step < 2000; ++step) {
+    const auto w = c.next_probe(now);
+    if (!w) {
+      now += 1.0;
+      continue;
+    }
+    // Without discard, the resolved prefix (t_past) can only advance.
+    const double tp = std::min(c.t_past(now), 100.0);
+    ASSERT_GE(tp, last_resolved) << step;
+    last_resolved = tp;
+    const double roll = tcw::sim::uniform01(rng);
+    const Feedback fb = roll < 0.4   ? Feedback::Idle
+                        : roll < 0.7 ? Feedback::Success
+                        : w->length() > 1e-6 ? Feedback::Collision
+                                             : Feedback::Success;
+    c.on_feedback(fb);
+    now += 1.0;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::csv_escape;
+using tcw::Table;
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+}
+
+TEST(CsvEscape, QuotesFieldsWithCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Table, HeaderOnlyCsv) {
+  Table t({"k", "loss"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "k,loss\n");
+}
+
+TEST(Table, RowsRenderInOrder) {
+  Table t({"k", "loss"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"2", "0.25"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "k,loss\n1,0.5\n2,0.25\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.0, 0.125}, 3);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.000,0.125\n");
+}
+
+TEST(Table, WrongWidthRowRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), tcw::ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table t({}), tcw::ContractViolation);
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  Table t({"k", "loss"});
+  t.add_row({"100", "0.5"});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  // Header, rule, one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table t({"x"});
+  t.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/tcw_test_table.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "x\n42\n");
+}
+
+TEST(Table, AccessorsReflectContent) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.data()[0][2], "3");
+}
+
+}  // namespace

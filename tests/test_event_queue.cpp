@@ -1,0 +1,126 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+
+namespace {
+
+using tcw::sim::EventQueue;
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.next_time().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time().value(), 2.0);
+  EXPECT_EQ(q.size(), 2u);  // peeking does not consume
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const auto id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (auto e = q.pop()) e->action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, EntryCarriesTimeAndId) {
+  EventQueue q;
+  const auto id = q.schedule(4.5, [] {});
+  const auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 4.5);
+  EXPECT_EQ(e->id, id);
+}
+
+TEST(EventQueue, RandomizedHeapStress) {
+  EventQueue q;
+  tcw::sim::Rng rng(314);
+  std::vector<double> popped;
+  // Interleave schedules, cancels and pops; verify global time order of
+  // everything actually delivered.
+  std::vector<tcw::sim::EventId> live;
+  for (int step = 0; step < 5000; ++step) {
+    const double roll = tcw::sim::uniform01(rng);
+    if (roll < 0.55 || q.empty()) {
+      live.push_back(
+          q.schedule(tcw::sim::uniform(rng, 0.0, 1000.0), [] {}));
+    } else if (roll < 0.7 && !live.empty()) {
+      const auto idx = tcw::sim::uniform_index(rng, live.size());
+      q.cancel(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      if (auto e = q.pop()) popped.push_back(e->time);
+    }
+  }
+  // Note: pops interleave with schedules, so only *local* runs between
+  // schedules are ordered; drain the rest fully ordered now.
+  double last = -1.0;
+  while (auto e = q.pop()) {
+    EXPECT_GE(e->time, last);
+    last = e->time;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace

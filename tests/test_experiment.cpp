@@ -1,0 +1,115 @@
+#include "net/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/splitting.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+namespace net = tcw::net;
+
+net::SweepConfig quick_config() {
+  net::SweepConfig cfg;
+  cfg.offered_load = 0.5;
+  cfg.message_length = 25.0;
+  cfg.t_end = 30000.0;
+  cfg.warmup = 2000.0;
+  cfg.replications = 2;
+  return cfg;
+}
+
+TEST(LinearGrid, EndpointsAndSpacing) {
+  const auto g = net::linear_grid(0.0, 100.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 100.0);
+  EXPECT_DOUBLE_EQ(g[1], 25.0);
+}
+
+TEST(LinearGrid, DegenerateInputsRejected) {
+  EXPECT_THROW(net::linear_grid(0.0, 1.0, 1), tcw::ContractViolation);
+  EXPECT_THROW(net::linear_grid(1.0, 0.0, 3), tcw::ContractViolation);
+}
+
+TEST(PolicyFor, VariantsMapToExpectedShapes) {
+  using tcw::core::PositionRule;
+  const auto controlled =
+      net::policy_for(net::ProtocolVariant::Controlled, 50.0, 10.0);
+  EXPECT_TRUE(controlled.discard);
+  const auto lcfs =
+      net::policy_for(net::ProtocolVariant::LcfsNoDiscard, 50.0, 10.0);
+  EXPECT_FALSE(lcfs.discard);
+  EXPECT_EQ(lcfs.position, PositionRule::NewestFirst);
+}
+
+TEST(ToString, VariantNames) {
+  EXPECT_EQ(net::to_string(net::ProtocolVariant::Controlled), "controlled");
+  EXPECT_EQ(net::to_string(net::ProtocolVariant::LcfsNoDiscard),
+            "lcfs-nodiscard");
+}
+
+TEST(SweepConfig, HeuristicWidthIsNuStarOverLambda) {
+  const auto cfg = quick_config();
+  EXPECT_NEAR(cfg.heuristic_window_width(),
+              tcw::analysis::optimal_window_load() / cfg.lambda(), 1e-12);
+}
+
+TEST(Sweep, ProducesOnePointPerConstraint) {
+  const auto pts = net::simulate_loss_curve(
+      quick_config(), net::ProtocolVariant::Controlled, {25.0, 50.0, 100.0});
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.p_loss, 0.0);
+    EXPECT_LE(p.p_loss, 1.0);
+    EXPECT_GT(p.messages, 0u);
+  }
+}
+
+TEST(Sweep, LossDecreasesWithK) {
+  const auto pts = net::simulate_loss_curve(
+      quick_config(), net::ProtocolVariant::Controlled,
+      {25.0, 100.0, 400.0});
+  EXPECT_GT(pts[0].p_loss, pts[2].p_loss);
+}
+
+TEST(Sweep, DeterministicGivenSeed) {
+  const auto a = net::simulate_loss_curve(
+      quick_config(), net::ProtocolVariant::Controlled, {50.0});
+  const auto b = net::simulate_loss_curve(
+      quick_config(), net::ProtocolVariant::Controlled, {50.0});
+  EXPECT_DOUBLE_EQ(a[0].p_loss, b[0].p_loss);
+}
+
+TEST(Sweep, CustomPolicyFactoryIsHonored) {
+  int calls = 0;
+  const auto pts = net::simulate_loss_curve_custom(
+      quick_config(),
+      [&calls](double k) {
+        ++calls;
+        return tcw::core::ControlPolicy::optimal(k, 40.0);
+      },
+      {30.0, 60.0});
+  EXPECT_EQ(pts.size(), 2u);
+  EXPECT_EQ(calls, 2 * quick_config().replications);
+}
+
+TEST(Sweep, SingleReplicationUsesWithinRunCi) {
+  auto cfg = quick_config();
+  cfg.replications = 1;
+  const auto pts = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::Controlled, {30.0});
+  EXPECT_GT(pts[0].ci95, 0.0);
+}
+
+TEST(Sweep, ControlledBeatsBaselinesAtModerateK) {
+  const auto cfg = quick_config();
+  const std::vector<double> grid{75.0};
+  const auto controlled = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::Controlled, grid);
+  const auto lcfs = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::LcfsNoDiscard, grid);
+  EXPECT_LT(controlled[0].p_loss, lcfs[0].p_loss + 0.02);
+}
+
+}  // namespace

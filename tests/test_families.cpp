@@ -1,0 +1,116 @@
+#include "dist/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace {
+
+namespace dist = tcw::dist;
+
+TEST(Delta, PointMass) {
+  const auto d = dist::delta(3);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(UniformInt, RangeAndMoments) {
+  const auto u = dist::uniform_int(2, 5);
+  EXPECT_DOUBLE_EQ(u.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(u.at(2), 0.25);
+  EXPECT_DOUBLE_EQ(u.at(5), 0.25);
+  EXPECT_DOUBLE_EQ(u.mean(), 3.5);
+  EXPECT_THROW(dist::uniform_int(5, 2), tcw::ContractViolation);
+}
+
+TEST(Geometric1, PmfMatchesFormula) {
+  const double p = 0.3;
+  const auto g = dist::geometric1(p);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(g.at(k), std::pow(1.0 - p, k - 1) * p, 1e-12) << k;
+  }
+  EXPECT_DOUBLE_EQ(g.at(0), 0.0);
+  EXPECT_NEAR(g.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(g.mean(), 1.0 / p, 1e-6);
+}
+
+TEST(Geometric1, DegenerateP1) {
+  const auto g = dist::geometric1(1.0);
+  EXPECT_NEAR(g.at(1), 1.0, 1e-12);
+  EXPECT_NEAR(g.mean(), 1.0, 1e-12);
+}
+
+TEST(Geometric0, PmfMatchesFormula) {
+  const double p = 0.4;
+  const auto g = dist::geometric0(p);
+  for (std::size_t k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(g.at(k), std::pow(1.0 - p, k) * p, 1e-12) << k;
+  }
+  EXPECT_NEAR(g.mean(), (1.0 - p) / p, 1e-6);
+}
+
+TEST(GeometricWithMean, HitsRequestedMean) {
+  EXPECT_NEAR(dist::geometric1_with_mean(4.0).mean(), 4.0, 1e-6);
+  EXPECT_NEAR(dist::geometric0_with_mean(2.5).mean(), 2.5, 1e-6);
+  EXPECT_NEAR(dist::geometric0_with_mean(0.0).mean(), 0.0, 1e-12);
+  EXPECT_THROW(dist::geometric1_with_mean(0.5), tcw::ContractViolation);
+}
+
+TEST(Poisson, PmfMatchesFormula) {
+  const double mu = 2.5;
+  const auto p = dist::poisson(mu);
+  double fact = 1.0;
+  for (std::size_t k = 0; k <= 8; ++k) {
+    if (k > 0) fact *= static_cast<double>(k);
+    EXPECT_NEAR(p.at(k), std::exp(-mu) * std::pow(mu, k) / fact, 1e-12) << k;
+  }
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-10);
+  EXPECT_NEAR(p.mean(), mu, 1e-6);
+  EXPECT_NEAR(p.variance(), mu, 1e-5);
+}
+
+TEST(Poisson, ZeroMeanIsDelta) {
+  const auto p = dist::poisson(0.0);
+  EXPECT_DOUBLE_EQ(p.at(0), 1.0);
+}
+
+TEST(Poisson, LargeMeanStillNormalized) {
+  const auto p = dist::poisson(50.0);
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-9);
+  EXPECT_NEAR(p.mean(), 50.0, 1e-4);
+}
+
+TEST(Binomial, MatchesPascal) {
+  const auto b = dist::binomial(4, 0.5);
+  EXPECT_NEAR(b.at(0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(b.at(1), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(b.at(2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(b.at(4), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(b.variance(), 1.0, 1e-12);
+}
+
+TEST(Binomial, SkewedProbability) {
+  const auto b = dist::binomial(10, 0.2);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(b.variance(), 1.6, 1e-12);
+  EXPECT_NEAR(b.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Binomial, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(dist::binomial(5, 0.0).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(dist::binomial(5, 1.0).at(5), 1.0);
+  EXPECT_DOUBLE_EQ(dist::binomial(0, 0.5).at(0), 1.0);
+}
+
+TEST(Families, TruncationTolObeyed) {
+  const auto g = dist::geometric1(0.1, 1e-6);
+  EXPECT_LE(g.tail_mass(), 1e-6);
+  EXPECT_NEAR(g.total_mass(), 1.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// End-to-end test of the Figure-7 reproduction pipeline itself (the bench
+// driver library): a quick panel must run, satisfy the paper's dominance
+// shape, and emit a well-formed CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fig7_common.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+TEST(Fig7Pipeline, QuickPanelRunsAndWritesCsv) {
+  tcw::bench::Fig7Options opts;
+  opts.offered_load = 0.5;
+  opts.message_length = 25.0;
+  opts.quick = true;
+  opts.k_over_m = {1.0, 2.0, 4.0};
+  opts.csv = ::testing::TempDir() + "/tcw_fig7_test.csv";
+
+  EXPECT_EQ(tcw::bench::run_fig7_panel("fig7_test_panel", opts), 0);
+
+  std::ifstream in(opts.csv);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto cols = tcw::split(header, ',');
+  ASSERT_GE(cols.size(), 9u);
+  EXPECT_EQ(cols[0], "K");
+
+  int rows = 0;
+  std::string line;
+  double prev_ctrl = 1.0;
+  while (std::getline(in, line)) {
+    const auto cells = tcw::split(line, ',');
+    ASSERT_EQ(cells.size(), cols.size());
+    const auto ctrl = tcw::parse_double(cells[2]);  // ctrl_analytic
+    ASSERT_TRUE(ctrl.has_value()) << line;
+    EXPECT_LE(*ctrl, prev_ctrl + 1e-9);  // analytic curve monotone in K
+    prev_ctrl = *ctrl;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(Fig7Pipeline, FlagRegistrationRoundTrip) {
+  tcw::bench::Fig7Options opts;
+  tcw::Flags flags("t", "test");
+  tcw::bench::register_fig7_flags(flags, opts);
+  const char* argv[] = {"t", "--rho=0.75", "--m=100", "--quick"};
+  ASSERT_TRUE(flags.parse(4, argv));
+  EXPECT_DOUBLE_EQ(opts.offered_load, 0.75);
+  EXPECT_DOUBLE_EQ(opts.message_length, 100.0);
+  EXPECT_TRUE(opts.quick);
+}
+
+}  // namespace

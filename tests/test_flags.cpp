@@ -1,0 +1,126 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace {
+
+// Helper: parse a vector of strings as argv.
+bool run(tcw::Flags& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return flags.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, ParsesEqualsSyntax) {
+  tcw::Flags flags("t", "test");
+  double rho = 0.0;
+  flags.add("rho", &rho, "offered load");
+  EXPECT_TRUE(run(flags, {"--rho=0.75"}));
+  EXPECT_DOUBLE_EQ(rho, 0.75);
+}
+
+TEST(Flags, ParsesSpaceSyntax) {
+  tcw::Flags flags("t", "test");
+  long long n = 0;
+  flags.add("n", &n, "count");
+  EXPECT_TRUE(run(flags, {"--n", "12"}));
+  EXPECT_EQ(n, 12);
+}
+
+TEST(Flags, BoolFlagImpliesTrue) {
+  tcw::Flags flags("t", "test");
+  bool verbose = false;
+  flags.add("verbose", &verbose, "talk more");
+  EXPECT_TRUE(run(flags, {"--verbose"}));
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Flags, BoolFlagExplicitValue) {
+  tcw::Flags flags("t", "test");
+  bool verbose = true;
+  flags.add("verbose", &verbose, "talk more");
+  EXPECT_TRUE(run(flags, {"--verbose=false"}));
+  EXPECT_FALSE(verbose);
+}
+
+TEST(Flags, DefaultsSurviveWhenNotMentioned) {
+  tcw::Flags flags("t", "test");
+  double rho = 0.5;
+  int m = 25;
+  flags.add("rho", &rho, "load");
+  flags.add("m", &m, "length");
+  EXPECT_TRUE(run(flags, {"--m=100"}));
+  EXPECT_DOUBLE_EQ(rho, 0.5);
+  EXPECT_EQ(m, 100);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  tcw::Flags flags("t", "test");
+  EXPECT_FALSE(run(flags, {"--nope=1"}));
+}
+
+TEST(Flags, BadValueFails) {
+  tcw::Flags flags("t", "test");
+  double rho = 0.0;
+  flags.add("rho", &rho, "load");
+  EXPECT_FALSE(run(flags, {"--rho=abc"}));
+}
+
+TEST(Flags, MissingValueFails) {
+  tcw::Flags flags("t", "test");
+  double rho = 0.0;
+  flags.add("rho", &rho, "load");
+  EXPECT_FALSE(run(flags, {"--rho"}));
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  tcw::Flags flags("t", "test");
+  EXPECT_FALSE(run(flags, {"--help"}));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  tcw::Flags flags("t", "test");
+  long long n = 0;
+  flags.add("n", &n, "count");
+  EXPECT_TRUE(run(flags, {"alpha", "--n=2", "beta"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "alpha");
+  EXPECT_EQ(flags.positional()[1], "beta");
+}
+
+TEST(Flags, StringFlag) {
+  tcw::Flags flags("t", "test");
+  std::string out = "default.csv";
+  flags.add("out", &out, "output path");
+  EXPECT_TRUE(run(flags, {"--out", "x.csv"}));
+  EXPECT_EQ(out, "x.csv");
+}
+
+TEST(Flags, UnsignedRejectsNegative) {
+  tcw::Flags flags("t", "test");
+  unsigned long long seed = 1;
+  flags.add("seed", &seed, "rng seed");
+  EXPECT_FALSE(run(flags, {"--seed=-3"}));
+}
+
+TEST(Flags, DuplicateRegistrationIsAContractViolation) {
+  tcw::Flags flags("t", "test");
+  double a = 0.0;
+  flags.add("x", &a, "first");
+  EXPECT_THROW(flags.add("x", &a, "again"), tcw::ContractViolation);
+}
+
+TEST(Flags, UsageMentionsEveryFlag) {
+  tcw::Flags flags("prog", "description text");
+  double rho = 0.25;
+  flags.add("rho", &rho, "the offered load");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--rho"), std::string::npos);
+  EXPECT_NE(usage.find("the offered load"), std::string::npos);
+  EXPECT_NE(usage.find("description text"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include "sim/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::sim::Histogram;
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);   // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), tcw::ContractViolation);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtCoveredMass) {
+  Histogram h(0.0, 4.0, 4);
+  for (const double x : {0.5, 1.5, 1.7, 3.5}) h.add(x);
+  h.add(10.0);  // overflow
+  const auto cdf = h.cdf();
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], cdf[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back(), 4.0 / 5.0);  // overflow not in last bin's cdf
+}
+
+TEST(Histogram, FractionAtMost) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(-0.1), 0.0);
+}
+
+TEST(Histogram, QuantileInverseOfCdf) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i % 100 + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, ApproximateMean) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.2);  // center 2.5
+  h.add(7.9);  // center 7.5
+  EXPECT_DOUBLE_EQ(h.approximate_mean(), 5.0);
+}
+
+TEST(Histogram, EmptyHistogramDefaults) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.approximate_mean(), 0.0);
+}
+
+TEST(Histogram, InvalidConstructionRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), tcw::ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), tcw::ContractViolation);
+}
+
+TEST(Histogram, ToStringMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('2'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+
+namespace {
+
+using tcw::linalg::inverse;
+using tcw::linalg::Lu;
+using tcw::linalg::Matrix;
+using tcw::linalg::solve;
+using tcw::linalg::Vector;
+
+TEST(Lu, SolvesSmallSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{3.0, 5.0};
+  const auto x = solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 0.8, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolvesSystemRequiringPivoting) {
+  // Zero on the initial pivot position.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector b{2.0, 3.0};
+  const auto x = solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(Lu::factor(a).has_value());
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantOfIdentity) {
+  const auto lu = Lu::factor(Matrix::identity(4));
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_LT(Matrix::max_abs_diff(a * *inv, Matrix::identity(2)), 1e-12);
+  EXPECT_LT(Matrix::max_abs_diff(*inv * a, Matrix::identity(2)), 1e-12);
+}
+
+TEST(Lu, ReusableFactorizationForMultipleRhs) {
+  const Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  const auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x1 = lu->solve({1.0, 0.0});
+  const Vector x2 = lu->solve({0.0, 1.0});
+  const Vector r1 = a * x1;
+  const Vector r2 = a * x2;
+  EXPECT_NEAR(r1[0], 1.0, 1e-12);
+  EXPECT_NEAR(r1[1], 0.0, 1e-12);
+  EXPECT_NEAR(r2[0], 0.0, 1e-12);
+  EXPECT_NEAR(r2[1], 1.0, 1e-12);
+}
+
+// Property: random well-conditioned systems solve to small residual.
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, RandomSystemResidualIsTiny) {
+  tcw::sim::Rng rng(2000 + static_cast<unsigned>(GetParam()));
+  const std::size_t n = 3 + tcw::sim::uniform_index(rng, 15);
+  Matrix a(n, n);
+  Vector b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = tcw::sim::uniform(rng, -1.0, 1.0);
+      row_sum += std::abs(a(r, c));
+    }
+    a(r, r) += row_sum + 1.0;  // diagonal dominance: well conditioned
+    b[r] = tcw::sim::uniform(rng, -10.0, 10.0);
+  }
+  const auto x = solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  const Vector r = tcw::linalg::subtract(a * *x, b);
+  EXPECT_LT(tcw::linalg::norm_inf(r), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LuRandomTest, ::testing::Range(0, 10));
+
+}  // namespace

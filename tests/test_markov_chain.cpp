@@ -1,0 +1,114 @@
+#include "linalg/markov_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+
+namespace {
+
+using tcw::linalg::is_stochastic;
+using tcw::linalg::long_run_average;
+using tcw::linalg::Matrix;
+using tcw::linalg::stationary_by_power_iteration;
+using tcw::linalg::stationary_distribution;
+using tcw::linalg::Vector;
+
+TEST(IsStochastic, AcceptsValidChain) {
+  const Matrix p{{0.5, 0.5}, {0.2, 0.8}};
+  EXPECT_TRUE(is_stochastic(p));
+}
+
+TEST(IsStochastic, RejectsBadRows) {
+  EXPECT_FALSE(is_stochastic(Matrix{{0.5, 0.4}, {0.2, 0.8}}));
+  EXPECT_FALSE(is_stochastic(Matrix{{1.5, -0.5}, {0.2, 0.8}}));
+  EXPECT_FALSE(is_stochastic(Matrix(2, 3, 0.5)));
+}
+
+TEST(Stationary, TwoStateChainClosedForm) {
+  // pi = (b, a)/(a+b) for P = [[1-a, a], [b, 1-b]].
+  const double a = 0.3;
+  const double b = 0.1;
+  const Matrix p{{1 - a, a}, {b, 1 - b}};
+  const auto pi = stationary_distribution(p);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_NEAR((*pi)[0], b / (a + b), 1e-12);
+  EXPECT_NEAR((*pi)[1], a / (a + b), 1e-12);
+}
+
+TEST(Stationary, IdentityChainIsNotUnichain) {
+  // Two absorbing states: stationary distribution is not unique.
+  const auto pi = stationary_distribution(Matrix::identity(2));
+  EXPECT_FALSE(pi.has_value());
+}
+
+TEST(Stationary, UniformChainIsUniform) {
+  const Matrix p(4, 4, 0.25);
+  const auto pi = stationary_distribution(p);
+  ASSERT_TRUE(pi.has_value());
+  for (const double v : *pi) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(Stationary, PowerIterationAgreesWithDirectSolve) {
+  const Matrix p{{0.7, 0.2, 0.1}, {0.1, 0.6, 0.3}, {0.4, 0.4, 0.2}};
+  const auto direct = stationary_distribution(p);
+  const auto power = stationary_by_power_iteration(p);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(power.has_value());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*direct)[i], (*power)[i], 1e-9);
+  }
+}
+
+TEST(Stationary, SatisfiesBalanceEquations) {
+  const Matrix p{{0.9, 0.1, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.3, 0.7}};
+  const auto pi = stationary_distribution(p);
+  ASSERT_TRUE(pi.has_value());
+  // pi P = pi
+  for (std::size_t j = 0; j < 3; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) acc += (*pi)[i] * p(i, j);
+    EXPECT_NEAR(acc, (*pi)[j], 1e-12);
+  }
+  double total = 0.0;
+  for (const double v : *pi) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(LongRunAverage, WeightsRewardsByOccupancy) {
+  const Vector pi{0.25, 0.75};
+  const Vector r{4.0, 8.0};
+  EXPECT_DOUBLE_EQ(long_run_average(pi, r), 7.0);
+}
+
+// Property: random ergodic chains -- direct and power methods agree and
+// satisfy the balance equations.
+class StationaryRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StationaryRandomTest, RandomErgodicChain) {
+  tcw::sim::Rng rng(99 + static_cast<unsigned>(GetParam()));
+  const std::size_t n = 2 + tcw::sim::uniform_index(rng, 9);
+  Matrix p(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      p(r, c) = 0.05 + tcw::sim::uniform01(rng);  // strictly positive
+      total += p(r, c);
+    }
+    for (std::size_t c = 0; c < n; ++c) p(r, c) /= total;
+  }
+  ASSERT_TRUE(is_stochastic(p, 1e-9));
+  const auto direct = stationary_distribution(p);
+  const auto power = stationary_by_power_iteration(p);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(power.has_value());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*direct)[i], (*power)[i], 1e-8);
+    EXPECT_GE((*direct)[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, StationaryRandomTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace

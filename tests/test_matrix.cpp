@@ -1,0 +1,122 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::linalg::Matrix;
+using tcw::linalg::Vector;
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerListRejected) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), tcw::ContractViolation);
+}
+
+TEST(Matrix, OutOfRangeIndexRejected) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), tcw::ContractViolation);
+  EXPECT_THROW(m(0, 2), tcw::ContractViolation);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i3(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST(Matrix, ShapeMismatchRejected) {
+  const Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a + b, tcw::ContractViolation);
+  EXPECT_THROW(a * Matrix(3, 2), tcw::ContractViolation);
+}
+
+TEST(Matrix, Multiplication) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix ab = a * b;
+  EXPECT_EQ(ab, (Matrix{{2.0, 1.0}, {4.0, 3.0}}));
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  const Matrix a{{1.0, -2.0}};
+  const Matrix s = 2.5 * a;
+  EXPECT_DOUBLE_EQ(s(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(s(0, 1), -5.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{1.0, 1.0};
+  const Vector y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 1.0);
+}
+
+TEST(VectorOps, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(tcw::linalg::norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(tcw::linalg::norm_inf(v), 4.0);
+}
+
+TEST(VectorOps, DotAndSubtract) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(tcw::linalg::dot(a, b), 32.0);
+  const Vector d = tcw::linalg::subtract(b, a);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+}  // namespace

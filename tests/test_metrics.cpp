@@ -1,0 +1,66 @@
+#include "net/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tcw::net::SimMetrics;
+
+TEST(SimMetrics, FreshMetricsAreZero) {
+  SimMetrics m;
+  EXPECT_EQ(m.decided(), 0u);
+  EXPECT_DOUBLE_EQ(m.p_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(m.p_loss_ci95(), 0.0);
+  EXPECT_FALSE(m.wait_hist_enabled);
+}
+
+TEST(SimMetrics, DecidedSumsAllFates) {
+  SimMetrics m;
+  m.delivered = 10;
+  m.lost_sender = 3;
+  m.lost_receiver = 2;
+  m.censored_lost = 1;
+  m.pending_at_end = 99;  // not decided
+  EXPECT_EQ(m.decided(), 16u);
+}
+
+TEST(SimMetrics, LossCountsEveryLossKind) {
+  SimMetrics m;
+  m.delivered = 6;
+  m.lost_sender = 2;
+  m.lost_receiver = 1;
+  m.censored_lost = 1;
+  EXPECT_DOUBLE_EQ(m.p_loss(), 0.4);
+}
+
+TEST(SimMetrics, PureDeliveryIsZeroLoss) {
+  SimMetrics m;
+  m.delivered = 50;
+  EXPECT_DOUBLE_EQ(m.p_loss(), 0.0);
+}
+
+TEST(SimMetrics, TotalLossIsOne) {
+  SimMetrics m;
+  m.lost_sender = 7;
+  EXPECT_DOUBLE_EQ(m.p_loss(), 1.0);
+}
+
+TEST(SimMetrics, CiShrinksWithSampleSize) {
+  SimMetrics small;
+  small.delivered = 8;
+  small.lost_sender = 2;
+  SimMetrics large;
+  large.delivered = 8000;
+  large.lost_sender = 2000;
+  EXPECT_DOUBLE_EQ(small.p_loss(), large.p_loss());
+  EXPECT_GT(small.p_loss_ci95(), large.p_loss_ci95());
+  EXPECT_GT(large.p_loss_ci95(), 0.0);
+}
+
+TEST(SimMetrics, CiZeroWhenDegenerate) {
+  SimMetrics m;
+  m.delivered = 1;
+  EXPECT_DOUBLE_EQ(m.p_loss_ci95(), 0.0);
+}
+
+}  // namespace

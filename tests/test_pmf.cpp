@@ -1,0 +1,206 @@
+#include "dist/pmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/families.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::dist::Pmf;
+
+TEST(Pmf, EmptyDefaults) {
+  Pmf p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.total_mass(), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(3), 0.0);
+}
+
+TEST(Pmf, BasicAccessors) {
+  Pmf p(std::vector<double>{0.25, 0.5, 0.25});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.at(99), 0.0);
+  EXPECT_DOUBLE_EQ(p.total_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 0.5);
+}
+
+TEST(Pmf, NegativeMassRejected) {
+  EXPECT_THROW(Pmf(std::vector<double>{0.5, -0.1}), tcw::ContractViolation);
+}
+
+TEST(Pmf, CdfAndSf) {
+  Pmf p(std::vector<double>{0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(p.cdf(0), 0.1);
+  EXPECT_NEAR(p.cdf(2), 0.6, 1e-15);
+  EXPECT_DOUBLE_EQ(p.cdf(10), 1.0);
+  EXPECT_NEAR(p.sf(1), 0.7, 1e-15);
+}
+
+TEST(Pmf, TailMassCountsTowardTotals) {
+  Pmf p(std::vector<double>{0.5, 0.3}, 0.2);
+  EXPECT_DOUBLE_EQ(p.total_mass(), 1.0);
+  EXPECT_NEAR(p.sf(1), 0.2, 1e-15);
+}
+
+TEST(Pmf, QuantileFindsThreshold) {
+  Pmf p(std::vector<double>{0.1, 0.2, 0.3, 0.4});
+  EXPECT_EQ(p.quantile(0.05), 0u);
+  EXPECT_EQ(p.quantile(0.3), 1u);
+  EXPECT_EQ(p.quantile(0.9), 3u);
+  EXPECT_EQ(p.quantile(1.0), 3u);
+}
+
+TEST(Pmf, NormalizeScalesToOne) {
+  Pmf p(std::vector<double>{2.0, 2.0}, 1.0);
+  p.normalize();
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-15);
+  EXPECT_NEAR(p.at(0), 0.4, 1e-15);
+  EXPECT_NEAR(p.tail_mass(), 0.2, 1e-15);
+}
+
+TEST(Pmf, TrimMovesTinyTailIntoTailMass) {
+  Pmf p(std::vector<double>{0.9, 0.1, 1e-20, 1e-20});
+  p.trim(1e-15);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p.tail_mass(), 2e-20, 1e-25);
+}
+
+TEST(Pmf, TruncateKeepsTotalMass) {
+  Pmf p(std::vector<double>{0.25, 0.25, 0.25, 0.25});
+  p.truncate(2);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.tail_mass(), 0.5);
+  EXPECT_DOUBLE_EQ(p.total_mass(), 1.0);
+}
+
+TEST(Convolve, DeltaIsNeutral) {
+  const Pmf x(std::vector<double>{0.5, 0.5});
+  const Pmf d = tcw::dist::delta(0);
+  const Pmf y = Pmf::convolve(x, d, 16);
+  EXPECT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y.at(0), 0.5);
+  EXPECT_DOUBLE_EQ(y.at(1), 0.5);
+}
+
+TEST(Convolve, ShiftByDelta) {
+  const Pmf x(std::vector<double>{0.5, 0.5});
+  const Pmf y = Pmf::convolve(x, tcw::dist::delta(3), 16);
+  EXPECT_DOUBLE_EQ(y.at(3), 0.5);
+  EXPECT_DOUBLE_EQ(y.at(4), 0.5);
+  EXPECT_DOUBLE_EQ(y.at(0), 0.0);
+}
+
+TEST(Convolve, TwoCoins) {
+  const Pmf coin(std::vector<double>{0.5, 0.5});
+  const Pmf sum = Pmf::convolve(coin, coin, 16);
+  EXPECT_DOUBLE_EQ(sum.at(0), 0.25);
+  EXPECT_DOUBLE_EQ(sum.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(sum.at(2), 0.25);
+}
+
+TEST(Convolve, IsCommutative) {
+  const Pmf a(std::vector<double>{0.2, 0.3, 0.5});
+  const Pmf b(std::vector<double>{0.7, 0.1, 0.1, 0.1});
+  const Pmf ab = Pmf::convolve(a, b, 32);
+  const Pmf ba = Pmf::convolve(b, a, 32);
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t k = 0; k < ab.size(); ++k) {
+    EXPECT_NEAR(ab.at(k), ba.at(k), 1e-15);
+  }
+}
+
+TEST(Convolve, MeansAdd) {
+  const Pmf a(std::vector<double>{0.2, 0.3, 0.5});
+  const Pmf b(std::vector<double>{0.1, 0.9});
+  const Pmf ab = Pmf::convolve(a, b, 32);
+  EXPECT_NEAR(ab.mean(), a.mean() + b.mean(), 1e-12);
+}
+
+TEST(Convolve, VariancesAdd) {
+  const Pmf a(std::vector<double>{0.2, 0.3, 0.5});
+  const Pmf b(std::vector<double>{0.1, 0.9});
+  const Pmf ab = Pmf::convolve(a, b, 32);
+  EXPECT_NEAR(ab.variance(), a.variance() + b.variance(), 1e-12);
+}
+
+TEST(Convolve, TruncationPreservesTotalMass) {
+  const Pmf a(std::vector<double>{0.25, 0.25, 0.25, 0.25});
+  const Pmf b = a;
+  const Pmf ab = Pmf::convolve(a, b, 3);  // support would be 7 wide
+  EXPECT_EQ(ab.size(), 3u);
+  EXPECT_NEAR(ab.total_mass(), 1.0, 1e-12);
+  EXPECT_GT(ab.tail_mass(), 0.0);
+}
+
+TEST(ConvolvePower, ZeroPowerIsDelta) {
+  const Pmf a(std::vector<double>{0.5, 0.5});
+  const Pmf p0 = Pmf::convolve_power(a, 0, 16);
+  EXPECT_DOUBLE_EQ(p0.at(0), 1.0);
+}
+
+TEST(ConvolvePower, MatchesRepeatedConvolution) {
+  const Pmf a(std::vector<double>{0.3, 0.4, 0.3});
+  Pmf manual = tcw::dist::delta(0);
+  for (int i = 0; i < 5; ++i) manual = Pmf::convolve(manual, a, 64);
+  const Pmf fast = Pmf::convolve_power(a, 5, 64);
+  for (std::size_t k = 0; k < manual.size(); ++k) {
+    EXPECT_NEAR(fast.at(k), manual.at(k), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(Equilibrium, SumsToOne) {
+  const Pmf s(std::vector<double>{0.0, 0.25, 0.5, 0.25});
+  const Pmf eq = s.equilibrium();
+  EXPECT_NEAR(eq.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Equilibrium, DeterministicServiceIsDiscreteUniform) {
+  // Residual of a constant service time M is uniform over {0..M-1}.
+  const Pmf s = tcw::dist::deterministic(4);
+  const Pmf eq = s.equilibrium();
+  ASSERT_EQ(eq.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(eq.at(j), 0.25, 1e-12);
+}
+
+TEST(Equilibrium, KnownTwoPointCase) {
+  // X in {1, 3} each w.p. 1/2; E[X] = 2; P(X>0)=1, P(X>1)=1/2, P(X>2)=1/2.
+  const Pmf s(std::vector<double>{0.0, 0.5, 0.0, 0.5});
+  const Pmf eq = s.equilibrium();
+  ASSERT_EQ(eq.size(), 3u);
+  EXPECT_NEAR(eq.at(0), 0.5, 1e-12);
+  EXPECT_NEAR(eq.at(1), 0.25, 1e-12);
+  EXPECT_NEAR(eq.at(2), 0.25, 1e-12);
+}
+
+TEST(Equilibrium, ZeroMeanRejected) {
+  const Pmf s = tcw::dist::delta(0);
+  EXPECT_THROW(s.equilibrium(), tcw::ContractViolation);
+}
+
+TEST(Mixture, WeightsAndRenormalization) {
+  const Pmf a = tcw::dist::delta(0);
+  const Pmf b = tcw::dist::delta(2);
+  const Pmf mix = Pmf::mixture({a, b}, {1.0, 3.0});
+  EXPECT_NEAR(mix.at(0), 0.25, 1e-15);
+  EXPECT_NEAR(mix.at(2), 0.75, 1e-15);
+  EXPECT_NEAR(mix.mean(), 1.5, 1e-15);
+}
+
+TEST(Mixture, MismatchedArgumentsRejected) {
+  const Pmf a = tcw::dist::delta(0);
+  EXPECT_THROW(Pmf::mixture({a}, {1.0, 2.0}), tcw::ContractViolation);
+  EXPECT_THROW(Pmf::mixture({}, {}), tcw::ContractViolation);
+  EXPECT_THROW(Pmf::mixture({a}, {0.0}), tcw::ContractViolation);
+}
+
+TEST(Shifted, MovesSupport) {
+  const Pmf a(std::vector<double>{0.5, 0.5});
+  const Pmf s = a.shifted(3);
+  EXPECT_DOUBLE_EQ(s.at(3), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(4), 0.5);
+  EXPECT_NEAR(s.mean(), a.mean() + 3.0, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::core::ControlPolicy;
+using tcw::core::Feedback;
+using tcw::core::PositionRule;
+using tcw::core::SplitRule;
+
+TEST(ControlPolicy, OptimalMatchesTheorem1) {
+  const auto p = ControlPolicy::optimal(100.0, 50.0);
+  EXPECT_EQ(p.position, PositionRule::OldestFirst);
+  EXPECT_EQ(p.split, SplitRule::OlderHalf);
+  EXPECT_TRUE(p.discard);
+  EXPECT_DOUBLE_EQ(p.deadline, 100.0);
+  EXPECT_DOUBLE_EQ(p.window_width, 50.0);
+}
+
+TEST(ControlPolicy, FcfsBaselineKeepsOrderDropsDiscard) {
+  const auto p = ControlPolicy::fcfs_baseline(100.0, 50.0);
+  EXPECT_EQ(p.position, PositionRule::OldestFirst);
+  EXPECT_EQ(p.split, SplitRule::OlderHalf);
+  EXPECT_FALSE(p.discard);
+}
+
+TEST(ControlPolicy, LcfsBaselineServesNewestFirst) {
+  const auto p = ControlPolicy::lcfs_baseline(100.0, 50.0);
+  EXPECT_EQ(p.position, PositionRule::NewestFirst);
+  EXPECT_EQ(p.split, SplitRule::YoungerHalf);
+  EXPECT_FALSE(p.discard);
+}
+
+TEST(ControlPolicy, RandomBaselineUsesRandomRules) {
+  const auto p = ControlPolicy::random_baseline(100.0, 50.0);
+  EXPECT_EQ(p.position, PositionRule::RandomGap);
+  EXPECT_EQ(p.split, SplitRule::RandomHalf);
+  EXPECT_FALSE(p.discard);
+}
+
+TEST(ControlPolicy, InvalidParametersRejected) {
+  EXPECT_THROW(ControlPolicy::optimal(-1.0, 50.0), tcw::ContractViolation);
+  EXPECT_THROW(ControlPolicy::optimal(100.0, 0.0), tcw::ContractViolation);
+}
+
+TEST(ToString, CoversAllEnumerators) {
+  EXPECT_EQ(to_string(PositionRule::OldestFirst), "oldest-first");
+  EXPECT_EQ(to_string(PositionRule::NewestFirst), "newest-first");
+  EXPECT_EQ(to_string(PositionRule::RandomGap), "random-gap");
+  EXPECT_EQ(to_string(SplitRule::OlderHalf), "older-half");
+  EXPECT_EQ(to_string(SplitRule::YoungerHalf), "younger-half");
+  EXPECT_EQ(to_string(SplitRule::RandomHalf), "random-half");
+  EXPECT_EQ(to_string(Feedback::Idle), "idle");
+  EXPECT_EQ(to_string(Feedback::Success), "success");
+  EXPECT_EQ(to_string(Feedback::Collision), "collision");
+}
+
+}  // namespace

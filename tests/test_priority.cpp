@@ -1,0 +1,130 @@
+#include "net/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::net::PriorityClassSpec;
+using tcw::net::PriorityConfig;
+using tcw::net::PrioritySimulator;
+
+PriorityConfig two_class_config(std::uint32_t w_high, std::uint32_t w_low) {
+  PriorityConfig cfg;
+  PriorityClassSpec high;
+  high.deadline = 60.0;
+  high.arrival_rate = 0.012;
+  high.weight = w_high;
+  PriorityClassSpec low;
+  low.deadline = 300.0;
+  low.arrival_rate = 0.012;
+  low.weight = w_low;
+  cfg.classes = {high, low};
+  cfg.message_length = 25.0;
+  cfg.t_end = 120000.0;
+  cfg.warmup = 8000.0;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(Priority, RequiresClasses) {
+  PriorityConfig cfg;
+  EXPECT_THROW(PrioritySimulator sim(cfg), tcw::ContractViolation);
+}
+
+TEST(Priority, PerClassConservation) {
+  PrioritySimulator sim(two_class_config(2, 1));
+  const auto& metrics = sim.run();
+  ASSERT_EQ(metrics.size(), 2u);
+  for (const auto& m : metrics) {
+    EXPECT_EQ(m.arrivals, m.delivered + m.lost_sender + m.lost_receiver +
+                              m.censored_lost + m.pending_at_end);
+    EXPECT_GT(m.arrivals, 100u);
+  }
+}
+
+TEST(Priority, DeterministicForSeed) {
+  PrioritySimulator a(two_class_config(2, 1));
+  PrioritySimulator b(two_class_config(2, 1));
+  const auto& ma = a.run();
+  const auto& mb = b.run();
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(ma[c].delivered, mb[c].delivered);
+    EXPECT_EQ(ma[c].lost_sender, mb[c].lost_sender);
+  }
+}
+
+TEST(Priority, DeliveredRespectClassDeadlines) {
+  PrioritySimulator sim(two_class_config(2, 1));
+  const auto& metrics = sim.run();
+  EXPECT_LE(metrics[0].wait_delivered.max(), 60.0);
+  EXPECT_LE(metrics[1].wait_delivered.max(), 300.0);
+}
+
+TEST(Priority, MoreWeightMeansLessLossForTightClass) {
+  // Same workload; give the tight-deadline class 1x vs 4x the service
+  // share and compare its loss.
+  PrioritySimulator starved(two_class_config(1, 4));
+  PrioritySimulator favored(two_class_config(4, 1));
+  const double starved_loss = starved.run()[0].p_loss();
+  const double favored_loss = favored.run()[0].p_loss();
+  EXPECT_LT(favored_loss, starved_loss + 1e-9);
+}
+
+TEST(Priority, FavoringOneClassCostsTheOther) {
+  PrioritySimulator balanced(two_class_config(1, 1));
+  PrioritySimulator skewed(two_class_config(6, 1));
+  const auto& mb = balanced.run();
+  const auto& ms = skewed.run();
+  // The low-priority class should do no better under skew.
+  EXPECT_GE(ms[1].p_loss(), mb[1].p_loss() - 0.02);
+}
+
+TEST(Priority, SingleClassMatchesBaseProtocolShape) {
+  PriorityConfig cfg;
+  PriorityClassSpec only;
+  only.deadline = 75.0;
+  only.arrival_rate = 0.02;
+  cfg.classes = {only};
+  cfg.t_end = 120000.0;
+  cfg.warmup = 8000.0;
+  PrioritySimulator sim(cfg);
+  const auto& metrics = sim.run();
+  // rho' = 0.5, K = 3M: loss should be small but nonzero.
+  EXPECT_GT(metrics[0].p_loss(), 0.0);
+  EXPECT_LT(metrics[0].p_loss(), 0.1);
+}
+
+TEST(Priority, ThreeClassesRun) {
+  PriorityConfig cfg;
+  for (const double k : {50.0, 150.0, 600.0}) {
+    PriorityClassSpec spec;
+    spec.deadline = k;
+    spec.arrival_rate = 0.006;
+    spec.weight = k < 100.0 ? 2u : 1u;
+    cfg.classes.push_back(spec);
+  }
+  cfg.t_end = 80000.0;
+  cfg.warmup = 5000.0;
+  PrioritySimulator sim(cfg);
+  const auto& metrics = sim.run();
+  ASSERT_EQ(metrics.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& m : metrics) total += m.decided();
+  EXPECT_GT(total, 500u);
+}
+
+TEST(Priority, RunTwiceRejected) {
+  PrioritySimulator sim(two_class_config(1, 1));
+  sim.run();
+  EXPECT_THROW(sim.run(), tcw::ContractViolation);
+}
+
+TEST(Priority, MetricsForBoundsChecked) {
+  PrioritySimulator sim(two_class_config(1, 1));
+  sim.run();
+  EXPECT_THROW(sim.metrics_for(2), tcw::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "sim/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::sim::P2Quantile;
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), tcw::ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), tcw::ContractViolation);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, FewSamplesUsesSampleQuantile) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // median of {1,2,3}
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  P2Quantile q(0.5);
+  tcw::sim::Rng rng(77);
+  for (int i = 0; i < 100000; ++i) q.add(tcw::sim::uniform01(rng));
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, NinetiethPercentileOfExponential) {
+  P2Quantile q(0.9);
+  tcw::sim::Rng rng(78);
+  for (int i = 0; i < 200000; ++i) q.add(tcw::sim::exponential(rng, 1.0));
+  // True p90 of Exp(1) is -ln(0.1) = 2.3026.
+  EXPECT_NEAR(q.value(), 2.3026, 0.06);
+}
+
+TEST(P2Quantile, TracksAgainstExactOnModestStream) {
+  P2Quantile q(0.75);
+  std::vector<double> all;
+  tcw::sim::Rng rng(79);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = tcw::sim::uniform(rng, -5.0, 5.0);
+    q.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<std::size_t>(0.75 * all.size())];
+  EXPECT_NEAR(q.value(), exact, 0.1);
+}
+
+TEST(P2Quantile, MonotoneUnderSortedInput) {
+  P2Quantile q(0.5);
+  for (int i = 1; i <= 1000; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.value(), 500.0, 20.0);
+}
+
+TEST(P2Quantile, CountTracksAdds) {
+  P2Quantile q(0.25);
+  for (int i = 0; i < 42; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 42u);
+  EXPECT_DOUBLE_EQ(q.quantile_tracked(), 0.25);
+}
+
+}  // namespace

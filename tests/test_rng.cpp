@@ -1,0 +1,110 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using tcw::sim::Pcg32;
+using tcw::sim::SplitMix64;
+using tcw::sim::Xoshiro256ss;
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 g(1234567);
+  EXPECT_EQ(g(), 6457827717110365317ULL);
+  EXPECT_EQ(g(), 3203168211198807973ULL);
+  EXPECT_EQ(g(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SeedsProduceDistinctStreams) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, JumpDecorrelatesStream) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, BitsLookUniformByByteHistogram) {
+  Xoshiro256ss g(123);
+  std::vector<int> counts(256, 0);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = g();
+    for (int b = 0; b < 8; ++b) {
+      ++counts[(v >> (8 * b)) & 0xFF];
+    }
+  }
+  // Chi-square against uniform with 255 dof; 3-sigma-ish acceptance.
+  const double expected = kDraws * 8.0 / 256.0;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 255 + 5 * std::sqrt(2 * 255.0));
+  EXPECT_GT(chi2, 255 - 5 * std::sqrt(2 * 255.0));
+}
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(99, 5);
+  Pcg32 b(99, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(99, 1);
+  Pcg32 b(99, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Pcg32, NoShortCycle) {
+  Pcg32 g(5, 5);
+  std::set<std::uint32_t> seen;
+  bool repeated_early = false;
+  for (int i = 0; i < 4096; ++i) {
+    // Pairs of outputs as a weak cycle check.
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(g()) << 32) | g();
+    if (!seen.insert(static_cast<std::uint32_t>(pair ^ (pair >> 32))).second &&
+        i < 16) {
+      repeated_early = true;
+    }
+  }
+  EXPECT_FALSE(repeated_early);
+}
+
+}  // namespace

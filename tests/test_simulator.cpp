@@ -1,0 +1,114 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::sim::Simulator;
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ScheduleInAdvancesClockOnDispatch) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_in(5.0, [&] { seen = sim.now(); });
+  EXPECT_EQ(sim.run_until(10.0), 1u);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // clock reaches the horizon
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(7.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtHorizonIsProcessed) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  // A self-perpetuating slot clock.
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (sim.now() < 4.5) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_at(1.0, tick);
+  sim.run_until(100.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(Simulator, StepDispatchesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CancelledEventNeverFires) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(10.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run_until(2.0);
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), tcw::ContractViolation);
+  EXPECT_THROW(sim.schedule_in(-0.5, [] {}), tcw::ContractViolation);
+}
+
+TEST(Simulator, NextEventTimePeeks) {
+  Simulator sim;
+  sim.schedule_at(3.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.next_event_time().value(), 3.0);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Simulator sim;
+  sim.schedule_at(3.0, [] {});
+  sim.run_until(1.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace

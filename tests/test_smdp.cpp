@@ -1,0 +1,175 @@
+#include "smdp/smdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smdp/policy_iteration.hpp"
+#include "smdp/value_iteration.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+namespace smdp = tcw::smdp;
+
+// A hand-analysable 2-state SMDP ("machine maintenance"): state 0 = good,
+// state 1 = broken.
+//  * In state 0: action 0 "run"     (tau=1, cost=0, ->1 w.p. 0.2)
+//                action 1 "inspect" (tau=1, cost=0.3, ->1 w.p. 0.05)
+//  * In state 1: action 0 "repair slow" (tau=4, cost=1, ->0 surely)
+//                action 1 "repair fast" (tau=1, cost=2, ->0 surely)
+smdp::Smdp maintenance_model() {
+  smdp::Smdp m(2);
+  m.add_action(0, {{{1, 0.2}, {0, 0.8}}, 1.0, 0.0, "run"});
+  m.add_action(0, {{{1, 0.05}, {0, 0.95}}, 1.0, 0.3, "inspect"});
+  m.add_action(1, {{{0, 1.0}}, 4.0, 1.0, "slow"});
+  m.add_action(1, {{{0, 1.0}}, 1.0, 2.0, "fast"});
+  return m;
+}
+
+// Gain of a fixed policy, worked out by renewal-reward on the 2-state
+// cycle: g = (pi0 c0 + pi1 c1) / (pi0 tau0 + pi1 tau1) with embedded
+// stationary pi proportional to (1, p01).
+double maintenance_gain(double p01, double c0, double tau0, double c1,
+                        double tau1) {
+  const double pi0 = 1.0 / (1.0 + p01);
+  const double pi1 = p01 / (1.0 + p01);
+  return (pi0 * c0 + pi1 * c1) / (pi0 * tau0 + pi1 * tau1);
+}
+
+TEST(Smdp, ValidateAcceptsWellFormedModel) {
+  EXPECT_TRUE(maintenance_model().validate());
+}
+
+TEST(Smdp, ValidateRejectsUnnormalizedTransitions) {
+  smdp::Smdp m(1);
+  m.add_action(0, {{{0, 0.5}}, 1.0, 0.0, "bad"});
+  EXPECT_FALSE(m.validate());
+}
+
+TEST(Smdp, ValidateRejectsStatesWithoutActions) {
+  smdp::Smdp m(2);
+  m.add_action(0, {{{0, 1.0}}, 1.0, 0.0, "only state 0"});
+  EXPECT_FALSE(m.validate());
+}
+
+TEST(Smdp, AddActionGuardsInputs) {
+  smdp::Smdp m(1);
+  EXPECT_THROW(m.add_action(5, {{{0, 1.0}}, 1.0, 0.0, ""}),
+               tcw::ContractViolation);
+  EXPECT_THROW(m.add_action(0, {{{0, 1.0}}, 0.0, 0.0, ""}),
+               tcw::ContractViolation);
+  EXPECT_THROW(m.add_action(0, {{}, 1.0, 0.0, ""}), tcw::ContractViolation);
+}
+
+TEST(Smdp, CountsStateActions) {
+  EXPECT_EQ(maintenance_model().num_state_actions(), 4u);
+}
+
+TEST(PolicyEvaluation, MatchesRenewalRewardClosedForm) {
+  const auto m = maintenance_model();
+  // Policy (run, slow): p01 = 0.2, costs (0, 1), taus (1, 4).
+  const auto eval =
+      smdp::evaluate_policy(m, smdp::Policy{{0, 0}});
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_NEAR(eval->gain, maintenance_gain(0.2, 0.0, 1.0, 1.0, 4.0), 1e-12);
+
+  // Policy (inspect, fast): p01 = 0.05, costs (0.3, 2), taus (1, 1).
+  const auto eval2 = smdp::evaluate_policy(m, smdp::Policy{{1, 1}});
+  ASSERT_TRUE(eval2.has_value());
+  EXPECT_NEAR(eval2->gain, maintenance_gain(0.05, 0.3, 1.0, 2.0, 1.0),
+              1e-12);
+}
+
+TEST(PolicyEvaluation, ReferenceValueIsZero) {
+  const auto m = maintenance_model();
+  const auto eval = smdp::evaluate_policy(m, smdp::Policy{{0, 0}});
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_DOUBLE_EQ(eval->values.back(), 0.0);
+}
+
+TEST(PolicyIteration, FindsBruteForceOptimum) {
+  const auto m = maintenance_model();
+  const auto pi = smdp::policy_iteration(m);
+  const auto brute = smdp::brute_force_optimal(m);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_TRUE(pi.converged);
+  EXPECT_NEAR(pi.eval.gain, brute->eval.gain, 1e-12);
+  EXPECT_EQ(pi.policy, brute->policy);
+}
+
+TEST(PolicyIteration, StartsAnywhereEndsSame) {
+  const auto m = maintenance_model();
+  const auto a = smdp::policy_iteration(m, smdp::Policy{{0, 0}});
+  const auto b = smdp::policy_iteration(m, smdp::Policy{{1, 1}});
+  EXPECT_NEAR(a.eval.gain, b.eval.gain, 1e-12);
+}
+
+TEST(PolicyIteration, IterationCountIsSmallForTinyModel) {
+  const auto m = maintenance_model();
+  const auto pi = smdp::policy_iteration(m);
+  EXPECT_LE(pi.iterations, 4);
+  EXPECT_EQ(pi.linear_solves, static_cast<std::uint64_t>(pi.iterations));
+}
+
+TEST(ValueIteration, AgreesWithPolicyIteration) {
+  const auto m = maintenance_model();
+  const auto pi = smdp::policy_iteration(m);
+  const auto vi = smdp::value_iteration(m, 1e-10);
+  EXPECT_TRUE(vi.converged);
+  EXPECT_NEAR(vi.gain, pi.eval.gain, 1e-6);
+  EXPECT_EQ(vi.policy, pi.policy);
+  EXPECT_LE(vi.gain_lower, vi.gain_upper);
+}
+
+TEST(BruteForce, GuardsExponentialBlowup) {
+  smdp::Smdp big(24);
+  for (std::size_t s = 0; s < 24; ++s) {
+    for (int a = 0; a < 8; ++a) {
+      big.add_action(s, {{{(s + 1) % 24, 1.0}}, 1.0, 0.1 * a, ""});
+    }
+  }
+  // 8^24 policies: must refuse.
+  EXPECT_FALSE(smdp::brute_force_optimal(big, 1u << 20).has_value());
+}
+
+TEST(PolicyIteration, LargerRandomishModelAgainstBruteForce) {
+  // 4 states x 3 actions: 81 policies, brute-forcible.
+  smdp::Smdp m(4);
+  const auto frac = [](int i, int j) {
+    return 0.1 + 0.8 * std::fmod(0.37 * i + 0.11 * j, 1.0);
+  };
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (int a = 0; a < 3; ++a) {
+      const double p = frac(static_cast<int>(s), a);
+      smdp::ActionData act;
+      act.transitions = {{(s + 1) % 4, p}, {(s + 2) % 4, 1.0 - p}};
+      act.holding = 1.0 + 0.5 * a + 0.25 * static_cast<double>(s);
+      act.cost = frac(a, static_cast<int>(s)) * 2.0;
+      m.add_action(s, act);
+    }
+  }
+  const auto pi = smdp::policy_iteration(m);
+  const auto brute = smdp::brute_force_optimal(m);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_NEAR(pi.eval.gain, brute->eval.gain, 1e-10);
+}
+
+TEST(ValueIteration, LargerModelAgreesToo) {
+  smdp::Smdp m(5);
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (int a = 0; a < 2; ++a) {
+      smdp::ActionData act;
+      const double p = 0.2 + 0.15 * a + 0.1 * static_cast<double>(s);
+      act.transitions = {{(s + 1) % 5, p}, {0, 1.0 - p}};
+      act.holding = 1.0 + a;
+      act.cost = static_cast<double>((s + 1) * (2 - a));
+      m.add_action(s, act);
+    }
+  }
+  const auto pi = smdp::policy_iteration(m);
+  const auto vi = smdp::value_iteration(m, 1e-10);
+  EXPECT_NEAR(vi.gain, pi.eval.gain, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::sim::RatioCounter;
+using tcw::sim::RunningStats;
+using tcw::sim::TimeWeightedStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NumericallyStableForShiftedData) {
+  RunningStats s;
+  const double big = 1e9;
+  for (const double x : {big + 1.0, big + 2.0, big + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), big + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty.merge(full)
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // full.merge(empty)
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeightedStats tw(0.0);
+  tw.update(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(10.0), 3.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeightedStats tw(0.0);
+  tw.update(0.0, 0.0);
+  tw.update(5.0, 10.0);  // value 0 for [0,5), then 10
+  EXPECT_DOUBLE_EQ(tw.time_average(10.0), 5.0);
+}
+
+TEST(TimeWeighted, QueueLengthStyle) {
+  TimeWeightedStats tw(0.0);
+  tw.update(0.0, 1.0);
+  tw.update(2.0, 2.0);
+  tw.update(3.0, 0.0);
+  // avg over [0,4): (1*2 + 2*1 + 0*1)/4 = 1.0
+  EXPECT_DOUBLE_EQ(tw.time_average(4.0), 1.0);
+}
+
+TEST(TimeWeighted, BackwardTimeRejected) {
+  TimeWeightedStats tw(5.0);
+  tw.update(6.0, 1.0);
+  EXPECT_THROW(tw.update(5.5, 2.0), tcw::ContractViolation);
+}
+
+TEST(RatioCounter, Basics) {
+  RatioCounter rc;
+  EXPECT_DOUBLE_EQ(rc.ratio(), 0.0);
+  rc.add(true);
+  rc.add(false);
+  rc.add(false);
+  rc.add(true);
+  EXPECT_EQ(rc.hits(), 2u);
+  EXPECT_EQ(rc.total(), 4u);
+  EXPECT_DOUBLE_EQ(rc.ratio(), 0.5);
+}
+
+TEST(RatioCounter, CiBehaves) {
+  RatioCounter rc;
+  for (int i = 0; i < 10000; ++i) rc.add(i % 4 == 0);
+  EXPECT_NEAR(rc.ratio(), 0.25, 1e-9);
+  // 1.96 * sqrt(p(1-p)/n)
+  EXPECT_NEAR(rc.ci95_halfwidth(),
+              1.96 * std::sqrt(0.25 * 0.75 / 10000.0), 1e-4);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tcw::format_fixed;
+using tcw::parse_bool;
+using tcw::parse_double;
+using tcw::parse_int;
+using tcw::split;
+using tcw::starts_with;
+using tcw::to_lower;
+using tcw::trim;
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("tight"), "tight");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-flag", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("a", "ab"));
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 3.25 ").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("1.5 2").has_value());
+}
+
+TEST(ParseInt, ValidInputs) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_EQ(parse_int(" 0 ").value(), 0);
+}
+
+TEST(ParseInt, RejectsGarbageAndFractions) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("x1").has_value());
+}
+
+TEST(ParseBool, AcceptedSpellings) {
+  for (const char* t : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    EXPECT_EQ(parse_bool(t), true) << t;
+  }
+  for (const char* f : {"0", "false", "no", "OFF"}) {
+    EXPECT_EQ(parse_bool(f), false) << f;
+  }
+  EXPECT_FALSE(parse_bool("2").has_value());
+  EXPECT_FALSE(parse_bool("").has_value());
+}
+
+TEST(FormatFixed, Rounding) {
+  EXPECT_EQ(format_fixed(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(format_fixed(2.5, 0), "2");  // banker-style from printf is fine
+  EXPECT_EQ(format_fixed(-1.25, 1), "-1.2");
+  EXPECT_EQ(format_fixed(0.0, 2), "0.00");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+}  // namespace

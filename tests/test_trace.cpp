@@ -1,0 +1,145 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/aggregate_sim.hpp"
+#include "net/network.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+using tcw::sim::TraceKind;
+using tcw::sim::TraceLog;
+using tcw::sim::TraceRecord;
+
+TEST(TraceLog, StartsEmpty) {
+  TraceLog log(8);
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(TraceLog, ZeroCapacityRejected) {
+  EXPECT_THROW(TraceLog log(0), tcw::ContractViolation);
+}
+
+TEST(TraceLog, RecordsInOrder) {
+  TraceLog log(8);
+  log.record(1.0, TraceKind::ProcessStart, 0.0, 5.0);
+  log.record(2.0, TraceKind::ProbeIdle, 0.0, 5.0);
+  log.record(3.0, TraceKind::Transmission, 1.5);
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, TraceKind::ProcessStart);
+  EXPECT_EQ(records[1].kind, TraceKind::ProbeIdle);
+  EXPECT_EQ(records[2].kind, TraceKind::Transmission);
+  EXPECT_DOUBLE_EQ(records[2].lo, 1.5);
+}
+
+TEST(TraceLog, RingDropsOldest) {
+  TraceLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.record(static_cast<double>(i), TraceKind::ProbeIdle);
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(records[2].time, 4.0);
+}
+
+TEST(TraceLog, CountsPerKindSurviveRingWrap) {
+  TraceLog log(2);
+  for (int i = 0; i < 10; ++i) log.record(i, TraceKind::ProbeCollision);
+  log.record(11.0, TraceKind::Transmission);
+  EXPECT_EQ(log.count(TraceKind::ProbeCollision), 10u);
+  EXPECT_EQ(log.count(TraceKind::Transmission), 1u);
+  EXPECT_EQ(log.count(TraceKind::SenderDiscard), 0u);
+}
+
+TEST(TraceLog, ClearResets) {
+  TraceLog log(4);
+  log.record(1.0, TraceKind::ProbeIdle);
+  log.clear();
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_TRUE(log.snapshot().empty());
+  EXPECT_EQ(log.count(TraceKind::ProbeIdle), 0u);
+}
+
+TEST(TraceLog, WriteMentionsKindsAndWindows) {
+  TraceLog log(4);
+  log.record(1.0, TraceKind::ProbeCollision, 2.0, 4.0);
+  std::ostringstream os;
+  log.write(os);
+  EXPECT_NE(os.str().find("probe-collision"), std::string::npos);
+  EXPECT_NE(os.str().find("[2, 4)"), std::string::npos);
+}
+
+TEST(TraceLog, ToStringCoversAllKinds) {
+  for (const auto kind :
+       {TraceKind::ProcessStart, TraceKind::ProbeIdle,
+        TraceKind::ProbeCollision, TraceKind::Transmission,
+        TraceKind::SenderDiscard, TraceKind::LateAtReceiver}) {
+    EXPECT_NE(to_string(kind), "?");
+  }
+}
+
+TEST(TraceIntegration, SimulatorFillsTheLog) {
+  TraceLog log(1u << 16);
+  tcw::net::AggregateConfig cfg;
+  cfg.policy = tcw::core::ControlPolicy::optimal(50.0, 54.0);
+  cfg.message_length = 25.0;
+  cfg.t_end = 20000.0;
+  cfg.warmup = 1000.0;
+  cfg.trace = &log;
+  tcw::net::AggregateSimulator sim(
+      cfg, std::make_unique<tcw::chan::PoissonProcess>(0.025));
+  const auto& m = sim.run();
+
+  // Transmissions in the log match the channel usage count exactly.
+  EXPECT_EQ(log.count(TraceKind::Transmission), m.usage.messages_carried());
+  // Collisions and idle probes match the slot accounting.
+  EXPECT_EQ(log.count(TraceKind::ProbeCollision),
+            static_cast<std::uint64_t>(m.usage.collision_slots()));
+  // Sender discards at least cover the counted (post-warmup) ones.
+  EXPECT_GE(log.count(TraceKind::SenderDiscard), m.lost_sender);
+  EXPECT_GT(log.count(TraceKind::ProcessStart), 0u);
+
+  // Snapshot times are non-decreasing.
+  const auto records = log.snapshot();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].time, records[i - 1].time);
+  }
+}
+
+TEST(TraceIntegration, NetworkAlsoFillsTheLog) {
+  TraceLog log(1u << 14);
+  tcw::net::NetworkConfig cfg;
+  cfg.policy = tcw::core::ControlPolicy::optimal(60.0, 50.0);
+  cfg.message_length = 25.0;
+  cfg.t_end = 10000.0;
+  cfg.warmup = 500.0;
+  cfg.trace = &log;
+  auto net = tcw::net::Network::homogeneous_poisson(cfg, 4, 0.02);
+  const auto& m = net.run();
+  EXPECT_EQ(log.count(TraceKind::Transmission), m.usage.messages_carried());
+  EXPECT_EQ(log.count(TraceKind::ProbeCollision),
+            static_cast<std::uint64_t>(m.usage.collision_slots()));
+}
+
+TEST(TraceIntegration, NullTraceIsNoop) {
+  tcw::net::AggregateConfig cfg;
+  cfg.policy = tcw::core::ControlPolicy::optimal(50.0, 54.0);
+  cfg.message_length = 25.0;
+  cfg.t_end = 5000.0;
+  cfg.warmup = 500.0;
+  tcw::net::AggregateSimulator sim(
+      cfg, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+  EXPECT_NO_THROW(sim.run());
+}
+
+}  // namespace
