@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_asynchrony.dir/ablation_asynchrony.cpp.o"
+  "CMakeFiles/ablation_asynchrony.dir/ablation_asynchrony.cpp.o.d"
+  "ablation_asynchrony"
+  "ablation_asynchrony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_asynchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

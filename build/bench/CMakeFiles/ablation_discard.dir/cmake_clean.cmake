@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discard.dir/ablation_discard.cpp.o"
+  "CMakeFiles/ablation_discard.dir/ablation_discard.cpp.o.d"
+  "ablation_discard"
+  "ablation_discard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

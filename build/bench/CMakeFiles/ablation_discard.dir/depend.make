@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_discard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_fraction.dir/ablation_split_fraction.cpp.o"
+  "CMakeFiles/ablation_split_fraction.dir/ablation_split_fraction.cpp.o.d"
+  "ablation_split_fraction"
+  "ablation_split_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

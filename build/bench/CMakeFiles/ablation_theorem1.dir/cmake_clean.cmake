@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_theorem1.dir/ablation_theorem1.cpp.o"
+  "CMakeFiles/ablation_theorem1.dir/ablation_theorem1.cpp.o.d"
+  "ablation_theorem1"
+  "ablation_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rho25_m100.dir/fig7_rho25_m100.cpp.o"
+  "CMakeFiles/fig7_rho25_m100.dir/fig7_rho25_m100.cpp.o.d"
+  "fig7_rho25_m100"
+  "fig7_rho25_m100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rho25_m100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_rho25_m100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rho50_m25.dir/fig7_rho50_m25.cpp.o"
+  "CMakeFiles/fig7_rho50_m25.dir/fig7_rho50_m25.cpp.o.d"
+  "fig7_rho50_m25"
+  "fig7_rho50_m25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rho50_m25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

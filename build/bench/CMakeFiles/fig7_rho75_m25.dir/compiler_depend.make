@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_rho75_m25.
+# This may be replaced when dependencies are built.

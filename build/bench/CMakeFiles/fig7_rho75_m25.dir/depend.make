@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_rho75_m25.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smdp_cost.dir/smdp_cost.cpp.o"
+  "CMakeFiles/smdp_cost.dir/smdp_cost.cpp.o.d"
+  "smdp_cost"
+  "smdp_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smdp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_bench_common.dir/fig7_common.cpp.o"
+  "CMakeFiles/tcw_bench_common.dir/fig7_common.cpp.o.d"
+  "libtcw_bench_common.a"
+  "libtcw_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

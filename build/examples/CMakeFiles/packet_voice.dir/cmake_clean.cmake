@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_voice.dir/packet_voice.cpp.o"
+  "CMakeFiles/packet_voice.dir/packet_voice.cpp.o.d"
+  "packet_voice"
+  "packet_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

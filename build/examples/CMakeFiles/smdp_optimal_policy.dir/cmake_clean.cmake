@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smdp_optimal_policy.dir/smdp_optimal_policy.cpp.o"
+  "CMakeFiles/smdp_optimal_policy.dir/smdp_optimal_policy.cpp.o.d"
+  "smdp_optimal_policy"
+  "smdp_optimal_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smdp_optimal_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--t-end" "20000")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_packet_voice "/root/repo/build/examples/packet_voice" "--talkers" "24" "--t-end" "30000")
+set_tests_properties(example_packet_voice PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sensor_network "/root/repo/build/examples/sensor_network" "--t-end" "30000")
+set_tests_properties(example_sensor_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_comparison "/root/repo/build/examples/policy_comparison" "--t-end" "20000" "--reps" "1")
+set_tests_properties(example_policy_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smdp_optimal_policy "/root/repo/build/examples/smdp_optimal_policy" "--k" "12" "--samples" "1000")
+set_tests_properties(example_smdp_optimal_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_priority_demo "/root/repo/build/examples/priority_demo" "--t-end" "40000")
+set_tests_properties(example_priority_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_figure4_walkthrough "/root/repo/build/examples/figure4_walkthrough" "--steps" "25")
+set_tests_properties(example_figure4_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sweep_tool "/root/repo/build/examples/sweep_tool" "--t-end" "20000" "--points" "3" "--reps" "1" "--csv" "sweep_tool_test.csv")
+set_tests_properties(example_sweep_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/busy_period.cpp" "src/analysis/CMakeFiles/tcw_analysis.dir/busy_period.cpp.o" "gcc" "src/analysis/CMakeFiles/tcw_analysis.dir/busy_period.cpp.o.d"
+  "/root/repo/src/analysis/loss_model.cpp" "src/analysis/CMakeFiles/tcw_analysis.dir/loss_model.cpp.o" "gcc" "src/analysis/CMakeFiles/tcw_analysis.dir/loss_model.cpp.o.d"
+  "/root/repo/src/analysis/mg1.cpp" "src/analysis/CMakeFiles/tcw_analysis.dir/mg1.cpp.o" "gcc" "src/analysis/CMakeFiles/tcw_analysis.dir/mg1.cpp.o.d"
+  "/root/repo/src/analysis/splitting.cpp" "src/analysis/CMakeFiles/tcw_analysis.dir/splitting.cpp.o" "gcc" "src/analysis/CMakeFiles/tcw_analysis.dir/splitting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tcw_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

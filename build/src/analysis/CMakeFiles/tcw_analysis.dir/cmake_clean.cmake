@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_analysis.dir/busy_period.cpp.o"
+  "CMakeFiles/tcw_analysis.dir/busy_period.cpp.o.d"
+  "CMakeFiles/tcw_analysis.dir/loss_model.cpp.o"
+  "CMakeFiles/tcw_analysis.dir/loss_model.cpp.o.d"
+  "CMakeFiles/tcw_analysis.dir/mg1.cpp.o"
+  "CMakeFiles/tcw_analysis.dir/mg1.cpp.o.d"
+  "CMakeFiles/tcw_analysis.dir/splitting.cpp.o"
+  "CMakeFiles/tcw_analysis.dir/splitting.cpp.o.d"
+  "libtcw_analysis.a"
+  "libtcw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chan/arrivals.cpp" "src/chan/CMakeFiles/tcw_chan.dir/arrivals.cpp.o" "gcc" "src/chan/CMakeFiles/tcw_chan.dir/arrivals.cpp.o.d"
+  "/root/repo/src/chan/channel.cpp" "src/chan/CMakeFiles/tcw_chan.dir/channel.cpp.o" "gcc" "src/chan/CMakeFiles/tcw_chan.dir/channel.cpp.o.d"
+  "/root/repo/src/chan/message.cpp" "src/chan/CMakeFiles/tcw_chan.dir/message.cpp.o" "gcc" "src/chan/CMakeFiles/tcw_chan.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_chan.dir/arrivals.cpp.o"
+  "CMakeFiles/tcw_chan.dir/arrivals.cpp.o.d"
+  "CMakeFiles/tcw_chan.dir/channel.cpp.o"
+  "CMakeFiles/tcw_chan.dir/channel.cpp.o.d"
+  "CMakeFiles/tcw_chan.dir/message.cpp.o"
+  "CMakeFiles/tcw_chan.dir/message.cpp.o.d"
+  "libtcw_chan.a"
+  "libtcw_chan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

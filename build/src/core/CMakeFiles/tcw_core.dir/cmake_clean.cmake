@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_core.dir/controller.cpp.o"
+  "CMakeFiles/tcw_core.dir/controller.cpp.o.d"
+  "CMakeFiles/tcw_core.dir/policy.cpp.o"
+  "CMakeFiles/tcw_core.dir/policy.cpp.o.d"
+  "libtcw_core.a"
+  "libtcw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_dist.dir/families.cpp.o"
+  "CMakeFiles/tcw_dist.dir/families.cpp.o.d"
+  "CMakeFiles/tcw_dist.dir/pmf.cpp.o"
+  "CMakeFiles/tcw_dist.dir/pmf.cpp.o.d"
+  "libtcw_dist.a"
+  "libtcw_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

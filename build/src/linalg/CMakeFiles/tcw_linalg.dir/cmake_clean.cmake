@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_linalg.dir/lu.cpp.o"
+  "CMakeFiles/tcw_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/tcw_linalg.dir/markov_chain.cpp.o"
+  "CMakeFiles/tcw_linalg.dir/markov_chain.cpp.o.d"
+  "CMakeFiles/tcw_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/tcw_linalg.dir/matrix.cpp.o.d"
+  "libtcw_linalg.a"
+  "libtcw_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

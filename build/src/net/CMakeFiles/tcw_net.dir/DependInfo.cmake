@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/aggregate_sim.cpp" "src/net/CMakeFiles/tcw_net.dir/aggregate_sim.cpp.o" "gcc" "src/net/CMakeFiles/tcw_net.dir/aggregate_sim.cpp.o.d"
+  "/root/repo/src/net/experiment.cpp" "src/net/CMakeFiles/tcw_net.dir/experiment.cpp.o" "gcc" "src/net/CMakeFiles/tcw_net.dir/experiment.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/net/CMakeFiles/tcw_net.dir/metrics.cpp.o" "gcc" "src/net/CMakeFiles/tcw_net.dir/metrics.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/tcw_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/tcw_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/priority.cpp" "src/net/CMakeFiles/tcw_net.dir/priority.cpp.o" "gcc" "src/net/CMakeFiles/tcw_net.dir/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/tcw_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tcw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tcw_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_net.dir/aggregate_sim.cpp.o"
+  "CMakeFiles/tcw_net.dir/aggregate_sim.cpp.o.d"
+  "CMakeFiles/tcw_net.dir/experiment.cpp.o"
+  "CMakeFiles/tcw_net.dir/experiment.cpp.o.d"
+  "CMakeFiles/tcw_net.dir/metrics.cpp.o"
+  "CMakeFiles/tcw_net.dir/metrics.cpp.o.d"
+  "CMakeFiles/tcw_net.dir/network.cpp.o"
+  "CMakeFiles/tcw_net.dir/network.cpp.o.d"
+  "CMakeFiles/tcw_net.dir/priority.cpp.o"
+  "CMakeFiles/tcw_net.dir/priority.cpp.o.d"
+  "libtcw_net.a"
+  "libtcw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcw_net.a"
+)

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_sim.dir/batch_means.cpp.o"
+  "CMakeFiles/tcw_sim.dir/batch_means.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tcw_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/histogram.cpp.o"
+  "CMakeFiles/tcw_sim.dir/histogram.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/quantile.cpp.o"
+  "CMakeFiles/tcw_sim.dir/quantile.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/rng.cpp.o"
+  "CMakeFiles/tcw_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/sampling.cpp.o"
+  "CMakeFiles/tcw_sim.dir/sampling.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tcw_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/stats.cpp.o"
+  "CMakeFiles/tcw_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tcw_sim.dir/trace.cpp.o"
+  "CMakeFiles/tcw_sim.dir/trace.cpp.o.d"
+  "libtcw_sim.a"
+  "libtcw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smdp/policy_iteration.cpp" "src/smdp/CMakeFiles/tcw_smdp.dir/policy_iteration.cpp.o" "gcc" "src/smdp/CMakeFiles/tcw_smdp.dir/policy_iteration.cpp.o.d"
+  "/root/repo/src/smdp/smdp.cpp" "src/smdp/CMakeFiles/tcw_smdp.dir/smdp.cpp.o" "gcc" "src/smdp/CMakeFiles/tcw_smdp.dir/smdp.cpp.o.d"
+  "/root/repo/src/smdp/value_iteration.cpp" "src/smdp/CMakeFiles/tcw_smdp.dir/value_iteration.cpp.o" "gcc" "src/smdp/CMakeFiles/tcw_smdp.dir/value_iteration.cpp.o.d"
+  "/root/repo/src/smdp/window_model.cpp" "src/smdp/CMakeFiles/tcw_smdp.dir/window_model.cpp.o" "gcc" "src/smdp/CMakeFiles/tcw_smdp.dir/window_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tcw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tcw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tcw_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

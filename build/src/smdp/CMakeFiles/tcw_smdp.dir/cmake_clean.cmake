@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_smdp.dir/policy_iteration.cpp.o"
+  "CMakeFiles/tcw_smdp.dir/policy_iteration.cpp.o.d"
+  "CMakeFiles/tcw_smdp.dir/smdp.cpp.o"
+  "CMakeFiles/tcw_smdp.dir/smdp.cpp.o.d"
+  "CMakeFiles/tcw_smdp.dir/value_iteration.cpp.o"
+  "CMakeFiles/tcw_smdp.dir/value_iteration.cpp.o.d"
+  "CMakeFiles/tcw_smdp.dir/window_model.cpp.o"
+  "CMakeFiles/tcw_smdp.dir/window_model.cpp.o.d"
+  "libtcw_smdp.a"
+  "libtcw_smdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_smdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

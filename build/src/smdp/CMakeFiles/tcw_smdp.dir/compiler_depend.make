@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcw_smdp.
+# This may be replaced when dependencies are built.

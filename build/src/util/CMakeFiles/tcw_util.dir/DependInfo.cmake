@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_plot.cpp" "src/util/CMakeFiles/tcw_util.dir/ascii_plot.cpp.o" "gcc" "src/util/CMakeFiles/tcw_util.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/contract.cpp" "src/util/CMakeFiles/tcw_util.dir/contract.cpp.o" "gcc" "src/util/CMakeFiles/tcw_util.dir/contract.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/tcw_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/tcw_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/util/CMakeFiles/tcw_util.dir/flags.cpp.o" "gcc" "src/util/CMakeFiles/tcw_util.dir/flags.cpp.o.d"
+  "/root/repo/src/util/interval_set.cpp" "src/util/CMakeFiles/tcw_util.dir/interval_set.cpp.o" "gcc" "src/util/CMakeFiles/tcw_util.dir/interval_set.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/tcw_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/tcw_util.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

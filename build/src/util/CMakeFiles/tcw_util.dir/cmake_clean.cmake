@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcw_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/tcw_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/tcw_util.dir/contract.cpp.o"
+  "CMakeFiles/tcw_util.dir/contract.cpp.o.d"
+  "CMakeFiles/tcw_util.dir/csv.cpp.o"
+  "CMakeFiles/tcw_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tcw_util.dir/flags.cpp.o"
+  "CMakeFiles/tcw_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tcw_util.dir/interval_set.cpp.o"
+  "CMakeFiles/tcw_util.dir/interval_set.cpp.o.d"
+  "CMakeFiles/tcw_util.dir/strings.cpp.o"
+  "CMakeFiles/tcw_util.dir/strings.cpp.o.d"
+  "libtcw_util.a"
+  "libtcw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_width.dir/test_adaptive_width.cpp.o"
+  "CMakeFiles/test_adaptive_width.dir/test_adaptive_width.cpp.o.d"
+  "test_adaptive_width"
+  "test_adaptive_width.pdb"
+  "test_adaptive_width[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregate_sim.dir/test_aggregate_sim.cpp.o"
+  "CMakeFiles/test_aggregate_sim.dir/test_aggregate_sim.cpp.o.d"
+  "test_aggregate_sim"
+  "test_aggregate_sim.pdb"
+  "test_aggregate_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

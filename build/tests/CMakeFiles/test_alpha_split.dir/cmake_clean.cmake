@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha_split.dir/test_alpha_split.cpp.o"
+  "CMakeFiles/test_alpha_split.dir/test_alpha_split.cpp.o.d"
+  "test_alpha_split"
+  "test_alpha_split.pdb"
+  "test_alpha_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

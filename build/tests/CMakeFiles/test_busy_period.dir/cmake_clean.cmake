@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_busy_period.dir/test_busy_period.cpp.o"
+  "CMakeFiles/test_busy_period.dir/test_busy_period.cpp.o.d"
+  "test_busy_period"
+  "test_busy_period.pdb"
+  "test_busy_period[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_busy_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

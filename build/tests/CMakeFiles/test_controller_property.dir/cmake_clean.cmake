@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_property.dir/test_controller_property.cpp.o"
+  "CMakeFiles/test_controller_property.dir/test_controller_property.cpp.o.d"
+  "test_controller_property"
+  "test_controller_property.pdb"
+  "test_controller_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

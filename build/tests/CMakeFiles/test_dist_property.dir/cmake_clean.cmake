@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_property.dir/test_dist_property.cpp.o"
+  "CMakeFiles/test_dist_property.dir/test_dist_property.cpp.o.d"
+  "test_dist_property"
+  "test_dist_property.pdb"
+  "test_dist_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

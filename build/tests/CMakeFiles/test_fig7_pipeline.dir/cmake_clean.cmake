@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig7_pipeline.dir/test_fig7_pipeline.cpp.o"
+  "CMakeFiles/test_fig7_pipeline.dir/test_fig7_pipeline.cpp.o.d"
+  "test_fig7_pipeline"
+  "test_fig7_pipeline.pdb"
+  "test_fig7_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig7_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

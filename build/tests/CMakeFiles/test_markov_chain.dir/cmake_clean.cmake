@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov_chain.dir/test_markov_chain.cpp.o"
+  "CMakeFiles/test_markov_chain.dir/test_markov_chain.cpp.o.d"
+  "test_markov_chain"
+  "test_markov_chain.pdb"
+  "test_markov_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

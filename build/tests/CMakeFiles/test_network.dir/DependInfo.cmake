@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/test_network.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_network.dir/test_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smdp/CMakeFiles/tcw_smdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tcw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/tcw_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tcw_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tcw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

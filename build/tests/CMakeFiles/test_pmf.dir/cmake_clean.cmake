@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmf.dir/test_pmf.cpp.o"
+  "CMakeFiles/test_pmf.dir/test_pmf.cpp.o.d"
+  "test_pmf"
+  "test_pmf.pdb"
+  "test_pmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smdp.dir/test_smdp.cpp.o"
+  "CMakeFiles/test_smdp.dir/test_smdp.cpp.o.d"
+  "test_smdp"
+  "test_smdp.pdb"
+  "test_smdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
