@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   double t_end = 400000.0;
   long long reps = 3;
   long long samples = 20000;
+  long long threads = 0;
   bool quick = false;
   std::string csv = "ablation_adaptive_width.csv";
   tcw::Flags flags("ablation_adaptive_width",
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   flags.add("t-end", &t_end, "simulated slots per replication");
   flags.add("reps", &reps, "replications");
   flags.add("samples", &samples, "SMDP kernel samples");
+  flags.add("threads", &threads,
+            "sweep worker threads (0 = all hardware threads)");
   flags.add("quick", &quick, "shrink run length for smoke testing");
   flags.add("csv", &csv, "CSV output path");
   if (!flags.parse(argc, argv)) return 1;
@@ -46,11 +49,13 @@ int main(int argc, char** argv) {
   cfg.t_end = t_end;
   cfg.warmup = t_end / 15.0;
   cfg.replications = static_cast<int>(reps);
+  cfg.threads = static_cast<int>(threads);
   const double heuristic_width = cfg.heuristic_window_width();
 
   std::printf("== adaptive element (2): SMDP width table vs static "
               "heuristic (lambda=%.3f, M=%.0f) ==\n\n", lambda, m);
 
+  tcw::net::SweepTiming total;
   tcw::Table table({"K", "loss_static", "ci_static", "loss_adaptive",
                     "ci_adaptive", "smdp_pseudo_loss"});
   for (const long long k : {12LL, 16LL, 24LL, 32LL, 48LL}) {
@@ -66,13 +71,15 @@ int main(int argc, char** argv) {
       width_table[i] = static_cast<double>(solved.width_per_state[i]);
     }
 
+    tcw::net::SweepTiming timing;
     const auto static_pts = tcw::net::simulate_loss_curve_custom(
         cfg,
         [heuristic_width](double deadline) {
           return tcw::core::ControlPolicy::optimal(deadline,
                                                    heuristic_width);
         },
-        {static_cast<double>(k)});
+        {static_cast<double>(k)}, &timing);
+    total.accumulate(timing);
     const auto adaptive_pts = tcw::net::simulate_loss_curve_custom(
         cfg,
         [&](double deadline) {
@@ -81,7 +88,8 @@ int main(int argc, char** argv) {
           p.width_table = width_table;
           return p;
         },
-        {static_cast<double>(k)});
+        {static_cast<double>(k)}, &timing);
+    total.accumulate(timing);
 
     table.add_row({std::to_string(k),
                    tcw::format_fixed(static_pts[0].p_loss, 5),
@@ -94,6 +102,10 @@ int main(int argc, char** argv) {
   std::printf("\n(the SMDP pseudo-loss column is the model's own optimum "
               "under the paper's\n waiting definition; the sim columns "
               "charge true waits, hence sit higher)\n");
+  std::printf("BENCH_JSON {\"panel\":\"ablation_adaptive_width\",\"threads\":%u,"
+              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
+              total.threads, total.jobs, total.wall_seconds,
+              total.jobs_per_second);
   if (!table.save_csv(csv)) return 1;
   std::printf("csv: %s\n", csv.c_str());
   return 0;

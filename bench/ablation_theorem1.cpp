@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   double t_end = 150000.0;
   double m = 25.0;
   long long reps = 2;
+  long long threads = 0;
   bool quick = false;
   std::string csv = "ablation_theorem1.csv";
   tcw::Flags flags("ablation_theorem1",
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   flags.add("t-end", &t_end, "simulated slots per replication");
   flags.add("m", &m, "message length M");
   flags.add("reps", &reps, "replications per point");
+  flags.add("threads", &threads,
+            "sweep worker threads (0 = all hardware threads)");
   flags.add("quick", &quick, "shrink run length for smoke testing");
   flags.add("csv", &csv, "CSV output path");
   if (!flags.parse(argc, argv)) return 1;
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
               "combination ==\n(element 2 fixed at the heuristic width, "
               "element 4 active, K = 2M and 4M)\n\n");
 
+  tcw::net::SweepTiming total;
   tcw::Table table({"rho", "K", "position", "split", "p_loss", "ci95"});
   for (const double rho : {0.25, 0.50, 0.75}) {
     tcw::net::SweepConfig cfg;
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
     cfg.t_end = t_end;
     cfg.warmup = t_end / 15.0;
     cfg.replications = static_cast<int>(reps);
+    cfg.threads = static_cast<int>(threads);
     const double width = cfg.heuristic_window_width();
 
     for (const double k : {2.0 * m, 4.0 * m}) {
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
             PositionRule::RandomGap}) {
         for (const auto split : {SplitRule::OlderHalf, SplitRule::YoungerHalf,
                                  SplitRule::RandomHalf}) {
+          tcw::net::SweepTiming timing;
           const auto pts = tcw::net::simulate_loss_curve_custom(
               cfg,
               [&](double deadline) {
@@ -65,7 +71,8 @@ int main(int argc, char** argv) {
                 p.split = split;
                 return p;
               },
-              {k});
+              {k}, &timing);
+          total.accumulate(timing);
           table.add_row({tcw::format_fixed(rho, 2), tcw::format_fixed(k, 0),
                          to_string(pos), to_string(split),
                          tcw::format_fixed(pts[0].p_loss, 5),
@@ -86,6 +93,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", csv.c_str());
     return 1;
   }
+  std::printf("BENCH_JSON {\"panel\":\"ablation_theorem1\",\"threads\":%u,"
+              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
+              total.threads, total.jobs, total.wall_seconds,
+              total.jobs_per_second);
   std::printf("csv: %s\n", csv.c_str());
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   double k_over_m = 3.0;
   double t_end = 200000.0;
   long long reps = 2;
+  long long threads = 0;
   bool quick = false;
   std::string csv = "ablation_window_size.csv";
   tcw::Flags flags("ablation_window_size",
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   flags.add("k-over-m", &k_over_m, "time constraint K as a multiple of M");
   flags.add("t-end", &t_end, "simulated slots");
   flags.add("reps", &reps, "replications");
+  flags.add("threads", &threads,
+            "sweep worker threads (0 = all hardware threads)");
   flags.add("quick", &quick, "shrink run length for smoke testing");
   flags.add("csv", &csv, "CSV output path");
   if (!flags.parse(argc, argv)) return 1;
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   cfg.t_end = t_end;
   cfg.warmup = t_end / 15.0;
   cfg.replications = static_cast<int>(reps);
+  cfg.threads = static_cast<int>(threads);
   const double k = k_over_m * m;
   const double heuristic = cfg.heuristic_window_width();
 
@@ -54,15 +58,18 @@ int main(int argc, char** argv) {
                     "sched_sim", "slots_per_msg_model"});
   double best_loss = 1.0;
   double best_width = 0.0;
+  tcw::net::SweepTiming total;
   for (const double scale : {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0,
                              8.0}) {
     const double width = scale * heuristic;
+    tcw::net::SweepTiming timing;
     const auto pts = tcw::net::simulate_loss_curve_custom(
         cfg,
         [width](double deadline) {
           return tcw::core::ControlPolicy::optimal(deadline, width);
         },
-        {k});
+        {k}, &timing);
+    total.accumulate(timing);
     const double nu = cfg.lambda() * width;
     table.add_row({tcw::format_fixed(width, 2), tcw::format_fixed(scale, 3),
                    tcw::format_fixed(nu, 3),
@@ -79,6 +86,10 @@ int main(int argc, char** argv) {
   table.write_pretty(std::cout);
   std::printf("\nempirical best width %.2f slots (%.2fx the heuristic), "
               "loss %.4f\n", best_width, best_width / heuristic, best_loss);
+  std::printf("BENCH_JSON {\"panel\":\"ablation_window_size\",\"threads\":%u,"
+              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
+              total.threads, total.jobs, total.wall_seconds,
+              total.jobs_per_second);
   if (!table.save_csv(csv)) return 1;
   std::printf("csv: %s\n", csv.c_str());
   return 0;

@@ -20,6 +20,9 @@ void register_fig7_flags(Flags& flags, Fig7Options& opts) {
   flags.add("warmup", &opts.warmup, "warmup slots excluded from statistics");
   flags.add("reps", &opts.replications, "independent replications per point");
   flags.add("seed", &opts.seed, "base RNG seed");
+  flags.add("threads", &opts.threads,
+            "sweep worker threads (0 = all hardware threads); results are "
+            "bit-identical for any value");
   flags.add("csv", &opts.csv, "CSV output path (default: <panel>.csv)");
   flags.add("quick", &opts.quick, "shrink run length for smoke testing");
 }
@@ -54,13 +57,19 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   sweep.warmup = o.warmup;
   sweep.replications = static_cast<int>(o.replications);
   sweep.base_seed = o.seed;
+  sweep.threads = static_cast<int>(o.threads);
 
+  net::SweepTiming total;
+  net::SweepTiming timing;
   const auto sim_controlled = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::Controlled, grid);
+      sweep, net::ProtocolVariant::Controlled, grid, &timing);
+  total.accumulate(timing);
   const auto sim_fcfs = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::FcfsNoDiscard, grid);
+      sweep, net::ProtocolVariant::FcfsNoDiscard, grid, &timing);
+  total.accumulate(timing);
   const auto sim_lcfs = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::LcfsNoDiscard, grid);
+      sweep, net::ProtocolVariant::LcfsNoDiscard, grid, &timing);
+  total.accumulate(timing);
 
   Table table({"K", "K_over_M", "ctrl_analytic", "ctrl_sim", "ctrl_ci95",
                "fcfs_analytic", "fcfs_sim", "lcfs_analytic", "lcfs_sim", "ctrl_sched_mean",
@@ -124,6 +133,17 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   std::printf("element-2 heuristic: nu* = %.4f -> window width %.2f slots\n",
               analysis::optimal_window_load(),
               sweep.heuristic_window_width());
+
+  std::printf("sweep engine: threads=%u jobs=%zu wall=%.3fs "
+              "jobs_per_sec=%.2f\n",
+              total.threads, total.jobs, total.wall_seconds,
+              total.jobs_per_second);
+  // Machine-readable timing line; the bench harness lifts it into the
+  // BENCH_*.json record for this panel.
+  std::printf("BENCH_JSON {\"panel\":\"%s\",\"threads\":%u,\"jobs\":%zu,"
+              "\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
+              panel_name.c_str(), total.threads, total.jobs,
+              total.wall_seconds, total.jobs_per_second);
 
   const std::string csv_path =
       o.csv.empty() ? panel_name + ".csv" : o.csv;

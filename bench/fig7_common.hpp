@@ -19,6 +19,7 @@ struct Fig7Options {
   double warmup = 10000.0;
   long long replications = 2;
   unsigned long long seed = 20261983;
+  long long threads = 0;        // sweep workers; 0 = all hardware threads
   std::string csv;              // output path ("" = <panel>.csv)
   bool quick = false;           // shrink runs (CI smoke)
   std::vector<double> k_over_m =

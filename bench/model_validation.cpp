@@ -20,10 +20,13 @@
 
 int main(int argc, char** argv) {
   bool quick = false;
+  long long threads = 0;
   std::string csv = "model_validation.csv";
   tcw::Flags flags("model_validation",
                    "Sanity limits and cross-model agreement for eq. 4.7");
   flags.add("quick", &quick, "shrink run length for smoke testing");
+  flags.add("threads", &threads,
+            "sweep worker threads (0 = all hardware threads)");
   flags.add("csv", &csv, "CSV output path");
   if (!flags.parse(argc, argv)) return 1;
 
@@ -141,8 +144,10 @@ int main(int argc, char** argv) {
   sweep.t_end = quick ? 60000.0 : 300000.0;
   sweep.warmup = sweep.t_end / 15.0;
   sweep.replications = quick ? 1 : 3;
+  sweep.threads = static_cast<int>(threads);
+  tcw::net::SweepTiming timing;
   const auto sim = tcw::net::simulate_loss_curve(
-      sweep, tcw::net::ProtocolVariant::Controlled, {24.0});
+      sweep, tcw::net::ProtocolVariant::Controlled, {24.0}, &timing);
 
   std::printf("queueing model (eq 4.7 + heuristic el.2): %.5f\n",
               queueing.p_loss);
@@ -154,6 +159,10 @@ int main(int argc, char** argv) {
               "\n element 2 per state and charges pseudo losses only; the"
               "\n simulation charges true waiting times.)\n");
 
+  std::printf("BENCH_JSON {\"panel\":\"model_validation\",\"threads\":%u,"
+              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
+              timing.threads, timing.jobs, timing.wall_seconds,
+              timing.jobs_per_second);
   if (!table.save_csv(csv)) return 1;
   std::printf("csv: %s\n", csv.c_str());
   return 0;

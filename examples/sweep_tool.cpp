@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   double t_end = 150000.0;
   long long reps = 2;
   unsigned long long seed = 1;
+  long long threads = 0;
   std::string csv = "sweep.csv";
   bool with_analytic = true;
 
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
   flags.add("t-end", &t_end, "simulated slots per replication");
   flags.add("reps", &reps, "replications per point");
   flags.add("seed", &seed, "base RNG seed");
+  flags.add("threads", &threads,
+            "sweep worker threads (0 = all hardware threads)");
   flags.add("csv", &csv, "CSV output path");
   flags.add("analytic", &with_analytic,
             "also evaluate the analytic model where available");
@@ -64,10 +67,12 @@ int main(int argc, char** argv) {
   cfg.warmup = t_end / 15.0;
   cfg.replications = static_cast<int>(reps);
   cfg.base_seed = seed;
+  cfg.threads = static_cast<int>(threads);
 
   const auto grid = tcw::net::linear_grid(k_min, k_max,
                                           static_cast<std::size_t>(points));
-  const auto pts = tcw::net::simulate_loss_curve(cfg, variant, grid);
+  tcw::net::SweepTiming timing;
+  const auto pts = tcw::net::simulate_loss_curve(cfg, variant, grid, &timing);
 
   tcw::analysis::ProtocolModelConfig model;
   model.offered_load = rho;
@@ -108,6 +113,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", csv.c_str());
     return 1;
   }
-  std::printf("\ncsv: %s\n", csv.c_str());
+  std::printf("\nsweep engine: threads=%u jobs=%zu wall=%.3fs "
+              "jobs_per_sec=%.2f\n",
+              timing.threads, timing.jobs, timing.wall_seconds,
+              timing.jobs_per_second);
+  std::printf("csv: %s\n", csv.c_str());
   return 0;
 }

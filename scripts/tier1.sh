@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + full test suite, then the concurrency
+# tests (thread pool, parallel sweep determinism) rebuilt and re-run under
+# ThreadSanitizer so data races in the sweep engine fail CI, not users.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== tier-1: concurrency tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target test_thread_pool test_sweep_determinism
+(cd build-tsan && ctest --output-on-failure \
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming')
+echo "tier-1 OK"

@@ -1,0 +1,36 @@
+#include "exec/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tcw::exec {
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (pool.size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  const std::size_t tasks = std::min(pool.size(), n);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([&next, &abort, &body, n] {
+      while (!abort.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
+          throw;  // captured by the pool, rethrown from wait()
+        }
+      }
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace tcw::exec

@@ -1,0 +1,26 @@
+// Deterministic parallel index loop on top of ThreadPool.
+//
+// parallel_for(pool, n, body) runs body(0) .. body(n-1) exactly once
+// each and returns when all are done. Scheduling is dynamic (a shared
+// cursor, so unequal job costs balance across workers), which means the
+// EXECUTION order is nondeterministic — callers that need reproducible
+// output must write results into per-index slots and reduce them in
+// index order afterwards. That convention is what makes sweeps
+// bit-identical for any worker count, including 1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/thread_pool.hpp"
+
+namespace tcw::exec {
+
+/// Run `body(i)` for every i in [0, n) on the pool's workers; blocks until
+/// all iterations finish. With a single worker (or n == 1) the loop runs
+/// inline on the calling thread. If an iteration throws, remaining
+/// iterations are abandoned and the first exception is rethrown here.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace tcw::exec

@@ -1,0 +1,59 @@
+// Fixed-size worker-thread pool for fanning independent simulation jobs
+// out across cores. Jobs are plain closures; completion is observed with
+// wait(), which also rethrows the first exception any job raised so
+// failures surface at the call site instead of dying on a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcw::exec {
+
+/// Resolve a user-facing thread-count request: values >= 1 are taken
+/// literally; 0 (and negatives) mean "one worker per hardware thread",
+/// clamped to at least 1 when the hardware cannot be queried.
+unsigned resolve_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (resolved via resolve_threads, so 0 means
+  /// hardware concurrency). Workers live until destruction.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains every submitted job, then joins the workers. Exceptions still
+  /// pending at destruction are dropped; call wait() first to observe them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a job. Safe to call from any thread, including from inside a
+  /// running job.
+  void submit(std::function<void()> job);
+
+  /// Block until every job submitted so far has finished. If any job threw,
+  /// rethrows the first captured exception (later ones are dropped).
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job ready / stopping
+  std::condition_variable idle_cv_;  // signals wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running jobs
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace tcw::exec

@@ -1,10 +1,15 @@
 #include "net/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "analysis/splitting.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/batch_means.hpp"
+#include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "util/contract.hpp"
 
@@ -40,69 +45,135 @@ double SweepConfig::heuristic_window_width() const {
   return analysis::optimal_window_load() / lambda();
 }
 
+void SweepTiming::accumulate(const SweepTiming& other) {
+  threads = std::max(threads, other.threads);
+  jobs += other.jobs;
+  wall_seconds += other.wall_seconds;
+  jobs_per_second = wall_seconds > 0.0
+                        ? static_cast<double>(jobs) / wall_seconds
+                        : 0.0;
+}
+
+namespace {
+
+// One (K, replication) simulation's contribution, kept as single-sample
+// accumulators so the reduction can use RunningStats::merge in a fixed
+// (ki-major, then rep) order regardless of which worker ran the job.
+struct SweepJobResult {
+  sim::RunningStats loss;
+  sim::RunningStats wait;
+  sim::RunningStats sched;
+  sim::RunningStats util;
+  std::uint64_t messages = 0;
+  double within_run_ci = 0.0;  // binomial CI; only filled when reps == 1
+};
+
+}  // namespace
+
 std::vector<SweepPoint> simulate_loss_curve_custom(
     const SweepConfig& config,
     const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints) {
+    const std::vector<double>& constraints, SweepTiming* timing) {
   TCW_EXPECTS(config.replications >= 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reps = static_cast<std::size_t>(config.replications);
+  const std::size_t n_jobs = constraints.size() * reps;
+
+  // The factory is caller code with no thread-safety contract, so build
+  // every policy serially up front, preserving the historical call order
+  // (K-major, one call per replication).
+  std::vector<core::ControlPolicy> policies;
+  policies.reserve(n_jobs);
+  for (const double k : constraints) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      policies.push_back(make_policy(k));
+    }
+  }
+
+  std::vector<SweepJobResult> results(n_jobs);
+  exec::ThreadPool pool(exec::resolve_threads(config.threads));
+  exec::parallel_for(pool, n_jobs, [&](std::size_t job) {
+    const std::size_t ki = job / reps;
+    const std::size_t rep = job % reps;
+    AggregateConfig sim_cfg;
+    sim_cfg.policy = policies[job];
+    sim_cfg.message_length = config.message_length;
+    sim_cfg.success_overhead = config.success_overhead;
+    sim_cfg.t_end = config.t_end;
+    sim_cfg.warmup = config.warmup;
+    sim_cfg.seed = sim::derive_stream_seed(config.base_seed, ki, rep);
+    AggregateSimulator sim(
+        sim_cfg, std::make_unique<chan::PoissonProcess>(config.lambda()));
+    const SimMetrics& m = sim.run();
+    SweepJobResult& r = results[job];
+    r.loss.add(m.p_loss());
+    r.wait.add(m.wait_delivered.mean());
+    r.sched.add(m.scheduling.mean());
+    r.util.add(m.usage.utilization());
+    r.messages = m.decided();
+    if (reps == 1) r.within_run_ci = m.p_loss_ci95();
+  });
+
+  // Fixed-order reduction: merging job results ki-major/rep-ascending makes
+  // the output bit-identical for every worker count.
   std::vector<SweepPoint> out;
   out.reserve(constraints.size());
-
   for (std::size_t ki = 0; ki < constraints.size(); ++ki) {
-    const double k = constraints[ki];
     sim::RunningStats loss_reps;
     sim::RunningStats wait_reps;
     sim::RunningStats sched_reps;
     sim::RunningStats util_reps;
     std::uint64_t messages = 0;
-    double within_run_ci = 0.0;
-
-    for (int rep = 0; rep < config.replications; ++rep) {
-      AggregateConfig sim_cfg;
-      sim_cfg.policy = make_policy(k);
-      sim_cfg.message_length = config.message_length;
-      sim_cfg.success_overhead = config.success_overhead;
-      sim_cfg.t_end = config.t_end;
-      sim_cfg.warmup = config.warmup;
-      sim_cfg.seed = config.base_seed + 1000003ULL * static_cast<std::uint64_t>(rep) +
-                     17ULL * ki;
-      AggregateSimulator sim(
-          sim_cfg, std::make_unique<chan::PoissonProcess>(config.lambda()));
-      const SimMetrics& m = sim.run();
-      loss_reps.add(m.p_loss());
-      wait_reps.add(m.wait_delivered.mean());
-      sched_reps.add(m.scheduling.mean());
-      util_reps.add(m.usage.utilization());
-      messages += m.decided();
-      within_run_ci = m.p_loss_ci95();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const SweepJobResult& r = results[ki * reps + rep];
+      loss_reps.merge(r.loss);
+      wait_reps.merge(r.wait);
+      sched_reps.merge(r.sched);
+      util_reps.merge(r.util);
+      messages += r.messages;
     }
+    TCW_ASSERT(loss_reps.count() == reps);
 
     SweepPoint point;
-    point.constraint = k;
+    point.constraint = constraints[ki];
     point.p_loss = loss_reps.mean();
-    point.ci95 = config.replications >= 2
-                     ? sim::student_t_975(
-                           static_cast<std::uint64_t>(config.replications - 1)) *
-                           loss_reps.stddev() /
-                           std::sqrt(static_cast<double>(config.replications))
-                     : within_run_ci;
+    if (reps >= 2) {
+      // Across-replication interval: Student t on the replication means.
+      point.ci95 = sim::student_t_975(reps - 1) * loss_reps.stddev() /
+                   std::sqrt(static_cast<double>(reps));
+    } else {
+      // Single replication: fall back to the within-run binomial CI.
+      point.ci95 = results[ki * reps].within_run_ci;
+    }
     point.mean_wait = wait_reps.mean();
     point.mean_scheduling = sched_reps.mean();
     point.utilization = util_reps.mean();
     point.messages = messages;
     out.push_back(point);
   }
+
+  if (timing != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    timing->threads = static_cast<unsigned>(pool.size());
+    timing->jobs = n_jobs;
+    timing->wall_seconds = elapsed.count();
+    timing->jobs_per_second =
+        elapsed.count() > 0.0
+            ? static_cast<double>(n_jobs) / elapsed.count()
+            : 0.0;
+  }
   return out;
 }
 
 std::vector<SweepPoint> simulate_loss_curve(
     const SweepConfig& config, ProtocolVariant variant,
-    const std::vector<double>& constraints) {
+    const std::vector<double>& constraints, SweepTiming* timing) {
   const double width = config.heuristic_window_width();
   return simulate_loss_curve_custom(
       config,
       [variant, width](double k) { return policy_for(variant, k, width); },
-      constraints);
+      constraints, timing);
 }
 
 std::vector<double> linear_grid(double lo, double hi, std::size_t n) {

@@ -36,6 +36,10 @@ struct SweepConfig {
   double warmup = 10000.0;
   int replications = 3;
   std::uint64_t base_seed = 20261983;
+  /// Worker threads for the sweep engine: each (K, replication) pair is an
+  /// independent job. 0 = one worker per hardware thread. Results are
+  /// bit-identical for every value, including 1 (serial).
+  int threads = 0;
 
   double lambda() const { return offered_load / message_length; }
   /// Element (2) heuristic width: nu*/lambda (paper Section 4.1).
@@ -52,18 +56,33 @@ struct SweepPoint {
   std::uint64_t messages = 0;
 };
 
+/// Wall-clock accounting for one sweep, for bench reporting.
+struct SweepTiming {
+  unsigned threads = 1;        // workers the engine actually used
+  std::size_t jobs = 0;        // (K, replication) simulations run
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+
+  void accumulate(const SweepTiming& other);
+};
+
 /// Sweep one protocol variant over an ascending K grid using the
-/// infinite-population simulator. Deterministic given base_seed.
+/// infinite-population simulator. Runs every (K, replication) pair as an
+/// independent job on `config.threads` workers; deterministic given
+/// base_seed (bit-identical for any thread count). `timing`, when
+/// non-null, receives the sweep's wall-clock accounting.
 std::vector<SweepPoint> simulate_loss_curve(
     const SweepConfig& config, ProtocolVariant variant,
-    const std::vector<double>& constraints);
+    const std::vector<double>& constraints, SweepTiming* timing = nullptr);
 
 /// Sweep with a caller-supplied policy factory (for ablations over
-/// arbitrary element combinations). The factory receives K.
+/// arbitrary element combinations). The factory receives K; it is invoked
+/// serially on the calling thread (once per (K, replication), K-major),
+/// so it needs no internal synchronization.
 std::vector<SweepPoint> simulate_loss_curve_custom(
     const SweepConfig& config,
     const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints);
+    const std::vector<double>& constraints, SweepTiming* timing = nullptr);
 
 /// Evenly spaced K grid helper: n points from lo to hi inclusive.
 std::vector<double> linear_grid(double lo, double hi, std::size_t n);

@@ -49,15 +49,19 @@ std::vector<double> Histogram::cdf() const {
 double Histogram::fraction_at_most(double x) const {
   if (total_ == 0) return 0.0;
   if (x < lo_) return 0.0;
-  std::uint64_t running = underflow_;
-  const auto full_bins = x >= hi_
-      ? counts_.size()
-      : static_cast<std::size_t>((x - lo_) / width_);
-  for (std::size_t i = 0; i < std::min(full_bins, counts_.size()); ++i) {
-    running += counts_[i];
+  if (x >= hi_) return 1.0;
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard fp rounding at hi edge
+  double acc = static_cast<double>(underflow_);
+  for (std::size_t i = 0; i < bin; ++i) {
+    acc += static_cast<double>(counts_[i]);
   }
-  if (x >= hi_) running += overflow_;
-  return static_cast<double>(running) / static_cast<double>(total_);
+  // Include the partial bin containing x, assuming mass is uniform within
+  // the bin; truncating it instead biases the CDF low by up to a full bin.
+  const double frac = std::clamp(
+      (x - (lo_ + static_cast<double>(bin) * width_)) / width_, 0.0, 1.0);
+  acc += frac * static_cast<double>(counts_[bin]);
+  return acc / static_cast<double>(total_);
 }
 
 double Histogram::quantile(double q) const {

@@ -73,4 +73,19 @@ Pcg32::result_type Pcg32::operator()() {
   return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
 }
 
+std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t base_seed, std::uint64_t hi,
+                                 std::uint64_t lo) {
+  std::uint64_t s = splitmix64_mix(base_seed);
+  s = splitmix64_mix(s ^ hi);
+  s = splitmix64_mix(s ^ lo);
+  return s;
+}
+
 }  // namespace tcw::sim

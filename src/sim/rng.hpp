@@ -68,4 +68,16 @@ class Pcg32 {
 /// The library-wide default generator.
 using Rng = Xoshiro256ss;
 
+/// SplitMix64's output mixing function applied to `z` as a stateless
+/// 64-bit finalizer (bijective, full avalanche).
+std::uint64_t splitmix64_mix(std::uint64_t z);
+
+/// Derive a collision-free substream seed for job `(hi, lo)` of a run
+/// keyed by `base_seed` — e.g. (K-grid index, replication index) in a
+/// parameter sweep. Each coordinate is absorbed through a SplitMix64
+/// finalize step, so seeds of distinct jobs are hash-separated instead of
+/// the arithmetic-progression overlap an additive scheme produces.
+std::uint64_t derive_stream_seed(std::uint64_t base_seed, std::uint64_t hi,
+                                 std::uint64_t lo);
+
 }  // namespace tcw::sim

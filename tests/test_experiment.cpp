@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 #include "analysis/splitting.hpp"
+#include "net/aggregate_sim.hpp"
+#include "sim/batch_means.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
 #include "util/contract.hpp"
 
 namespace {
@@ -100,6 +107,69 @@ TEST(Sweep, SingleReplicationUsesWithinRunCi) {
   const auto pts = net::simulate_loss_curve(
       cfg, net::ProtocolVariant::Controlled, {30.0});
   EXPECT_GT(pts[0].ci95, 0.0);
+}
+
+TEST(Sweep, SeedsAreHashDerivedPerJob) {
+  // The engine must seed job (ki, rep) with
+  // derive_stream_seed(base_seed, ki, rep): a replication re-run by hand
+  // with that seed reproduces the sweep's per-rep simulator output.
+  auto cfg = quick_config();
+  cfg.replications = 1;
+  const double k = 50.0;
+  const auto pts = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::Controlled, {k});
+
+  tcw::net::AggregateConfig sim_cfg;
+  sim_cfg.policy = net::policy_for(net::ProtocolVariant::Controlled, k,
+                                   cfg.heuristic_window_width());
+  sim_cfg.message_length = cfg.message_length;
+  sim_cfg.success_overhead = cfg.success_overhead;
+  sim_cfg.t_end = cfg.t_end;
+  sim_cfg.warmup = cfg.warmup;
+  sim_cfg.seed = tcw::sim::derive_stream_seed(cfg.base_seed, 0, 0);
+  tcw::net::AggregateSimulator sim(
+      sim_cfg, std::make_unique<tcw::chan::PoissonProcess>(cfg.lambda()));
+  const auto& m = sim.run();
+  EXPECT_EQ(pts[0].p_loss, m.p_loss());
+  EXPECT_EQ(pts[0].messages, m.decided());
+}
+
+TEST(Sweep, AcrossReplicationCiUsesStudentT) {
+  // Recompute the across-replication interval by hand: run each
+  // replication with the engine's derived seed, then apply the t-quantile
+  // on the replication means. The sweep's ci95 must match (and must not
+  // be any single rep's binomial CI, the pre-fix behavior).
+  auto cfg = quick_config();
+  cfg.replications = 3;
+  const double k = 50.0;
+  const auto pts = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::Controlled, {k});
+
+  tcw::sim::RunningStats loss;
+  double last_rep_binomial_ci = 0.0;
+  for (int rep = 0; rep < cfg.replications; ++rep) {
+    tcw::net::AggregateConfig sim_cfg;
+    sim_cfg.policy = net::policy_for(net::ProtocolVariant::Controlled, k,
+                                     cfg.heuristic_window_width());
+    sim_cfg.message_length = cfg.message_length;
+    sim_cfg.success_overhead = cfg.success_overhead;
+    sim_cfg.t_end = cfg.t_end;
+    sim_cfg.warmup = cfg.warmup;
+    sim_cfg.seed = tcw::sim::derive_stream_seed(
+        cfg.base_seed, 0, static_cast<std::uint64_t>(rep));
+    tcw::net::AggregateSimulator sim(
+        sim_cfg, std::make_unique<tcw::chan::PoissonProcess>(cfg.lambda()));
+    const auto& m = sim.run();
+    loss.add(m.p_loss());
+    last_rep_binomial_ci = m.p_loss_ci95();
+  }
+  const double expected = tcw::sim::student_t_975(2) * loss.stddev() /
+                          std::sqrt(3.0);
+  EXPECT_NEAR(pts[0].ci95, expected, 1e-12);
+  EXPECT_NEAR(pts[0].p_loss, loss.mean(), 1e-12);
+  // Guard against the old bug resurfacing: the across-rep interval is not
+  // the last replication's within-run binomial CI.
+  EXPECT_NE(pts[0].ci95, last_rep_binomial_ci);
 }
 
 TEST(Sweep, ControlledBeatsBaselinesAtModerateK) {

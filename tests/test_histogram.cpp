@@ -61,6 +61,40 @@ TEST(Histogram, FractionAtMost) {
   EXPECT_DOUBLE_EQ(h.fraction_at_most(-0.1), 0.0);
 }
 
+TEST(Histogram, FractionAtMostInterpolatesPartialBin) {
+  // Regression: the truncating implementation dropped the partial bin
+  // containing x entirely, biasing "fraction of waits <= K" readouts low
+  // by up to one full bin of mass.
+  Histogram h(0.0, 10.0, 5);  // bin width 2
+  h.add(1.0, 4);              // bin 0: [0, 2)
+  h.add(3.0, 2);              // bin 1: [2, 4)
+  h.add(9.0, 4);              // bin 4: [8, 10)
+  // Hand-computed CDF with uniform-within-bin mass:
+  //   x = 3.5 -> bin 0 in full (4) + 3/4 of bin 1 (1.5) = 5.5 of 10.
+  // The old code returned 4/10 here, truncating bin 1's contribution.
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(3.5), 0.55);
+  //   x = 3.0 -> 4 + 0.5 * 2 = 5 of 10.
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(3.0), 0.5);
+  //   x = 9.0 -> 4 + 2 + 0.5 * 4 = 8 of 10.
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(9.0), 0.8);
+  // Exact bin edges carry no partial mass, so they agree with the old
+  // full-bin prefix sums.
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(2.0), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(4.0), 0.6);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(8.0), 0.6);
+}
+
+TEST(Histogram, FractionAtMostCountsUnderflowAndSaturatesAtHi) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(-1.0);  // underflow
+  h.add(0.5);
+  h.add(9.0);   // overflow
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(0.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(1.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_most(100.0), 1.0);
+}
+
 TEST(Histogram, QuantileInverseOfCdf) {
   Histogram h(0.0, 100.0, 100);
   for (int i = 0; i < 1000; ++i) h.add(i % 100 + 0.5);

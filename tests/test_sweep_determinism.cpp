@@ -1,0 +1,107 @@
+// Tier-1 determinism contract of the parallel sweep engine: the same
+// SweepConfig must produce bit-identical SweepPoint vectors for every
+// worker count (same derived seeds, same fixed-order reduction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "net/experiment.hpp"
+
+namespace {
+
+namespace net = tcw::net;
+
+net::SweepConfig base_config(int threads) {
+  net::SweepConfig cfg;
+  cfg.offered_load = 0.5;
+  cfg.message_length = 25.0;
+  cfg.t_end = 20000.0;
+  cfg.warmup = 2000.0;
+  cfg.replications = 3;
+  cfg.threads = threads;
+  return cfg;
+}
+
+// Bit-identical, not approximately equal: EXPECT_EQ on doubles.
+void expect_bitwise_equal(const std::vector<net::SweepPoint>& a,
+                          const std::vector<net::SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].constraint, b[i].constraint);
+    EXPECT_EQ(a[i].p_loss, b[i].p_loss);
+    EXPECT_EQ(a[i].ci95, b[i].ci95);
+    EXPECT_EQ(a[i].mean_wait, b[i].mean_wait);
+    EXPECT_EQ(a[i].mean_scheduling, b[i].mean_scheduling);
+    EXPECT_EQ(a[i].utilization, b[i].utilization);
+    EXPECT_EQ(a[i].messages, b[i].messages);
+  }
+}
+
+TEST(SweepDeterminism, IdenticalAcrossThreadCounts) {
+  const std::vector<double> grid{25.0, 50.0, 100.0};
+  const auto serial = net::simulate_loss_curve(
+      base_config(1), net::ProtocolVariant::Controlled, grid);
+
+  const auto two_workers = net::simulate_loss_curve(
+      base_config(2), net::ProtocolVariant::Controlled, grid);
+  expect_bitwise_equal(serial, two_workers);
+
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const auto hw_workers = net::simulate_loss_curve(
+      base_config(hw), net::ProtocolVariant::Controlled, grid);
+  expect_bitwise_equal(serial, hw_workers);
+
+  const auto auto_workers = net::simulate_loss_curve(
+      base_config(0), net::ProtocolVariant::Controlled, grid);
+  expect_bitwise_equal(serial, auto_workers);
+}
+
+TEST(SweepDeterminism, CustomSweepIdenticalAcrossThreadCounts) {
+  const std::vector<double> grid{30.0, 60.0};
+  const auto factory = [](double k) {
+    return tcw::core::ControlPolicy::optimal(k, 40.0);
+  };
+  const auto serial = net::simulate_loss_curve_custom(
+      base_config(1), factory, grid);
+  const auto parallel = net::simulate_loss_curve_custom(
+      base_config(4), factory, grid);
+  expect_bitwise_equal(serial, parallel);
+}
+
+TEST(SweepDeterminism, TimingIsReportedForAnyThreadCount) {
+  const std::vector<double> grid{50.0};
+  for (const int threads : {1, 2}) {
+    net::SweepTiming timing;
+    const auto pts = net::simulate_loss_curve(
+        base_config(threads), net::ProtocolVariant::Controlled, grid,
+        &timing);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(timing.threads, static_cast<unsigned>(threads));
+    EXPECT_EQ(timing.jobs, grid.size() * 3);  // 3 replications
+    EXPECT_GT(timing.wall_seconds, 0.0);
+    EXPECT_GT(timing.jobs_per_second, 0.0);
+  }
+}
+
+TEST(SweepTiming, AccumulateSumsJobsAndWallClock) {
+  net::SweepTiming total;
+  net::SweepTiming a;
+  a.threads = 2;
+  a.jobs = 10;
+  a.wall_seconds = 1.0;
+  net::SweepTiming b;
+  b.threads = 4;
+  b.jobs = 30;
+  b.wall_seconds = 3.0;
+  total.accumulate(a);
+  total.accumulate(b);
+  EXPECT_EQ(total.threads, 4u);
+  EXPECT_EQ(total.jobs, 40u);
+  EXPECT_DOUBLE_EQ(total.wall_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(total.jobs_per_second, 10.0);
+}
+
+}  // namespace

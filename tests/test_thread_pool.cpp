@@ -1,0 +1,122 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+
+namespace {
+
+using tcw::exec::parallel_for;
+using tcw::exec::resolve_threads;
+using tcw::exec::ThreadPool;
+
+TEST(ResolveThreads, LiteralWhenPositive) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ResolveThreads, ZeroAndNegativeMeanHardware) {
+  const unsigned hw = resolve_threads(0);
+  EXPECT_GE(hw, 1u);
+  EXPECT_EQ(resolve_threads(-3), hw);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJobOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithZeroJobsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed: pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrainsQueue) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait();
+  // One worker executes in submission order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 257;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(pool, n, [&visits](std::size_t i) {
+    visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SlotResultsMatchSerialOrdering) {
+  // The determinism contract: results written to per-index slots read
+  // back identically regardless of worker count.
+  const std::size_t n = 64;
+  std::vector<double> serial(n);
+  ThreadPool pool1(1);
+  parallel_for(pool1, n, [&serial](std::size_t i) {
+    serial[i] = static_cast<double>(i * i) + 0.5;
+  });
+  std::vector<double> parallel(n);
+  ThreadPool pool8(8);
+  parallel_for(pool8, n, [&parallel](std::size_t i) {
+    parallel[i] = static_cast<double>(i * i) + 0.5;
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  parallel_for(pool, 0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 100,
+                   [](std::size_t i) {
+                     if (i == 17) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, InlineOnSingleWorkerPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 3,
+                            [](std::size_t) {
+                              throw std::logic_error("serial path");
+                            }),
+               std::logic_error);
+}
+
+}  // namespace
