@@ -1,11 +1,15 @@
 #include "fig7_common.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <system_error>
 
 #include "analysis/loss_model.hpp"
 #include "analysis/splitting.hpp"
-#include "net/experiment.hpp"
+#include "exec/sweep_scheduler.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -27,14 +31,89 @@ void register_fig7_flags(Flags& flags, Fig7Options& opts) {
   flags.add("quick", &opts.quick, "shrink run length for smoke testing");
 }
 
-int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
+Fig7Options with_quick_applied(const Fig7Options& opts) {
   Fig7Options o = opts;
   if (o.quick) {
     o.t_end = 30000.0;
     o.warmup = 2000.0;
     o.replications = 1;
   }
+  return o;
+}
 
+const std::vector<Fig7PanelSpec>& fig7_panels() {
+  static const std::vector<Fig7PanelSpec> panels = {
+      {"fig7_rho25_m25", 0.25, 25.0},  {"fig7_rho25_m100", 0.25, 100.0},
+      {"fig7_rho50_m25", 0.50, 25.0},  {"fig7_rho50_m100", 0.50, 100.0},
+      {"fig7_rho75_m25", 0.75, 25.0},  {"fig7_rho75_m100", 0.75, 100.0},
+  };
+  return panels;
+}
+
+namespace {
+
+std::vector<double> panel_grid(const Fig7Options& o) {
+  std::vector<double> grid;
+  grid.reserve(o.k_over_m.size());
+  for (const double r : o.k_over_m) grid.push_back(r * o.message_length);
+  return grid;
+}
+
+net::SweepConfig sweep_config_from(const Fig7Options& o) {
+  net::SweepConfig sweep;
+  sweep.offered_load = o.offered_load;
+  sweep.message_length = o.message_length;
+  sweep.t_end = o.t_end;
+  sweep.warmup = o.warmup;
+  sweep.replications = static_cast<int>(o.replications);
+  sweep.base_seed = o.seed;
+  sweep.threads = static_cast<int>(o.threads);
+  return sweep;
+}
+
+}  // namespace
+
+Fig7PanelJob::Fig7PanelJob(std::vector<double> grid,
+                           net::ScheduledSweep controlled,
+                           net::ScheduledSweep fcfs, net::ScheduledSweep lcfs)
+    : grid_(std::move(grid)),
+      controlled_(std::move(controlled)),
+      fcfs_(std::move(fcfs)),
+      lcfs_(std::move(lcfs)) {}
+
+Fig7PanelSim Fig7PanelJob::collect() const {
+  Fig7PanelSim sim;
+  sim.grid = grid_;
+  sim.controlled = controlled_.points();
+  sim.fcfs = fcfs_.points();
+  sim.lcfs = lcfs_.points();
+  return sim;
+}
+
+Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler& scheduler,
+                                 const std::string& panel_name,
+                                 const Fig7Options& opts) {
+  const Fig7Options o = with_quick_applied(opts);
+  std::vector<double> grid = panel_grid(o);
+  const net::SweepConfig sweep = sweep_config_from(o);
+  auto controlled = net::schedule_loss_curve(
+      scheduler, panel_name + "/controlled", sweep,
+      net::ProtocolVariant::Controlled, grid);
+  auto fcfs = net::schedule_loss_curve(scheduler, panel_name + "/fcfs",
+                                       sweep,
+                                       net::ProtocolVariant::FcfsNoDiscard,
+                                       grid);
+  auto lcfs = net::schedule_loss_curve(scheduler, panel_name + "/lcfs",
+                                       sweep,
+                                       net::ProtocolVariant::LcfsNoDiscard,
+                                       grid);
+  return Fig7PanelJob(std::move(grid), std::move(controlled),
+                      std::move(fcfs), std::move(lcfs));
+}
+
+int render_fig7_panel(const std::string& panel_name, const Fig7Options& o,
+                      const Fig7PanelSim& sim,
+                      const net::SweepTiming* engine_timing) {
   std::printf("== %s: controlled window protocol, rho'=%.2f M=%.0f ==\n",
               panel_name.c_str(), o.offered_load, o.message_length);
   std::printf("   (loss vs. time constraint K; K in slots of the channel\n"
@@ -44,32 +123,8 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   model.offered_load = o.offered_load;
   model.message_length = o.message_length;
 
-  std::vector<double> grid;
-  grid.reserve(o.k_over_m.size());
-  for (const double r : o.k_over_m) grid.push_back(r * o.message_length);
-
+  const std::vector<double>& grid = sim.grid;
   const auto analytic = analysis::controlled_loss_curve(model, grid);
-
-  net::SweepConfig sweep;
-  sweep.offered_load = o.offered_load;
-  sweep.message_length = o.message_length;
-  sweep.t_end = o.t_end;
-  sweep.warmup = o.warmup;
-  sweep.replications = static_cast<int>(o.replications);
-  sweep.base_seed = o.seed;
-  sweep.threads = static_cast<int>(o.threads);
-
-  net::SweepTiming total;
-  net::SweepTiming timing;
-  const auto sim_controlled = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::Controlled, grid, &timing);
-  total.accumulate(timing);
-  const auto sim_fcfs = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::FcfsNoDiscard, grid, &timing);
-  total.accumulate(timing);
-  const auto sim_lcfs = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::LcfsNoDiscard, grid, &timing);
-  total.accumulate(timing);
 
   Table table({"K", "K_over_M", "ctrl_analytic", "ctrl_sim", "ctrl_ci95",
                "fcfs_analytic", "fcfs_sim", "lcfs_analytic", "lcfs_sim", "ctrl_sched_mean",
@@ -82,14 +137,14 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
     table.add_row({format_fixed(grid[i], 1),
                    format_fixed(grid[i] / o.message_length, 2),
                    format_fixed(analytic[i].p_loss, 5),
-                   format_fixed(sim_controlled[i].p_loss, 5),
-                   format_fixed(sim_controlled[i].ci95, 5),
+                   format_fixed(sim.controlled[i].p_loss, 5),
+                   format_fixed(sim.controlled[i].ci95, 5),
                    format_fixed(fcfs_analytic, 5),
-                   format_fixed(sim_fcfs[i].p_loss, 5),
+                   format_fixed(sim.fcfs[i].p_loss, 5),
                    format_fixed(lcfs_analytic, 5),
-                   format_fixed(sim_lcfs[i].p_loss, 5),
-                   format_fixed(sim_controlled[i].mean_scheduling, 3),
-                   format_fixed(sim_controlled[i].utilization, 4)});
+                   format_fixed(sim.lcfs[i].p_loss, 5),
+                   format_fixed(sim.controlled[i].mean_scheduling, 3),
+                   format_fixed(sim.controlled[i].utilization, 4)});
   }
   table.write_pretty(std::cout);
 
@@ -101,9 +156,9 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   series[3] = {"lcfs (sim)", 'l', {}};
   for (std::size_t i = 0; i < grid.size(); ++i) {
     series[0].y.push_back(analytic[i].p_loss);
-    series[1].y.push_back(sim_controlled[i].p_loss);
-    series[2].y.push_back(sim_fcfs[i].p_loss);
-    series[3].y.push_back(sim_lcfs[i].p_loss);
+    series[1].y.push_back(sim.controlled[i].p_loss);
+    series[2].y.push_back(sim.fcfs[i].p_loss);
+    series[3].y.push_back(sim.lcfs[i].p_loss);
   }
   PlotOptions plot_opts;
   plot_opts.log_y = true;
@@ -115,14 +170,14 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   int ctrl_beats_lcfs = 0;
   double worst_gap = 0.0;
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (sim_controlled[i].p_loss <= sim_fcfs[i].p_loss + 1e-9) {
+    if (sim.controlled[i].p_loss <= sim.fcfs[i].p_loss + 1e-9) {
       ++ctrl_beats_fcfs;
     }
-    if (sim_controlled[i].p_loss <= sim_lcfs[i].p_loss + 1e-9) {
+    if (sim.controlled[i].p_loss <= sim.lcfs[i].p_loss + 1e-9) {
       ++ctrl_beats_lcfs;
     }
     worst_gap = std::max(
-        worst_gap, std::abs(sim_controlled[i].p_loss - analytic[i].p_loss));
+        worst_gap, std::abs(sim.controlled[i].p_loss - analytic[i].p_loss));
   }
   std::printf("\nshape: controlled <= FCFS at %d/%zu points, "
               "controlled <= LCFS at %d/%zu points\n",
@@ -132,18 +187,21 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
               worst_gap);
   std::printf("element-2 heuristic: nu* = %.4f -> window width %.2f slots\n",
               analysis::optimal_window_load(),
-              sweep.heuristic_window_width());
+              sweep_config_from(o).heuristic_window_width());
 
-  std::printf("sweep engine: threads=%u jobs=%zu wall=%.3fs "
-              "jobs_per_sec=%.2f\n",
-              total.threads, total.jobs, total.wall_seconds,
-              total.jobs_per_second);
-  // Machine-readable timing line; the bench harness lifts it into the
-  // BENCH_*.json record for this panel.
-  std::printf("BENCH_JSON {\"panel\":\"%s\",\"threads\":%u,\"jobs\":%zu,"
-              "\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              panel_name.c_str(), total.threads, total.jobs,
-              total.wall_seconds, total.jobs_per_second);
+  if (engine_timing != nullptr) {
+    std::printf("sweep engine: threads=%u jobs=%zu wall=%.3fs "
+                "jobs_per_sec=%.2f\n",
+                engine_timing->threads, engine_timing->jobs,
+                engine_timing->wall_seconds, engine_timing->jobs_per_second);
+    // Machine-readable timing line; the bench harness lifts it into the
+    // BENCH_*.json record for this panel.
+    std::printf("BENCH_JSON {\"panel\":\"%s\",\"threads\":%u,\"jobs\":%zu,"
+                "\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
+                panel_name.c_str(), engine_timing->threads,
+                engine_timing->jobs, engine_timing->wall_seconds,
+                engine_timing->jobs_per_second);
+  }
 
   const std::string csv_path =
       o.csv.empty() ? panel_name + ".csv" : o.csv;
@@ -156,6 +214,27 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   return 0;
 }
 
+int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
+  const Fig7Options o = with_quick_applied(opts);
+  Fig7PanelSim sim;
+  sim.grid = panel_grid(o);
+  const net::SweepConfig sweep = sweep_config_from(o);
+
+  net::SweepTiming total;
+  net::SweepTiming timing;
+  sim.controlled = net::simulate_loss_curve(
+      sweep, net::ProtocolVariant::Controlled, sim.grid, &timing);
+  total.accumulate(timing);
+  sim.fcfs = net::simulate_loss_curve(
+      sweep, net::ProtocolVariant::FcfsNoDiscard, sim.grid, &timing);
+  total.accumulate(timing);
+  sim.lcfs = net::simulate_loss_curve(
+      sweep, net::ProtocolVariant::LcfsNoDiscard, sim.grid, &timing);
+  total.accumulate(timing);
+
+  return render_fig7_panel(panel_name, o, sim, &total);
+}
+
 int fig7_main(const std::string& panel_name, double rho, double m, int argc,
               char** argv) {
   Fig7Options opts;
@@ -165,6 +244,134 @@ int fig7_main(const std::string& panel_name, double rho, double m, int argc,
   register_fig7_flags(flags, opts);
   if (!flags.parse(argc, argv)) return 1;
   return run_fig7_panel(panel_name, opts);
+}
+
+namespace {
+
+bool points_identical(const std::vector<net::SweepPoint>& a,
+                      const std::vector<net::SweepPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].constraint != b[i].constraint || a[i].p_loss != b[i].p_loss ||
+        a[i].ci95 != b[i].ci95 || a[i].mean_wait != b[i].mean_wait ||
+        a[i].mean_scheduling != b[i].mean_scheduling ||
+        a[i].utilization != b[i].utilization ||
+        a[i].messages != b[i].messages) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_fig7_suite(const Fig7SuiteOptions& suite) {
+  const std::vector<Fig7PanelSpec>& panels =
+      suite.panels.empty() ? fig7_panels() : suite.panels;
+  const Fig7Options base = with_quick_applied(suite.base);
+
+  std::error_code dir_ec;
+  std::filesystem::create_directories(suite.csv_dir, dir_ec);
+  if (dir_ec) {
+    std::fprintf(stderr, "cannot create csv dir %s: %s\n",
+                 suite.csv_dir.c_str(), dir_ec.message().c_str());
+    return 1;
+  }
+
+  exec::ThreadPool pool(
+      exec::resolve_threads(static_cast<int>(base.threads)));
+  exec::SweepScheduler scheduler(pool);
+
+  std::printf("== fig7_all: %zu panels as one job graph on %zu worker(s) "
+              "==\n\n",
+              panels.size(), pool.size());
+
+  std::vector<Fig7Options> panel_opts;
+  std::vector<Fig7PanelJob> jobs;
+  panel_opts.reserve(panels.size());
+  jobs.reserve(panels.size());
+  for (const Fig7PanelSpec& p : panels) {
+    Fig7Options o = base;
+    o.offered_load = p.offered_load;
+    o.message_length = p.message_length;
+    o.csv = suite.csv_dir + "/" + p.name + ".csv";
+    jobs.push_back(schedule_fig7_panel(scheduler, p.name, o));
+    panel_opts.push_back(std::move(o));
+  }
+
+  const exec::SchedulerReport report = scheduler.run();
+
+  std::vector<Fig7PanelSim> sims;
+  sims.reserve(jobs.size());
+  for (const Fig7PanelJob& job : jobs) sims.push_back(job.collect());
+
+  int rc = 0;
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    rc |= render_fig7_panel(panels[i].name, panel_opts[i], sims[i],
+                            /*engine_timing=*/nullptr);
+  }
+
+  std::printf("== consolidated sweep scheduler report ==\n");
+  std::printf("threads=%u jobs=%zu wall=%.3fs jobs_per_sec=%.2f "
+              "worker_utilization=%.2f\n",
+              report.threads, report.shards, report.wall_seconds,
+              report.shards_per_second, report.worker_utilization);
+  for (const exec::SweepTimingEntry& s : report.sweeps) {
+    std::printf("  %-28s jobs=%3zu wall=%7.3fs busy=%7.3fs "
+                "jobs_per_sec=%.2f\n",
+                s.name.c_str(), s.shards, s.wall_seconds, s.busy_seconds,
+                s.shards_per_second);
+  }
+  std::printf("BENCH_JSON %s\n", report.bench_json("fig7_all").c_str());
+
+  if (suite.baseline) {
+    // The pre-scheduler execution model: every sweep on its own transient
+    // pool, panels strictly one after another. Cross-check bit-equality
+    // and report both wall clocks.
+    const auto t0 = std::chrono::steady_clock::now();
+    bool identical = true;
+    for (std::size_t i = 0; i < panels.size(); ++i) {
+      const net::SweepConfig sweep = sweep_config_from(panel_opts[i]);
+      const std::vector<double>& grid = sims[i].grid;
+      identical &= points_identical(
+          sims[i].controlled,
+          net::simulate_loss_curve(sweep, net::ProtocolVariant::Controlled,
+                                   grid));
+      identical &= points_identical(
+          sims[i].fcfs,
+          net::simulate_loss_curve(sweep,
+                                   net::ProtocolVariant::FcfsNoDiscard,
+                                   grid));
+      identical &= points_identical(
+          sims[i].lcfs,
+          net::simulate_loss_curve(sweep,
+                                   net::ProtocolVariant::LcfsNoDiscard,
+                                   grid));
+    }
+    const double sequential_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double speedup = report.wall_seconds > 0.0
+                               ? sequential_wall / report.wall_seconds
+                               : 0.0;
+    std::printf("baseline (sequential, per-sweep pools): wall=%.3fs, "
+                "scheduled wall=%.3fs, speedup=%.2fx, outputs identical: "
+                "%s\n",
+                sequential_wall, report.wall_seconds, speedup,
+                identical ? "yes" : "NO");
+    std::printf("BENCH_JSON {\"suite\":\"fig7_all_baseline\","
+                "\"sequential_wall_seconds\":%.4f,"
+                "\"scheduled_wall_seconds\":%.4f,\"speedup\":%.2f,"
+                "\"outputs_identical\":%s}\n",
+                sequential_wall, report.wall_seconds, speedup,
+                identical ? "true" : "false");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "fig7_all: scheduled and standalone outputs differ\n");
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace tcw::bench

@@ -3,12 +3,24 @@
 // the controlled protocol's analytic loss (eq. 4.7 + the iteration in K),
 // corroborating simulation points, and the [Kurose 83] FCFS/LCFS baselines
 // (analytic where stable, simulated always).
+//
+// Two execution paths produce bit-identical panels: run_fig7_panel runs
+// one panel standalone (a transient pool per sweep, the historical
+// behaviour of the per-panel binaries), while schedule_fig7_panel
+// registers the panel's three variant sweeps on an externally owned
+// exec::SweepScheduler so a whole suite (fig7_all, `sweep_tool --suite`)
+// runs as one job graph over a single shared pool.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "net/experiment.hpp"
 #include "util/flags.hpp"
+
+namespace tcw::exec {
+class SweepScheduler;
+}  // namespace tcw::exec
 
 namespace tcw::bench {
 
@@ -30,11 +42,83 @@ struct Fig7Options {
 /// same overrides.
 void register_fig7_flags(Flags& flags, Fig7Options& opts);
 
-/// Run one panel; returns the process exit code.
+/// `opts` with the --quick shrink applied (no-op when quick is unset).
+Fig7Options with_quick_applied(const Fig7Options& opts);
+
+/// One Figure-7 panel of the paper: (name, rho', M).
+struct Fig7PanelSpec {
+  std::string name;
+  double offered_load = 0.5;
+  double message_length = 25.0;
+};
+
+/// The six canonical panels, in the paper's order.
+const std::vector<Fig7PanelSpec>& fig7_panels();
+
+/// The three simulated series of one panel (the analytic curves are
+/// recomputed at rendering time; they are cheap and deterministic).
+struct Fig7PanelSim {
+  std::vector<double> grid;  // K values, ascending
+  std::vector<net::SweepPoint> controlled;
+  std::vector<net::SweepPoint> fcfs;
+  std::vector<net::SweepPoint> lcfs;
+};
+
+/// Handle to one panel's three sweeps registered on a scheduler; collect()
+/// is valid after the scheduler's run() returns.
+class Fig7PanelJob {
+ public:
+  Fig7PanelSim collect() const;
+
+ private:
+  friend Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler&,
+                                          const std::string&,
+                                          const Fig7Options&);
+  Fig7PanelJob(std::vector<double> grid, net::ScheduledSweep controlled,
+               net::ScheduledSweep fcfs, net::ScheduledSweep lcfs);
+
+  std::vector<double> grid_;
+  net::ScheduledSweep controlled_;
+  net::ScheduledSweep fcfs_;
+  net::ScheduledSweep lcfs_;
+};
+
+/// Register one panel's controlled/FCFS/LCFS sweeps (named
+/// "<panel>/<variant>") on `scheduler`. Applies --quick itself, so pass
+/// the raw options.
+Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler& scheduler,
+                                 const std::string& panel_name,
+                                 const Fig7Options& opts);
+
+/// Print one panel's table, plot and shape checks, and write its CSV.
+/// `engine_timing`, when non-null, is echoed as the panel's own
+/// `sweep engine:` + BENCH_JSON lines (standalone runs); suite runs pass
+/// nullptr and print one consolidated report instead. Returns the process
+/// exit code. Pass quick-resolved options (the ones the sweeps ran with).
+int render_fig7_panel(const std::string& panel_name, const Fig7Options& opts,
+                      const Fig7PanelSim& sim,
+                      const net::SweepTiming* engine_timing);
+
+/// Run one panel standalone; returns the process exit code.
 int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts);
 
 /// Standard main body used by the six panel binaries.
 int fig7_main(const std::string& panel_name, double rho, double m, int argc,
               char** argv);
+
+/// A multi-panel suite consolidated onto one shared pool (fig7_all).
+struct Fig7SuiteOptions {
+  Fig7Options base;                   // per-panel rho/M/csv are overridden
+  std::vector<Fig7PanelSpec> panels;  // empty = all six fig7 panels
+  std::string csv_dir = ".";          // panel CSVs land here as <panel>.csv
+  /// Also run every panel sequentially with per-sweep transient pools (the
+  /// pre-scheduler execution model), verify the outputs are bit-identical
+  /// to the scheduled run, and report both wall clocks in BENCH_JSON.
+  bool baseline = true;
+};
+
+/// Run the suite as one scheduled job graph; returns the process exit
+/// code (nonzero also when the baseline cross-check finds a mismatch).
+int run_fig7_suite(const Fig7SuiteOptions& suite);
 
 }  // namespace tcw::bench

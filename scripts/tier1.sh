@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + full test suite, then the concurrency
-# tests (thread pool, parallel sweep determinism) rebuilt and re-run under
-# ThreadSanitizer so data races in the sweep engine fail CI, not users.
+# tests (thread pool, multi-sweep scheduler, parallel sweep determinism)
+# rebuilt and re-run under ThreadSanitizer so data races in the sweep
+# engine fail CI, not users, plus the fig7_all --quick suite smoke with
+# its sequential-baseline bit-equality cross-check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,9 +12,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== tier-1: fig7_all suite smoke (scheduled vs sequential) =="
+cmake --build build --target suite_smoke
+
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_thread_pool test_sweep_determinism
+cmake --build build-tsan -j --target test_thread_pool \
+    test_sweep_determinism test_sweep_scheduler
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace')
 echo "tier-1 OK"

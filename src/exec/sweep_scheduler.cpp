@@ -1,0 +1,174 @@
+#include "exec/sweep_scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace tcw::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void append_number(std::string& out, const char* key, const char* fmt,
+                   double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+}  // namespace
+
+std::string SchedulerReport::bench_json(const std::string& suite) const {
+  std::string out = "{\"suite\":\"" + suite + "\"";
+  out += ",\"threads\":" + std::to_string(threads);
+  out += ",\"jobs\":" + std::to_string(shards);
+  append_number(out, "wall_seconds", "%.4f", wall_seconds);
+  append_number(out, "busy_seconds", "%.4f", busy_seconds);
+  append_number(out, "jobs_per_sec", "%.2f", shards_per_second);
+  append_number(out, "worker_utilization", "%.4f", worker_utilization);
+  out += ",\"sweeps\":[";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepTimingEntry& s = sweeps[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + s.name + "\"";
+    out += ",\"jobs\":" + std::to_string(s.shards);
+    append_number(out, "wall_seconds", "%.4f", s.wall_seconds);
+    append_number(out, "busy_seconds", "%.4f", s.busy_seconds);
+    append_number(out, "jobs_per_sec", "%.2f", s.shards_per_second);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::size_t SweepScheduler::add_sweep(
+    std::string name, std::vector<std::function<void()>> shards) {
+  auto sweep = std::make_unique<Sweep>();
+  sweep->name = std::move(name);
+  sweep->shards = std::move(shards);
+  sweeps_.push_back(std::move(sweep));
+  return sweeps_.size() - 1;
+}
+
+std::size_t SweepScheduler::shard_count() const {
+  std::size_t total = 0;
+  for (const auto& s : sweeps_) total += s->shards.size();
+  return total;
+}
+
+void SweepScheduler::run_shard(Sweep& sweep, std::size_t index) {
+  const auto start = Clock::now();
+  sweep.shards[index]();  // may throw; handled by the caller
+  const auto end = Clock::now();
+  std::lock_guard<std::mutex> lock(sweep.mu);
+  if (!sweep.started) {
+    sweep.started = true;
+    sweep.first_start = start;
+    sweep.last_end = end;
+  } else {
+    sweep.first_start = std::min(sweep.first_start, start);
+    sweep.last_end = std::max(sweep.last_end, end);
+  }
+  sweep.busy_seconds += seconds_between(start, end);
+  ++sweep.completed;
+}
+
+void SweepScheduler::runner(std::size_t home, std::atomic<bool>& abort) {
+  const std::size_t n = sweeps_.size();
+  while (!abort.load(std::memory_order_relaxed)) {
+    Sweep* claimed = nullptr;
+    std::size_t index = 0;
+    // Scan sweeps starting from this runner's home so workers spread over
+    // distinct sweeps, then fall through to stealing from any sweep that
+    // still has unclaimed shards.
+    for (std::size_t k = 0; k < n; ++k) {
+      Sweep& sweep = *sweeps_[(home + k) % n];
+      const std::size_t i =
+          sweep.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i < sweep.shards.size()) {
+        claimed = &sweep;
+        index = i;
+        break;
+      }
+    }
+    if (claimed == nullptr) return;  // every sweep fully claimed
+    try {
+      run_shard(*claimed, index);
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      throw;  // captured by the pool; rethrown from ThreadPool::wait()
+    }
+  }
+}
+
+SchedulerReport SweepScheduler::run() {
+  const auto t0 = Clock::now();
+  const std::size_t total = shard_count();
+  try {
+    if (pool_.size() <= 1 || total <= 1) {
+      // Serial path: registration order, shards ascending. (Result
+      // determinism never depends on this -- shards write slots -- but it
+      // makes single-threaded exception behaviour predictable.)
+      for (const auto& sweep : sweeps_) {
+        for (std::size_t i = 0; i < sweep->shards.size(); ++i) {
+          run_shard(*sweep, i);
+        }
+      }
+    } else {
+      std::atomic<bool> abort{false};
+      const std::size_t runners = std::min(pool_.size(), total);
+      for (std::size_t t = 0; t < runners; ++t) {
+        pool_.submit([this, t, &abort] { runner(t, abort); });
+      }
+      pool_.wait();  // rethrows the first shard exception, if any
+    }
+  } catch (...) {
+    sweeps_.clear();
+    throw;
+  }
+
+  SchedulerReport report;
+  report.threads = threads();
+  report.shards = total;
+  report.wall_seconds = seconds_between(t0, Clock::now());
+  report.sweeps.reserve(sweeps_.size());
+  for (const auto& sweep : sweeps_) {
+    TCW_ASSERT(sweep->completed == sweep->shards.size());
+    SweepTimingEntry entry;
+    entry.name = sweep->name;
+    entry.shards = sweep->shards.size();
+    entry.wall_seconds =
+        sweep->started ? seconds_between(sweep->first_start, sweep->last_end)
+                       : 0.0;
+    entry.busy_seconds = sweep->busy_seconds;
+    entry.shards_per_second =
+        entry.wall_seconds > 0.0
+            ? static_cast<double>(entry.shards) / entry.wall_seconds
+            : 0.0;
+    report.busy_seconds += entry.busy_seconds;
+    report.sweeps.push_back(std::move(entry));
+  }
+  report.shards_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(total) / report.wall_seconds
+          : 0.0;
+  report.worker_utilization =
+      report.threads > 0 && report.wall_seconds > 0.0
+          ? report.busy_seconds /
+                (static_cast<double>(report.threads) * report.wall_seconds)
+          : 0.0;
+  sweeps_.clear();
+  return report;
+}
+
+}  // namespace tcw::exec

@@ -1,0 +1,106 @@
+// Sharded multi-sweep scheduler: many named sweeps -- each a vector of
+// independent shard closures, e.g. one (K-point, replication) simulation
+// per shard -- run as ONE job graph over a single shared ThreadPool,
+// instead of one transient pool per sweep.
+//
+// Scheduling is work-stealing across sweeps: each runner task starts on a
+// "home" sweep (spread round-robin so every sweep progresses at once)
+// and, once that sweep has no unclaimed shards left, pulls from whichever
+// registered sweep still has work. Execution order is therefore
+// nondeterministic; shard closures must write their results into
+// per-shard slots, and callers reduce those slots in a fixed order after
+// run() returns. That convention -- the same one exec::parallel_for uses
+// -- keeps every sweep's output bit-identical to its standalone run for
+// any worker count, including 1.
+//
+// run() also produces a consolidated timing report: per-sweep and total
+// wall clock, shard throughput, and worker utilization, with a
+// machine-readable BENCH_JSON rendering for bench harnesses.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace tcw::exec {
+
+/// Wall-clock accounting for one sweep inside a scheduler run.
+struct SweepTimingEntry {
+  std::string name;
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;      // first shard start -> last shard end
+  double busy_seconds = 0.0;      // summed shard execution time
+  double shards_per_second = 0.0; // shards / wall_seconds
+};
+
+/// Consolidated accounting for one SweepScheduler::run().
+struct SchedulerReport {
+  unsigned threads = 1;
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;        // run() entry to last shard done
+  double busy_seconds = 0.0;        // summed over every shard
+  double shards_per_second = 0.0;   // shards / wall_seconds
+  double worker_utilization = 0.0;  // busy / (threads * wall), in [0, 1]
+  std::vector<SweepTimingEntry> sweeps;  // in registration order
+
+  /// The report as a one-line JSON object (print after a "BENCH_JSON "
+  /// prefix). `suite` labels the record; it and the sweep names must not
+  /// contain characters needing JSON escapes.
+  std::string bench_json(const std::string& suite) const;
+};
+
+class SweepScheduler {
+ public:
+  /// The scheduler borrows `pool`; it must outlive the scheduler. The
+  /// pool may be shared, but run() drains it with ThreadPool::wait(), so
+  /// unrelated jobs submitted concurrently are also waited on.
+  explicit SweepScheduler(ThreadPool& pool) : pool_(pool) {}
+
+  SweepScheduler(const SweepScheduler&) = delete;
+  SweepScheduler& operator=(const SweepScheduler&) = delete;
+
+  /// Register one named sweep of independent shard closures. Returns the
+  /// sweep's index (its position in SchedulerReport::sweeps).
+  std::size_t add_sweep(std::string name,
+                        std::vector<std::function<void()>> shards);
+
+  std::size_t sweep_count() const { return sweeps_.size(); }
+  std::size_t shard_count() const;
+  unsigned threads() const { return static_cast<unsigned>(pool_.size()); }
+
+  /// Run every registered shard to completion across the shared pool and
+  /// return the consolidated report. With a single worker the shards run
+  /// inline, in registration order. If a shard throws, remaining shards
+  /// are abandoned and the first exception is rethrown here. Registered
+  /// sweeps are consumed either way, so the scheduler is reusable.
+  SchedulerReport run();
+
+ private:
+  struct Sweep {
+    std::string name;
+    std::vector<std::function<void()>> shards;
+    std::atomic<std::size_t> cursor{0};  // next unclaimed shard
+    // Timing, written once per completed shard:
+    std::mutex mu;
+    bool started = false;
+    std::chrono::steady_clock::time_point first_start{};
+    std::chrono::steady_clock::time_point last_end{};
+    double busy_seconds = 0.0;
+    std::size_t completed = 0;
+  };
+
+  void run_shard(Sweep& sweep, std::size_t index);
+  void runner(std::size_t home, std::atomic<bool>& abort);
+
+  ThreadPool& pool_;
+  std::vector<std::unique_ptr<Sweep>> sweeps_;
+};
+
+}  // namespace tcw::exec

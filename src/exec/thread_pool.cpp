@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/contract.hpp"
+
 namespace tcw::exec {
 
 unsigned resolve_threads(int requested) {
@@ -25,6 +27,11 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // A job threw and nobody called wait(): the error is about to vanish
+  // with the pool. Surface it so bugs don't die silently in benches.
+  TCW_ASSERT_LOG(first_error_ == nullptr &&
+                 "pending job exception dropped in ~ThreadPool; call "
+                 "wait() to observe it");
 }
 
 void ThreadPool::submit(std::function<void()> job) {

@@ -26,8 +26,9 @@ class ThreadPool {
   /// hardware concurrency). Workers live until destruction.
   explicit ThreadPool(unsigned threads = 0);
 
-  /// Drains every submitted job, then joins the workers. Exceptions still
-  /// pending at destruction are dropped; call wait() first to observe them.
+  /// Drains every submitted job, then joins the workers. An exception
+  /// still pending at destruction is dropped, but only after being
+  /// reported via TCW_ASSERT_LOG; call wait() first to observe it.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

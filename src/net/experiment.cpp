@@ -7,6 +7,7 @@
 
 #include "analysis/splitting.hpp"
 #include "exec/parallel_for.hpp"
+#include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/batch_means.hpp"
 #include "sim/rng.hpp"
@@ -70,97 +71,173 @@ struct SweepJobResult {
 
 }  // namespace
 
-std::vector<SweepPoint> simulate_loss_curve_custom(
-    const SweepConfig& config,
-    const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints, SweepTiming* timing) {
-  TCW_EXPECTS(config.replications >= 1);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto reps = static_cast<std::size_t>(config.replications);
-  const std::size_t n_jobs = constraints.size() * reps;
+namespace detail {
 
-  // The factory is caller code with no thread-safety contract, so build
-  // every policy serially up front, preserving the historical call order
-  // (K-major, one call per replication).
-  std::vector<core::ControlPolicy> policies;
-  policies.reserve(n_jobs);
-  for (const double k : constraints) {
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      policies.push_back(make_policy(k));
+// Shared shard state of one loss-curve sweep: job ki*reps+rep simulates
+// (constraint ki, replication rep) and writes its slot; reduce() merges
+// the slots in fixed order. The same state backs both the standalone
+// engine (transient pool + parallel_for) and sweeps enqueued on an
+// external SweepScheduler, which is what keeps the two paths
+// bit-identical.
+class LossCurveSweep {
+ public:
+  LossCurveSweep(const SweepConfig& config,
+                 const std::function<core::ControlPolicy(double)>& make_policy,
+                 const std::vector<double>& constraints)
+      : config_(config),
+        constraints_(constraints),
+        reps_(static_cast<std::size_t>(config.replications)),
+        results_(constraints.size() *
+                 static_cast<std::size_t>(config.replications)) {
+    TCW_EXPECTS(config.replications >= 1);
+    // The factory is caller code with no thread-safety contract, so build
+    // every policy serially up front, preserving the historical call order
+    // (K-major, one call per replication).
+    policies_.reserve(results_.size());
+    for (const double k : constraints_) {
+      for (std::size_t rep = 0; rep < reps_; ++rep) {
+        policies_.push_back(make_policy(k));
+      }
     }
   }
 
-  std::vector<SweepJobResult> results(n_jobs);
-  exec::ThreadPool pool(exec::resolve_threads(config.threads));
-  exec::parallel_for(pool, n_jobs, [&](std::size_t job) {
-    const std::size_t ki = job / reps;
-    const std::size_t rep = job % reps;
+  std::size_t jobs() const { return results_.size(); }
+
+  void run_job(std::size_t job) {
+    const std::size_t ki = job / reps_;
+    const std::size_t rep = job % reps_;
     AggregateConfig sim_cfg;
-    sim_cfg.policy = policies[job];
-    sim_cfg.message_length = config.message_length;
-    sim_cfg.success_overhead = config.success_overhead;
-    sim_cfg.t_end = config.t_end;
-    sim_cfg.warmup = config.warmup;
-    sim_cfg.seed = sim::derive_stream_seed(config.base_seed, ki, rep);
+    sim_cfg.policy = policies_[job];
+    sim_cfg.message_length = config_.message_length;
+    sim_cfg.success_overhead = config_.success_overhead;
+    sim_cfg.t_end = config_.t_end;
+    sim_cfg.warmup = config_.warmup;
+    sim_cfg.seed = sim::derive_stream_seed(config_.base_seed, ki, rep);
+    if (config_.trace != nullptr && ki == config_.trace_point &&
+        config_.trace_replication >= 0 &&
+        rep == static_cast<std::size_t>(config_.trace_replication)) {
+      sim_cfg.trace = config_.trace;  // only this shard touches the log
+    }
     AggregateSimulator sim(
-        sim_cfg, std::make_unique<chan::PoissonProcess>(config.lambda()));
+        sim_cfg, std::make_unique<chan::PoissonProcess>(config_.lambda()));
     const SimMetrics& m = sim.run();
-    SweepJobResult& r = results[job];
+    SweepJobResult& r = results_[job];
     r.loss.add(m.p_loss());
     r.wait.add(m.wait_delivered.mean());
     r.sched.add(m.scheduling.mean());
     r.util.add(m.usage.utilization());
     r.messages = m.decided();
-    if (reps == 1) r.within_run_ci = m.p_loss_ci95();
-  });
+    if (reps_ == 1) r.within_run_ci = m.p_loss_ci95();
+  }
 
   // Fixed-order reduction: merging job results ki-major/rep-ascending makes
-  // the output bit-identical for every worker count.
-  std::vector<SweepPoint> out;
-  out.reserve(constraints.size());
-  for (std::size_t ki = 0; ki < constraints.size(); ++ki) {
-    sim::RunningStats loss_reps;
-    sim::RunningStats wait_reps;
-    sim::RunningStats sched_reps;
-    sim::RunningStats util_reps;
-    std::uint64_t messages = 0;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      const SweepJobResult& r = results[ki * reps + rep];
-      loss_reps.merge(r.loss);
-      wait_reps.merge(r.wait);
-      sched_reps.merge(r.sched);
-      util_reps.merge(r.util);
-      messages += r.messages;
-    }
-    TCW_ASSERT(loss_reps.count() == reps);
+  // the output bit-identical for every worker count and schedule.
+  std::vector<SweepPoint> reduce() const {
+    std::vector<SweepPoint> out;
+    out.reserve(constraints_.size());
+    for (std::size_t ki = 0; ki < constraints_.size(); ++ki) {
+      sim::RunningStats loss_reps;
+      sim::RunningStats wait_reps;
+      sim::RunningStats sched_reps;
+      sim::RunningStats util_reps;
+      std::uint64_t messages = 0;
+      for (std::size_t rep = 0; rep < reps_; ++rep) {
+        const SweepJobResult& r = results_[ki * reps_ + rep];
+        loss_reps.merge(r.loss);
+        wait_reps.merge(r.wait);
+        sched_reps.merge(r.sched);
+        util_reps.merge(r.util);
+        messages += r.messages;
+      }
+      TCW_ASSERT(loss_reps.count() == reps_);
 
-    SweepPoint point;
-    point.constraint = constraints[ki];
-    point.p_loss = loss_reps.mean();
-    if (reps >= 2) {
-      // Across-replication interval: Student t on the replication means.
-      point.ci95 = sim::student_t_975(reps - 1) * loss_reps.stddev() /
-                   std::sqrt(static_cast<double>(reps));
-    } else {
-      // Single replication: fall back to the within-run binomial CI.
-      point.ci95 = results[ki * reps].within_run_ci;
+      SweepPoint point;
+      point.constraint = constraints_[ki];
+      point.p_loss = loss_reps.mean();
+      if (reps_ >= 2) {
+        // Across-replication interval: Student t on the replication means.
+        point.ci95 = sim::student_t_975(reps_ - 1) * loss_reps.stddev() /
+                     std::sqrt(static_cast<double>(reps_));
+      } else {
+        // Single replication: fall back to the within-run binomial CI.
+        point.ci95 = results_[ki * reps_].within_run_ci;
+      }
+      point.mean_wait = wait_reps.mean();
+      point.mean_scheduling = sched_reps.mean();
+      point.utilization = util_reps.mean();
+      point.messages = messages;
+      out.push_back(point);
     }
-    point.mean_wait = wait_reps.mean();
-    point.mean_scheduling = sched_reps.mean();
-    point.utilization = util_reps.mean();
-    point.messages = messages;
-    out.push_back(point);
+    return out;
   }
+
+ private:
+  SweepConfig config_;
+  std::vector<double> constraints_;
+  std::size_t reps_;
+  std::vector<core::ControlPolicy> policies_;
+  std::vector<SweepJobResult> results_;
+};
+
+}  // namespace detail
+
+ScheduledSweep::ScheduledSweep(std::shared_ptr<detail::LossCurveSweep> state)
+    : state_(std::move(state)) {}
+
+std::vector<SweepPoint> ScheduledSweep::points() const {
+  return state_->reduce();
+}
+
+std::size_t ScheduledSweep::jobs() const { return state_->jobs(); }
+
+ScheduledSweep schedule_loss_curve_custom(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints) {
+  auto state = std::make_shared<detail::LossCurveSweep>(config, make_policy,
+                                                        constraints);
+  std::vector<std::function<void()>> shards;
+  shards.reserve(state->jobs());
+  for (std::size_t job = 0; job < state->jobs(); ++job) {
+    shards.push_back([state, job] { state->run_job(job); });
+  }
+  scheduler.add_sweep(std::move(name), std::move(shards));
+  return ScheduledSweep(std::move(state));
+}
+
+ScheduledSweep schedule_loss_curve(exec::SweepScheduler& scheduler,
+                                   std::string name,
+                                   const SweepConfig& config,
+                                   ProtocolVariant variant,
+                                   const std::vector<double>& constraints) {
+  const double width = config.heuristic_window_width();
+  return schedule_loss_curve_custom(
+      scheduler, std::move(name), config,
+      [variant, width](double k) { return policy_for(variant, k, width); },
+      constraints);
+}
+
+std::vector<SweepPoint> simulate_loss_curve_custom(
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints, SweepTiming* timing) {
+  const auto t0 = std::chrono::steady_clock::now();
+  detail::LossCurveSweep sweep(config, make_policy, constraints);
+  exec::ThreadPool pool(exec::resolve_threads(config.threads));
+  exec::parallel_for(pool, sweep.jobs(),
+                     [&sweep](std::size_t job) { sweep.run_job(job); });
+  std::vector<SweepPoint> out = sweep.reduce();
 
   if (timing != nullptr) {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - t0;
     timing->threads = static_cast<unsigned>(pool.size());
-    timing->jobs = n_jobs;
+    timing->jobs = sweep.jobs();
     timing->wall_seconds = elapsed.count();
     timing->jobs_per_second =
         elapsed.count() > 0.0
-            ? static_cast<double>(n_jobs) / elapsed.count()
+            ? static_cast<double>(sweep.jobs()) / elapsed.count()
             : 0.0;
   }
   return out;

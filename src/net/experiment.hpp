@@ -5,11 +5,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/policy.hpp"
 #include "net/aggregate_sim.hpp"
+
+namespace tcw::exec {
+class SweepScheduler;
+}  // namespace tcw::exec
 
 namespace tcw::net {
 
@@ -38,8 +43,18 @@ struct SweepConfig {
   std::uint64_t base_seed = 20261983;
   /// Worker threads for the sweep engine: each (K, replication) pair is an
   /// independent job. 0 = one worker per hardware thread. Results are
-  /// bit-identical for every value, including 1 (serial).
+  /// bit-identical for every value, including 1 (serial). Ignored when the
+  /// sweep is enqueued on an external scheduler (the shared pool decides).
   int threads = 0;
+  /// Optional per-job event trace (not owned; must outlive the sweep).
+  /// When non-null, exactly the job at K-grid index `trace_point`,
+  /// replication `trace_replication` attaches it to its simulator; every
+  /// other job runs untraced, so one shard can be inspected for debugging
+  /// without serializing the sweep. Attaching a trace never changes the
+  /// simulated results.
+  sim::TraceLog* trace = nullptr;
+  std::size_t trace_point = 0;
+  int trace_replication = 0;
 
   double lambda() const { return offered_load / message_length; }
   /// Element (2) heuristic width: nu*/lambda (paper Section 4.1).
@@ -86,5 +101,54 @@ std::vector<SweepPoint> simulate_loss_curve_custom(
 
 /// Evenly spaced K grid helper: n points from lo to hi inclusive.
 std::vector<double> linear_grid(double lo, double hi, std::size_t n);
+
+namespace detail {
+class LossCurveSweep;
+}  // namespace detail
+
+class ScheduledSweep;
+
+/// Enqueue one loss-curve sweep as a named shard set on an externally
+/// owned exec::SweepScheduler (one shard per (K, replication) job), so
+/// many sweeps share a single thread pool with cross-sweep work stealing.
+/// `config.threads` is ignored in this mode. The returned handle's
+/// points() -- valid once the scheduler's run() has returned -- is
+/// bit-identical to simulate_loss_curve(...) with the same config.
+ScheduledSweep schedule_loss_curve(exec::SweepScheduler& scheduler,
+                                   std::string name,
+                                   const SweepConfig& config,
+                                   ProtocolVariant variant,
+                                   const std::vector<double>& constraints);
+
+/// Scheduler counterpart of simulate_loss_curve_custom. The factory is
+/// invoked serially at scheduling time (K-major, once per replication),
+/// exactly as in the standalone path.
+ScheduledSweep schedule_loss_curve_custom(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints);
+
+/// Handle to a sweep registered via schedule_loss_curve*. Copyable; all
+/// copies view the same shard slots.
+class ScheduledSweep {
+ public:
+  /// Fixed-order reduction of the shard results. Call only after the
+  /// owning scheduler's run() has returned (shard slots are written
+  /// concurrently until then).
+  std::vector<SweepPoint> points() const;
+
+  /// Number of (K, replication) shards this sweep contributed.
+  std::size_t jobs() const;
+
+ private:
+  explicit ScheduledSweep(std::shared_ptr<detail::LossCurveSweep> state);
+  friend ScheduledSweep schedule_loss_curve_custom(
+      exec::SweepScheduler&, std::string, const SweepConfig&,
+      const std::function<core::ControlPolicy(double)>&,
+      const std::vector<double>&);
+
+  std::shared_ptr<detail::LossCurveSweep> state_;
+};
 
 }  // namespace tcw::net

@@ -1,5 +1,6 @@
 #include "util/contract.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace tcw::detail {
@@ -9,6 +10,12 @@ void contract_fail(const char* kind, const char* expr, const char* file,
   std::ostringstream os;
   os << kind << " failed: `" << expr << "` at " << file << ':' << line;
   throw ContractViolation(os.str());
+}
+
+void contract_log(const char* kind, const char* expr, const char* file,
+                  int line) {
+  std::fprintf(stderr, "tcw: %s breached (continuing): `%s` at %s:%d\n",
+               kind, expr, file, line);
 }
 
 }  // namespace tcw::detail

@@ -1,8 +1,11 @@
 // Lightweight contract checking for the tcw library.
 //
-// TCW_EXPECTS(cond)  -- precondition  (checked in all build types)
-// TCW_ENSURES(cond)  -- postcondition (checked in all build types)
-// TCW_ASSERT(cond)   -- internal invariant
+// TCW_EXPECTS(cond)     -- precondition  (checked in all build types)
+// TCW_ENSURES(cond)     -- postcondition (checked in all build types)
+// TCW_ASSERT(cond)      -- internal invariant
+// TCW_ASSERT_LOG(cond)  -- invariant checked where throwing is impossible
+//                          (destructors, thread teardown): logs to stderr
+//                          and continues instead of throwing
 //
 // Violations throw tcw::ContractViolation (rather than aborting) so unit
 // tests can assert on them; the simulator never catches it, so a violation
@@ -23,6 +26,12 @@ class ContractViolation final : public std::logic_error {
 namespace detail {
 [[noreturn]] void contract_fail(const char* kind, const char* expr,
                                 const char* file, int line);
+
+/// Non-throwing breach report: one line to stderr, then execution
+/// continues. For contexts where contract_fail's throw would terminate
+/// the process (e.g. destructors).
+void contract_log(const char* kind, const char* expr, const char* file,
+                  int line);
 }  // namespace detail
 
 }  // namespace tcw
@@ -37,3 +46,11 @@ namespace detail {
 #define TCW_EXPECTS(cond) TCW_CONTRACT_CHECK("precondition", cond)
 #define TCW_ENSURES(cond) TCW_CONTRACT_CHECK("postcondition", cond)
 #define TCW_ASSERT(cond) TCW_CONTRACT_CHECK("invariant", cond)
+
+#define TCW_ASSERT_LOG(cond)                                           \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::tcw::detail::contract_log("invariant", #cond, __FILE__,        \
+                                  __LINE__);                           \
+    }                                                                  \
+  } while (false)

@@ -34,6 +34,21 @@ TEST(Contract, MessageNamesKindExpressionAndLocation) {
   }
 }
 
+TEST(Contract, AssertLogWritesBreachToStderrWithoutThrowing) {
+  testing::internal::CaptureStderr();
+  EXPECT_NO_THROW(TCW_ASSERT_LOG(1 == 2));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("invariant"), std::string::npos) << err;
+  EXPECT_NE(err.find("1 == 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("test_contract.cpp"), std::string::npos) << err;
+}
+
+TEST(Contract, AssertLogIsSilentOnPass) {
+  testing::internal::CaptureStderr();
+  TCW_ASSERT_LOG(2 > 1);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(Contract, SideEffectsInConditionRunOnce) {
   int calls = 0;
   const auto bump = [&calls] {

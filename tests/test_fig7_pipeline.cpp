@@ -45,6 +45,44 @@ TEST(Fig7Pipeline, QuickPanelRunsAndWritesCsv) {
   EXPECT_EQ(rows, 3);
 }
 
+TEST(Fig7Pipeline, SuiteCsvIsByteIdenticalToStandalonePanel) {
+  // The acceptance contract of fig7_all: a panel's CSV out of the shared
+  // scheduled suite equals the standalone panel binary's CSV byte for
+  // byte, even at different thread counts.
+  tcw::bench::Fig7Options standalone_opts;
+  standalone_opts.offered_load = 0.5;
+  standalone_opts.message_length = 25.0;
+  standalone_opts.quick = true;
+  standalone_opts.k_over_m = {1.0, 2.0};
+  standalone_opts.threads = 1;
+  standalone_opts.csv = ::testing::TempDir() + "/tcw_fig7_standalone.csv";
+  ASSERT_EQ(
+      tcw::bench::run_fig7_panel("fig7_rho50_m25", standalone_opts), 0);
+
+  tcw::bench::Fig7SuiteOptions suite;
+  suite.base = standalone_opts;
+  suite.base.csv.clear();
+  suite.base.threads = 2;
+  suite.panels = {{"fig7_rho50_m25", 0.5, 25.0},
+                  {"fig7_rho25_m25", 0.25, 25.0}};
+  suite.csv_dir = ::testing::TempDir();
+  suite.baseline = false;  // the binary's own cross-check; slow here
+  ASSERT_EQ(tcw::bench::run_fig7_suite(suite), 0);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string standalone_csv = slurp(standalone_opts.csv);
+  const std::string suite_csv =
+      slurp(::testing::TempDir() + "/fig7_rho50_m25.csv");
+  ASSERT_FALSE(standalone_csv.empty());
+  EXPECT_EQ(standalone_csv, suite_csv);
+}
+
 TEST(Fig7Pipeline, FlagRegistrationRoundTrip) {
   tcw::bench::Fig7Options opts;
   tcw::Flags flags("t", "test");

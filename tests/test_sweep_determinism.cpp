@@ -4,14 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "chan/arrivals.hpp"
+#include "exec/sweep_scheduler.hpp"
+#include "exec/thread_pool.hpp"
+#include "net/aggregate_sim.hpp"
 #include "net/experiment.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
 namespace net = tcw::net;
+namespace sim = tcw::sim;
 
 net::SweepConfig base_config(int threads) {
   net::SweepConfig cfg;
@@ -84,6 +92,74 @@ TEST(SweepDeterminism, TimingIsReportedForAnyThreadCount) {
     EXPECT_GT(timing.wall_seconds, 0.0);
     EXPECT_GT(timing.jobs_per_second, 0.0);
   }
+}
+
+TEST(SweepTrace, TracedJobMatchesSoloRerunAndChangesNothing) {
+  // One (K, replication) shard of a parallel sweep captures its event
+  // trace; the records must equal a solo simulator run with the same
+  // derived seed, and attaching the trace must not perturb the sweep.
+  const std::vector<double> grid{25.0, 50.0, 100.0};
+  const std::size_t trace_point = 1;
+  const int trace_replication = 2;
+
+  net::SweepConfig cfg = base_config(4);
+  sim::TraceLog sweep_trace;
+  cfg.trace = &sweep_trace;
+  cfg.trace_point = trace_point;
+  cfg.trace_replication = trace_replication;
+  const auto traced_points = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::Controlled, grid);
+  EXPECT_GT(sweep_trace.total_recorded(), 0u);
+
+  // Solo rerun of exactly that shard: same config knobs, same policy,
+  // same derived stream seed.
+  net::AggregateConfig solo_cfg;
+  solo_cfg.policy = net::policy_for(net::ProtocolVariant::Controlled,
+                                    grid[trace_point],
+                                    cfg.heuristic_window_width());
+  solo_cfg.message_length = cfg.message_length;
+  solo_cfg.success_overhead = cfg.success_overhead;
+  solo_cfg.t_end = cfg.t_end;
+  solo_cfg.warmup = cfg.warmup;
+  solo_cfg.seed = tcw::sim::derive_stream_seed(
+      cfg.base_seed, trace_point,
+      static_cast<std::size_t>(trace_replication));
+  sim::TraceLog solo_trace;
+  solo_cfg.trace = &solo_trace;
+  net::AggregateSimulator solo(
+      solo_cfg, std::make_unique<tcw::chan::PoissonProcess>(cfg.lambda()));
+  solo.run();
+
+  EXPECT_EQ(sweep_trace.total_recorded(), solo_trace.total_recorded());
+  EXPECT_EQ(sweep_trace.snapshot(), solo_trace.snapshot());
+
+  // Tracing is observation only: the traced sweep's numbers are
+  // bit-identical to an untraced serial sweep.
+  const auto untraced = net::simulate_loss_curve(
+      base_config(1), net::ProtocolVariant::Controlled, grid);
+  expect_bitwise_equal(traced_points, untraced);
+}
+
+TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
+  // The same plumbing through schedule_loss_curve: only the designated
+  // shard writes the log, and results stay bit-identical.
+  const std::vector<double> grid{30.0, 60.0};
+  net::SweepConfig cfg = base_config(0);
+  sim::TraceLog trace;
+  cfg.trace = &trace;
+  cfg.trace_point = 0;
+  cfg.trace_replication = 1;
+
+  tcw::exec::ThreadPool pool(2);
+  tcw::exec::SweepScheduler scheduler(pool);
+  auto handle = net::schedule_loss_curve(
+      scheduler, "traced", cfg, net::ProtocolVariant::Controlled, grid);
+  scheduler.run();
+  EXPECT_GT(trace.total_recorded(), 0u);
+
+  const auto untraced = net::simulate_loss_curve(
+      base_config(1), net::ProtocolVariant::Controlled, grid);
+  expect_bitwise_equal(handle.points(), untraced);
 }
 
 TEST(SweepTiming, AccumulateSumsJobsAndWallClock) {
