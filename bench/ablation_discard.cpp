@@ -3,53 +3,30 @@
 // protocol's gain to element (4) -- the channel then only carries "useful"
 // work -- and this bench quantifies that by splitting loss into its
 // sender/receiver components and reporting channel utilization.
-#include <chrono>
+//
+// Runs as two named sweeps ("discard"/"nodiscard") on one
+// exec::SweepScheduler job graph; both arms share derived seeds per K
+// (common random numbers), and the consolidated engine report/BENCH_JSON
+// comes from the shared fig7_common plumbing.
 #include <cstdio>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "analysis/splitting.hpp"
-#include "exec/parallel_for.hpp"
+#include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
-#include "net/aggregate_sim.hpp"
+#include "fig7_common.hpp"
 #include "net/experiment.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
-
-namespace {
-
-struct Row {
-  double k;
-  tcw::net::SimMetrics with_discard;
-  tcw::net::SimMetrics without_discard;
-};
-
-tcw::net::SimMetrics run_once(bool discard, double k, double rho, double m,
-                              double t_end, std::uint64_t seed) {
-  tcw::net::AggregateConfig cfg;
-  const double lambda = rho / m;
-  const double width =
-      tcw::analysis::optimal_window_load() / lambda;
-  cfg.policy = discard ? tcw::core::ControlPolicy::optimal(k, width)
-                       : tcw::core::ControlPolicy::fcfs_baseline(k, width);
-  cfg.message_length = m;
-  cfg.t_end = t_end;
-  cfg.warmup = t_end / 15.0;
-  cfg.seed = seed;
-  tcw::net::AggregateSimulator sim(
-      cfg, std::make_unique<tcw::chan::PoissonProcess>(lambda));
-  return sim.run();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   double rho = 0.5;
   double m = 25.0;
   double t_end = 200000.0;
   long long threads = 0;
+  unsigned long long seed = 7;
   bool quick = false;
   std::string csv = "ablation_discard.csv";
   tcw::Flags flags("ablation_discard",
@@ -59,6 +36,7 @@ int main(int argc, char** argv) {
   flags.add("t-end", &t_end, "simulated slots");
   flags.add("threads", &threads,
             "worker threads (0 = all hardware threads)");
+  flags.add("seed", &seed, "base RNG seed");
   flags.add("quick", &quick, "shrink run length for smoke testing");
   flags.add("csv", &csv, "CSV output path");
   if (!flags.parse(argc, argv)) return 1;
@@ -67,57 +45,59 @@ int main(int argc, char** argv) {
   std::printf("== element (4) ablation: sender discard on/off "
               "(rho'=%.2f, M=%.0f) ==\n\n", rho, m);
 
+  const std::vector<double> k_over_ms{1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0};
+  std::vector<double> grid;
+  grid.reserve(k_over_ms.size());
+  for (const double r : k_over_ms) grid.push_back(r * m);
+
+  tcw::net::SweepConfig sweep;
+  sweep.offered_load = rho;
+  sweep.message_length = m;
+  sweep.t_end = t_end;
+  sweep.warmup = t_end / 15.0;
+  sweep.replications = 1;
+  sweep.base_seed = seed;
+
+  const double width =
+      tcw::analysis::optimal_window_load() / sweep.lambda();
+  tcw::exec::ThreadPool pool(tcw::exec::resolve_threads(
+      static_cast<int>(threads)));
+  tcw::exec::SweepScheduler scheduler(pool);
+  // Both arms derive job seeds from the same (base_seed, ki, rep), so the
+  // comparison keeps the historical common-random-numbers design.
+  const auto with_discard = tcw::net::schedule_loss_curve_custom(
+      scheduler, "discard", sweep,
+      [width](double k) { return tcw::core::ControlPolicy::optimal(k, width); },
+      grid);
+  const auto without_discard = tcw::net::schedule_loss_curve_custom(
+      scheduler, "nodiscard", sweep,
+      [width](double k) {
+        return tcw::core::ControlPolicy::fcfs_baseline(k, width);
+      },
+      grid);
+  tcw::bench::run_scheduler_with_report(scheduler, "ablation_discard");
+
+  const auto with_points = with_discard.points();
+  const auto without_points = without_discard.points();
+
   tcw::Table table({"K", "loss_with", "sender_frac_with", "util_with",
                     "loss_without", "receiver_frac_without",
                     "util_without"});
-  const std::vector<double> k_over_ms{1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0};
-  std::vector<Row> rows(k_over_ms.size());
-  // Each (K, discard on/off) run is independent; fan them out and fill
-  // per-index slots so the table below is built in fixed K order. Both
-  // arms share the seed intentionally (common random numbers).
-  const auto t0 = std::chrono::steady_clock::now();
-  tcw::exec::ThreadPool pool(tcw::exec::resolve_threads(
-      static_cast<int>(threads)));
-  tcw::exec::parallel_for(pool, rows.size() * 2, [&](std::size_t job) {
-    const std::size_t i = job / 2;
-    const bool discard = job % 2 == 0;
-    const double k = k_over_ms[i] * m;
-    rows[i].k = k;
-    auto& slot = discard ? rows[i].with_discard : rows[i].without_discard;
-    slot = run_once(discard, k, rho, m, t_end, 7);
-  });
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - t0;
-  for (const Row& row : rows) {
-    const double k = row.k;
-    const auto& with = row.with_discard;
-    const auto& without = row.without_discard;
-    const auto frac = [](std::uint64_t part, std::uint64_t whole) {
-      return whole == 0 ? 0.0
-                        : static_cast<double>(part) /
-                              static_cast<double>(whole);
-    };
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const tcw::net::SweepPoint& with = with_points[i];
+    const tcw::net::SweepPoint& without = without_points[i];
     table.add_row(
-        {tcw::format_fixed(k, 0), tcw::format_fixed(with.p_loss(), 5),
-         tcw::format_fixed(frac(with.lost_sender, with.decided()), 5),
-         tcw::format_fixed(with.usage.utilization(), 4),
-         tcw::format_fixed(without.p_loss(), 5),
-         tcw::format_fixed(
-             frac(without.lost_receiver + without.censored_lost,
-                  without.decided()),
-             5),
-         tcw::format_fixed(without.usage.utilization(), 4)});
+        {tcw::format_fixed(grid[i], 0), tcw::format_fixed(with.p_loss, 5),
+         tcw::format_fixed(with.sender_loss_frac, 5),
+         tcw::format_fixed(with.utilization, 4),
+         tcw::format_fixed(without.p_loss, 5),
+         tcw::format_fixed(without.receiver_loss_frac, 5),
+         tcw::format_fixed(without.utilization, 4)});
   }
   table.write_pretty(std::cout);
   std::printf("\nWith element (4) every transmitted message is useful work;"
               "\nwithout it the channel wastes transmissions on messages "
               "already dead at the receiver.\n");
-  std::printf("BENCH_JSON {\"panel\":\"ablation_discard\",\"threads\":%zu,"
-              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              pool.size(), rows.size() * 2, wall.count(),
-              wall.count() > 0.0
-                  ? static_cast<double>(rows.size() * 2) / wall.count()
-                  : 0.0);
   if (!table.save_csv(csv)) return 1;
   std::printf("csv: %s\n", csv.c_str());
   return 0;

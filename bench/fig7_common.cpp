@@ -256,6 +256,8 @@ bool points_identical(const std::vector<net::SweepPoint>& a,
         a[i].ci95 != b[i].ci95 || a[i].mean_wait != b[i].mean_wait ||
         a[i].mean_scheduling != b[i].mean_scheduling ||
         a[i].utilization != b[i].utilization ||
+        a[i].sender_loss_frac != b[i].sender_loss_frac ||
+        a[i].receiver_loss_frac != b[i].receiver_loss_frac ||
         a[i].messages != b[i].messages) {
       return false;
     }
@@ -263,7 +265,30 @@ bool points_identical(const std::vector<net::SweepPoint>& a,
   return true;
 }
 
+void print_scheduler_report(const exec::SchedulerReport& report,
+                            const std::string& suite) {
+  std::printf("== consolidated sweep scheduler report ==\n");
+  std::printf("threads=%u jobs=%zu wall=%.3fs jobs_per_sec=%.2f "
+              "worker_utilization=%.2f\n",
+              report.threads, report.shards, report.wall_seconds,
+              report.shards_per_second, report.worker_utilization);
+  for (const exec::SweepTimingEntry& s : report.sweeps) {
+    std::printf("  %-28s jobs=%3zu wall=%7.3fs busy=%7.3fs "
+                "jobs_per_sec=%.2f\n",
+                s.name.c_str(), s.shards, s.wall_seconds, s.busy_seconds,
+                s.shards_per_second);
+  }
+  std::printf("BENCH_JSON %s\n", report.bench_json(suite).c_str());
+}
+
 }  // namespace
+
+exec::SchedulerReport run_scheduler_with_report(
+    exec::SweepScheduler& scheduler, const std::string& suite) {
+  exec::SchedulerReport report = scheduler.run();
+  print_scheduler_report(report, suite);
+  return report;
+}
 
 int run_fig7_suite(const Fig7SuiteOptions& suite) {
   const std::vector<Fig7PanelSpec>& panels =
@@ -311,18 +336,7 @@ int run_fig7_suite(const Fig7SuiteOptions& suite) {
                             /*engine_timing=*/nullptr);
   }
 
-  std::printf("== consolidated sweep scheduler report ==\n");
-  std::printf("threads=%u jobs=%zu wall=%.3fs jobs_per_sec=%.2f "
-              "worker_utilization=%.2f\n",
-              report.threads, report.shards, report.wall_seconds,
-              report.shards_per_second, report.worker_utilization);
-  for (const exec::SweepTimingEntry& s : report.sweeps) {
-    std::printf("  %-28s jobs=%3zu wall=%7.3fs busy=%7.3fs "
-                "jobs_per_sec=%.2f\n",
-                s.name.c_str(), s.shards, s.wall_seconds, s.busy_seconds,
-                s.shards_per_second);
-  }
-  std::printf("BENCH_JSON %s\n", report.bench_json("fig7_all").c_str());
+  print_scheduler_report(report, "fig7_all");
 
   if (suite.baseline) {
     // The pre-scheduler execution model: every sweep on its own transient

@@ -20,6 +20,7 @@
 
 namespace tcw::exec {
 class SweepScheduler;
+struct SchedulerReport;
 }  // namespace tcw::exec
 
 namespace tcw::bench {
@@ -120,5 +121,12 @@ struct Fig7SuiteOptions {
 /// Run the suite as one scheduled job graph; returns the process exit
 /// code (nonzero also when the baseline cross-check finds a mismatch).
 int run_fig7_suite(const Fig7SuiteOptions& suite);
+
+/// Run a populated scheduler and print the consolidated per-sweep timing
+/// report plus the `BENCH_JSON {"suite":"<suite>",...}` line. The shared
+/// reporting tail of every scheduled bench (fig7_all, sweep_tool --suite,
+/// the migrated ablation/validation binaries).
+exec::SchedulerReport run_scheduler_with_report(
+    exec::SweepScheduler& scheduler, const std::string& suite);
 
 }  // namespace tcw::bench

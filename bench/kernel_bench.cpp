@@ -1,0 +1,296 @@
+// Kernel throughput microbenchmark: single-run slots/sec and probes/sec of
+// the two per-slot simulation kernels (infinite-population
+// net::AggregateSimulator, finite-station net::Network) across
+// {stations} x {load} x {K} grids, reported as BENCH_JSON rows.
+//
+// Modes:
+//   (default)    bench the fast kernel only
+//   --baseline   bench fast AND the retained reference kernel per cell and
+//                report the speedup (the pre-PR numbers in EXPERIMENTS.md)
+//   --verify     run both kernels per cell and bit-compare every metric;
+//                nonzero exit on any mismatch (the tier-1 smoke)
+//   --reference  bench the reference kernel only
+//
+// Build with an optimized CMAKE_BUILD_TYPE (Release / RelWithDebInfo, the
+// default) before quoting numbers; see EXPERIMENTS.md "Kernel throughput".
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/splitting.hpp"
+#include "chan/arrivals.hpp"
+#include "net/aggregate_sim.hpp"
+#include "net/network.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using tcw::net::SimMetrics;
+
+struct Options {
+  double t_end = 150000.0;
+  double warmup = 5000.0;
+  double message_length = 25.0;
+  long long shadows = 2;
+  unsigned long long seed = 20261983;
+  bool quick = false;
+  bool verify = false;
+  bool baseline = false;
+  bool reference = false;
+  std::string csv = "kernel_bench.csv";
+};
+
+struct CellResult {
+  SimMetrics metrics;
+  std::uint64_t probe_steps = 0;
+  double wall_seconds = 0.0;
+};
+
+void append_stats(std::ostringstream& out, const char* name,
+                  const tcw::sim::RunningStats& s) {
+  out << ' ' << name << ':' << s.count();
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "/%a/%a/%a/%a", s.mean(), s.sum(), s.min(),
+                s.max());
+  out << buf;
+}
+
+// Every counter and accumulator of the run, doubles rendered as exact hex
+// floats: equal strings <=> bit-identical metrics.
+std::string fingerprint(const SimMetrics& m) {
+  std::ostringstream out;
+  out << "arr:" << m.arrivals << " del:" << m.delivered
+      << " ls:" << m.lost_sender << " lr:" << m.lost_receiver
+      << " cen:" << m.censored_lost << " pend:" << m.pending_at_end;
+  append_stats(out, "wait", m.wait_all);
+  append_stats(out, "waitd", m.wait_delivered);
+  append_stats(out, "sched", m.scheduling);
+  append_stats(out, "proc", m.process_slots);
+  append_stats(out, "backlog", m.pseudo_backlog);
+  char buf[240];
+  std::snprintf(buf, sizeof buf, " q:%a/%a/%a use:%a/%a/%a/%a",
+                m.wait_p50.value(), m.wait_p90.value(), m.wait_p99.value(),
+                m.usage.idle_slots(), m.usage.collision_slots(),
+                m.usage.payload_slots(), m.usage.success_overhead_slots());
+  out << buf;
+  return out.str();
+}
+
+struct AggCell {
+  double rho;
+  double k_over_m;
+};
+
+struct NetCell {
+  std::size_t stations;
+  double rho;
+  double k_over_m;
+};
+
+CellResult run_aggregate(const Options& opt, const AggCell& cell,
+                         bool reference) {
+  tcw::net::AggregateConfig cfg;
+  const double lambda = cell.rho / opt.message_length;
+  const double k = cell.k_over_m * opt.message_length;
+  cfg.policy = tcw::core::ControlPolicy::optimal(
+      k, tcw::analysis::optimal_window_load() / lambda);
+  cfg.message_length = opt.message_length;
+  cfg.t_end = opt.t_end;
+  cfg.warmup = opt.warmup;
+  cfg.seed = opt.seed;
+  cfg.reference_kernel = reference;
+  tcw::net::AggregateSimulator sim(
+      cfg, std::make_unique<tcw::chan::PoissonProcess>(lambda));
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult r;
+  r.metrics = sim.run();
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.probe_steps = sim.probe_steps();
+  return r;
+}
+
+CellResult run_network(const Options& opt, const NetCell& cell,
+                       bool reference) {
+  tcw::net::NetworkConfig cfg;
+  const double lambda = cell.rho / opt.message_length;
+  const double k = cell.k_over_m * opt.message_length;
+  cfg.policy = tcw::core::ControlPolicy::optimal(
+      k, tcw::analysis::optimal_window_load() / lambda);
+  cfg.message_length = opt.message_length;
+  cfg.t_end = opt.t_end;
+  cfg.warmup = opt.warmup;
+  cfg.seed = opt.seed;
+  cfg.consistency_check_every = 1024;
+  cfg.reference_kernel = reference;
+  if (!reference) {
+    cfg.shadow_replicas = static_cast<std::size_t>(opt.shadows);
+  }
+  auto net = tcw::net::Network::homogeneous_poisson(cfg, cell.stations,
+                                                    lambda);
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult r;
+  r.metrics = net.run();
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.probe_steps = net.probe_steps();
+  if (!net.stations_consistent()) {
+    std::fprintf(stderr, "kernel_bench: consistency violation (N=%zu)\n",
+                 cell.stations);
+    std::exit(2);
+  }
+  return r;
+}
+
+double rate(double count, double wall) {
+  return wall > 0.0 ? count / wall : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  tcw::Flags flags("kernel_bench",
+                   "Per-slot kernel throughput: slots/sec and probes/sec "
+                   "for both simulators");
+  flags.add("t-end", &opt.t_end, "simulated slots per cell");
+  flags.add("warmup", &opt.warmup, "warmup slots excluded from statistics");
+  flags.add("m", &opt.message_length, "message length M");
+  flags.add("shadows", &opt.shadows,
+            "shadow controller replicas in the fast network kernel");
+  flags.add("seed", &opt.seed, "RNG seed");
+  flags.add("quick", &opt.quick, "shrink runs for smoke testing");
+  flags.add("verify", &opt.verify,
+            "bit-compare fast vs reference kernel metrics per cell");
+  flags.add("baseline", &opt.baseline,
+            "also time the reference kernel and report speedups");
+  flags.add("reference", &opt.reference,
+            "bench the retained reference kernel only");
+  flags.add("csv", &opt.csv, "CSV output path");
+  if (!flags.parse(argc, argv)) return 1;
+  if (opt.quick) {
+    opt.t_end = 20000.0;
+    opt.warmup = 2000.0;
+  }
+#ifndef NDEBUG
+  std::printf("WARNING: assertions enabled (non-optimized build?); "
+              "throughput numbers will be pessimistic\n");
+#endif
+
+  const std::vector<AggCell> agg_cells{
+      {0.25, 2.0}, {0.25, 8.0}, {0.50, 2.0}, {0.50, 8.0},
+      {0.75, 2.0}, {0.75, 8.0},
+  };
+  const std::vector<NetCell> net_cells{
+      {10, 0.50, 3.0},  {10, 0.90, 3.0},  {50, 0.50, 3.0},
+      {50, 0.90, 3.0},  {200, 0.50, 3.0}, {200, 0.90, 3.0},
+  };
+
+  if (opt.verify) {
+    std::size_t cells = 0;
+    for (const AggCell& cell : agg_cells) {
+      const std::string fast = fingerprint(run_aggregate(opt, cell, false).metrics);
+      const std::string ref = fingerprint(run_aggregate(opt, cell, true).metrics);
+      if (fast != ref) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED aggregate rho=%.2f K/M=%.1f\n fast: %s\n"
+                     "  ref: %s\n",
+                     cell.rho, cell.k_over_m, fast.c_str(), ref.c_str());
+        return 1;
+      }
+      ++cells;
+    }
+    for (const NetCell& cell : net_cells) {
+      const std::string fast = fingerprint(run_network(opt, cell, false).metrics);
+      const std::string ref = fingerprint(run_network(opt, cell, true).metrics);
+      if (fast != ref) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED network N=%zu rho=%.2f K/M=%.1f\n"
+                     " fast: %s\n  ref: %s\n",
+                     cell.stations, cell.rho, cell.k_over_m, fast.c_str(),
+                     ref.c_str());
+        return 1;
+      }
+      ++cells;
+    }
+    std::printf("verify: fast and reference kernels bit-identical over "
+                "%zu cells (t_end=%.0f)\n",
+                cells, opt.t_end);
+    return 0;
+  }
+
+  tcw::Table table({"sim", "stations", "rho", "K_over_M", "kernel",
+                    "wall_seconds", "slots_per_sec", "probes_per_sec"});
+  const auto emit = [&](const char* sim_name, std::size_t stations,
+                        double rho, double k_over_m, const char* kernel,
+                        const CellResult& r) {
+    const double slots_per_sec = rate(opt.t_end, r.wall_seconds);
+    const double probes_per_sec =
+        rate(static_cast<double>(r.probe_steps), r.wall_seconds);
+    table.add_row({sim_name, std::to_string(stations),
+                   tcw::format_fixed(rho, 2), tcw::format_fixed(k_over_m, 1),
+                   kernel, tcw::format_fixed(r.wall_seconds, 4),
+                   tcw::format_fixed(slots_per_sec, 0),
+                   tcw::format_fixed(probes_per_sec, 0)});
+    std::printf("BENCH_JSON {\"bench\":\"kernel_bench\",\"sim\":\"%s\","
+                "\"stations\":%zu,\"rho\":%.2f,\"k_over_m\":%.1f,"
+                "\"kernel\":\"%s\",\"wall_seconds\":%.4f,"
+                "\"slots_per_sec\":%.0f,\"probes_per_sec\":%.0f}\n",
+                sim_name, stations, rho, k_over_m, kernel, r.wall_seconds,
+                slots_per_sec, probes_per_sec);
+  };
+
+  std::printf("== kernel_bench: t_end=%.0f warmup=%.0f M=%.0f shadows=%lld "
+              "==\n\n",
+              opt.t_end, opt.warmup, opt.message_length, opt.shadows);
+
+  for (const AggCell& cell : agg_cells) {
+    CellResult fast{};
+    CellResult ref{};
+    if (!opt.reference) {
+      fast = run_aggregate(opt, cell, false);
+      emit("aggregate", 0, cell.rho, cell.k_over_m, "fast", fast);
+    }
+    if (opt.reference || opt.baseline) {
+      ref = run_aggregate(opt, cell, true);
+      emit("aggregate", 0, cell.rho, cell.k_over_m, "reference", ref);
+    }
+    if (opt.baseline && ref.wall_seconds > 0.0 && fast.wall_seconds > 0.0) {
+      std::printf("  -> aggregate rho=%.2f K/M=%.1f speedup %.2fx\n",
+                  cell.rho, cell.k_over_m,
+                  ref.wall_seconds / fast.wall_seconds);
+    }
+  }
+  for (const NetCell& cell : net_cells) {
+    CellResult fast{};
+    CellResult ref{};
+    if (!opt.reference) {
+      fast = run_network(opt, cell, false);
+      emit("network", cell.stations, cell.rho, cell.k_over_m, "fast", fast);
+    }
+    if (opt.reference || opt.baseline) {
+      ref = run_network(opt, cell, true);
+      emit("network", cell.stations, cell.rho, cell.k_over_m, "reference",
+           ref);
+    }
+    if (opt.baseline && ref.wall_seconds > 0.0 && fast.wall_seconds > 0.0) {
+      std::printf("  -> network N=%zu rho=%.2f K/M=%.1f speedup %.2fx\n",
+                  cell.stations, cell.rho, cell.k_over_m,
+                  ref.wall_seconds / fast.wall_seconds);
+    }
+  }
+
+  std::printf("\n");
+  table.write_pretty(std::cout);
+  if (!table.save_csv(opt.csv)) return 1;
+  std::printf("csv: %s\n", opt.csv.c_str());
+  return 0;
+}

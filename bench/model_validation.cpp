@@ -11,6 +11,9 @@
 #include "analysis/mg1.hpp"
 #include "analysis/splitting.hpp"
 #include "dist/families.hpp"
+#include "exec/sweep_scheduler.hpp"
+#include "exec/thread_pool.hpp"
+#include "fig7_common.hpp"
 #include "net/aggregate_sim.hpp"
 #include "net/experiment.hpp"
 #include "smdp/window_model.hpp"
@@ -138,16 +141,23 @@ int main(int argc, char** argv) {
   small.message_length = 4.0;
   const auto queueing = analysis::controlled_loss_at(small, 24.0, 0.1);
 
+  // The simulation arm runs as a scheduled sweep on a shared pool (the
+  // same enqueue path fig7_all uses); points are bit-identical to the
+  // historical simulate_loss_curve call for any thread count.
   tcw::net::SweepConfig sweep;
   sweep.offered_load = 0.48;
   sweep.message_length = 4.0;
   sweep.t_end = quick ? 60000.0 : 300000.0;
   sweep.warmup = sweep.t_end / 15.0;
   sweep.replications = quick ? 1 : 3;
-  sweep.threads = static_cast<int>(threads);
-  tcw::net::SweepTiming timing;
-  const auto sim = tcw::net::simulate_loss_curve(
-      sweep, tcw::net::ProtocolVariant::Controlled, {24.0}, &timing);
+  tcw::exec::ThreadPool pool(
+      tcw::exec::resolve_threads(static_cast<int>(threads)));
+  tcw::exec::SweepScheduler scheduler(pool);
+  const auto scheduled = tcw::net::schedule_loss_curve(
+      scheduler, "controlled_small_scale", sweep,
+      tcw::net::ProtocolVariant::Controlled, {24.0});
+  tcw::bench::run_scheduler_with_report(scheduler, "model_validation");
+  const auto sim = scheduled.points();
 
   std::printf("queueing model (eq 4.7 + heuristic el.2): %.5f\n",
               queueing.p_loss);
@@ -158,11 +168,6 @@ int main(int argc, char** argv) {
   std::printf("(ordering SMDP <= model <= sim expected: the SMDP optimizes"
               "\n element 2 per state and charges pseudo losses only; the"
               "\n simulation charges true waiting times.)\n");
-
-  std::printf("BENCH_JSON {\"panel\":\"model_validation\",\"threads\":%u,"
-              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              timing.threads, timing.jobs, timing.wall_seconds,
-              timing.jobs_per_second);
   if (!table.save_csv(csv)) return 1;
   std::printf("csv: %s\n", csv.c_str());
   return 0;

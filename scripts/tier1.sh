@@ -1,24 +1,40 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + full test suite, then the concurrency
 # tests (thread pool, multi-sweep scheduler, parallel sweep determinism)
-# rebuilt and re-run under ThreadSanitizer so data races in the sweep
-# engine fail CI, not users, plus the fig7_all --quick suite smoke with
-# its sequential-baseline bit-equality cross-check.
+# and the kernel fast-path tests rebuilt and re-run under ThreadSanitizer
+# so data races in the sweep engine fail CI, not users, plus two
+# end-to-end smokes: the fig7_all --quick suite with its
+# sequential-baseline bit-equality cross-check, and kernel_bench --verify
+# bit-comparing the fast per-slot kernels against their retained
+# reference paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt)
+case "${build_type:-}" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "WARNING: CMAKE_BUILD_TYPE='${build_type:-<unset>}' -- benches" \
+         "are unoptimized; do not quote kernel_bench numbers from this" \
+         "build (use Release or RelWithDebInfo)." >&2
+    ;;
+esac
 (cd build && ctest --output-on-failure -j)
 
 echo "== tier-1: fig7_all suite smoke (scheduled vs sequential) =="
 cmake --build build --target suite_smoke
 
-echo "== tier-1: concurrency tests under ThreadSanitizer =="
+echo "== tier-1: kernel fast-path vs reference smoke =="
+cmake --build build --target kernel_verify_smoke
+
+echo "== tier-1: concurrency + kernel tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
-    test_sweep_determinism test_sweep_scheduler
+    test_sweep_determinism test_sweep_scheduler test_flat_deque \
+    test_kernel_fastpath
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge')
 echo "tier-1 OK"

@@ -28,7 +28,11 @@ AggregateSimulator::AggregateSimulator(
 
 void AggregateSimulator::generate_arrivals_until(double t) {
   while (!arrivals_exhausted_ && next_arrival_ <= t) {
-    pending_.insert(next_arrival_);
+    if (config_.reference_kernel) {
+      pending_set_.insert(next_arrival_);
+    } else {
+      pending_.push_back(next_arrival_);  // arrivals strictly increase
+    }
     if (next_arrival_ >= config_.warmup) ++metrics_.arrivals;
     const double nxt = arrivals_->next(rng_);
     TCW_ASSERT(nxt > next_arrival_);
@@ -42,14 +46,55 @@ void AggregateSimulator::purge_discarded() {
   // discard. Without discard the floor never passes an untransmitted
   // arrival (windows only resolve verified-empty or transmitted spans).
   const double floor = controller_.floor();
-  auto it = pending_.begin();
-  while (it != pending_.end() && *it < floor) {
+  const auto discard_one = [&](double arrival) {
     TCW_ASSERT(config_.policy.discard);
-    if (*it >= config_.warmup) ++metrics_.lost_sender;
+    if (arrival >= config_.warmup) ++metrics_.lost_sender;
     if (config_.trace != nullptr) {
-      config_.trace->record(now_, sim::TraceKind::SenderDiscard, *it);
+      config_.trace->record(now_, sim::TraceKind::SenderDiscard, arrival);
     }
-    it = pending_.erase(it);
+  };
+  if (config_.reference_kernel) {
+    auto it = pending_set_.begin();
+    while (it != pending_set_.end() && *it < floor) {
+      discard_one(*it);
+      it = pending_set_.erase(it);
+    }
+  } else {
+    while (!pending_.empty() && pending_.front() < floor) {
+      discard_one(pending_.front());
+      pending_.pop_front();  // a prefix purge in the flat structure
+    }
+  }
+}
+
+std::size_t AggregateSimulator::count_in_window(double lo, double hi,
+                                                double* first) {
+  std::size_t count = 0;
+  if (config_.reference_kernel) {
+    found_it_ = pending_set_.lower_bound(lo);
+    auto it = found_it_;
+    while (it != pending_set_.end() && *it < hi && count < 2) {
+      ++count;
+      ++it;
+    }
+    if (count > 0) *first = *found_it_;
+  } else {
+    found_pos_ = pending_.lower_bound(lo);
+    auto pos = found_pos_;
+    while (!pending_.is_end(pos) && pending_.at(pos) < hi && count < 2) {
+      ++count;
+      pos = pending_.next(pos);
+    }
+    if (count > 0) *first = pending_.at(found_pos_);
+  }
+  return count;
+}
+
+void AggregateSimulator::erase_transmitted() {
+  if (config_.reference_kernel) {
+    pending_set_.erase(found_it_);
+  } else {
+    pending_.erase(found_pos_);
   }
 }
 
@@ -77,17 +122,14 @@ const SimMetrics& AggregateSimulator::run() {
       now_ += step_duration(1.0);
       continue;
     }
+    ++probe_steps_;
     const auto probes_so_far =
         static_cast<double>(controller_.process_probes());
 
     // Count pending arrivals inside the probe window.
-    auto first = pending_.lower_bound(window->lo);
-    std::size_t count = 0;
-    auto it = first;
-    while (it != pending_.end() && *it < window->hi && count < 2) {
-      ++count;
-      ++it;
-    }
+    double first_arrival = 0.0;
+    const std::size_t count =
+        count_in_window(window->lo, window->hi, &first_arrival);
 
     if (count == 0) {
       metrics_.usage.add_idle_slot();
@@ -101,8 +143,8 @@ const SimMetrics& AggregateSimulator::run() {
       }
       now_ += step_duration(1.0);
     } else if (count == 1) {
-      const double arrival = *first;
-      pending_.erase(first);
+      const double arrival = first_arrival;
+      erase_transmitted();
       const double wait = now_ - arrival;  // true waiting time
       if (config_.trace != nullptr) {
         config_.trace->record(now_, sim::TraceKind::Transmission, arrival);
@@ -157,13 +199,18 @@ double AggregateSimulator::step_duration(double base) {
 
 void AggregateSimulator::finalize() {
   const double k = config_.policy.deadline;
-  for (const double arrival : pending_) {
-    if (arrival < config_.warmup) continue;
+  const auto account = [&](double arrival) {
+    if (arrival < config_.warmup) return;
     if (now_ - arrival > k) {
       ++metrics_.censored_lost;  // still queued but already past deadline
     } else {
       ++metrics_.pending_at_end;
     }
+  };
+  if (config_.reference_kernel) {
+    for (const double arrival : pending_set_) account(arrival);
+  } else {
+    pending_.for_each(account);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "net/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
+#include "util/flat_deque.hpp"
 
 namespace tcw::net {
 
@@ -41,6 +42,12 @@ struct AggregateConfig {
   double slot_jitter = 0.0;
   double wait_hist_max = 0.0;     // 0 -> 2*deadline
   std::size_t wait_hist_bins = 64;
+  /// Drive the pending-arrival bookkeeping through the retained seed-era
+  /// std::set path instead of the flat chunked deque. Results are
+  /// bit-identical either way (kernel_bench --verify proves it); the
+  /// reference path exists only as that cross-check and as the pre-PR
+  /// throughput baseline.
+  bool reference_kernel = false;
 };
 
 class AggregateSimulator {
@@ -56,6 +63,8 @@ class AggregateSimulator {
   const SimMetrics& metrics() const { return metrics_; }
   const core::WindowController& controller() const { return controller_; }
   double now() const { return now_; }
+  /// Probe slots actually issued (windows probed), for throughput benches.
+  std::uint64_t probe_steps() const { return probe_steps_; }
 
  private:
   void generate_arrivals_until(double t);
@@ -63,14 +72,26 @@ class AggregateSimulator {
   void finalize();
   /// Base slot(s) plus the configured synchronization jitter, if any.
   double step_duration(double base);
+  /// How many pending arrivals (capped at 2) fall in [lo, hi); `first`
+  /// receives the oldest one when the count is nonzero.
+  std::size_t count_in_window(double lo, double hi, double* first);
+  /// Remove the arrival returned via `first` (the successful transmitter).
+  void erase_transmitted();
 
   AggregateConfig config_;
   std::unique_ptr<chan::ArrivalProcess> arrivals_;
   sim::Rng rng_;
   core::WindowController controller_;
   // Pending untransmitted arrival instants. Poisson (and all supplied)
-  // processes produce strictly increasing, hence distinct, times.
-  std::set<double> pending_;
+  // processes produce strictly increasing, hence distinct, times; exactly
+  // the contract of the flat chunked deque. `pending_set_` is the retained
+  // reference structure, populated only when config_.reference_kernel.
+  FlatChunkDeque pending_;
+  std::set<double> pending_set_;
+  // Handle to the element found by the last count_in_window call.
+  FlatChunkDeque::Pos found_pos_;
+  std::set<double>::iterator found_it_;
+  std::uint64_t probe_steps_ = 0;
   double now_ = 0.0;
   double next_arrival_ = 0.0;
   bool arrivals_exhausted_ = false;

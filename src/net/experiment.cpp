@@ -65,6 +65,8 @@ struct SweepJobResult {
   sim::RunningStats wait;
   sim::RunningStats sched;
   sim::RunningStats util;
+  sim::RunningStats sender_loss;
+  sim::RunningStats receiver_loss;
   std::uint64_t messages = 0;
   double within_run_ci = 0.0;  // binomial CI; only filled when reps == 1
 };
@@ -126,6 +128,11 @@ class LossCurveSweep {
     r.wait.add(m.wait_delivered.mean());
     r.sched.add(m.scheduling.mean());
     r.util.add(m.usage.utilization());
+    const double decided =
+        static_cast<double>(std::max<std::uint64_t>(m.decided(), 1));
+    r.sender_loss.add(static_cast<double>(m.lost_sender) / decided);
+    r.receiver_loss.add(
+        static_cast<double>(m.lost_receiver + m.censored_lost) / decided);
     r.messages = m.decided();
     if (reps_ == 1) r.within_run_ci = m.p_loss_ci95();
   }
@@ -140,6 +147,8 @@ class LossCurveSweep {
       sim::RunningStats wait_reps;
       sim::RunningStats sched_reps;
       sim::RunningStats util_reps;
+      sim::RunningStats sender_reps;
+      sim::RunningStats receiver_reps;
       std::uint64_t messages = 0;
       for (std::size_t rep = 0; rep < reps_; ++rep) {
         const SweepJobResult& r = results_[ki * reps_ + rep];
@@ -147,6 +156,8 @@ class LossCurveSweep {
         wait_reps.merge(r.wait);
         sched_reps.merge(r.sched);
         util_reps.merge(r.util);
+        sender_reps.merge(r.sender_loss);
+        receiver_reps.merge(r.receiver_loss);
         messages += r.messages;
       }
       TCW_ASSERT(loss_reps.count() == reps_);
@@ -165,6 +176,8 @@ class LossCurveSweep {
       point.mean_wait = wait_reps.mean();
       point.mean_scheduling = sched_reps.mean();
       point.utilization = util_reps.mean();
+      point.sender_loss_frac = sender_reps.mean();
+      point.receiver_loss_frac = receiver_reps.mean();
       point.messages = messages;
       out.push_back(point);
     }

@@ -68,6 +68,12 @@ struct SweepPoint {
   double mean_wait = 0.0;   // mean true wait of delivered messages
   double mean_scheduling = 0.0;
   double utilization = 0.0; // payload fraction of channel time
+  // Loss decomposition (means over replications, fractions of decided
+  // messages): element (4) discards at the sender vs late deliveries +
+  // end-censored losses at the receiver. Their sum is p_loss up to
+  // replication averaging.
+  double sender_loss_frac = 0.0;
+  double receiver_loss_frac = 0.0;
   std::uint64_t messages = 0;
 };
 

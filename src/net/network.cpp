@@ -20,7 +20,6 @@ void Network::add_station(std::unique_ptr<chan::ArrivalProcess> arrivals) {
   st.arrivals = std::move(arrivals);
   st.next_arrival = st.arrivals->next(rng_);
   stations_.push_back(std::move(st));
-  controllers_.emplace_back(config_.policy);
 }
 
 Network Network::homogeneous_poisson(const NetworkConfig& config,
@@ -36,12 +35,50 @@ Network Network::homogeneous_poisson(const NetworkConfig& config,
   return net;
 }
 
+std::size_t Network::controller_replicas() const {
+  if (!controllers_.empty()) return controllers_.size();
+  if (config_.reference_kernel) return stations_.size();
+  const std::size_t shadows =
+      std::min(config_.shadow_replicas,
+               stations_.empty() ? std::size_t{0} : stations_.size() - 1);
+  return 1 + shadows;
+}
+
+void Network::build_controllers() {
+  const std::size_t replicas = controller_replicas();
+  controllers_.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    controllers_.emplace_back(config_.policy);
+  }
+}
+
+void Network::desync_replica_for_test(std::size_t replica) {
+  TCW_EXPECTS(!finished_);
+  desync_replica_ = replica;
+}
+
+void Network::activate(Station& st) {
+  if (st.active_pos >= 0) return;
+  st.active_pos = static_cast<std::ptrdiff_t>(active_.size());
+  active_.push_back(st.id);
+}
+
+void Network::deactivate(Station& st) {
+  if (st.active_pos < 0) return;
+  const auto pos = static_cast<std::size_t>(st.active_pos);
+  active_[pos] = active_.back();
+  stations_[active_[pos]].active_pos = static_cast<std::ptrdiff_t>(pos);
+  active_.pop_back();
+  st.active_pos = -1;
+}
+
 void Network::generate_arrivals_until(double t) {
   for (Station& st : stations_) {
     while (st.next_arrival <= t) {
       chan::Message msg = chan::Message::make(
           next_msg_id_++, st.id, st.next_arrival, config_.message_length);
       st.queue.push_back(msg);
+      activate(st);
       if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
       st.next_arrival = st.arrivals->next(rng_);
     }
@@ -51,19 +88,35 @@ void Network::generate_arrivals_until(double t) {
 void Network::purge_expired() {
   if (!config_.policy.discard) return;
   const double cutoff = now_ - config_.policy.deadline;
-  for (Station& st : stations_) {
-    for (auto it = st.queue.begin(); it != st.queue.end();) {
-      if (it->arrival < cutoff) {
-        if (it->arrival >= config_.warmup) ++metrics_.lost_sender;
-        if (config_.trace != nullptr) {
-          config_.trace->record(now_, sim::TraceKind::SenderDiscard,
-                                it->arrival);
+  const auto expired = [&](const chan::Message& msg) {
+    if (msg.arrival >= cutoff) return false;
+    if (msg.arrival >= config_.warmup) ++metrics_.lost_sender;
+    if (config_.trace != nullptr) {
+      config_.trace->record(now_, sim::TraceKind::SenderDiscard,
+                            msg.arrival);
+    }
+    return true;
+  };
+  if (config_.reference_kernel) {
+    // Seed-era path: per-element deque erase, quadratic in the purged run.
+    for (Station& st : stations_) {
+      for (auto it = st.queue.begin(); it != st.queue.end();) {
+        if (expired(*it)) {
+          it = st.queue.erase(it);
+        } else {
+          ++it;
         }
-        it = st.queue.erase(it);
-      } else {
-        ++it;
       }
     }
+    return;
+  }
+  // One stable sweep per station; station (= trace) order as before.
+  for (Station& st : stations_) {
+    if (st.queue.empty()) continue;
+    st.queue.erase(
+        std::remove_if(st.queue.begin(), st.queue.end(), expired),
+        st.queue.end());
+    if (st.queue.empty()) deactivate(st);
   }
 }
 
@@ -75,6 +128,41 @@ std::ptrdiff_t Network::eligible_index(const Station& st, double lo,
     if (stamp >= lo) return static_cast<std::ptrdiff_t>(i);
   }
   return -1;
+}
+
+void Network::restamp_stranded(Station& st, double lo, double hi) {
+  // Re-stamp any other messages of this station stranded inside the
+  // window that is about to be resolved (see header). Restamps exceed
+  // `now` and every other stamp is <= now, so in the (stamp-sorted) queue
+  // the stranded run is contiguous and its final home is the back: an
+  // O(moved) rotate replaces the seed-era full std::sort.
+  double restamp = now_;
+  std::size_t first = st.queue.size();
+  std::size_t last = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < st.queue.size(); ++i) {
+    chan::Message& pending = st.queue[i];
+    if (pending.window_stamp >= lo && pending.window_stamp < hi) {
+      restamp += 1e-7;
+      pending.window_stamp = restamp;
+      first = std::min(first, i);
+      last = i;
+      ++count;
+    }
+  }
+  if (count == 0) return;
+  if (count == last - first + 1) {
+    std::rotate(st.queue.begin() + static_cast<std::ptrdiff_t>(first),
+                st.queue.begin() + static_cast<std::ptrdiff_t>(last + 1),
+                st.queue.end());
+  } else {
+    // Unreachable while the sorted-by-stamp invariant holds; keep the
+    // seed-era sort as the safety net.
+    std::sort(st.queue.begin(), st.queue.end(),
+              [](const chan::Message& a, const chan::Message& b) {
+                return a.window_stamp < b.window_stamp;
+              });
+  }
 }
 
 void Network::check_consistency() {
@@ -91,16 +179,44 @@ const SimMetrics& Network::run() {
   TCW_EXPECTS(!finished_);
   TCW_EXPECTS(!stations_.empty());
   const double k = config_.policy.deadline;
+  const bool reference = config_.reference_kernel;
+
+  build_controllers();
+  if (desync_replica_ != SIZE_MAX) {
+    TCW_EXPECTS(desync_replica_ < controllers_.size());
+    // One out-of-band probe round nobody else sees: the replica resolves
+    // an interval the rest of the network never observed.
+    core::WindowController& rogue = controllers_[desync_replica_];
+    if (rogue.next_probe(1.0)) rogue.on_feedback(core::Feedback::Idle);
+  }
 
   while (now_ < config_.t_end) {
     generate_arrivals_until(now_);
     const bool was_in_process = controllers_[0].in_process();
-    // Every station runs the same algorithm on the same feedback.
-    std::optional<Interval> window;
-    for (std::size_t i = 0; i < controllers_.size(); ++i) {
-      const auto w = controllers_[i].next_probe(now_);
-      if (i == 0) window = w;
+    // Every replica runs the same algorithm on the same feedback; the
+    // canonical one (index 0) is authoritative, the shadows are audited.
+    // Once a shadow diverges (caught here when it disagrees about probing
+    // at all, or by check_consistency on full state) auditing stops: a
+    // replica outside lockstep cannot keep consuming shared feedback.
+    const bool audit = consistent_;
+    const std::optional<Interval> window = controllers_[0].next_probe(now_);
+    if (audit) {
+      for (std::size_t i = 1; i < controllers_.size(); ++i) {
+        if (controllers_[i].next_probe(now_).has_value() !=
+            window.has_value()) {
+          consistent_ = false;
+        }
+      }
     }
+    const bool step_shadows = audit && consistent_;
+    const auto apply_feedback = [&](core::Feedback fb) {
+      controllers_[0].on_feedback(fb);
+      if (step_shadows) {
+        for (std::size_t i = 1; i < controllers_.size(); ++i) {
+          controllers_[i].on_feedback(fb);
+        }
+      }
+    };
     ++probe_steps_;
     if (!was_in_process) {
       purge_expired();
@@ -120,16 +236,31 @@ const SimMetrics& Network::run() {
     const auto probes_so_far =
         static_cast<double>(controllers_[0].process_probes());
 
-    // Who transmits in this probe slot?
+    // Who transmits in this probe slot? Only stations holding messages
+    // can; the incrementally maintained active index skips the rest, and
+    // two eligible stations already decide a collision.
     Station* transmitter = nullptr;
     std::ptrdiff_t tx_index = -1;
     std::size_t tx_count = 0;
-    for (Station& st : stations_) {
-      const std::ptrdiff_t idx = eligible_index(st, window->lo, window->hi);
-      if (idx >= 0) {
-        ++tx_count;
-        transmitter = &st;
-        tx_index = idx;
+    if (reference) {
+      for (Station& st : stations_) {
+        const std::ptrdiff_t idx = eligible_index(st, window->lo, window->hi);
+        if (idx >= 0) {
+          ++tx_count;
+          transmitter = &st;
+          tx_index = idx;
+        }
+      }
+    } else {
+      for (const std::uint32_t id : active_) {
+        Station& st = stations_[id];
+        const std::ptrdiff_t idx = eligible_index(st, window->lo, window->hi);
+        if (idx >= 0) {
+          ++tx_count;
+          transmitter = &st;
+          tx_index = idx;
+          if (tx_count == 2) break;  // collision decided
+        }
       }
     }
 
@@ -139,13 +270,14 @@ const SimMetrics& Network::run() {
         config_.trace->record(now_, sim::TraceKind::ProbeIdle, window->lo,
                               window->hi);
       }
-      for (auto& c : controllers_) c.on_feedback(core::Feedback::Idle);
+      apply_feedback(core::Feedback::Idle);
       if (!controllers_[0].in_process() && now_ >= config_.warmup) {
         metrics_.process_slots.add(probes_so_far);
       }
       now_ += 1.0;
     } else if (tx_count == 1) {
-      const chan::Message msg = (*transmitter).queue[static_cast<std::size_t>(tx_index)];
+      const chan::Message msg =
+          (*transmitter).queue[static_cast<std::size_t>(tx_index)];
       transmitter->queue.erase(transmitter->queue.begin() + tx_index);
       const double wait = now_ - msg.arrival;
       if (config_.trace != nullptr) {
@@ -173,21 +305,25 @@ const SimMetrics& Network::run() {
       if (now_ >= config_.warmup) metrics_.process_slots.add(probes_so_far);
       metrics_.usage.add_success(config_.message_length,
                                  config_.success_overhead);
-      // Re-stamp any other messages of this station stranded inside the
-      // window that is about to be resolved (see header).
-      double restamp = now_;
-      for (auto& pending : transmitter->queue) {
-        if (pending.window_stamp >= window->lo &&
-            pending.window_stamp < window->hi) {
-          restamp += 1e-7;
-          pending.window_stamp = restamp;
+      if (reference) {
+        // Seed-era path: restamp by full scan, then re-sort the queue.
+        double restamp = now_;
+        for (auto& pending : transmitter->queue) {
+          if (pending.window_stamp >= window->lo &&
+              pending.window_stamp < window->hi) {
+            restamp += 1e-7;
+            pending.window_stamp = restamp;
+          }
         }
+        std::sort(transmitter->queue.begin(), transmitter->queue.end(),
+                  [](const chan::Message& a, const chan::Message& b) {
+                    return a.window_stamp < b.window_stamp;
+                  });
+      } else {
+        restamp_stranded(*transmitter, window->lo, window->hi);
+        if (transmitter->queue.empty()) deactivate(*transmitter);
       }
-      std::sort(transmitter->queue.begin(), transmitter->queue.end(),
-                [](const chan::Message& a, const chan::Message& b) {
-                  return a.window_stamp < b.window_stamp;
-                });
-      for (auto& c : controllers_) c.on_feedback(core::Feedback::Success);
+      apply_feedback(core::Feedback::Success);
       last_tx_end_ = now_ + config_.message_length + config_.success_overhead;
       now_ = last_tx_end_;
     } else {
@@ -196,7 +332,7 @@ const SimMetrics& Network::run() {
         config_.trace->record(now_, sim::TraceKind::ProbeCollision,
                               window->lo, window->hi);
       }
-      for (auto& c : controllers_) c.on_feedback(core::Feedback::Collision);
+      apply_feedback(core::Feedback::Collision);
       now_ += 1.0;
     }
   }

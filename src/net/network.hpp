@@ -36,8 +36,22 @@ struct NetworkConfig {
   double warmup = 2000.0;
   std::uint64_t seed = 1;
   /// Cross-check full controller state across stations every N probe steps
-  /// (0 disables; checks are O(stations * state)).
+  /// (0 disables; checks are O(replicas * state)).
   std::size_t consistency_check_every = 0;
+  /// Controller replicas stepped besides the canonical one. Controllers
+  /// are deterministic functions of the shared feedback sequence, so the
+  /// simulation only needs ONE; the shadows exist so check_consistency can
+  /// keep verifying the distributed property on real replicas. The default
+  /// keeps the seed-era behavior (one replica per station); benches opt
+  /// into a small count (kernel_bench uses 2). Clamped to stations - 1.
+  /// The simulated results are identical for every value, including 0.
+  std::size_t shadow_replicas = SIZE_MAX;
+  /// Drive the per-slot bookkeeping through the retained seed-era path
+  /// (every station steps its own controller, eligibility scans every
+  /// queue, restamp re-sorts, purge erases one-by-one). Bit-identical to
+  /// the fast path (kernel_bench --verify proves it); kept only as that
+  /// cross-check and as the pre-PR throughput baseline.
+  bool reference_kernel = false;
   /// Optional event trace; must outlive the network. Not owned.
   sim::TraceLog* trace = nullptr;
 };
@@ -61,6 +75,18 @@ class Network {
   std::uint64_t consistency_checks_run() const { return checks_run_; }
   bool stations_consistent() const { return consistent_; }
   const SimMetrics& metrics() const { return metrics_; }
+  /// Probe slots issued so far (throughput benches divide by wall time).
+  std::uint64_t probe_steps() const { return probe_steps_; }
+  /// Controller replicas actually stepped (canonical + shadows); only
+  /// meaningful once run() has started. Before run() it reports what the
+  /// configuration will resolve to for the current station count.
+  std::size_t controller_replicas() const;
+
+  /// Test hook: apply one out-of-band probe/feedback round to replica
+  /// `replica` (0 = canonical), desynchronizing it from the others. The
+  /// consistency checks must then report the divergence. Call after
+  /// add_station and before run().
+  void desync_replica_for_test(std::size_t replica);
 
  private:
   struct Station {
@@ -68,6 +94,7 @@ class Network {
     std::unique_ptr<chan::ArrivalProcess> arrivals;
     double next_arrival = 0.0;
     std::deque<chan::Message> queue;  // sorted by window_stamp
+    std::ptrdiff_t active_pos = -1;   // slot in active_, -1 when queue empty
   };
 
   void generate_arrivals_until(double t);
@@ -75,18 +102,29 @@ class Network {
   /// Index of the message with the oldest stamp inside [lo, hi); -1 if none.
   static std::ptrdiff_t eligible_index(const Station& st, double lo,
                                        double hi);
+  void build_controllers();
   void check_consistency();
   void finalize();
+  void activate(Station& st);
+  void deactivate(Station& st);
+  /// Move the transmitter's messages stranded in the resolved window
+  /// [lo, hi) behind everything else, re-stamped to fresh instants.
+  void restamp_stranded(Station& st, double lo, double hi);
 
   NetworkConfig config_;
   std::vector<Station> stations_;
-  std::vector<core::WindowController> controllers_;  // one per station
+  // controllers_[0] is the canonical replica driving the simulation; the
+  // rest are the shadows check_consistency audits (all stations under
+  // reference_kernel or the default shadow_replicas).
+  std::vector<core::WindowController> controllers_;
+  std::vector<std::uint32_t> active_;  // ids of stations with pending work
   sim::Rng rng_;
   double now_ = 0.0;
   double last_tx_end_ = 0.0;
   chan::MessageId next_msg_id_ = 1;
   std::uint64_t probe_steps_ = 0;
   std::uint64_t checks_run_ = 0;
+  std::size_t desync_replica_ = SIZE_MAX;  // pending test-hook injection
   bool consistent_ = true;
   bool finished_ = false;
   SimMetrics metrics_;

@@ -1,0 +1,87 @@
+#include "util/flat_deque.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace tcw {
+
+FlatChunkDeque::FlatChunkDeque(std::size_t chunk_capacity)
+    : cap_(chunk_capacity) {
+  TCW_EXPECTS(chunk_capacity >= 2);
+}
+
+void FlatChunkDeque::push_back(double v) {
+  TCW_EXPECTS(size_ == 0 || v > back());
+  if (chunks_.empty() || chunks_.back().size() == cap_) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(cap_);
+  }
+  chunks_.back().push_back(v);
+  ++size_;
+}
+
+FlatChunkDeque::Pos FlatChunkDeque::lower_bound_slow(double x) const {
+  // First chunk whose last element is >= x holds the answer (lower_bound
+  // already ruled out the all-below-x case).
+  std::size_t lo = 0;
+  std::size_t hi = chunks_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (chunks_[mid].back() < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  TCW_ASSERT(lo < chunks_.size());
+  const std::vector<double>& chunk = chunks_[lo];
+  const auto first = chunk.begin() + static_cast<std::ptrdiff_t>(
+                                         lo == 0 ? head_ : 0);
+  const auto it = std::lower_bound(first, chunk.end(), x);
+  TCW_ASSERT(it != chunk.end());
+  return Pos{lo, static_cast<std::size_t>(it - chunk.begin())};
+}
+
+void FlatChunkDeque::erase(const Pos& p) {
+  TCW_EXPECTS(p.chunk < chunks_.size());
+  std::vector<double>& chunk = chunks_[p.chunk];
+  TCW_EXPECTS(p.index < chunk.size());
+  if (p.chunk == 0 && p.index == head_) {
+    pop_front();
+    return;
+  }
+  chunk.erase(chunk.begin() + static_cast<std::ptrdiff_t>(p.index));
+  --size_;
+  if (chunk.empty()) {
+    chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(p.chunk));
+    if (p.chunk == 0) head_ = 0;
+  }
+}
+
+void FlatChunkDeque::clear() {
+  chunks_.clear();
+  head_ = 0;
+  size_ = 0;
+}
+
+bool FlatChunkDeque::check_invariant() const {
+  std::size_t counted = 0;
+  double prev = -1.0;
+  bool first = true;
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const std::vector<double>& chunk = chunks_[c];
+    if (chunk.empty() || chunk.size() > cap_) return false;
+    const std::size_t start = c == 0 ? head_ : 0;
+    if (start >= chunk.size()) return false;
+    for (std::size_t i = start; i < chunk.size(); ++i) {
+      if (!first && chunk[i] <= prev) return false;
+      prev = chunk[i];
+      first = false;
+      ++counted;
+    }
+  }
+  return counted == size_ && (size_ > 0 || head_ == 0);
+}
+
+}  // namespace tcw

@@ -1,0 +1,100 @@
+// A flat monotone multiset of doubles specialised for the aggregate
+// simulator's pending-arrival workload: values are inserted in strictly
+// increasing order (always a push_back), lookups are "first element >= x",
+// and removals are either prefix purges (sender discard up to the
+// controller floor) or the removal of one mid element (the arrival that
+// just transmitted). A node-based std::set pays a pointer chase and an
+// allocation per element for exactly this pattern; here elements live in
+// fixed-capacity contiguous chunks, so a lookup is two small binary
+// searches and a mid erase moves at most one chunk's tail.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace tcw {
+
+class FlatChunkDeque {
+ public:
+  /// Position of one element: (chunk index, offset inside the chunk).
+  /// Invalidated by any mutation, like a vector iterator.
+  struct Pos {
+    std::size_t chunk = 0;
+    std::size_t index = 0;
+  };
+
+  explicit FlatChunkDeque(std::size_t chunk_capacity = 128);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Append `v`; requires v > back() (the monotone contract).
+  void push_back(double v);
+
+  double front() const { return chunks_.front()[head_]; }
+  double back() const { return chunks_.back().back(); }
+  void pop_front() {
+    ++head_;
+    --size_;
+    if (head_ == chunks_.front().size()) {
+      chunks_.pop_front();
+      head_ = 0;
+    }
+  }
+
+  /// Position of the first element >= x, or end() if none. The probed
+  /// window usually starts at or below the oldest pending stamp (windows
+  /// sweep the backlog left to right), so the front comparison resolves
+  /// the common case in O(1).
+  Pos lower_bound(double x) const {
+    if (size_ == 0 || chunks_.back().back() < x) {
+      return Pos{chunks_.size(), 0};
+    }
+    if (chunks_.front()[head_] >= x) return Pos{0, head_};
+    return lower_bound_slow(x);
+  }
+
+  Pos begin_pos() const { return Pos{0, head_}; }
+  bool is_end(const Pos& p) const { return p.chunk >= chunks_.size(); }
+  double at(const Pos& p) const { return chunks_[p.chunk][p.index]; }
+  Pos next(const Pos& p) const {
+    Pos q{p.chunk, p.index + 1};
+    if (q.index >= chunks_[q.chunk].size()) {
+      ++q.chunk;
+      q.index = 0;
+    }
+    return q;
+  }
+
+  /// Remove the element at `p` (single mid-element removal).
+  void erase(const Pos& p);
+
+  void clear();
+
+  /// Visit every element in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      for (std::size_t i = (c == 0 ? head_ : 0); i < chunks_[c].size(); ++i) {
+        f(chunks_[c][i]);
+      }
+    }
+  }
+
+  /// Structural invariant: chunk bounds, head offset, strict monotonicity.
+  bool check_invariant() const;
+
+ private:
+  /// lower_bound when the answer is neither end() nor the front element:
+  /// binary search over chunks, then within the chunk.
+  Pos lower_bound_slow(double x) const;
+
+  std::size_t cap_;
+  std::deque<std::vector<double>> chunks_;  // non-empty, globally ascending
+  std::size_t head_ = 0;                    // first live index of chunks_[0]
+  std::size_t size_ = 0;
+};
+
+}  // namespace tcw

@@ -260,6 +260,31 @@ TEST(Controller, StateEqualsDetectsDivergence) {
   EXPECT_FALSE(a.state_equals(b));
 }
 
+// The shadow-replica audit in net::Network leans on state_equals catching a
+// replica that ran probe rounds the rest of the network never observed --
+// and on equality being restored only by the identical feedback history.
+TEST(Controller, StateEqualsDetectsFrontierDrift) {
+  WindowController a(wide_optimal(10.0));
+  WindowController b(wide_optimal(10.0));
+  EXPECT_TRUE(a.state_equals(b));
+  (void)b.next_probe(5.0);  // b resolves a round a never saw
+  b.on_feedback(Feedback::Idle);
+  EXPECT_FALSE(a.state_equals(b));
+  (void)a.next_probe(5.0);  // the identical round re-converges the states
+  a.on_feedback(Feedback::Idle);
+  EXPECT_TRUE(a.state_equals(b));
+}
+
+TEST(Controller, StateEqualsDetectsMidProbeAgainstResolved) {
+  WindowController a(wide_optimal(10.0));
+  WindowController b(wide_optimal(10.0));
+  (void)a.next_probe(20.0);
+  a.on_feedback(Feedback::Collision);  // a is mid split-resolution
+  (void)b.next_probe(20.0);
+  b.on_feedback(Feedback::Idle);       // b resolved the window outright
+  EXPECT_FALSE(a.state_equals(b));
+}
+
 TEST(Controller, ProcessProbesCountsSlots) {
   WindowController c(wide_optimal(8.0));
   (void)c.next_probe(10.0);

@@ -1,0 +1,178 @@
+// FlatChunkDeque: the aggregate simulator's pending-arrival structure.
+// Unit tests over chunk boundaries plus a randomized cross-check against
+// std::multiset under the structure's real workload mix (monotone
+// push_back, prefix purges, single mid erases).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "util/contract.hpp"
+#include "util/flat_deque.hpp"
+
+using tcw::FlatChunkDeque;
+
+namespace {
+
+std::vector<double> contents(const FlatChunkDeque& d) {
+  std::vector<double> out;
+  d.for_each([&](double v) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace
+
+TEST(FlatDeque, StartsEmpty) {
+  FlatChunkDeque d(4);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.is_end(d.lower_bound(0.0)));
+  EXPECT_TRUE(d.check_invariant());
+}
+
+TEST(FlatDeque, PushSpansChunks) {
+  FlatChunkDeque d(3);
+  for (int i = 0; i < 10; ++i) d.push_back(i);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_DOUBLE_EQ(d.front(), 0.0);
+  EXPECT_DOUBLE_EQ(d.back(), 9.0);
+  EXPECT_EQ(contents(d), (std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_TRUE(d.check_invariant());
+}
+
+TEST(FlatDeque, PopFrontWalksChunkBoundary) {
+  FlatChunkDeque d(3);
+  for (int i = 0; i < 7; ++i) d.push_back(i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(d.front(), i);
+    d.pop_front();
+    EXPECT_TRUE(d.check_invariant()) << "after pop " << i;
+  }
+  EXPECT_EQ(contents(d), (std::vector<double>{5, 6}));
+}
+
+TEST(FlatDeque, LowerBoundHitsEveryPosition) {
+  FlatChunkDeque d(3);
+  for (int i = 0; i < 11; ++i) d.push_back(2.0 * i);  // 0,2,...,20
+  for (int i = 0; i < 11; ++i) {
+    // Exact hit.
+    auto p = d.lower_bound(2.0 * i);
+    ASSERT_FALSE(d.is_end(p));
+    EXPECT_DOUBLE_EQ(d.at(p), 2.0 * i);
+    // Between elements: rounds up.
+    p = d.lower_bound(2.0 * i - 1.0);
+    ASSERT_FALSE(d.is_end(p));
+    EXPECT_DOUBLE_EQ(d.at(p), 2.0 * i);
+  }
+  EXPECT_TRUE(d.is_end(d.lower_bound(20.5)));
+}
+
+TEST(FlatDeque, LowerBoundAfterPopFrontRespectsHead) {
+  FlatChunkDeque d(4);
+  for (int i = 0; i < 6; ++i) d.push_back(i);
+  d.pop_front();
+  d.pop_front();  // live: 2..5, head_ == 2 in chunk 0
+  const auto p = d.lower_bound(0.0);
+  ASSERT_FALSE(d.is_end(p));
+  EXPECT_DOUBLE_EQ(d.at(p), 2.0);
+  EXPECT_TRUE(d.check_invariant());
+}
+
+TEST(FlatDeque, NextIteratesInOrder) {
+  FlatChunkDeque d(2);
+  for (int i = 0; i < 5; ++i) d.push_back(i);
+  auto p = d.begin_pos();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_FALSE(d.is_end(p));
+    EXPECT_DOUBLE_EQ(d.at(p), i);
+    p = d.next(p);
+  }
+  EXPECT_TRUE(d.is_end(p));
+}
+
+TEST(FlatDeque, EraseMidAndAtHead) {
+  FlatChunkDeque d(3);
+  for (int i = 0; i < 7; ++i) d.push_back(i);
+  d.erase(d.lower_bound(4.0));  // mid of chunk 1
+  EXPECT_EQ(contents(d), (std::vector<double>{0, 1, 2, 3, 5, 6}));
+  d.erase(d.lower_bound(0.0));  // head element routes through pop_front
+  EXPECT_EQ(contents(d), (std::vector<double>{1, 2, 3, 5, 6}));
+  EXPECT_TRUE(d.check_invariant());
+}
+
+TEST(FlatDeque, EraseOnlyElementOfChunkDropsChunk) {
+  FlatChunkDeque d(2);
+  for (int i = 0; i < 5; ++i) d.push_back(i);  // chunks {0,1},{2,3},{4}
+  d.erase(d.lower_bound(4.0));
+  EXPECT_EQ(contents(d), (std::vector<double>{0, 1, 2, 3}));
+  EXPECT_TRUE(d.check_invariant());
+  // Drain chunk 0 to a single live element, then erase it.
+  d.pop_front();
+  d.erase(d.lower_bound(1.0));
+  EXPECT_EQ(contents(d), (std::vector<double>{2, 3}));
+  EXPECT_TRUE(d.check_invariant());
+}
+
+TEST(FlatDeque, ClearResets) {
+  FlatChunkDeque d(3);
+  for (int i = 0; i < 8; ++i) d.push_back(i);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(d.check_invariant());
+  d.push_back(-5.0);  // reusable after clear
+  EXPECT_DOUBLE_EQ(d.front(), -5.0);
+}
+
+TEST(FlatDeque, PushBelowBackRejected) {
+  FlatChunkDeque d(4);
+  d.push_back(3.0);
+  EXPECT_THROW(d.push_back(3.0), tcw::ContractViolation);
+}
+
+// The structure's real workload, cross-checked against std::multiset:
+// strictly increasing inserts, prefix purges up to a moving floor, and
+// removal of the first element >= a probe point.
+TEST(FlatDeque, RandomizedCrossCheckAgainstSet) {
+  for (const std::size_t cap : {2u, 3u, 7u, 64u}) {
+    FlatChunkDeque d(cap);
+    std::multiset<double> ref;
+    std::mt19937_64 rng(20261983 + cap);
+    std::uniform_real_distribution<double> gap(1e-6, 3.0);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    double clock = 0.0;
+    for (int step = 0; step < 5000; ++step) {
+      const double action = unit(rng);
+      if (action < 0.55 || ref.empty()) {
+        clock += gap(rng);
+        d.push_back(clock);
+        ref.insert(clock);
+      } else if (action < 0.75) {
+        // Prefix purge to a floor inside the current range.
+        const double floor =
+            *ref.begin() + unit(rng) * (*ref.rbegin() - *ref.begin());
+        while (!ref.empty() && *ref.begin() < floor) {
+          ASSERT_DOUBLE_EQ(d.front(), *ref.begin());
+          d.pop_front();
+          ref.erase(ref.begin());
+        }
+      } else {
+        // Erase the first element >= a random probe point (the
+        // transmitted-arrival pattern).
+        const double probe =
+            *ref.begin() + unit(rng) * (*ref.rbegin() - *ref.begin());
+        const auto rit = ref.lower_bound(probe);
+        const auto dit = d.lower_bound(probe);
+        ASSERT_EQ(rit == ref.end(), d.is_end(dit));
+        if (rit != ref.end()) {
+          ASSERT_DOUBLE_EQ(d.at(dit), *rit);
+          d.erase(dit);
+          ref.erase(rit);
+        }
+      }
+      ASSERT_EQ(d.size(), ref.size());
+      ASSERT_TRUE(d.check_invariant()) << "cap=" << cap << " step=" << step;
+    }
+    EXPECT_EQ(contents(d), std::vector<double>(ref.begin(), ref.end()));
+  }
+}
