@@ -1,112 +1,8 @@
-// Deploys the Section-3 decision model's output in the live protocol: the
-// SMDP's optimal width table w*(backlog) is loaded into the controller
-// (ControlPolicy::width_table) and simulated head-to-head against the
-// static nu*/lambda heuristic the paper adopts for element (2). Small M
-// keeps the SMDP tractable; the gap between the two is the value of
-// state-adaptive window sizing -- the quantity the paper could not afford
-// to compute in 1983.
-#include <cstdio>
-#include <iostream>
-
-#include "analysis/splitting.hpp"
-#include "net/experiment.hpp"
-#include "smdp/window_model.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/strings.hpp"
+// Compatibility shim: this bench now lives in the declarative study
+// registry (bench/studies.cpp, AdaptiveWidthStudy); same flags and CSV as the
+// pre-registry binary, also reachable as `study_tool ablation_adaptive_width`.
+#include "study.hpp"
 
 int main(int argc, char** argv) {
-  double lambda = 0.12;
-  long long tx = 5;  // M + 1 detection slot
-  double t_end = 400000.0;
-  long long reps = 3;
-  long long samples = 20000;
-  long long threads = 0;
-  bool quick = false;
-  std::string csv = "ablation_adaptive_width.csv";
-  tcw::Flags flags("ablation_adaptive_width",
-                   "SMDP-optimal adaptive widths vs the static heuristic");
-  flags.add("lambda", &lambda, "arrival rate per slot");
-  flags.add("tx", &tx, "transmission + detection slots (M + 1)");
-  flags.add("t-end", &t_end, "simulated slots per replication");
-  flags.add("reps", &reps, "replications");
-  flags.add("samples", &samples, "SMDP kernel samples");
-  flags.add("threads", &threads,
-            "sweep worker threads (0 = all hardware threads)");
-  flags.add("quick", &quick, "shrink run length for smoke testing");
-  flags.add("csv", &csv, "CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  if (quick) {
-    t_end = 80000.0;
-    reps = 1;
-    samples = 4000;
-  }
-
-  const double m = static_cast<double>(tx - 1);
-  tcw::net::SweepConfig cfg;
-  cfg.offered_load = lambda * m;
-  cfg.message_length = m;
-  cfg.t_end = t_end;
-  cfg.warmup = t_end / 15.0;
-  cfg.replications = static_cast<int>(reps);
-  cfg.threads = static_cast<int>(threads);
-  const double heuristic_width = cfg.heuristic_window_width();
-
-  std::printf("== adaptive element (2): SMDP width table vs static "
-              "heuristic (lambda=%.3f, M=%.0f) ==\n\n", lambda, m);
-
-  tcw::net::SweepTiming total;
-  tcw::Table table({"K", "loss_static", "ci_static", "loss_adaptive",
-                    "ci_adaptive", "smdp_pseudo_loss"});
-  for (const long long k : {12LL, 16LL, 24LL, 32LL, 48LL}) {
-    // Solve the decision model at this deadline.
-    tcw::smdp::WindowSmdpConfig wcfg;
-    wcfg.deadline = static_cast<std::size_t>(k);
-    wcfg.lambda = lambda;
-    wcfg.tx_slots = static_cast<std::size_t>(tx);
-    wcfg.mc_samples = static_cast<std::size_t>(samples);
-    const auto solved = tcw::smdp::solve_window_model(wcfg);
-    std::vector<double> width_table(solved.width_per_state.size());
-    for (std::size_t i = 0; i < width_table.size(); ++i) {
-      width_table[i] = static_cast<double>(solved.width_per_state[i]);
-    }
-
-    tcw::net::SweepTiming timing;
-    const auto static_pts = tcw::net::simulate_loss_curve_custom(
-        cfg,
-        [heuristic_width](double deadline) {
-          return tcw::core::ControlPolicy::optimal(deadline,
-                                                   heuristic_width);
-        },
-        {static_cast<double>(k)}, &timing);
-    total.accumulate(timing);
-    const auto adaptive_pts = tcw::net::simulate_loss_curve_custom(
-        cfg,
-        [&](double deadline) {
-          auto p = tcw::core::ControlPolicy::optimal(deadline,
-                                                     heuristic_width);
-          p.width_table = width_table;
-          return p;
-        },
-        {static_cast<double>(k)}, &timing);
-    total.accumulate(timing);
-
-    table.add_row({std::to_string(k),
-                   tcw::format_fixed(static_pts[0].p_loss, 5),
-                   tcw::format_fixed(static_pts[0].ci95, 5),
-                   tcw::format_fixed(adaptive_pts[0].p_loss, 5),
-                   tcw::format_fixed(adaptive_pts[0].ci95, 5),
-                   tcw::format_fixed(solved.loss_fraction, 5)});
-  }
-  table.write_pretty(std::cout);
-  std::printf("\n(the SMDP pseudo-loss column is the model's own optimum "
-              "under the paper's\n waiting definition; the sim columns "
-              "charge true waits, hence sit higher)\n");
-  std::printf("BENCH_JSON {\"panel\":\"ablation_adaptive_width\",\"threads\":%u,"
-              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              total.threads, total.jobs, total.wall_seconds,
-              total.jobs_per_second);
-  if (!table.save_csv(csv)) return 1;
-  std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return tcw::bench::run_study_main("ablation_adaptive_width", argc, argv);
 }

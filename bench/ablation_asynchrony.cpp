@@ -1,93 +1,8 @@
-// Asynchrony sensitivity (paper Section 5, second extension, studied as a
-// robustness sweep rather than a new protocol -- Molle [Molle 83] treats
-// true asynchronous operation): every probe step is stretched by a uniform
-// 0..jitter extra slot time, modelling imperfect slot synchronization and
-// end-of-carrier detection latency. The controller is unmodified -- it
-// keys on the actual clock -- so this measures how much loss the paper's
-// synchronous-channel assumption is worth.
-#include <chrono>
-#include <cstdio>
-#include <iostream>
-#include <memory>
-#include <vector>
-
-#include "analysis/splitting.hpp"
-#include "exec/parallel_for.hpp"
-#include "exec/thread_pool.hpp"
-#include "net/aggregate_sim.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/strings.hpp"
+// Compatibility shim: this bench now lives in the declarative study
+// registry (bench/studies.cpp, AsynchronyStudy); same flags and CSV as the
+// pre-registry binary, also reachable as `study_tool ablation_asynchrony`.
+#include "study.hpp"
 
 int main(int argc, char** argv) {
-  double rho = 0.5;
-  double m = 25.0;
-  double k = 75.0;
-  double t_end = 300000.0;
-  long long threads = 0;
-  bool quick = false;
-  std::string csv = "ablation_asynchrony.csv";
-  tcw::Flags flags("ablation_asynchrony",
-                   "Loss vs per-step synchronization jitter");
-  flags.add("rho", &rho, "offered load rho'");
-  flags.add("m", &m, "message length M");
-  flags.add("k", &k, "time constraint K in slots");
-  flags.add("t-end", &t_end, "simulated slots");
-  flags.add("threads", &threads,
-            "worker threads (0 = all hardware threads)");
-  flags.add("quick", &quick, "shrink run length for smoke testing");
-  flags.add("csv", &csv, "CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  if (quick) t_end = 60000.0;
-
-  const double lambda = rho / m;
-  const double width = tcw::analysis::optimal_window_load() / lambda;
-
-  std::printf("== synchronization-jitter sweep (rho'=%.2f, M=%.0f, "
-              "K=%.0f) ==\n\n", rho, m, k);
-  tcw::Table table({"jitter", "p_loss", "mean_wait", "p90_wait",
-                    "utilization"});
-  const std::vector<double> jitters{0.0, 0.1, 0.25, 0.5, 1.0, 2.0};
-  std::vector<tcw::net::SimMetrics> runs(jitters.size());
-  // Independent runs per jitter level: fan out, then report in fixed
-  // order. All levels share the seed (common random numbers).
-  const auto t0 = std::chrono::steady_clock::now();
-  tcw::exec::ThreadPool pool(tcw::exec::resolve_threads(
-      static_cast<int>(threads)));
-  tcw::exec::parallel_for(pool, jitters.size(), [&](std::size_t i) {
-    tcw::net::AggregateConfig cfg;
-    cfg.policy = tcw::core::ControlPolicy::optimal(k, width);
-    cfg.message_length = m;
-    cfg.t_end = t_end;
-    cfg.warmup = t_end / 15.0;
-    cfg.seed = 41;
-    cfg.slot_jitter = jitters[i];
-    tcw::net::AggregateSimulator sim(
-        cfg, std::make_unique<tcw::chan::PoissonProcess>(lambda));
-    runs[i] = sim.run();
-  });
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - t0;
-  for (std::size_t i = 0; i < jitters.size(); ++i) {
-    const auto& metrics = runs[i];
-    table.add_row({tcw::format_fixed(jitters[i], 2),
-                   tcw::format_fixed(metrics.p_loss(), 5),
-                   tcw::format_fixed(metrics.wait_delivered.mean(), 2),
-                   tcw::format_fixed(metrics.wait_p90.value(), 2),
-                   tcw::format_fixed(metrics.usage.utilization(), 4)});
-  }
-  table.write_pretty(std::cout);
-  std::printf("BENCH_JSON {\"panel\":\"ablation_asynchrony\",\"threads\":%zu,"
-              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              pool.size(), jitters.size(), wall.count(),
-              wall.count() > 0.0
-                  ? static_cast<double>(jitters.size()) / wall.count()
-                  : 0.0);
-  std::printf("\njitter inflates every probe and transmission, so it acts "
-              "like a slower\nchannel: loss grows smoothly -- no cliff -- "
-              "which bounds the cost of the\nsynchronous-operation "
-              "assumption the paper flags as future work.\n");
-  if (!table.save_csv(csv)) return 1;
-  std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return tcw::bench::run_study_main("ablation_asynchrony", argc, argv);
 }

@@ -1,101 +1,8 @@
-// Extension bench (paper Section 5): "not necessarily splitting a window
-// in half". Sweeps the cut fraction alpha, comparing the renewal model's
-// slots-per-message against simulated loss, and reports the jointly
-// optimal (nu*, alpha*) from analysis::optimal_window_load_alpha().
-#include <cstdio>
-#include <iostream>
-
-#include "analysis/splitting.hpp"
-#include "net/experiment.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/strings.hpp"
+// Compatibility shim: this bench now lives in the declarative study
+// registry (bench/studies.cpp, SplitFractionStudy); same flags and CSV as the
+// pre-registry binary, also reachable as `study_tool ablation_split_fraction`.
+#include "study.hpp"
 
 int main(int argc, char** argv) {
-  double rho = 0.6;
-  double m = 25.0;
-  double k_over_m = 2.0;
-  double t_end = 200000.0;
-  long long reps = 2;
-  long long threads = 0;
-  bool quick = false;
-  std::string csv = "ablation_split_fraction.csv";
-  tcw::Flags flags("ablation_split_fraction",
-                   "Window cut fraction alpha: model overhead and sim loss");
-  flags.add("rho", &rho, "offered load rho'");
-  flags.add("m", &m, "message length M");
-  flags.add("k-over-m", &k_over_m, "time constraint as a multiple of M");
-  flags.add("t-end", &t_end, "simulated slots");
-  flags.add("reps", &reps, "replications");
-  flags.add("threads", &threads,
-            "sweep worker threads (0 = all hardware threads)");
-  flags.add("quick", &quick, "shrink run length for smoke testing");
-  flags.add("csv", &csv, "CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  if (quick) {
-    t_end = 50000.0;
-    reps = 1;
-  }
-
-  tcw::net::SweepConfig cfg;
-  cfg.offered_load = rho;
-  cfg.message_length = m;
-  cfg.t_end = t_end;
-  cfg.warmup = t_end / 15.0;
-  cfg.replications = static_cast<int>(reps);
-  cfg.threads = static_cast<int>(threads);
-  const double k = k_over_m * m;
-
-  const auto joint = tcw::analysis::optimal_window_load_alpha();
-  std::printf("== split-fraction sweep (rho'=%.2f, M=%.0f, K=%.0f) ==\n",
-              rho, m, k);
-  std::printf("joint renewal optimum: alpha* = %.3f, nu* = %.3f "
-              "(%.4f slots/msg; binary alpha=0.5 costs %.4f)\n\n",
-              joint.alpha, joint.nu, joint.slots_per_message,
-              tcw::analysis::slots_per_message(
-                  tcw::analysis::optimal_window_load()));
-
-  tcw::net::SweepTiming total;
-  tcw::Table table({"alpha", "nu_star_alpha", "slots_per_msg_model",
-                    "p_loss_sim", "ci95"});
-  for (const double alpha : {0.25, 0.35, 0.45, 0.5, 0.55, 0.65, 0.75}) {
-    // Width chosen per-alpha by the same heuristic: minimize overhead.
-    double best_nu = joint.nu;
-    double best_cost = 1e9;
-    for (double nu = 0.4; nu <= 3.0; nu += 0.02) {
-      const double cost = tcw::analysis::slots_per_message_alpha(nu, alpha);
-      if (cost < best_cost) {
-        best_cost = cost;
-        best_nu = nu;
-      }
-    }
-    const double width = best_nu / cfg.lambda();
-    tcw::net::SweepTiming timing;
-    const auto pts = tcw::net::simulate_loss_curve_custom(
-        cfg,
-        [width, alpha](double deadline) {
-          auto p = tcw::core::ControlPolicy::optimal(deadline, width);
-          p.split_fraction = alpha;
-          return p;
-        },
-        {k}, &timing);
-    total.accumulate(timing);
-    table.add_row({tcw::format_fixed(alpha, 2),
-                   tcw::format_fixed(best_nu, 3),
-                   tcw::format_fixed(best_cost, 4),
-                   tcw::format_fixed(pts[0].p_loss, 5),
-                   tcw::format_fixed(pts[0].ci95, 5)});
-  }
-  table.write_pretty(std::cout);
-  std::printf("\nthe renewal overhead curve is flat near alpha = 0.5: the "
-              "paper's binary\nsplit sits at (or within noise of) the "
-              "optimum, answering Section 5's question.\n");
-  std::printf("BENCH_JSON {\"panel\":\"ablation_split_fraction\","
-              "\"threads\":%u,\"jobs\":%zu,\"wall_seconds\":%.4f,"
-              "\"jobs_per_sec\":%.2f}\n",
-              total.threads, total.jobs, total.wall_seconds,
-              total.jobs_per_second);
-  if (!table.save_csv(csv)) return 1;
-  std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return tcw::bench::run_study_main("ablation_split_fraction", argc, argv);
 }

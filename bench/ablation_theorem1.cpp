@@ -1,102 +1,8 @@
-// Theorem 1 ablation: holding elements (2) and (4) fixed, sweep all nine
-// combinations of element (1) (initial-window position) and element (3)
-// (split-half selection) and measure the simulated loss. The paper proves
-// OldestFirst/OlderHalf -- global FCFS among surviving messages -- is
-// optimal; this bench regenerates that claim empirically.
-#include <cstdio>
-#include <iostream>
-
-#include "core/policy.hpp"
-#include "net/experiment.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/strings.hpp"
+// Compatibility shim: this bench now lives in the declarative study
+// registry (bench/studies.cpp, Theorem1Study); same flags and CSV as the
+// pre-registry binary, also reachable as `study_tool ablation_theorem1`.
+#include "study.hpp"
 
 int main(int argc, char** argv) {
-  double t_end = 150000.0;
-  double m = 25.0;
-  long long reps = 2;
-  long long threads = 0;
-  bool quick = false;
-  std::string csv = "ablation_theorem1.csv";
-  tcw::Flags flags("ablation_theorem1",
-                   "Sweep policy elements (1) x (3) to verify Theorem 1");
-  flags.add("t-end", &t_end, "simulated slots per replication");
-  flags.add("m", &m, "message length M");
-  flags.add("reps", &reps, "replications per point");
-  flags.add("threads", &threads,
-            "sweep worker threads (0 = all hardware threads)");
-  flags.add("quick", &quick, "shrink run length for smoke testing");
-  flags.add("csv", &csv, "CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  if (quick) {
-    t_end = 30000.0;
-    reps = 1;
-  }
-
-  using tcw::core::ControlPolicy;
-  using tcw::core::PositionRule;
-  using tcw::core::SplitRule;
-
-  std::printf("== Theorem 1 ablation: loss under every (position, split) "
-              "combination ==\n(element 2 fixed at the heuristic width, "
-              "element 4 active, K = 2M and 4M)\n\n");
-
-  tcw::net::SweepTiming total;
-  tcw::Table table({"rho", "K", "position", "split", "p_loss", "ci95"});
-  for (const double rho : {0.25, 0.50, 0.75}) {
-    tcw::net::SweepConfig cfg;
-    cfg.offered_load = rho;
-    cfg.message_length = m;
-    cfg.t_end = t_end;
-    cfg.warmup = t_end / 15.0;
-    cfg.replications = static_cast<int>(reps);
-    cfg.threads = static_cast<int>(threads);
-    const double width = cfg.heuristic_window_width();
-
-    for (const double k : {2.0 * m, 4.0 * m}) {
-      double best = 1.0;
-      std::string best_combo;
-      for (const auto pos :
-           {PositionRule::OldestFirst, PositionRule::NewestFirst,
-            PositionRule::RandomGap}) {
-        for (const auto split : {SplitRule::OlderHalf, SplitRule::YoungerHalf,
-                                 SplitRule::RandomHalf}) {
-          tcw::net::SweepTiming timing;
-          const auto pts = tcw::net::simulate_loss_curve_custom(
-              cfg,
-              [&](double deadline) {
-                ControlPolicy p = ControlPolicy::optimal(deadline, width);
-                p.position = pos;
-                p.split = split;
-                return p;
-              },
-              {k}, &timing);
-          total.accumulate(timing);
-          table.add_row({tcw::format_fixed(rho, 2), tcw::format_fixed(k, 0),
-                         to_string(pos), to_string(split),
-                         tcw::format_fixed(pts[0].p_loss, 5),
-                         tcw::format_fixed(pts[0].ci95, 5)});
-          if (pts[0].p_loss < best) {
-            best = pts[0].p_loss;
-            best_combo = to_string(pos) + "/" + to_string(split);
-          }
-        }
-      }
-      std::printf("rho'=%.2f K=%.0f: best combination = %s (loss %.4f)\n",
-                  rho, k, best_combo.c_str(), best);
-    }
-  }
-  std::printf("\n");
-  table.write_pretty(std::cout);
-  if (!table.save_csv(csv)) {
-    std::fprintf(stderr, "failed to write %s\n", csv.c_str());
-    return 1;
-  }
-  std::printf("BENCH_JSON {\"panel\":\"ablation_theorem1\",\"threads\":%u,"
-              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              total.threads, total.jobs, total.wall_seconds,
-              total.jobs_per_second);
-  std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return tcw::bench::run_study_main("ablation_theorem1", argc, argv);
 }

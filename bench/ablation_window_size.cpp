@@ -1,96 +1,8 @@
-// Element (2) study: the initial window width is the one policy element
-// Theorem 1 leaves open and the paper handles heuristically (minimize the
-// mean scheduling time per message => width nu*/lambda). This bench sweeps
-// fixed widths around the heuristic and reports simulated loss, mean
-// scheduling slots, and the renewal model's predicted slots-per-message,
-// showing the heuristic sits at (or near) the empirical optimum.
-#include <cstdio>
-#include <iostream>
-
-#include "analysis/splitting.hpp"
-#include "net/experiment.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/strings.hpp"
+// Compatibility shim: this bench now lives in the declarative study
+// registry (bench/studies.cpp, WindowSizeStudy); same flags and CSV as the
+// pre-registry binary, also reachable as `study_tool ablation_window_size`.
+#include "study.hpp"
 
 int main(int argc, char** argv) {
-  double rho = 0.5;
-  double m = 25.0;
-  double k_over_m = 3.0;
-  double t_end = 200000.0;
-  long long reps = 2;
-  long long threads = 0;
-  bool quick = false;
-  std::string csv = "ablation_window_size.csv";
-  tcw::Flags flags("ablation_window_size",
-                   "Loss and scheduling overhead vs initial window width");
-  flags.add("rho", &rho, "offered load rho'");
-  flags.add("m", &m, "message length M");
-  flags.add("k-over-m", &k_over_m, "time constraint K as a multiple of M");
-  flags.add("t-end", &t_end, "simulated slots");
-  flags.add("reps", &reps, "replications");
-  flags.add("threads", &threads,
-            "sweep worker threads (0 = all hardware threads)");
-  flags.add("quick", &quick, "shrink run length for smoke testing");
-  flags.add("csv", &csv, "CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  if (quick) {
-    t_end = 40000.0;
-    reps = 1;
-  }
-
-  tcw::net::SweepConfig cfg;
-  cfg.offered_load = rho;
-  cfg.message_length = m;
-  cfg.t_end = t_end;
-  cfg.warmup = t_end / 15.0;
-  cfg.replications = static_cast<int>(reps);
-  cfg.threads = static_cast<int>(threads);
-  const double k = k_over_m * m;
-  const double heuristic = cfg.heuristic_window_width();
-
-  std::printf("== element (2) study: window width sweep "
-              "(rho'=%.2f, M=%.0f, K=%.0f) ==\n", rho, m, k);
-  std::printf("heuristic width nu*/lambda = %.2f slots (nu* = %.4f)\n\n",
-              heuristic, tcw::analysis::optimal_window_load());
-
-  tcw::Table table({"width", "width_over_heuristic", "nu", "p_loss", "ci95",
-                    "sched_sim", "slots_per_msg_model"});
-  double best_loss = 1.0;
-  double best_width = 0.0;
-  tcw::net::SweepTiming total;
-  for (const double scale : {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0,
-                             8.0}) {
-    const double width = scale * heuristic;
-    tcw::net::SweepTiming timing;
-    const auto pts = tcw::net::simulate_loss_curve_custom(
-        cfg,
-        [width](double deadline) {
-          return tcw::core::ControlPolicy::optimal(deadline, width);
-        },
-        {k}, &timing);
-    total.accumulate(timing);
-    const double nu = cfg.lambda() * width;
-    table.add_row({tcw::format_fixed(width, 2), tcw::format_fixed(scale, 3),
-                   tcw::format_fixed(nu, 3),
-                   tcw::format_fixed(pts[0].p_loss, 5),
-                   tcw::format_fixed(pts[0].ci95, 5),
-                   tcw::format_fixed(pts[0].mean_scheduling, 3),
-                   tcw::format_fixed(tcw::analysis::slots_per_message(nu),
-                                     3)});
-    if (pts[0].p_loss < best_loss) {
-      best_loss = pts[0].p_loss;
-      best_width = width;
-    }
-  }
-  table.write_pretty(std::cout);
-  std::printf("\nempirical best width %.2f slots (%.2fx the heuristic), "
-              "loss %.4f\n", best_width, best_width / heuristic, best_loss);
-  std::printf("BENCH_JSON {\"panel\":\"ablation_window_size\",\"threads\":%u,"
-              "\"jobs\":%zu,\"wall_seconds\":%.4f,\"jobs_per_sec\":%.2f}\n",
-              total.threads, total.jobs, total.wall_seconds,
-              total.jobs_per_second);
-  if (!table.save_csv(csv)) return 1;
-  std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return tcw::bench::run_study_main("ablation_window_size", argc, argv);
 }

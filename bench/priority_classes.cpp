@@ -1,78 +1,8 @@
-// Extension bench (paper Section 5): priority classes over the controlled
-// window protocol. Two classes share the channel -- a tight-deadline
-// "voice" class and a loose-deadline "data" class -- and the weighted
-// round-robin share of windowing processes is swept to map the loss
-// trade-off frontier between them.
-#include <cstdio>
-#include <iostream>
-
-#include "net/priority.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/strings.hpp"
+// Compatibility shim: this bench now lives in the declarative study
+// registry (bench/studies.cpp, PriorityClassesStudy); same flags and CSV as the
+// pre-registry binary, also reachable as `study_tool priority_classes`.
+#include "study.hpp"
 
 int main(int argc, char** argv) {
-  double m = 25.0;
-  double k_high = 75.0;
-  double k_low = 600.0;
-  double rate_each = 0.011;  // per class; total rho' ~ 0.55
-  double t_end = 250000.0;
-  bool quick = false;
-  std::string csv = "priority_classes.csv";
-  tcw::Flags flags("priority_classes",
-                   "Two-class priority trade-off via process weights");
-  flags.add("m", &m, "message length M");
-  flags.add("k-high", &k_high, "deadline of the high-priority class");
-  flags.add("k-low", &k_low, "deadline of the low-priority class");
-  flags.add("rate", &rate_each, "arrival rate per class (messages/slot)");
-  flags.add("t-end", &t_end, "simulated slots");
-  flags.add("quick", &quick, "shrink run length for smoke testing");
-  flags.add("csv", &csv, "CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  if (quick) t_end = 50000.0;
-
-  std::printf("== priority classes: K_high=%.0f vs K_low=%.0f, "
-              "rho'_total=%.2f ==\n\n",
-              k_high, k_low, 2.0 * rate_each * m);
-
-  tcw::Table table({"w_high", "w_low", "loss_high", "loss_low",
-                    "wait_high", "wait_low", "util_total"});
-  for (const auto [w_high, w_low] :
-       {std::pair<unsigned, unsigned>{1, 4}, {1, 2}, {1, 1}, {2, 1},
-        {4, 1}, {8, 1}}) {
-    tcw::net::PriorityConfig cfg;
-    tcw::net::PriorityClassSpec high;
-    high.deadline = k_high;
-    high.arrival_rate = rate_each;
-    high.weight = w_high;
-    tcw::net::PriorityClassSpec low;
-    low.deadline = k_low;
-    low.arrival_rate = rate_each;
-    low.weight = w_low;
-    cfg.classes = {high, low};
-    cfg.message_length = m;
-    cfg.t_end = t_end;
-    cfg.warmup = t_end / 15.0;
-    cfg.seed = 23;
-
-    tcw::net::PrioritySimulator sim(cfg);
-    const auto& metrics = sim.run();
-    const double util = (metrics[0].usage.payload_slots() +
-                         metrics[1].usage.payload_slots()) /
-                        (metrics[0].usage.total_slots() +
-                         metrics[1].usage.total_slots());
-    table.add_row({std::to_string(w_high), std::to_string(w_low),
-                   tcw::format_fixed(metrics[0].p_loss(), 5),
-                   tcw::format_fixed(metrics[1].p_loss(), 5),
-                   tcw::format_fixed(metrics[0].wait_delivered.mean(), 2),
-                   tcw::format_fixed(metrics[1].wait_delivered.mean(), 2),
-                   tcw::format_fixed(util, 4)});
-  }
-  table.write_pretty(std::cout);
-  std::printf("\nweight shifts loss between the classes while total "
-              "utilization stays put:\nexactly the 'priority via window "
-              "scheduling' knob Section 5 anticipates.\n");
-  if (!table.save_csv(csv)) return 1;
-  std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return tcw::bench::run_study_main("priority_classes", argc, argv);
 }

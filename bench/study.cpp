@@ -1,0 +1,275 @@
+#include "study.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "exec/shard_cache.hpp"
+#include "exec/sweep_scheduler.hpp"
+#include "exec/thread_pool.hpp"
+#include "fig7_common.hpp"
+#include "sim/rng.hpp"
+
+namespace tcw::bench {
+
+StudyContext::StudyContext(const StudySpec& spec,
+                           const StudyCommonOptions& common,
+                           exec::SweepScheduler& scheduler,
+                           exec::ShardCache* cache)
+    : spec_(spec), common_(common), scheduler_(scheduler), cache_(cache) {
+  csv_path_ = common.csv.empty() ? spec.default_csv : common.csv;
+}
+
+net::ScheduledSweep StudyContext::sweep(
+    const std::string& name, const net::SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& grid) {
+  const std::string full = spec_.name + "/" + name;
+  net::SweepConfig cfg = config;
+  if (common_.trace.log != nullptr && common_.trace_sweep == name) {
+    cfg.trace_request = common_.trace;
+  }
+  net::ScheduledSweep handle = net::schedule_loss_curve_cached(
+      scheduler_, full, cfg, make_policy, grid,
+      net::SweepCacheBinding{cache_, full});
+  cached_shards_ += handle.cached_jobs();
+  scheduled_shards_ += handle.jobs() - handle.cached_jobs();
+  return handle;
+}
+
+std::shared_ptr<GenericSweep> StudyContext::generic_sweep(
+    const std::string& name, std::uint64_t base_seed,
+    const std::string& config_text,
+    std::vector<std::function<std::vector<double>()>> jobs) {
+  const std::string full = spec_.name + "/" + name;
+  auto sweep = std::make_shared<GenericSweep>();
+  sweep->payloads_.resize(jobs.size());
+  exec::ShardCache* cache = cache_;
+  const std::uint64_t fp =
+      cache != nullptr
+          ? exec::ShardCache::fingerprint("generic|tag=" + full + "|" +
+                                          config_text)
+          : 0;
+  std::vector<std::function<void()>> shards;
+  shards.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const exec::ShardKey key{sim::derive_stream_seed(base_seed, i, 0), fp};
+    if (cache != nullptr && cache->lookup(key, &sweep->payloads_[i])) {
+      ++sweep->cached_;
+      continue;
+    }
+    shards.push_back([sweep, cache, key, run = std::move(jobs[i]), i] {
+      sweep->payloads_[i] = run();
+      if (cache != nullptr) cache->insert(key, sweep->payloads_[i]);
+    });
+  }
+  cached_shards_ += sweep->cached_;
+  scheduled_shards_ += shards.size();
+  scheduler_.add_sweep(full, std::move(shards));
+  return sweep;
+}
+
+const std::vector<StudyEntry>& registry() {
+  static const std::vector<StudyEntry> entries = make_all_studies();
+  return entries;
+}
+
+const StudyEntry* find_study(const std::string& name) {
+  for (const StudyEntry& e : registry()) {
+    if (e.spec.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string registry_markdown_table() {
+  std::string out =
+      "| bench | probes | default CSV |\n|---|---|---|\n";
+  for (const StudyEntry& e : registry()) {
+    out += "| `" + e.spec.name + "` | " + e.spec.figure + " | `" +
+           e.spec.default_csv + "` |\n";
+  }
+  return out;
+}
+
+namespace {
+
+void register_common_flags(Flags& flags, StudyCommonOptions& o) {
+  flags.add("threads", &o.threads,
+            "sweep worker threads (0 = all hardware threads); results are "
+            "bit-identical for any value");
+  flags.add("quick", &o.quick, "shrink run length for smoke testing");
+  flags.add("csv", &o.csv, "CSV output path");
+  flags.add("cache-dir", &o.cache_dir,
+            "shard store directory; caches every completed shard so an "
+            "interrupted study can be resumed");
+  flags.add("resume", &o.resume,
+            "reuse the study's existing shard store: cached shards are "
+            "skipped and the CSV is byte-identical to an uninterrupted run");
+}
+
+std::unique_ptr<exec::ShardCache> open_cache(const StudyCommonOptions& o,
+                                             const std::string& study) {
+  if (o.cache_dir.empty()) return nullptr;
+  return std::make_unique<exec::ShardCache>(
+      o.cache_dir + "/" + study + ".shards",
+      o.resume ? exec::ShardCache::Mode::Resume
+               : exec::ShardCache::Mode::Fresh);
+}
+
+void print_cache_report(const std::string& study, const StudyContext& ctx) {
+  const exec::ShardCache* cache = ctx.cache();
+  if (cache == nullptr) return;
+  std::printf("shard cache: %s: %zu shard(s) served from the store, %zu "
+              "executed (store now holds %zu, loaded %zu%s)\n",
+              cache->path().c_str(), ctx.cached_shards(),
+              ctx.scheduled_shards(), cache->entries(), cache->loaded(),
+              cache->recovered_corruption() ? "; recovered corrupt tail"
+                                            : "");
+  std::printf("BENCH_JSON {\"suite\":\"%s\",\"cache\":{\"path\":\"%s\","
+              "\"cached_shards\":%zu,\"executed_shards\":%zu,"
+              "\"store_entries\":%zu,\"loaded\":%zu,"
+              "\"recovered_corruption\":%s}}\n",
+              study.c_str(), cache->path().c_str(), ctx.cached_shards(),
+              ctx.scheduled_shards(), cache->entries(), cache->loaded(),
+              cache->recovered_corruption() ? "true" : "false");
+}
+
+int run_configured(const StudyEntry& entry, Study& study,
+                   const StudyCommonOptions& common) {
+  exec::ThreadPool pool(
+      exec::resolve_threads(static_cast<int>(common.threads)));
+  exec::SweepScheduler scheduler(pool);
+  const std::unique_ptr<exec::ShardCache> cache =
+      open_cache(common, entry.spec.name);
+  StudyContext ctx(entry.spec, common, scheduler, cache.get());
+  study.schedule(ctx);
+  run_scheduler_with_report(scheduler, entry.spec.name);
+  print_cache_report(entry.spec.name, ctx);
+  return study.render(ctx);
+}
+
+}  // namespace
+
+int run_study_main(const std::string& name, int argc,
+                   const char* const* argv) {
+  const StudyEntry* entry = find_study(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown study: %s\n", name.c_str());
+    return 1;
+  }
+  const std::unique_ptr<Study> study = entry->make();
+  StudyCommonOptions common;
+  common.csv = entry->spec.default_csv;
+  Flags flags(name, entry->spec.summary);
+  study->register_flags(flags);
+  register_common_flags(flags, common);
+  if (!flags.parse(argc, argv)) return 1;
+  return run_configured(*entry, *study, common);
+}
+
+int run_study(const std::string& name, const StudyCommonOptions& common,
+              const std::vector<std::string>& extra_argv) {
+  const StudyEntry* entry = find_study(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown study: %s\n", name.c_str());
+    return 1;
+  }
+  const std::unique_ptr<Study> study = entry->make();
+  StudyCommonOptions resolved = common;
+  if (resolved.csv.empty()) resolved.csv = entry->spec.default_csv;
+  if (!extra_argv.empty()) {
+    Flags flags(name, entry->spec.summary);
+    study->register_flags(flags);
+    std::vector<const char*> argv{name.c_str()};
+    for (const std::string& a : extra_argv) argv.push_back(a.c_str());
+    if (!flags.parse(static_cast<int>(argv.size()), argv.data())) return 1;
+  }
+  return run_configured(*entry, *study, resolved);
+}
+
+int run_study_suite(const StudyCommonOptions& common,
+                    const std::vector<std::string>& names) {
+  std::vector<const StudyEntry*> entries;
+  if (names.empty()) {
+    for (const StudyEntry& e : registry()) entries.push_back(&e);
+  } else {
+    for (const std::string& n : names) {
+      const StudyEntry* e = find_study(n);
+      if (e == nullptr) {
+        std::fprintf(stderr, "unknown study: %s\n", n.c_str());
+        return 1;
+      }
+      entries.push_back(e);
+    }
+  }
+
+  exec::ThreadPool pool(
+      exec::resolve_threads(static_cast<int>(common.threads)));
+  exec::SweepScheduler scheduler(pool);
+  std::printf("== study suite: %zu studies as one job graph on %zu "
+              "worker(s) ==\n\n",
+              entries.size(), pool.size());
+
+  std::vector<std::unique_ptr<Study>> studies;
+  std::vector<std::unique_ptr<exec::ShardCache>> caches;
+  std::vector<std::unique_ptr<StudyContext>> contexts;
+  // Suite-wide --csv would make every study write the same file; studies
+  // keep their per-study defaults instead.
+  StudyCommonOptions per_study = common;
+  per_study.csv.clear();
+  for (const StudyEntry* e : entries) {
+    studies.push_back(e->make());
+    caches.push_back(open_cache(per_study, e->spec.name));
+    contexts.push_back(std::make_unique<StudyContext>(
+        e->spec, per_study, scheduler, caches.back().get()));
+    studies.back()->schedule(*contexts.back());
+  }
+
+  run_scheduler_with_report(scheduler, "study_suite");
+
+  int rc = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    print_cache_report(entries[i]->spec.name, *contexts[i]);
+    rc |= studies[i]->render(*contexts[i]);
+  }
+  return rc;
+}
+
+int study_tool_main(int argc, const char* const* argv) {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  if (mode == "--list") {
+    for (const StudyEntry& e : registry()) {
+      std::printf("%-26s %s\n", e.spec.name.c_str(),
+                  e.spec.summary.c_str());
+    }
+    return 0;
+  }
+  if (mode == "--markdown") {
+    std::printf("%s", registry_markdown_table().c_str());
+    return 0;
+  }
+  if (mode == "--suite") {
+    StudyCommonOptions common;
+    Flags flags("study_tool --suite",
+                "Run registered studies as one scheduled job graph "
+                "(positional args select studies; default: all)");
+    register_common_flags(flags, common);
+    if (!flags.parse(argc - 1, argv + 1)) return 1;
+    return run_study_suite(common, flags.positional());
+  }
+  if (!mode.empty() && mode.rfind("--", 0) != 0) {
+    // study_tool <study> [study flags...]
+    std::vector<const char*> fwd{argv[0]};
+    for (int i = 2; i < argc; ++i) fwd.push_back(argv[i]);
+    return run_study_main(mode, static_cast<int>(fwd.size()), fwd.data());
+  }
+  std::printf(
+      "usage: study_tool --list | --markdown | --suite [flags] [studies] "
+      "| <study> [flags]\n\nregistered studies:\n");
+  for (const StudyEntry& e : registry()) {
+    std::printf("  %-24s %s\n", e.spec.name.c_str(), e.spec.summary.c_str());
+  }
+  return mode == "--help" || mode.empty() ? 0 : 1;
+}
+
+}  // namespace tcw::bench

@@ -1,0 +1,184 @@
+// Declarative study registry: every ablation/extension bench is a Study
+// -- named sweeps, grids, policy factories, a CSV schema -- driven by one
+// generic runner instead of a hand-rolled main() per binary.
+//
+// A study's life cycle has three phases, all orchestrated by
+// run_study_main / run_study_suite:
+//   1. register_flags(): declare the study-specific overrides (the runner
+//      registers the common ones: --threads, --quick, --csv, --cache-dir,
+//      --resume).
+//   2. schedule(): enqueue every sweep on the shared
+//      exec::SweepScheduler via the StudyContext helpers, which also bind
+//      each sweep to the study's exec::ShardCache shard store when
+//      --cache-dir is given -- shards already in the store are decoded
+//      into their result slots and never scheduled, making long studies
+//      resumable (--resume) with byte-identical CSVs.
+//   3. render(): after the scheduler ran, print tables and write the CSV.
+//
+// The same Study instances back both the per-study shim binaries
+// (ablation_theorem1 etc., kept for compatibility) and study_tool, whose
+// --suite mode schedules every registered study on ONE scheduler/pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/experiment.hpp"
+#include "util/flags.hpp"
+
+namespace tcw::exec {
+class ShardCache;
+class SweepScheduler;
+}  // namespace tcw::exec
+
+namespace tcw::bench {
+
+/// Static description of one registered study.
+struct StudySpec {
+  std::string name;         ///< registry key == shim binary name
+  std::string summary;      ///< one line, for --list / flags / README
+  std::string figure;       ///< the paper claim it probes (README table)
+  std::string default_csv;  ///< default CSV output path
+};
+
+/// Options the runner owns and every study shares. `trace`/`trace_sweep`
+/// have no flag spelling; embedding callers (tests) use them to attach a
+/// sim::TraceLog to one named sweep, carried whole as a
+/// SweepConfig::TraceRequest.
+struct StudyCommonOptions {
+  long long threads = 0;  ///< sweep workers; 0 = all hardware threads
+  bool quick = false;     ///< shrink run lengths for smoke testing
+  std::string csv;        ///< "" = the study's spec().default_csv
+  std::string cache_dir;  ///< "" = shard caching disabled
+  bool resume = false;    ///< reuse an existing shard store
+  net::SweepConfig::TraceRequest trace;
+  std::string trace_sweep;  ///< sweep name `trace` targets
+};
+
+/// Result slots of one generic (non-loss-curve) cached sweep: job i's
+/// closure returns a payload vector that lands in slot i, either by
+/// running or straight from the shard store. Read payloads only after the
+/// scheduler's run() returned.
+class GenericSweep {
+ public:
+  std::size_t jobs() const { return payloads_.size(); }
+  const std::vector<double>& payload(std::size_t job) const {
+    return payloads_[job];
+  }
+  std::size_t cached_jobs() const { return cached_; }
+
+ private:
+  friend class StudyContext;
+  std::vector<std::vector<double>> payloads_;
+  std::size_t cached_ = 0;
+};
+
+/// The scheduling surface handed to Study::schedule(): wraps the shared
+/// scheduler plus the study's cache binding and counts cached vs
+/// scheduled shards for the runner's consolidated cache report.
+class StudyContext {
+ public:
+  StudyContext(const StudySpec& spec, const StudyCommonOptions& common,
+               exec::SweepScheduler& scheduler, exec::ShardCache* cache);
+
+  bool quick() const { return common_.quick; }
+  long long threads() const { return common_.threads; }
+  const StudyCommonOptions& common() const { return common_; }
+  /// The CSV path this run writes: --csv if given, else the default.
+  const std::string& csv_path() const { return csv_path_; }
+  exec::SweepScheduler& scheduler() { return scheduler_; }
+  exec::ShardCache* cache() const { return cache_; }
+
+  /// Enqueue one cached loss-curve sweep as "<study>/<name>"; `name` also
+  /// tags its shards in the store, so it must be stable across runs and
+  /// unique within the study. Applies the embedding caller's trace
+  /// request when `name` matches.
+  net::ScheduledSweep sweep(
+      const std::string& name, const net::SweepConfig& config,
+      const std::function<core::ControlPolicy(double)>& make_policy,
+      const std::vector<double>& grid);
+
+  /// Enqueue one cached generic sweep: job i runs `jobs[i]` and stores
+  /// the returned payload in slot i. Shard keys derive from
+  /// (base_seed, i); `config_text` is the canonical description folded
+  /// into the fingerprint (include a payload version and every
+  /// result-affecting parameter).
+  std::shared_ptr<GenericSweep> generic_sweep(
+      const std::string& name, std::uint64_t base_seed,
+      const std::string& config_text,
+      std::vector<std::function<std::vector<double>()>> jobs);
+
+  /// Shards served from the store / actually enqueued, summed over every
+  /// sweep this context declared.
+  std::size_t cached_shards() const { return cached_shards_; }
+  std::size_t scheduled_shards() const { return scheduled_shards_; }
+
+ private:
+  const StudySpec& spec_;
+  const StudyCommonOptions& common_;
+  exec::SweepScheduler& scheduler_;
+  exec::ShardCache* cache_;
+  std::string csv_path_;
+  std::size_t cached_shards_ = 0;
+  std::size_t scheduled_shards_ = 0;
+};
+
+/// One registered study. Implementations live in bench/studies.cpp and
+/// hold their flag-bound parameters plus the sweep handles between
+/// schedule() and render().
+class Study {
+ public:
+  virtual ~Study() = default;
+
+  /// Study-specific flags (the runner adds the common ones).
+  virtual void register_flags(Flags& flags) = 0;
+  /// Enqueue every sweep; runs before the scheduler. Print the banner
+  /// here so it precedes the scheduler report.
+  virtual void schedule(StudyContext& ctx) = 0;
+  /// Print tables and write csv_path(); runs after the scheduler.
+  /// Returns the process exit code contribution (0 = ok).
+  virtual int render(StudyContext& ctx) = 0;
+};
+
+/// Registry entry: the spec is inspectable without instantiating the
+/// study; make() builds a fresh instance per run (studies are stateful).
+struct StudyEntry {
+  StudySpec spec;
+  std::function<std::unique_ptr<Study>()> make;
+};
+
+/// The registered studies, in README-table order. Populated by an
+/// explicit call into bench/studies.cpp (no static self-registration:
+/// object files in a static library may be dropped).
+const std::vector<StudyEntry>& registry();
+
+/// nullptr when `name` is not registered.
+const StudyEntry* find_study(const std::string& name);
+
+/// Defined in bench/studies.cpp: builds the entry list registry() serves.
+std::vector<StudyEntry> make_all_studies();
+
+/// The README bench-table rows (markdown), regenerated from the registry.
+std::string registry_markdown_table();
+
+/// Standalone driver: the whole main() body of a per-study shim binary.
+int run_study_main(const std::string& name, int argc,
+                   const char* const* argv);
+
+/// Embedding variant (tests): run one study with pre-resolved options,
+/// no flag parsing. `extra_argv` is forwarded to the study's own flags.
+int run_study(const std::string& name, const StudyCommonOptions& common,
+              const std::vector<std::string>& extra_argv = {});
+
+/// Schedule every study in `names` (empty = all) on ONE scheduler, run,
+/// render each. The runner behind `study_tool --suite`.
+int run_study_suite(const StudyCommonOptions& common,
+                    const std::vector<std::string>& names = {});
+
+/// The study_tool main() body: --list | --markdown | --suite | <study>.
+int study_tool_main(int argc, const char* const* argv);
+
+}  // namespace tcw::bench

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Resume smoke for the shard-keyed result cache: run a quick study with a
+# shard store, destroy half the store (simulating an interrupted run),
+# resume, and require (a) the resumed CSV byte-identical to the fresh
+# run's and (b) a cached-shard count > 0 reported in BENCH_JSON on the
+# resume leg. Usage: resume_smoke.sh <study_tool-binary> <scratch-dir>.
+set -euo pipefail
+
+tool=$(realpath "$1")
+scratch=$2
+study=ablation_window_size
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cd "$scratch"
+
+echo "-- resume smoke: fresh $study run with a shard store"
+"$tool" "$study" --quick --cache-dir=cache --csv=fresh.csv >fresh.log 2>&1
+
+store="cache/$study.shards"
+size=$(wc -c <"$store")
+echo "-- resume smoke: truncating $store ($size -> $((size / 2)) bytes)"
+truncate -s $((size / 2)) "$store"
+
+echo "-- resume smoke: resuming from the damaged store"
+"$tool" "$study" --quick --cache-dir=cache --resume --csv=resume.csv \
+    >resume.log 2>&1
+
+cmp fresh.csv resume.csv
+cached=$(sed -n 's/.*"cached_shards":\([0-9]*\).*/\1/p' resume.log)
+if [ -z "$cached" ] || [ "$cached" -eq 0 ]; then
+  echo "resume smoke FAILED: no cached shards reported on the resume leg" >&2
+  grep BENCH_JSON resume.log >&2 || true
+  exit 1
+fi
+echo "resume smoke OK: CSVs byte-identical, $cached shard(s) served from" \
+     "the store"

@@ -6,7 +6,8 @@
 # end-to-end smokes: the fig7_all --quick suite with its
 # sequential-baseline bit-equality cross-check, and kernel_bench --verify
 # bit-comparing the fast per-slot kernels against their retained
-# reference paths.
+# reference paths, and a cache-resume smoke: run a quick study with a
+# shard store, truncate the store, resume, and bit-compare the CSVs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,11 +31,14 @@ cmake --build build --target suite_smoke
 echo "== tier-1: kernel fast-path vs reference smoke =="
 cmake --build build --target kernel_verify_smoke
 
+echo "== tier-1: shard-cache resume smoke (truncate store, resume, cmp) =="
+scripts/resume_smoke.sh build/bench/study_tool build/bench/resume_smoke
+
 echo "== tier-1: concurrency + kernel tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
     test_sweep_determinism test_sweep_scheduler test_flat_deque \
-    test_kernel_fastpath
+    test_kernel_fastpath test_shard_cache test_study
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace')
 echo "tier-1 OK"

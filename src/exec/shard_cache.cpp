@@ -1,0 +1,249 @@
+#include "exec/shard_cache.hpp"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "sim/rng.hpp"
+
+namespace tcw::exec {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'C', 'W', 'S', 'H', 'C', '1', '\n'};
+
+std::uint64_t mix_step(std::uint64_t h, std::uint64_t v) {
+  // Position-sensitive chain: each absorbed word goes through a full
+  // SplitMix64 finalize, so permuted inputs land on different digests.
+  return sim::splitmix64_mix(h + 0x9E3779B97F4A7C15ULL + v);
+}
+
+std::uint64_t record_checksum(const ShardKey& key,
+                              const std::vector<double>& payload) {
+  std::uint64_t h = mix_step(0x7463772D736863ULL, key.seed);
+  h = mix_step(h, key.fingerprint);
+  h = mix_step(h, static_cast<std::uint64_t>(payload.size()));
+  for (const double d : payload) {
+    h = mix_step(h, std::bit_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+bool write_u64(std::FILE* f, std::uint64_t v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+
+bool read_u64(std::FILE* f, std::uint64_t* v) {
+  return std::fread(v, sizeof *v, 1, f) == 1;
+}
+
+// Payloads larger than this are treated as store corruption, not data:
+// shard results are small vectors of summary statistics.
+constexpr std::uint64_t kMaxPayloadDoubles = 1u << 20;
+
+}  // namespace
+
+std::uint64_t ShardCache::fingerprint(std::string_view text) {
+  std::uint64_t h = mix_step(0x74637766ULL, text.size());
+  std::uint64_t word = 0;
+  std::size_t filled = 0;
+  for (const char c : text) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      h = mix_step(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) h = mix_step(h, word);
+  return h;
+}
+
+ShardCache::ShardCache(std::string path, Mode mode)
+    : path_(std::move(path)) {
+  open_store(mode);
+}
+
+ShardCache::~ShardCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void ShardCache::open_store(Mode mode) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path_);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);  // best effort
+  }
+
+  bool rewrite = (mode == Mode::Fresh);
+  if (mode == Mode::Resume && fs::exists(p, ec)) {
+    if (!load_records()) {
+      recovered_corruption_ = true;
+      rewrite = true;  // compact away the damaged tail
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rewrite) {
+    compact_locked();
+    if (out_ != nullptr) return;
+  } else if (!map_.empty() || fs::exists(p, ec)) {
+    // Clean existing store (possibly empty header-only): append to it.
+    out_ = std::fopen(path_.c_str(), "ab");
+    if (out_ != nullptr) return;
+  } else {
+    // No store yet: create header atomically via the compaction path.
+    compact_locked();
+    if (out_ != nullptr) return;
+  }
+  std::fprintf(stderr,
+               "shard-cache: cannot open %s for writing; results of this "
+               "run will not be persisted\n",
+               path_.c_str());
+}
+
+bool ShardCache::load_records() {
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "shard-cache: cannot read %s; starting empty\n",
+                 path_.c_str());
+    return false;
+  }
+  char magic[sizeof kMagic];
+  if (std::fread(magic, 1, sizeof magic, in) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    std::fprintf(stderr,
+                 "shard-cache: %s is not a shard store (bad header); "
+                 "recomputing everything\n",
+                 path_.c_str());
+    std::fclose(in);
+    return false;
+  }
+
+  bool clean = true;
+  while (true) {
+    ShardKey key;
+    std::uint64_t count = 0;
+    if (!read_u64(in, &key.seed)) break;  // clean EOF
+    if (!read_u64(in, &key.fingerprint) || !read_u64(in, &count) ||
+        count > kMaxPayloadDoubles) {
+      clean = false;
+      break;
+    }
+    std::vector<double> payload(static_cast<std::size_t>(count));
+    if (count > 0 && std::fread(payload.data(), sizeof(double),
+                                payload.size(), in) != payload.size()) {
+      clean = false;
+      break;
+    }
+    std::uint64_t checksum = 0;
+    if (!read_u64(in, &checksum) ||
+        checksum != record_checksum(key, payload)) {
+      clean = false;
+      break;
+    }
+    map_[key] = std::move(payload);
+    ++loaded_;
+  }
+  std::fclose(in);
+  if (!clean) {
+    std::fprintf(stderr,
+                 "shard-cache: %s has a truncated or corrupt tail; keeping "
+                 "%zu intact shard(s) and recomputing the rest\n",
+                 path_.c_str(), loaded_);
+  }
+  return clean;
+}
+
+void ShardCache::compact_locked() {
+  // Rewrite header + every in-memory record to a temp file, then rename
+  // over the store so readers never observe a half-written file.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  bool ok = std::fwrite(kMagic, 1, sizeof kMagic, f) == sizeof kMagic;
+  for (const auto& [key, payload] : map_) {
+    if (!ok) break;
+    ok = write_u64(f, key.seed) && write_u64(f, key.fingerprint) &&
+         write_u64(f, static_cast<std::uint64_t>(payload.size())) &&
+         (payload.empty() ||
+          std::fwrite(payload.data(), sizeof(double), payload.size(), f) ==
+              payload.size()) &&
+         write_u64(f, record_checksum(key, payload));
+  }
+  ok = ok && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  out_ = std::fopen(path_.c_str(), "ab");
+}
+
+void ShardCache::append_record_locked(const ShardKey& key,
+                                      const std::vector<double>& payload) {
+  if (out_ == nullptr) return;
+  const bool ok =
+      write_u64(out_, key.seed) && write_u64(out_, key.fingerprint) &&
+      write_u64(out_, static_cast<std::uint64_t>(payload.size())) &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), sizeof(double), payload.size(), out_) ==
+           payload.size()) &&
+      write_u64(out_, record_checksum(key, payload)) &&
+      std::fflush(out_) == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "shard-cache: write to %s failed; further results of this "
+                 "run will not be persisted\n",
+                 path_.c_str());
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
+bool ShardCache::lookup(const ShardKey& key,
+                        std::vector<double>* payload) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  if (payload != nullptr) *payload = it->second;
+  return true;
+}
+
+void ShardCache::insert(const ShardKey& key,
+                        const std::vector<double>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = payload;
+  append_record_locked(key, payload);
+}
+
+std::size_t ShardCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::size_t ShardCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t ShardCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace tcw::exec

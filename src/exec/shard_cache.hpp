@@ -1,0 +1,113 @@
+// Shard-keyed result cache for resumable sweeps.
+//
+// A long study is a set of independent shards -- e.g. one (sweep, K,
+// replication) simulation each -- whose results are small vectors of
+// doubles. ShardCache persists each completed shard to an on-disk store
+// keyed by the shard's derived SplitMix64 job seed plus a fingerprint of
+// the sweep configuration, so an interrupted study can be resumed: the
+// scheduling layer looks every shard up before registering it and skips
+// the ones already in the store. Because payloads round-trip bit-exactly
+// (doubles are stored as raw 64-bit words), a resumed run's reduction --
+// and therefore its CSVs -- is byte-identical to an uninterrupted run.
+//
+// Store format (native-endian, one file per study):
+//   header: 8-byte magic "TCWSHC1\n"
+//   record: seed u64 | fingerprint u64 | payload_count u64
+//           | payload_count doubles | checksum u64
+// Appends are flushed per record, so a killed process loses at most the
+// record being written. Reload is corruption-tolerant: records are read
+// until the first short read or checksum mismatch; a damaged tail is
+// dropped with a warning and the store is compacted to the valid prefix
+// via write-to-temp + atomic rename. A fingerprint mismatch (the study's
+// configuration changed) simply never hits, so stale shards are inert and
+// get overwritten by compaction or ignored forever.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tcw::exec {
+
+/// Identity of one cached shard: the derived job seed separates shards of
+/// one sweep (and sweeps with distinct base seeds); the configuration
+/// fingerprint separates sweeps that share seeds by design (e.g. common
+/// random numbers across ablation arms) and invalidates stale results
+/// when the study's parameters change.
+struct ShardKey {
+  std::uint64_t seed = 0;
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const ShardKey& a, const ShardKey& b) {
+    return a.seed == b.seed && a.fingerprint == b.fingerprint;
+  }
+  friend bool operator<(const ShardKey& a, const ShardKey& b) {
+    return a.seed != b.seed ? a.seed < b.seed
+                            : a.fingerprint < b.fingerprint;
+  }
+};
+
+class ShardCache {
+ public:
+  enum class Mode {
+    Fresh,   ///< Discard any existing store; start empty.
+    Resume,  ///< Load the existing store (tolerating a damaged tail).
+  };
+
+  /// Opens (and if necessary creates, including parent directories) the
+  /// store at `path`. Never throws on I/O trouble: a store that cannot be
+  /// read starts empty and one that cannot be written degrades to an
+  /// in-memory cache, both with a warning on stderr -- caching is an
+  /// optimization, not a correctness requirement.
+  ShardCache(std::string path, Mode mode);
+  ~ShardCache();
+
+  ShardCache(const ShardCache&) = delete;
+  ShardCache& operator=(const ShardCache&) = delete;
+
+  /// Stable 64-bit fingerprint of a canonical configuration string
+  /// (SplitMix64-mixed, position-sensitive). Identical text => identical
+  /// fingerprint across runs and platforms of the same endianness.
+  static std::uint64_t fingerprint(std::string_view text);
+
+  /// If `key` is cached, copy its payload into `*payload` and return
+  /// true. Thread-safe. Counts a hit or a miss either way.
+  bool lookup(const ShardKey& key, std::vector<double>* payload) const;
+
+  /// Record `key`'s payload: updates the in-memory map and appends the
+  /// record to the store (flushed immediately). Thread-safe; last insert
+  /// for a key wins.
+  void insert(const ShardKey& key, const std::vector<double>& payload);
+
+  std::size_t entries() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+  /// Records recovered from disk at open (Resume mode).
+  std::size_t loaded() const { return loaded_; }
+  /// True when open found a truncated/corrupt tail and dropped it.
+  bool recovered_corruption() const { return recovered_corruption_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void open_store(Mode mode);
+  bool load_records();  // returns false when a damaged tail was dropped
+  void compact_locked();
+  void append_record_locked(const ShardKey& key,
+                            const std::vector<double>& payload);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<ShardKey, std::vector<double>> map_;
+  std::FILE* out_ = nullptr;  // append handle; null = in-memory only
+  std::size_t loaded_ = 0;
+  bool recovered_corruption_ = false;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace tcw::exec

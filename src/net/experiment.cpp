@@ -1,12 +1,15 @@
 #include "net/experiment.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 
 #include "analysis/splitting.hpp"
 #include "exec/parallel_for.hpp"
+#include "exec/shard_cache.hpp"
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/batch_means.hpp"
@@ -71,6 +74,31 @@ struct SweepJobResult {
   double within_run_ci = 0.0;  // binomial CI; only filled when reps == 1
 };
 
+// Canonical text fingerprinted into every shard key of a cached sweep.
+// Covers the cache tag, every SweepConfig field that changes a single
+// job's result, the K grid (derived seeds encode only grid *indices*),
+// and a payload-format version so a layout change invalidates old
+// stores. base_seed and replication count are deliberately absent: the
+// former is mixed into the seed half of the key, and a shard computed
+// under reps=R is still valid under reps=R' for rep < min(R, R').
+std::string loss_curve_fingerprint_text(const std::string& tag,
+                                        const SweepConfig& config,
+                                        const std::vector<double>& grid) {
+  std::string text = "tcw-losscurve-payload-v1|tag=" + tag;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "|rho=%.17g|m=%.17g|overhead=%.17g|t_end=%.17g|warmup=%.17g",
+                config.offered_load, config.message_length,
+                config.success_overhead, config.t_end, config.warmup);
+  text += buf;
+  text += "|grid=";
+  for (const double k : grid) {
+    std::snprintf(buf, sizeof buf, "%.17g,", k);
+    text += buf;
+  }
+  return text;
+}
+
 }  // namespace
 
 namespace detail {
@@ -105,6 +133,56 @@ class LossCurveSweep {
 
   std::size_t jobs() const { return results_.size(); }
 
+  /// The derived stream seed job `job` simulates under -- also the seed
+  /// half of its ShardKey when the sweep is cached.
+  std::uint64_t job_seed(std::size_t job) const {
+    return sim::derive_stream_seed(config_.base_seed, job / reps_,
+                                   job % reps_);
+  }
+
+  /// Whether the config's trace request targets this job. Traced jobs are
+  /// never served from (or written to) a shard cache: a cached result
+  /// cannot replay protocol events into the log.
+  bool job_is_traced(std::size_t job) const {
+    const SweepConfig::TraceRequest tr = config_.effective_trace();
+    return tr.log != nullptr && job / reps_ == tr.point &&
+           tr.replication >= 0 &&
+           job % reps_ == static_cast<std::size_t>(tr.replication);
+  }
+
+  /// Serialize job `job`'s result slot as a flat cache payload. Layout
+  /// (version tag lives in the sweep fingerprint text): every metric is a
+  /// single-sample accumulator, so the raw values round-trip bit-exactly
+  /// through decode_job's RunningStats::add.
+  std::vector<double> encode_job(std::size_t job) const {
+    const SweepJobResult& r = results_[job];
+    return {r.loss.mean(),          r.wait.mean(),
+            r.sched.mean(),         r.util.mean(),
+            r.sender_loss.mean(),   r.receiver_loss.mean(),
+            std::bit_cast<double>(r.messages), r.within_run_ci};
+  }
+
+  /// Reconstruct job `job`'s result slot from a cache payload. Returns
+  /// false (slot untouched) when the payload does not match the expected
+  /// layout, so the caller falls back to recomputing.
+  bool decode_job(std::size_t job, const std::vector<double>& payload) {
+    if (payload.size() != 8) return false;
+    SweepJobResult r;
+    r.loss.add(payload[0]);
+    r.wait.add(payload[1]);
+    r.sched.add(payload[2]);
+    r.util.add(payload[3]);
+    r.sender_loss.add(payload[4]);
+    r.receiver_loss.add(payload[5]);
+    r.messages = std::bit_cast<std::uint64_t>(payload[6]);
+    r.within_run_ci = payload[7];
+    results_[job] = r;
+    return true;
+  }
+
+  void mark_cached() { ++cached_jobs_; }
+  std::size_t cached_jobs() const { return cached_jobs_; }
+
   void run_job(std::size_t job) {
     const std::size_t ki = job / reps_;
     const std::size_t rep = job % reps_;
@@ -114,11 +192,10 @@ class LossCurveSweep {
     sim_cfg.success_overhead = config_.success_overhead;
     sim_cfg.t_end = config_.t_end;
     sim_cfg.warmup = config_.warmup;
-    sim_cfg.seed = sim::derive_stream_seed(config_.base_seed, ki, rep);
-    if (config_.trace != nullptr && ki == config_.trace_point &&
-        config_.trace_replication >= 0 &&
-        rep == static_cast<std::size_t>(config_.trace_replication)) {
-      sim_cfg.trace = config_.trace;  // only this shard touches the log
+    sim_cfg.seed = job_seed(job);
+    if (job_is_traced(job)) {
+      // only this shard touches the log
+      sim_cfg.trace = config_.effective_trace().log;
     }
     AggregateSimulator sim(
         sim_cfg, std::make_unique<chan::PoissonProcess>(config_.lambda()));
@@ -190,6 +267,7 @@ class LossCurveSweep {
   std::size_t reps_;
   std::vector<core::ControlPolicy> policies_;
   std::vector<SweepJobResult> results_;
+  std::size_t cached_jobs_ = 0;  // slots filled from a shard cache
 };
 
 }  // namespace detail
@@ -203,16 +281,51 @@ std::vector<SweepPoint> ScheduledSweep::points() const {
 
 std::size_t ScheduledSweep::jobs() const { return state_->jobs(); }
 
+std::size_t ScheduledSweep::cached_jobs() const {
+  return state_->cached_jobs();
+}
+
 ScheduledSweep schedule_loss_curve_custom(
     exec::SweepScheduler& scheduler, std::string name,
     const SweepConfig& config,
     const std::function<core::ControlPolicy(double)>& make_policy,
     const std::vector<double>& constraints) {
+  return schedule_loss_curve_cached(scheduler, std::move(name), config,
+                                    make_policy, constraints,
+                                    SweepCacheBinding{});
+}
+
+ScheduledSweep schedule_loss_curve_cached(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints,
+    const SweepCacheBinding& binding) {
   auto state = std::make_shared<detail::LossCurveSweep>(config, make_policy,
                                                         constraints);
+  exec::ShardCache* cache = binding.cache;
+  const std::uint64_t fp =
+      cache != nullptr
+          ? exec::ShardCache::fingerprint(
+                loss_curve_fingerprint_text(binding.tag, config, constraints))
+          : 0;
+
   std::vector<std::function<void()>> shards;
   shards.reserve(state->jobs());
+  std::vector<double> payload;
   for (std::size_t job = 0; job < state->jobs(); ++job) {
+    if (cache != nullptr && !state->job_is_traced(job)) {
+      const exec::ShardKey key{state->job_seed(job), fp};
+      if (cache->lookup(key, &payload) && state->decode_job(job, payload)) {
+        state->mark_cached();
+        continue;  // slot filled from the store; nothing to schedule
+      }
+      shards.push_back([state, job, cache, key] {
+        state->run_job(job);
+        cache->insert(key, state->encode_job(job));
+      });
+      continue;
+    }
     shards.push_back([state, job] { state->run_job(job); });
   }
   scheduler.add_sweep(std::move(name), std::move(shards));

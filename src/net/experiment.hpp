@@ -13,6 +13,7 @@
 #include "net/aggregate_sim.hpp"
 
 namespace tcw::exec {
+class ShardCache;
 class SweepScheduler;
 }  // namespace tcw::exec
 
@@ -46,15 +47,31 @@ struct SweepConfig {
   /// bit-identical for every value, including 1 (serial). Ignored when the
   /// sweep is enqueued on an external scheduler (the shared pool decides).
   int threads = 0;
-  /// Optional per-job event trace (not owned; must outlive the sweep).
-  /// When non-null, exactly the job at K-grid index `trace_point`,
-  /// replication `trace_replication` attaches it to its simulator; every
-  /// other job runs untraced, so one shard can be inspected for debugging
-  /// without serializing the sweep. Attaching a trace never changes the
-  /// simulated results.
+  /// Optional per-job event trace, carried as one value so higher layers
+  /// (e.g. the bench study registry) can pass it around whole. When `log`
+  /// is non-null, exactly the job at K-grid index `point`, replication
+  /// `replication` attaches it to its simulator; every other job runs
+  /// untraced, so one shard can be inspected for debugging without
+  /// serializing the sweep. Attaching a trace never changes the simulated
+  /// results. The log is not owned and must outlive the sweep.
+  struct TraceRequest {
+    sim::TraceLog* log = nullptr;
+    std::size_t point = 0;
+    int replication = 0;
+  };
+  TraceRequest trace_request;
+  /// DEPRECATED (shim for one PR): the pre-TraceRequest loose fields.
+  /// Honored only while `trace_request.log` is null; use `trace_request`.
   sim::TraceLog* trace = nullptr;
   std::size_t trace_point = 0;
   int trace_replication = 0;
+
+  /// The trace request in effect: `trace_request` when set, otherwise the
+  /// deprecated loose fields folded into one value.
+  TraceRequest effective_trace() const {
+    if (trace_request.log != nullptr) return trace_request;
+    return TraceRequest{trace, trace_point, trace_replication};
+  }
 
   double lambda() const { return offered_load / message_length; }
   /// Element (2) heuristic width: nu*/lambda (paper Section 4.1).
@@ -135,6 +152,32 @@ ScheduledSweep schedule_loss_curve_custom(
     const std::function<core::ControlPolicy(double)>& make_policy,
     const std::vector<double>& constraints);
 
+/// Binds a scheduled sweep to a shard store for resumable studies. `tag`
+/// must uniquely describe the sweep's policy/configuration within the
+/// store (sweeps that deliberately share derived seeds -- common random
+/// numbers across ablation arms -- are separated by their tags): it is
+/// folded, together with every result-affecting SweepConfig field and the
+/// K grid, into the fingerprint half of each shard's ShardKey.
+struct SweepCacheBinding {
+  exec::ShardCache* cache = nullptr;  // null disables caching
+  std::string tag;
+};
+
+/// schedule_loss_curve_custom with a shard cache: jobs whose results are
+/// already in the store are decoded straight into their result slots and
+/// NOT registered as shards (the scheduler skips them); executed jobs
+/// append their results to the store as they complete. Reduction order is
+/// unchanged, so a resumed sweep's points are bit-identical to an
+/// uninterrupted run -- for any thread count. A job targeted by the
+/// config's trace request is always executed (a cache hit cannot replay
+/// protocol events).
+ScheduledSweep schedule_loss_curve_cached(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints,
+    const SweepCacheBinding& binding);
+
 /// Handle to a sweep registered via schedule_loss_curve*. Copyable; all
 /// copies view the same shard slots.
 class ScheduledSweep {
@@ -147,12 +190,16 @@ class ScheduledSweep {
   /// Number of (K, replication) shards this sweep contributed.
   std::size_t jobs() const;
 
+  /// Of those, how many were served from the shard cache (0 without a
+  /// cache binding).
+  std::size_t cached_jobs() const;
+
  private:
   explicit ScheduledSweep(std::shared_ptr<detail::LossCurveSweep> state);
-  friend ScheduledSweep schedule_loss_curve_custom(
+  friend ScheduledSweep schedule_loss_curve_cached(
       exec::SweepScheduler&, std::string, const SweepConfig&,
       const std::function<core::ControlPolicy(double)>&,
-      const std::vector<double>&);
+      const std::vector<double>&, const SweepCacheBinding&);
 
   std::shared_ptr<detail::LossCurveSweep> state_;
 };

@@ -1,0 +1,185 @@
+// exec::ShardCache: on-disk shard store round trips, corruption-tolerant
+// reload, fingerprint identity, and the fresh/resume open modes.
+#include "exec/shard_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using tcw::exec::ShardCache;
+using tcw::exec::ShardKey;
+
+std::string temp_store(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + ".shards";
+}
+
+std::vector<double> payload_a() { return {0.125, -3.5, 1e-17, 42.0}; }
+std::vector<double> payload_b() { return {7.0}; }
+
+long long file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in.good() ? static_cast<long long>(in.tellg()) : -1;
+}
+
+void truncate_file(const std::string& path, long long size) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  in.read(bytes.data(), size);
+  ASSERT_EQ(in.gcount(), size);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), size);
+}
+
+TEST(ShardCache, InsertLookupRoundTrip) {
+  ShardCache cache(temp_store("roundtrip"), ShardCache::Mode::Fresh);
+  const ShardKey key{12345, 678};
+  std::vector<double> got;
+  EXPECT_FALSE(cache.lookup(key, &got));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert(key, payload_a());
+  ASSERT_TRUE(cache.lookup(key, &got));
+  EXPECT_EQ(got, payload_a());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ShardCache, ResumeReloadsBitExactPayloads) {
+  const std::string path = temp_store("resume");
+  const ShardKey k1{1, 10};
+  const ShardKey k2{2, 10};
+  {
+    ShardCache cache(path, ShardCache::Mode::Fresh);
+    cache.insert(k1, payload_a());
+    cache.insert(k2, payload_b());
+  }
+  ShardCache cache(path, ShardCache::Mode::Resume);
+  EXPECT_EQ(cache.loaded(), 2u);
+  EXPECT_FALSE(cache.recovered_corruption());
+  std::vector<double> got;
+  ASSERT_TRUE(cache.lookup(k1, &got));
+  EXPECT_EQ(got, payload_a());  // exact double equality: raw 64-bit words
+  ASSERT_TRUE(cache.lookup(k2, &got));
+  EXPECT_EQ(got, payload_b());
+}
+
+TEST(ShardCache, FreshModeDiscardsExistingStore) {
+  const std::string path = temp_store("fresh");
+  {
+    ShardCache cache(path, ShardCache::Mode::Fresh);
+    cache.insert({1, 1}, payload_a());
+  }
+  ShardCache cache(path, ShardCache::Mode::Fresh);
+  EXPECT_EQ(cache.loaded(), 0u);
+  std::vector<double> got;
+  EXPECT_FALSE(cache.lookup({1, 1}, &got));
+}
+
+TEST(ShardCache, TruncatedTailKeepsIntactPrefix) {
+  const std::string path = temp_store("truncated");
+  {
+    ShardCache cache(path, ShardCache::Mode::Fresh);
+    cache.insert({1, 10}, payload_a());
+    cache.insert({2, 10}, payload_a());
+  }
+  const long long full = file_size(path);
+  ASSERT_GT(full, 8);
+  // Chop into the second record: the first must survive, the second must
+  // be recomputed.
+  truncate_file(path, full - 12);
+
+  ShardCache cache(path, ShardCache::Mode::Resume);
+  EXPECT_TRUE(cache.recovered_corruption());
+  EXPECT_EQ(cache.loaded(), 1u);
+  std::vector<double> got;
+  EXPECT_TRUE(cache.lookup({1, 10}, &got));
+  EXPECT_FALSE(cache.lookup({2, 10}, &got));
+
+  // The store was compacted to the valid prefix and stays usable.
+  cache.insert({2, 10}, payload_b());
+  ShardCache reopened(path, ShardCache::Mode::Resume);
+  EXPECT_FALSE(reopened.recovered_corruption());
+  EXPECT_EQ(reopened.loaded(), 2u);
+}
+
+TEST(ShardCache, CorruptPayloadByteDropsTail) {
+  const std::string path = temp_store("flipped");
+  {
+    ShardCache cache(path, ShardCache::Mode::Fresh);
+    cache.insert({7, 70}, payload_a());
+  }
+  // Flip one payload byte: the record checksum must catch it.
+  std::fstream f(path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekp(8 + 24 + 2);  // header + seed/fp/count + into the payload
+  f.put('\x5a');
+  f.close();
+
+  ShardCache cache(path, ShardCache::Mode::Resume);
+  EXPECT_TRUE(cache.recovered_corruption());
+  EXPECT_EQ(cache.loaded(), 0u);
+}
+
+TEST(ShardCache, NonStoreFileStartsEmpty) {
+  const std::string path = temp_store("not_a_store");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is not a shard store\n";
+  }
+  ShardCache cache(path, ShardCache::Mode::Resume);
+  EXPECT_TRUE(cache.recovered_corruption());
+  EXPECT_EQ(cache.loaded(), 0u);
+  cache.insert({3, 30}, payload_b());
+  ShardCache reopened(path, ShardCache::Mode::Resume);
+  EXPECT_EQ(reopened.loaded(), 1u);
+}
+
+TEST(ShardCache, FingerprintSeparatesKeys) {
+  // A fingerprint mismatch (changed configuration) must never hit, even
+  // at the same derived seed.
+  const std::string path = temp_store("fingerprint");
+  const std::uint64_t fp_old = ShardCache::fingerprint("cfg|t_end=1000");
+  const std::uint64_t fp_new = ShardCache::fingerprint("cfg|t_end=2000");
+  ASSERT_NE(fp_old, fp_new);
+  {
+    ShardCache cache(path, ShardCache::Mode::Fresh);
+    cache.insert({99, fp_old}, payload_a());
+  }
+  ShardCache cache(path, ShardCache::Mode::Resume);
+  std::vector<double> got;
+  EXPECT_FALSE(cache.lookup({99, fp_new}, &got));
+  EXPECT_TRUE(cache.lookup({99, fp_old}, &got));
+}
+
+TEST(ShardCache, FingerprintIsStableAndPositionSensitive) {
+  EXPECT_EQ(ShardCache::fingerprint("abc"), ShardCache::fingerprint("abc"));
+  EXPECT_NE(ShardCache::fingerprint("abc"), ShardCache::fingerprint("acb"));
+  EXPECT_NE(ShardCache::fingerprint(""),
+            ShardCache::fingerprint(std::string_view("\0", 1)));
+  EXPECT_NE(ShardCache::fingerprint(std::string_view("a\0b", 3)),
+            ShardCache::fingerprint(std::string_view("ab", 2)));
+}
+
+TEST(ShardCache, LastInsertWinsAcrossReopen) {
+  const std::string path = temp_store("lastwins");
+  {
+    ShardCache cache(path, ShardCache::Mode::Fresh);
+    cache.insert({5, 50}, payload_a());
+    cache.insert({5, 50}, payload_b());
+  }
+  ShardCache cache(path, ShardCache::Mode::Resume);
+  std::vector<double> got;
+  ASSERT_TRUE(cache.lookup({5, 50}, &got));
+  EXPECT_EQ(got, payload_b());
+}
+
+}  // namespace

@@ -104,9 +104,7 @@ TEST(SweepTrace, TracedJobMatchesSoloRerunAndChangesNothing) {
 
   net::SweepConfig cfg = base_config(4);
   sim::TraceLog sweep_trace;
-  cfg.trace = &sweep_trace;
-  cfg.trace_point = trace_point;
-  cfg.trace_replication = trace_replication;
+  cfg.trace_request = {&sweep_trace, trace_point, trace_replication};
   const auto traced_points = net::simulate_loss_curve(
       cfg, net::ProtocolVariant::Controlled, grid);
   EXPECT_GT(sweep_trace.total_recorded(), 0u);
@@ -142,7 +140,10 @@ TEST(SweepTrace, TracedJobMatchesSoloRerunAndChangesNothing) {
 
 TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
   // The same plumbing through schedule_loss_curve: only the designated
-  // shard writes the log, and results stay bit-identical.
+  // shard writes the log, and results stay bit-identical. Deliberately
+  // exercises the DEPRECATED loose trace fields (trace/trace_point/
+  // trace_replication), which are kept as a shim for one PR; delete this
+  // spelling together with them.
   const std::vector<double> grid{30.0, 60.0};
   net::SweepConfig cfg = base_config(0);
   sim::TraceLog trace;
@@ -160,6 +161,26 @@ TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
   const auto untraced = net::simulate_loss_curve(
       base_config(1), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(handle.points(), untraced);
+}
+
+TEST(SweepTrace, TraceRequestTakesPrecedenceOverDeprecatedFields) {
+  net::SweepConfig cfg;
+  sim::TraceLog preferred;
+  sim::TraceLog legacy;
+  cfg.trace_request = {&preferred, 1, 2};
+  cfg.trace = &legacy;
+  cfg.trace_point = 0;
+  cfg.trace_replication = 0;
+  const net::SweepConfig::TraceRequest eff = cfg.effective_trace();
+  EXPECT_EQ(eff.log, &preferred);
+  EXPECT_EQ(eff.point, 1u);
+  EXPECT_EQ(eff.replication, 2);
+
+  cfg.trace_request.log = nullptr;  // shim: loose fields take over
+  const net::SweepConfig::TraceRequest fallback = cfg.effective_trace();
+  EXPECT_EQ(fallback.log, &legacy);
+  EXPECT_EQ(fallback.point, 0u);
+  EXPECT_EQ(fallback.replication, 0);
 }
 
 TEST(SweepTiming, AccumulateSumsJobsAndWallClock) {
