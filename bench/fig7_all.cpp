@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   flags.add("baseline", &suite.baseline,
             "also run the panels sequentially with per-sweep pools, "
             "verify bit-identical outputs, and report both wall clocks");
+  tcw::bench::register_obs_flags(flags, suite.base.obs);
   if (!flags.parse(argc, argv)) return 1;
   return tcw::bench::run_fig7_suite(suite);
 }

@@ -29,6 +29,7 @@ void register_fig7_flags(Flags& flags, Fig7Options& opts) {
             "bit-identical for any value");
   flags.add("csv", &opts.csv, "CSV output path (default: <panel>.csv)");
   flags.add("quick", &opts.quick, "shrink run length for smoke testing");
+  register_obs_flags(flags, opts.obs);
 }
 
 Fig7Options with_quick_applied(const Fig7Options& opts) {
@@ -216,6 +217,8 @@ int render_fig7_panel(const std::string& panel_name, const Fig7Options& o,
 
 int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
   const Fig7Options o = with_quick_applied(opts);
+  // Standalone panels have no scheduler: manifest only, no timeline.
+  ObsSession obs(panel_name, o.obs);
   Fig7PanelSim sim;
   sim.grid = panel_grid(o);
   const net::SweepConfig sweep = sweep_config_from(o);
@@ -232,7 +235,9 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
       sweep, net::ProtocolVariant::LcfsNoDiscard, sim.grid, &timing);
   total.accumulate(timing);
 
-  return render_fig7_panel(panel_name, o, sim, &total);
+  int rc = render_fig7_panel(panel_name, o, sim, &total);
+  rc |= obs.finish(nullptr);
+  return rc;
 }
 
 int fig7_main(const std::string& panel_name, double rho, double m, int argc,
@@ -303,9 +308,11 @@ int run_fig7_suite(const Fig7SuiteOptions& suite) {
     return 1;
   }
 
+  ObsSession obs("fig7_all", base.obs);
   exec::ThreadPool pool(
       exec::resolve_threads(static_cast<int>(base.threads)));
   exec::SweepScheduler scheduler(pool);
+  obs.attach(scheduler);
 
   std::printf("== fig7_all: %zu panels as one job graph on %zu worker(s) "
               "==\n\n",
@@ -385,6 +392,7 @@ int run_fig7_suite(const Fig7SuiteOptions& suite) {
       rc = 1;
     }
   }
+  rc |= obs.finish(&report);
   return rc;
 }
 

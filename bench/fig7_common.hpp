@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/experiment.hpp"
+#include "obs_support.hpp"
 #include "util/flags.hpp"
 
 namespace tcw::exec {
@@ -35,6 +36,7 @@ struct Fig7Options {
   long long threads = 0;        // sweep workers; 0 = all hardware threads
   std::string csv;              // output path ("" = <panel>.csv)
   bool quick = false;           // shrink runs (CI smoke)
+  ObsOptions obs;               // --trace-out / --manifest-out / --progress
   std::vector<double> k_over_m =
       {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0};
 };

@@ -25,6 +25,7 @@
 #include "chan/arrivals.hpp"
 #include "net/aggregate_sim.hpp"
 #include "net/network.hpp"
+#include "obs_support.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
@@ -44,6 +45,7 @@ struct Options {
   bool baseline = false;
   bool reference = false;
   std::string csv = "kernel_bench.csv";
+  tcw::bench::ObsOptions obs;
 };
 
 struct CellResult {
@@ -175,7 +177,11 @@ int main(int argc, char** argv) {
   flags.add("reference", &opt.reference,
             "bench the retained reference kernel only");
   flags.add("csv", &opt.csv, "CSV output path");
+  tcw::bench::register_obs_flags(flags, opt.obs);
   if (!flags.parse(argc, argv)) return 1;
+  // No scheduler here: --manifest-out captures the kernel counters,
+  // --trace-out/--progress warn and are ignored.
+  tcw::bench::ObsSession obs("kernel_bench", opt.obs);
   if (opt.quick) {
     opt.t_end = 20000.0;
     opt.warmup = 2000.0;
@@ -224,7 +230,7 @@ int main(int argc, char** argv) {
     std::printf("verify: fast and reference kernels bit-identical over "
                 "%zu cells (t_end=%.0f)\n",
                 cells, opt.t_end);
-    return 0;
+    return obs.finish(nullptr);
   }
 
   tcw::Table table({"sim", "stations", "rho", "K_over_M", "kernel",
@@ -292,5 +298,5 @@ int main(int argc, char** argv) {
   table.write_pretty(std::cout);
   if (!table.save_csv(opt.csv)) return 1;
   std::printf("csv: %s\n", opt.csv.c_str());
-  return 0;
+  return obs.finish(nullptr);
 }

@@ -1,0 +1,86 @@
+#include "obs_support.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "exec/sweep_scheduler.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
+
+namespace tcw::bench {
+
+void register_obs_flags(Flags& flags, ObsOptions& opts) {
+  flags.add("trace-out", &opts.trace_out,
+            "write a Chrome trace-event JSON of the scheduler's shard "
+            "spans (open in Perfetto)");
+  flags.add("manifest-out", &opts.manifest_out,
+            "write a run manifest JSON (seeds, fingerprints, metrics "
+            "snapshot)");
+  flags.add("progress", &opts.progress,
+            "render a live shards-done/ETA line on stderr");
+}
+
+ObsSession::ObsSession(std::string run_name, const ObsOptions& opts)
+    : run_(std::move(run_name)), opts_(opts) {
+  if (!opts_.manifest_out.empty()) {
+    obs::ManifestCollector& collector = obs::ManifestCollector::global();
+    collector.clear();
+    collector.set_enabled(true);
+    // Scope the registry snapshot to this run (counters are otherwise
+    // cumulative over the process lifetime).
+    obs::Registry::global().reset();
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (!finished_ && !opts_.manifest_out.empty()) {
+    obs::ManifestCollector::global().set_enabled(false);
+  }
+}
+
+void ObsSession::attach(exec::SweepScheduler& scheduler) {
+  attached_ = true;
+  threads_ = scheduler.threads();
+  if (!opts_.trace_out.empty()) {
+    if (!timeline_.has_value()) timeline_.emplace();
+    scheduler.set_timeline(&*timeline_);
+  }
+  if (opts_.progress) scheduler.set_progress(true);
+}
+
+int ObsSession::finish(const exec::SchedulerReport* report) {
+  int rc = 0;
+  if (!attached_ && (!opts_.trace_out.empty() || opts_.progress)) {
+    obs::log(obs::LogLevel::kWarn,
+             "%s: --trace-out/--progress need a scheduled run; only the "
+             "manifest (if requested) is written",
+             run_.c_str());
+  }
+  if (timeline_.has_value()) {
+    if (timeline_->write_chrome_trace(opts_.trace_out)) {
+      std::printf("trace: wrote %zu span(s) to %s\n",
+                  timeline_->span_count(), opts_.trace_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  if (!opts_.manifest_out.empty()) {
+    obs::RunManifestInfo info;
+    info.run = run_;
+    info.threads = report != nullptr ? report->threads : threads_;
+    if (report != nullptr) {
+      info.scheduler_report_json = report->bench_json(run_);
+    }
+    if (obs::write_run_manifest(opts_.manifest_out, info)) {
+      std::printf("manifest: wrote %s\n", opts_.manifest_out.c_str());
+    } else {
+      rc = 1;
+    }
+    obs::ManifestCollector::global().set_enabled(false);
+  }
+  finished_ = true;
+  return rc;
+}
+
+}  // namespace tcw::bench

@@ -1,0 +1,63 @@
+// Shared observability flag plumbing for the bench/example drivers:
+// --trace-out (Chrome trace-event JSON of scheduler shard spans),
+// --manifest-out (run manifest JSON next to the output CSVs) and
+// --progress (live shards-done/ETA line on stderr). One ObsSession per
+// driver run owns the overlay lifecycle: enable the manifest collector,
+// attach timeline/progress to the scheduler, write the artifacts at the
+// end. All overlays are observation-only -- the simulated results and
+// CSVs are byte-identical with or without them.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/timeline.hpp"
+#include "util/flags.hpp"
+
+namespace tcw::exec {
+class SweepScheduler;
+struct SchedulerReport;
+}  // namespace tcw::exec
+
+namespace tcw::bench {
+
+struct ObsOptions {
+  std::string trace_out;     ///< "" = no timeline export
+  std::string manifest_out;  ///< "" = no run manifest
+  bool progress = false;     ///< live stderr progress line
+};
+
+/// Register --trace-out / --manifest-out / --progress on `flags`.
+void register_obs_flags(Flags& flags, ObsOptions& opts);
+
+class ObsSession {
+ public:
+  /// `run_name` labels the manifest (suite/tool name). When a manifest
+  /// was requested, the global collector and metrics registry are cleared
+  /// so the written snapshot covers exactly this run.
+  ObsSession(std::string run_name, const ObsOptions& opts);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Hook the timeline and progress overlays into `scheduler`. Call
+  /// before the sweeps run; drivers without a scheduler (standalone
+  /// panels, kernel_bench) skip this and get a manifest only.
+  void attach(exec::SweepScheduler& scheduler);
+
+  /// Write the requested artifacts (`report` may be null when the run had
+  /// no scheduler report) and disable the collector. Returns 0 on
+  /// success, 1 when an artifact could not be written.
+  int finish(const exec::SchedulerReport* report);
+
+ private:
+  std::string run_;
+  ObsOptions opts_;
+  std::optional<obs::Timeline> timeline_;
+  unsigned threads_ = 0;
+  bool attached_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace tcw::bench

@@ -8,6 +8,8 @@
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "fig7_common.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "sim/rng.hpp"
 
 namespace tcw::bench {
@@ -45,8 +47,9 @@ std::shared_ptr<GenericSweep> StudyContext::generic_sweep(
   auto sweep = std::make_shared<GenericSweep>();
   sweep->payloads_.resize(jobs.size());
   exec::ShardCache* cache = cache_;
+  obs::ManifestCollector& manifest = obs::ManifestCollector::global();
   const std::uint64_t fp =
-      cache != nullptr
+      cache != nullptr || manifest.enabled()
           ? exec::ShardCache::fingerprint("generic|tag=" + full + "|" +
                                           config_text)
           : 0;
@@ -65,6 +68,19 @@ std::shared_ptr<GenericSweep> StudyContext::generic_sweep(
   }
   cached_shards_ += sweep->cached_;
   scheduled_shards_ += shards.size();
+  if (manifest.enabled()) {
+    obs::ManifestSweep entry;
+    entry.name = full;
+    entry.jobs = shards.size();
+    entry.cached_jobs = sweep->cached_;
+    entry.base_seed = base_seed;
+    entry.config_fingerprint = fp;
+    entry.seeds.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      entry.seeds.push_back(sim::derive_stream_seed(base_seed, i, 0));
+    }
+    manifest.add_sweep(std::move(entry));
+  }
   scheduler_.add_sweep(full, std::move(shards));
   return sweep;
 }
@@ -105,6 +121,7 @@ void register_common_flags(Flags& flags, StudyCommonOptions& o) {
   flags.add("resume", &o.resume,
             "reuse the study's existing shard store: cached shards are "
             "skipped and the CSV is byte-identical to an uninterrupted run");
+  register_obs_flags(flags, o.obs);
 }
 
 std::unique_ptr<exec::ShardCache> open_cache(const StudyCommonOptions& o,
@@ -125,27 +142,45 @@ void print_cache_report(const std::string& study, const StudyContext& ctx) {
               ctx.scheduled_shards(), cache->entries(), cache->loaded(),
               cache->recovered_corruption() ? "; recovered corrupt tail"
                                             : "");
-  std::printf("BENCH_JSON {\"suite\":\"%s\",\"cache\":{\"path\":\"%s\","
+  std::printf("BENCH_JSON {\"suite\":%s,\"cache\":{\"path\":%s,"
               "\"cached_shards\":%zu,\"executed_shards\":%zu,"
               "\"store_entries\":%zu,\"loaded\":%zu,"
               "\"recovered_corruption\":%s}}\n",
-              study.c_str(), cache->path().c_str(), ctx.cached_shards(),
+              obs::json_quote(study).c_str(),
+              obs::json_quote(cache->path()).c_str(), ctx.cached_shards(),
               ctx.scheduled_shards(), cache->entries(), cache->loaded(),
               cache->recovered_corruption() ? "true" : "false");
+  obs::ManifestCollector& manifest = obs::ManifestCollector::global();
+  if (manifest.enabled()) {
+    obs::ManifestCacheStats stats;
+    stats.suite = study;
+    stats.path = cache->path();
+    stats.cached_shards = ctx.cached_shards();
+    stats.executed_shards = ctx.scheduled_shards();
+    stats.entries = cache->entries();
+    stats.loaded = cache->loaded();
+    stats.recovered_corruption = cache->recovered_corruption();
+    manifest.add_cache(std::move(stats));
+  }
 }
 
 int run_configured(const StudyEntry& entry, Study& study,
                    const StudyCommonOptions& common) {
+  ObsSession obs(entry.spec.name, common.obs);
   exec::ThreadPool pool(
       exec::resolve_threads(static_cast<int>(common.threads)));
   exec::SweepScheduler scheduler(pool);
+  obs.attach(scheduler);
   const std::unique_ptr<exec::ShardCache> cache =
       open_cache(common, entry.spec.name);
   StudyContext ctx(entry.spec, common, scheduler, cache.get());
   study.schedule(ctx);
-  run_scheduler_with_report(scheduler, entry.spec.name);
+  const exec::SchedulerReport report =
+      run_scheduler_with_report(scheduler, entry.spec.name);
   print_cache_report(entry.spec.name, ctx);
-  return study.render(ctx);
+  int rc = study.render(ctx);
+  rc |= obs.finish(&report);
+  return rc;
 }
 
 }  // namespace
@@ -203,9 +238,11 @@ int run_study_suite(const StudyCommonOptions& common,
     }
   }
 
+  ObsSession obs("study_suite", common.obs);
   exec::ThreadPool pool(
       exec::resolve_threads(static_cast<int>(common.threads)));
   exec::SweepScheduler scheduler(pool);
+  obs.attach(scheduler);
   std::printf("== study suite: %zu studies as one job graph on %zu "
               "worker(s) ==\n\n",
               entries.size(), pool.size());
@@ -225,13 +262,15 @@ int run_study_suite(const StudyCommonOptions& common,
     studies.back()->schedule(*contexts.back());
   }
 
-  run_scheduler_with_report(scheduler, "study_suite");
+  const exec::SchedulerReport report =
+      run_scheduler_with_report(scheduler, "study_suite");
 
   int rc = 0;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     print_cache_report(entries[i]->spec.name, *contexts[i]);
     rc |= studies[i]->render(*contexts[i]);
   }
+  rc |= obs.finish(&report);
   return rc;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/experiment.hpp"
+#include "obs_support.hpp"
 #include "util/flags.hpp"
 
 namespace tcw::exec {
@@ -56,6 +57,7 @@ struct StudyCommonOptions {
   bool resume = false;    ///< reuse an existing shard store
   net::SweepConfig::TraceRequest trace;
   std::string trace_sweep;  ///< sweep name `trace` targets
+  ObsOptions obs;           ///< --trace-out / --manifest-out / --progress
 };
 
 /// Result slots of one generic (non-loss-curve) cached sweep: job i's

@@ -18,6 +18,7 @@
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/experiment.hpp"
+#include "obs_support.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
@@ -37,7 +38,7 @@ std::string variant_csv_path(const std::string& base,
 
 int run_suite(const tcw::net::SweepConfig& cfg,
               const std::vector<double>& grid, long long threads,
-              const std::string& csv) {
+              const std::string& csv, const tcw::bench::ObsOptions& obs_opts) {
   struct VariantSpec {
     const char* name;
     tcw::net::ProtocolVariant variant;
@@ -49,9 +50,11 @@ int run_suite(const tcw::net::SweepConfig& cfg,
       {"random", tcw::net::ProtocolVariant::RandomNoDiscard},
   };
 
+  tcw::bench::ObsSession obs("sweep_suite", obs_opts);
   tcw::exec::ThreadPool pool(
       tcw::exec::resolve_threads(static_cast<int>(threads)));
   tcw::exec::SweepScheduler scheduler(pool);
+  obs.attach(scheduler);
   std::vector<tcw::net::ScheduledSweep> handles;
   handles.reserve(variants.size());
   for (const VariantSpec& v : variants) {
@@ -102,7 +105,7 @@ int run_suite(const tcw::net::SweepConfig& cfg,
               report.shards_per_second, report.worker_utilization);
   std::printf("BENCH_JSON %s\n",
               report.bench_json("sweep_suite").c_str());
-  return 0;
+  return obs.finish(&report);
 }
 
 }  // namespace
@@ -121,6 +124,7 @@ int main(int argc, char** argv) {
   std::string csv = "sweep.csv";
   bool with_analytic = true;
   bool suite = false;
+  tcw::bench::ObsOptions obs_opts;
 
   tcw::Flags flags("sweep_tool", "Sweep p(loss) vs K for any variant");
   flags.add("variant", &variant_name,
@@ -141,6 +145,7 @@ int main(int argc, char** argv) {
   flags.add("csv", &csv, "CSV output path");
   flags.add("analytic", &with_analytic,
             "also evaluate the analytic model where available");
+  tcw::bench::register_obs_flags(flags, obs_opts);
   if (!flags.parse(argc, argv)) return 1;
 
   tcw::net::ProtocolVariant variant = tcw::net::ProtocolVariant::Controlled;
@@ -168,8 +173,11 @@ int main(int argc, char** argv) {
 
   const auto grid = tcw::net::linear_grid(k_min, k_max,
                                           static_cast<std::size_t>(points));
-  if (suite) return run_suite(cfg, grid, threads, csv);
+  if (suite) return run_suite(cfg, grid, threads, csv, obs_opts);
 
+  // Standalone sweeps run on a transient pool inside simulate_loss_curve:
+  // manifest only, no scheduler timeline.
+  tcw::bench::ObsSession obs("sweep_tool", obs_opts);
   tcw::net::SweepTiming timing;
   const auto pts = tcw::net::simulate_loss_curve(cfg, variant, grid, &timing);
 
@@ -217,5 +225,5 @@ int main(int argc, char** argv) {
               timing.threads, timing.jobs, timing.wall_seconds,
               timing.jobs_per_second);
   std::printf("csv: %s\n", csv.c_str());
-  return 0;
+  return obs.finish(nullptr);
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Observability overlay smoke: run a quick study suite four times -- with
+# and without the full overlay set (--trace-out --manifest-out --progress)
+# at 1 and N threads -- and require
+#   (a) every CSV byte-identical across all four legs (overlay-only:
+#       observation never perturbs results),
+#   (b) the trace's span count equal to the scheduler report's job count,
+#   (c) a manifest registry snapshot with nonzero probe/collision
+#       counters and a nonempty sweep list,
+#   (d) a progress line on stderr of the overlay legs,
+#   (e) every BENCH_JSON line across the legs schema-valid.
+# Usage: obs_smoke.sh <study_tool-binary> <scratch-dir>.
+set -euo pipefail
+
+tool=$(realpath "$1")
+scratch=$2
+checker=$(realpath "$(dirname "$0")/check_bench_json.py")
+study=ablation_window_size
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cd "$scratch"
+
+run_leg() { # <leg-dir> [extra flags...]
+  local leg=$1
+  shift
+  mkdir -p "$leg"
+  (cd "$leg" && "$tool" --suite "$study" --quick "$@" \
+      >run.log 2>stderr.log)
+}
+
+echo "-- obs smoke: plain legs (no overlays), threads 1 and N"
+run_leg plain_t1 --threads=1
+run_leg plain_tn --threads=0
+
+echo "-- obs smoke: overlay legs (--trace-out --manifest-out --progress)"
+run_leg obs_t1 --threads=1 --trace-out=trace.json \
+    --manifest-out=manifest.json --progress
+run_leg obs_tn --threads=0 --trace-out=trace.json \
+    --manifest-out=manifest.json --progress
+
+echo "-- obs smoke: CSVs must be byte-identical across every leg"
+csvs=$(cd plain_t1 && ls ./*.csv)
+for csv in $csvs; do
+  for leg in plain_tn obs_t1 obs_tn; do
+    cmp "plain_t1/$csv" "$leg/$csv"
+  done
+done
+
+echo "-- obs smoke: trace span count, manifest counters, sweep list"
+for leg in obs_t1 obs_tn; do
+  python3 - "$leg" <<'EOF'
+import json
+import sys
+
+leg = sys.argv[1]
+with open("%s/trace.json" % leg) as f:
+    trace = json.load(f)
+with open("%s/manifest.json" % leg) as f:
+    manifest = json.load(f)
+
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+jobs = manifest["scheduler_report"]["jobs"]
+if len(spans) != jobs:
+    sys.exit("%s: %d trace spans != %d scheduler jobs"
+             % (leg, len(spans), jobs))
+
+counters = manifest["registry"]["counters"]
+for name in ("net.aggregate.probe_slots", "net.aggregate.collisions"):
+    if counters.get(name, 0) <= 0:
+        sys.exit("%s: counter %s missing or zero" % (leg, name))
+
+if not manifest["sweeps"]:
+    sys.exit("%s: manifest sweep list is empty" % leg)
+for sweep in manifest["sweeps"]:
+    if not sweep["seeds"]:
+        sys.exit("%s: sweep %s has no derived seeds"
+                 % (leg, sweep["name"]))
+print("%s: %d spans == %d jobs, %d sweeps, probes=%d collisions=%d"
+      % (leg, len(spans), jobs, len(manifest["sweeps"]),
+         counters["net.aggregate.probe_slots"],
+         counters["net.aggregate.collisions"]))
+EOF
+done
+
+echo "-- obs smoke: progress line on stderr of the overlay legs"
+for leg in obs_t1 obs_tn; do
+  grep -q "progress:" "$leg/stderr.log" || {
+    echo "obs smoke FAILED: no progress line in $leg/stderr.log" >&2
+    exit 1
+  }
+done
+
+echo "-- obs smoke: BENCH_JSON schema across every leg"
+python3 "$checker" plain_t1/run.log plain_tn/run.log obs_t1/run.log \
+    obs_tn/run.log
+
+echo "obs smoke OK: CSVs byte-identical with overlays on/off at 1 and N" \
+     "threads"

@@ -2,12 +2,14 @@
 # Tier-1 verification: full build + full test suite, then the concurrency
 # tests (thread pool, multi-sweep scheduler, parallel sweep determinism)
 # and the kernel fast-path tests rebuilt and re-run under ThreadSanitizer
-# so data races in the sweep engine fail CI, not users, plus two
-# end-to-end smokes: the fig7_all --quick suite with its
-# sequential-baseline bit-equality cross-check, and kernel_bench --verify
-# bit-comparing the fast per-slot kernels against their retained
-# reference paths, and a cache-resume smoke: run a quick study with a
-# shard store, truncate the store, resume, and bit-compare the CSVs.
+# so data races in the sweep engine fail CI, not users, plus end-to-end
+# smokes: the fig7_all --quick suite with its sequential-baseline
+# bit-equality cross-check, kernel_bench --verify bit-comparing the fast
+# per-slot kernels against their retained reference paths, a cache-resume
+# smoke (truncate the shard store, resume, bit-compare the CSVs), an
+# observability smoke (overlays on/off at 1 and N threads must leave
+# every CSV byte-identical), and a BENCH_JSON schema check over the
+# smoke logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,11 +36,18 @@ cmake --build build --target kernel_verify_smoke
 echo "== tier-1: shard-cache resume smoke (truncate store, resume, cmp) =="
 scripts/resume_smoke.sh build/bench/study_tool build/bench/resume_smoke
 
+echo "== tier-1: observability overlay smoke (CSV bit-equality + trace/manifest) =="
+scripts/obs_smoke.sh build/bench/study_tool build/bench/obs_smoke
+
+echo "== tier-1: BENCH_JSON schema check over the smoke logs =="
+python3 scripts/check_bench_json.py \
+    build/bench/resume_smoke/fresh.log build/bench/resume_smoke/resume.log
+
 echo "== tier-1: concurrency + kernel tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
     test_sweep_determinism test_sweep_scheduler test_flat_deque \
-    test_kernel_fastpath test_shard_cache test_study
+    test_kernel_fastpath test_shard_cache test_study test_obs
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs')
 echo "tier-1 OK"

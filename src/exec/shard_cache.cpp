@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "sim/rng.hpp"
 
 namespace tcw::exec {
@@ -12,6 +14,25 @@ namespace tcw::exec {
 namespace {
 
 constexpr char kMagic[8] = {'T', 'C', 'W', 'S', 'H', 'C', '1', '\n'};
+
+struct CacheCounters {
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter inserts;
+  obs::Counter loaded_records;
+  obs::Counter corrupt_stores;
+};
+
+CacheCounters& cache_counters() {
+  static CacheCounters counters{
+      obs::Registry::global().counter("exec.shard_cache.hits"),
+      obs::Registry::global().counter("exec.shard_cache.misses"),
+      obs::Registry::global().counter("exec.shard_cache.inserts"),
+      obs::Registry::global().counter("exec.shard_cache.loaded_records"),
+      obs::Registry::global().counter("exec.shard_cache.corrupt_stores"),
+  };
+  return counters;
+}
 
 std::uint64_t mix_step(std::uint64_t h, std::uint64_t v) {
   // Position-sensitive chain: each absorbed word goes through a full
@@ -83,6 +104,7 @@ void ShardCache::open_store(Mode mode) {
   if (mode == Mode::Resume && fs::exists(p, ec)) {
     if (!load_records()) {
       recovered_corruption_ = true;
+      cache_counters().corrupt_stores.add(1);
       rewrite = true;  // compact away the damaged tail
     }
   }
@@ -100,26 +122,26 @@ void ShardCache::open_store(Mode mode) {
     compact_locked();
     if (out_ != nullptr) return;
   }
-  std::fprintf(stderr,
-               "shard-cache: cannot open %s for writing; results of this "
-               "run will not be persisted\n",
-               path_.c_str());
+  obs::log(obs::LogLevel::kWarn,
+           "shard-cache: cannot open %s for writing; results of this run "
+           "will not be persisted",
+           path_.c_str());
 }
 
 bool ShardCache::load_records() {
   std::FILE* in = std::fopen(path_.c_str(), "rb");
   if (in == nullptr) {
-    std::fprintf(stderr, "shard-cache: cannot read %s; starting empty\n",
-                 path_.c_str());
+    obs::log(obs::LogLevel::kWarn, "shard-cache: cannot read %s; starting empty",
+             path_.c_str());
     return false;
   }
   char magic[sizeof kMagic];
   if (std::fread(magic, 1, sizeof magic, in) != sizeof magic ||
       std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    std::fprintf(stderr,
-                 "shard-cache: %s is not a shard store (bad header); "
-                 "recomputing everything\n",
-                 path_.c_str());
+    obs::log(obs::LogLevel::kWarn,
+             "shard-cache: %s is not a shard store (bad header); "
+             "recomputing everything",
+             path_.c_str());
     std::fclose(in);
     return false;
   }
@@ -150,11 +172,12 @@ bool ShardCache::load_records() {
     ++loaded_;
   }
   std::fclose(in);
+  cache_counters().loaded_records.add(loaded_);
   if (!clean) {
-    std::fprintf(stderr,
-                 "shard-cache: %s has a truncated or corrupt tail; keeping "
-                 "%zu intact shard(s) and recomputing the rest\n",
-                 path_.c_str(), loaded_);
+    obs::log(obs::LogLevel::kWarn,
+             "shard-cache: %s has a truncated or corrupt tail; keeping "
+             "%zu intact shard(s) and recomputing the rest",
+             path_.c_str(), loaded_);
   }
   return clean;
 }
@@ -202,10 +225,10 @@ void ShardCache::append_record_locked(const ShardKey& key,
       write_u64(out_, record_checksum(key, payload)) &&
       std::fflush(out_) == 0;
   if (!ok) {
-    std::fprintf(stderr,
-                 "shard-cache: write to %s failed; further results of this "
-                 "run will not be persisted\n",
-                 path_.c_str());
+    obs::log(obs::LogLevel::kWarn,
+             "shard-cache: write to %s failed; further results of this run "
+             "will not be persisted",
+             path_.c_str());
     std::fclose(out_);
     out_ = nullptr;
   }
@@ -217,15 +240,18 @@ bool ShardCache::lookup(const ShardKey& key,
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    cache_counters().misses.add(1);
     return false;
   }
   ++hits_;
+  cache_counters().hits.add(1);
   if (payload != nullptr) *payload = it->second;
   return true;
 }
 
 void ShardCache::insert(const ShardKey& key,
                         const std::vector<double>& payload) {
+  cache_counters().inserts.add(1);
   std::lock_guard<std::mutex> lock(mu_);
   map_[key] = payload;
   append_record_locked(key, payload);

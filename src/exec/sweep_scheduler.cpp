@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <utility>
 
+#include "obs/json.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
 #include "util/contract.hpp"
 
 namespace tcw::exec {
@@ -14,6 +19,26 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+struct SchedulerCounters {
+  obs::Counter runs;
+  obs::Counter shards_home;
+  obs::Counter shards_stolen;
+  obs::Counter queue_drains;
+  obs::Histogram shard_seconds;
+};
+
+SchedulerCounters& scheduler_counters() {
+  static SchedulerCounters counters{
+      obs::Registry::global().counter("exec.scheduler.runs"),
+      obs::Registry::global().counter("exec.scheduler.shards_home"),
+      obs::Registry::global().counter("exec.scheduler.shards_stolen"),
+      obs::Registry::global().counter("exec.scheduler.queue_drains"),
+      obs::Registry::global().histogram("exec.scheduler.shard_seconds",
+                                        {0.001, 0.01, 0.1, 1.0, 10.0}),
+  };
+  return counters;
 }
 
 void append_number(std::string& out, const char* key, const char* fmt,
@@ -29,7 +54,7 @@ void append_number(std::string& out, const char* key, const char* fmt,
 }  // namespace
 
 std::string SchedulerReport::bench_json(const std::string& suite) const {
-  std::string out = "{\"suite\":\"" + suite + "\"";
+  std::string out = "{\"suite\":" + obs::json_quote(suite);
   out += ",\"threads\":" + std::to_string(threads);
   out += ",\"jobs\":" + std::to_string(shards);
   append_number(out, "wall_seconds", "%.4f", wall_seconds);
@@ -40,7 +65,7 @@ std::string SchedulerReport::bench_json(const std::string& suite) const {
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
     const SweepTimingEntry& s = sweeps[i];
     if (i > 0) out += ',';
-    out += "{\"name\":\"" + s.name + "\"";
+    out += "{\"name\":" + obs::json_quote(s.name);
     out += ",\"jobs\":" + std::to_string(s.shards);
     append_number(out, "wall_seconds", "%.4f", s.wall_seconds);
     append_number(out, "busy_seconds", "%.4f", s.busy_seconds);
@@ -66,10 +91,18 @@ std::size_t SweepScheduler::shard_count() const {
   return total;
 }
 
-void SweepScheduler::run_shard(Sweep& sweep, std::size_t index) {
+void SweepScheduler::run_shard(Sweep& sweep, std::size_t index,
+                               std::uint32_t worker, bool stolen) {
   const auto start = Clock::now();
   sweep.shards[index]();  // may throw; handled by the caller
   const auto end = Clock::now();
+  if (timeline_ != nullptr) {
+    timeline_->record_span(sweep.name, index, worker, stolen, start, end);
+  }
+  SchedulerCounters& counters = scheduler_counters();
+  (stolen ? counters.shards_stolen : counters.shards_home).add(1);
+  counters.shard_seconds.record(seconds_between(start, end));
+  sweep.done.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(sweep.mu);
   if (!sweep.started) {
     sweep.started = true;
@@ -88,6 +121,7 @@ void SweepScheduler::runner(std::size_t home, std::atomic<bool>& abort) {
   while (!abort.load(std::memory_order_relaxed)) {
     Sweep* claimed = nullptr;
     std::size_t index = 0;
+    bool stolen = false;
     // Scan sweeps starting from this runner's home so workers spread over
     // distinct sweeps, then fall through to stealing from any sweep that
     // still has unclaimed shards.
@@ -98,12 +132,17 @@ void SweepScheduler::runner(std::size_t home, std::atomic<bool>& abort) {
       if (i < sweep.shards.size()) {
         claimed = &sweep;
         index = i;
+        stolen = k > 0;
         break;
       }
     }
-    if (claimed == nullptr) return;  // every sweep fully claimed
+    if (claimed == nullptr) {
+      // Every sweep fully claimed: this runner drains out.
+      scheduler_counters().queue_drains.add(1);
+      return;
+    }
     try {
-      run_shard(*claimed, index);
+      run_shard(*claimed, index, static_cast<std::uint32_t>(home), stolen);
     } catch (...) {
       abort.store(true, std::memory_order_relaxed);
       throw;  // captured by the pool; rethrown from ThreadPool::wait()
@@ -114,6 +153,22 @@ void SweepScheduler::runner(std::size_t home, std::atomic<bool>& abort) {
 SchedulerReport SweepScheduler::run() {
   const auto t0 = Clock::now();
   const std::size_t total = shard_count();
+  scheduler_counters().runs.add(1);
+  // The sampler only reads each sweep's `done` atomic, so it can start
+  // before and stop after the shards without affecting them. Declared
+  // before the try so the catch path can stop it while sweeps_ is still
+  // alive (the sources point into sweeps_).
+  std::optional<obs::ProgressSampler> progress;
+  if (progress_ && total > 0) {
+    std::vector<obs::ProgressSource> sources;
+    sources.reserve(sweeps_.size());
+    for (const auto& sweep : sweeps_) {
+      sources.push_back(obs::ProgressSource{sweep->name,
+                                            sweep->shards.size(),
+                                            &sweep->done});
+    }
+    progress.emplace(std::move(sources));
+  }
   try {
     if (pool_.size() <= 1 || total <= 1) {
       // Serial path: registration order, shards ascending. (Result
@@ -121,7 +176,7 @@ SchedulerReport SweepScheduler::run() {
       // makes single-threaded exception behaviour predictable.)
       for (const auto& sweep : sweeps_) {
         for (std::size_t i = 0; i < sweep->shards.size(); ++i) {
-          run_shard(*sweep, i);
+          run_shard(*sweep, i, 0, /*stolen=*/false);
         }
       }
     } else {
@@ -133,9 +188,11 @@ SchedulerReport SweepScheduler::run() {
       pool_.wait();  // rethrows the first shard exception, if any
     }
   } catch (...) {
+    if (progress.has_value()) progress->stop();
     sweeps_.clear();
     throw;
   }
+  if (progress.has_value()) progress->stop();
 
   SchedulerReport report;
   report.threads = threads();

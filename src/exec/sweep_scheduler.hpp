@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,10 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+
+namespace tcw::obs {
+class Timeline;
+}  // namespace tcw::obs
 
 namespace tcw::exec {
 
@@ -51,8 +56,7 @@ struct SchedulerReport {
   std::vector<SweepTimingEntry> sweeps;  // in registration order
 
   /// The report as a one-line JSON object (print after a "BENCH_JSON "
-  /// prefix). `suite` labels the record; it and the sweep names must not
-  /// contain characters needing JSON escapes.
+  /// prefix). `suite` labels the record.
   std::string bench_json(const std::string& suite) const;
 };
 
@@ -82,11 +86,21 @@ class SweepScheduler {
   /// sweeps are consumed either way, so the scheduler is reusable.
   SchedulerReport run();
 
+  /// Observability overlays -- both strictly read/record around shard
+  /// execution and never influence claiming order or results.
+  /// When non-null, every executed shard records one span (sweep, shard
+  /// index, worker, stolen flag). Borrowed; must outlive run().
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+  /// When enabled, run() starts a sampling thread that renders a live
+  /// shards-done/total + ETA line on stderr.
+  void set_progress(bool enabled) { progress_ = enabled; }
+
  private:
   struct Sweep {
     std::string name;
     std::vector<std::function<void()>> shards;
     std::atomic<std::size_t> cursor{0};  // next unclaimed shard
+    std::atomic<std::size_t> done{0};    // completed shards (progress)
     // Timing, written once per completed shard:
     std::mutex mu;
     bool started = false;
@@ -96,11 +110,14 @@ class SweepScheduler {
     std::size_t completed = 0;
   };
 
-  void run_shard(Sweep& sweep, std::size_t index);
+  void run_shard(Sweep& sweep, std::size_t index, std::uint32_t worker,
+                 bool stolen);
   void runner(std::size_t home, std::atomic<bool>& abort);
 
   ThreadPool& pool_;
   std::vector<std::unique_ptr<Sweep>> sweeps_;
+  obs::Timeline* timeline_ = nullptr;
+  bool progress_ = false;
 };
 
 }  // namespace tcw::exec

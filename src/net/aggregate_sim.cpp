@@ -2,10 +2,40 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "sim/sampling.hpp"
 #include "util/contract.hpp"
 
 namespace tcw::net {
+
+namespace {
+
+struct AggregateCounters {
+  obs::Counter runs;
+  obs::Counter probe_slots;
+  obs::Counter idle_slots;
+  obs::Counter collisions;
+  obs::Counter successes;
+  obs::Counter sender_discards;
+  obs::Counter chunks_allocated;
+  obs::Counter chunks_released;
+};
+
+AggregateCounters& aggregate_counters() {
+  static AggregateCounters counters{
+      obs::Registry::global().counter("net.aggregate.runs"),
+      obs::Registry::global().counter("net.aggregate.probe_slots"),
+      obs::Registry::global().counter("net.aggregate.idle_slots"),
+      obs::Registry::global().counter("net.aggregate.collisions"),
+      obs::Registry::global().counter("net.aggregate.successes"),
+      obs::Registry::global().counter("net.aggregate.sender_discards"),
+      obs::Registry::global().counter("net.aggregate.chunks_allocated"),
+      obs::Registry::global().counter("net.aggregate.chunks_released"),
+  };
+  return counters;
+}
+
+}  // namespace
 
 AggregateSimulator::AggregateSimulator(
     const AggregateConfig& config,
@@ -48,6 +78,7 @@ void AggregateSimulator::purge_discarded() {
   const double floor = controller_.floor();
   const auto discard_one = [&](double arrival) {
     TCW_ASSERT(config_.policy.discard);
+    ++obs_discards_;
     if (arrival >= config_.warmup) ++metrics_.lost_sender;
     if (config_.trace != nullptr) {
       config_.trace->record(now_, sim::TraceKind::SenderDiscard, arrival);
@@ -119,6 +150,7 @@ const SimMetrics& AggregateSimulator::run() {
     }
     if (!window) {
       metrics_.usage.add_idle_slot();
+      ++obs_idle_;
       now_ += step_duration(1.0);
       continue;
     }
@@ -133,6 +165,7 @@ const SimMetrics& AggregateSimulator::run() {
 
     if (count == 0) {
       metrics_.usage.add_idle_slot();
+      ++obs_idle_;
       if (config_.trace != nullptr) {
         config_.trace->record(now_, sim::TraceKind::ProbeIdle, window->lo,
                               window->hi);
@@ -143,6 +176,7 @@ const SimMetrics& AggregateSimulator::run() {
       }
       now_ += step_duration(1.0);
     } else if (count == 1) {
+      ++obs_successes_;
       const double arrival = first_arrival;
       erase_transmitted();
       const double wait = now_ - arrival;  // true waiting time
@@ -179,6 +213,7 @@ const SimMetrics& AggregateSimulator::run() {
       now_ = last_tx_end_;
     } else {
       metrics_.usage.add_collision_slot();
+      ++obs_collisions_;
       if (config_.trace != nullptr) {
         config_.trace->record(now_, sim::TraceKind::ProbeCollision,
                               window->lo, window->hi);
@@ -212,6 +247,16 @@ void AggregateSimulator::finalize() {
   } else {
     pending_.for_each(account);
   }
+
+  AggregateCounters& counters = aggregate_counters();
+  counters.runs.add(1);
+  counters.probe_slots.add(probe_steps_);
+  counters.idle_slots.add(obs_idle_);
+  counters.collisions.add(obs_collisions_);
+  counters.successes.add(obs_successes_);
+  counters.sender_discards.add(obs_discards_);
+  counters.chunks_allocated.add(pending_.chunks_allocated());
+  counters.chunks_released.add(pending_.chunks_released());
 }
 
 }  // namespace tcw::net

@@ -98,6 +98,13 @@ class AggregateSimulator {
   double last_tx_end_ = 0.0;
   SimMetrics metrics_;
   bool finished_ = false;
+  // Observability tallies, kept as plain locals on the hot path and
+  // flushed into the global obs registry once, in finalize(). They never
+  // feed back into the simulation (no RNG draws, no control flow).
+  std::uint64_t obs_idle_ = 0;
+  std::uint64_t obs_collisions_ = 0;
+  std::uint64_t obs_successes_ = 0;
+  std::uint64_t obs_discards_ = 0;
 };
 
 }  // namespace tcw::net

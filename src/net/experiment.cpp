@@ -12,6 +12,7 @@
 #include "exec/shard_cache.hpp"
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/manifest.hpp"
 #include "sim/batch_means.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -144,7 +145,7 @@ class LossCurveSweep {
   /// never served from (or written to) a shard cache: a cached result
   /// cannot replay protocol events into the log.
   bool job_is_traced(std::size_t job) const {
-    const SweepConfig::TraceRequest tr = config_.effective_trace();
+    const SweepConfig::TraceRequest& tr = config_.trace_request;
     return tr.log != nullptr && job / reps_ == tr.point &&
            tr.replication >= 0 &&
            job % reps_ == static_cast<std::size_t>(tr.replication);
@@ -184,8 +185,6 @@ class LossCurveSweep {
   std::size_t cached_jobs() const { return cached_jobs_; }
 
   void run_job(std::size_t job) {
-    const std::size_t ki = job / reps_;
-    const std::size_t rep = job % reps_;
     AggregateConfig sim_cfg;
     sim_cfg.policy = policies_[job];
     sim_cfg.message_length = config_.message_length;
@@ -195,7 +194,7 @@ class LossCurveSweep {
     sim_cfg.seed = job_seed(job);
     if (job_is_traced(job)) {
       // only this shard touches the log
-      sim_cfg.trace = config_.effective_trace().log;
+      sim_cfg.trace = config_.trace_request.log;
     }
     AggregateSimulator sim(
         sim_cfg, std::make_unique<chan::PoissonProcess>(config_.lambda()));
@@ -304,8 +303,12 @@ ScheduledSweep schedule_loss_curve_cached(
   auto state = std::make_shared<detail::LossCurveSweep>(config, make_policy,
                                                         constraints);
   exec::ShardCache* cache = binding.cache;
+  obs::ManifestCollector& manifest = obs::ManifestCollector::global();
+  // The fingerprint keys cached shards, but it is also the sweep's
+  // configuration identity in the run manifest, so compute it whenever a
+  // manifest was requested even without a cache binding.
   const std::uint64_t fp =
-      cache != nullptr
+      cache != nullptr || manifest.enabled()
           ? exec::ShardCache::fingerprint(
                 loss_curve_fingerprint_text(binding.tag, config, constraints))
           : 0;
@@ -327,6 +330,19 @@ ScheduledSweep schedule_loss_curve_cached(
       continue;
     }
     shards.push_back([state, job] { state->run_job(job); });
+  }
+  if (manifest.enabled()) {
+    obs::ManifestSweep entry;
+    entry.name = name;
+    entry.jobs = shards.size();
+    entry.cached_jobs = state->cached_jobs();
+    entry.base_seed = config.base_seed;
+    entry.config_fingerprint = fp;
+    entry.seeds.reserve(state->jobs());
+    for (std::size_t job = 0; job < state->jobs(); ++job) {
+      entry.seeds.push_back(state->job_seed(job));
+    }
+    manifest.add_sweep(std::move(entry));
   }
   scheduler.add_sweep(std::move(name), std::move(shards));
   return ScheduledSweep(std::move(state));

@@ -60,18 +60,6 @@ struct SweepConfig {
     int replication = 0;
   };
   TraceRequest trace_request;
-  /// DEPRECATED (shim for one PR): the pre-TraceRequest loose fields.
-  /// Honored only while `trace_request.log` is null; use `trace_request`.
-  sim::TraceLog* trace = nullptr;
-  std::size_t trace_point = 0;
-  int trace_replication = 0;
-
-  /// The trace request in effect: `trace_request` when set, otherwise the
-  /// deprecated loose fields folded into one value.
-  TraceRequest effective_trace() const {
-    if (trace_request.log != nullptr) return trace_request;
-    return TraceRequest{trace, trace_point, trace_replication};
-  }
 
   double lambda() const { return offered_load / message_length; }
   /// Element (2) heuristic width: nu*/lambda (paper Section 4.1).

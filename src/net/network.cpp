@@ -2,9 +2,39 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/contract.hpp"
 
 namespace tcw::net {
+
+namespace {
+
+struct NetworkCounters {
+  obs::Counter runs;
+  obs::Counter probe_slots;
+  obs::Counter idle_slots;
+  obs::Counter collisions;
+  obs::Counter successes;
+  obs::Counter sender_discards;
+  obs::Counter restamps;
+  obs::Counter consistency_checks;
+};
+
+NetworkCounters& network_counters() {
+  static NetworkCounters counters{
+      obs::Registry::global().counter("net.network.runs"),
+      obs::Registry::global().counter("net.network.probe_slots"),
+      obs::Registry::global().counter("net.network.idle_slots"),
+      obs::Registry::global().counter("net.network.collisions"),
+      obs::Registry::global().counter("net.network.successes"),
+      obs::Registry::global().counter("net.network.sender_discards"),
+      obs::Registry::global().counter("net.network.restamps"),
+      obs::Registry::global().counter("net.network.consistency_checks"),
+  };
+  return counters;
+}
+
+}  // namespace
 
 Network::Network(const NetworkConfig& config)
     : config_(config), rng_(config.seed) {
@@ -90,6 +120,7 @@ void Network::purge_expired() {
   const double cutoff = now_ - config_.policy.deadline;
   const auto expired = [&](const chan::Message& msg) {
     if (msg.arrival >= cutoff) return false;
+    ++obs_discards_;
     if (msg.arrival >= config_.warmup) ++metrics_.lost_sender;
     if (config_.trace != nullptr) {
       config_.trace->record(now_, sim::TraceKind::SenderDiscard,
@@ -151,6 +182,7 @@ void Network::restamp_stranded(Station& st, double lo, double hi) {
     }
   }
   if (count == 0) return;
+  obs_restamps_ += count;
   if (count == last - first + 1) {
     std::rotate(st.queue.begin() + static_cast<std::ptrdiff_t>(first),
                 st.queue.begin() + static_cast<std::ptrdiff_t>(last + 1),
@@ -230,6 +262,7 @@ const SimMetrics& Network::run() {
     }
     if (!window) {
       metrics_.usage.add_idle_slot();
+      ++obs_idle_;
       now_ += 1.0;
       continue;
     }
@@ -266,6 +299,7 @@ const SimMetrics& Network::run() {
 
     if (tx_count == 0) {
       metrics_.usage.add_idle_slot();
+      ++obs_idle_;
       if (config_.trace != nullptr) {
         config_.trace->record(now_, sim::TraceKind::ProbeIdle, window->lo,
                               window->hi);
@@ -276,6 +310,7 @@ const SimMetrics& Network::run() {
       }
       now_ += 1.0;
     } else if (tx_count == 1) {
+      ++obs_successes_;
       const chan::Message msg =
           (*transmitter).queue[static_cast<std::size_t>(tx_index)];
       transmitter->queue.erase(transmitter->queue.begin() + tx_index);
@@ -313,6 +348,7 @@ const SimMetrics& Network::run() {
               pending.window_stamp < window->hi) {
             restamp += 1e-7;
             pending.window_stamp = restamp;
+            ++obs_restamps_;
           }
         }
         std::sort(transmitter->queue.begin(), transmitter->queue.end(),
@@ -328,6 +364,7 @@ const SimMetrics& Network::run() {
       now_ = last_tx_end_;
     } else {
       metrics_.usage.add_collision_slot();
+      ++obs_collisions_;
       if (config_.trace != nullptr) {
         config_.trace->record(now_, sim::TraceKind::ProbeCollision,
                               window->lo, window->hi);
@@ -354,6 +391,16 @@ void Network::finalize() {
     }
   }
   if (config_.consistency_check_every != 0) check_consistency();
+
+  NetworkCounters& counters = network_counters();
+  counters.runs.add(1);
+  counters.probe_slots.add(probe_steps_);
+  counters.idle_slots.add(obs_idle_);
+  counters.collisions.add(obs_collisions_);
+  counters.successes.add(obs_successes_);
+  counters.sender_discards.add(obs_discards_);
+  counters.restamps.add(obs_restamps_);
+  counters.consistency_checks.add(checks_run_);
 }
 
 }  // namespace tcw::net

@@ -128,6 +128,14 @@ class Network {
   bool consistent_ = true;
   bool finished_ = false;
   SimMetrics metrics_;
+  // Observability tallies, kept as plain locals on the hot path and
+  // flushed into the global obs registry once, in finalize(). They never
+  // feed back into the simulation (no RNG draws, no control flow).
+  std::uint64_t obs_idle_ = 0;
+  std::uint64_t obs_collisions_ = 0;
+  std::uint64_t obs_successes_ = 0;
+  std::uint64_t obs_discards_ = 0;
+  std::uint64_t obs_restamps_ = 0;
 };
 
 }  // namespace tcw::net

@@ -1,0 +1,21 @@
+// Minimal JSON string escaping shared by every writer that emits JSON by
+// string concatenation (SchedulerReport::bench_json, the run-manifest and
+// Chrome-trace writers). Not a JSON library: values other than strings
+// are rendered by their owners; this is only the one part that is easy to
+// get wrong.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tcw::obs {
+
+/// `s` escaped for inclusion inside a JSON string literal: quotes,
+/// backslashes, and control characters (U+0000..U+001F) become their JSON
+/// escape sequences. Does NOT add the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// json_escape(s) wrapped in double quotes: a complete JSON string token.
+std::string json_quote(std::string_view s);
+
+}  // namespace tcw::obs

@@ -1,0 +1,60 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace tcw::obs {
+
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sink_mu;
+std::vector<LogCaptureEntry>* g_sink = nullptr;
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_capture_for_test(std::vector<LogCaptureEntry>* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink;
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) <
+      g_threshold.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);  // truncates long messages
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink != nullptr) {
+    g_sink->push_back(LogCaptureEntry{level, buf});
+    return;
+  }
+  std::fprintf(stderr, "tcw %s: %s\n", to_string(level), buf);
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,46 @@
+// Leveled diagnostic logging for the tcw library: the one funnel for
+// everything that used to be a raw fprintf(stderr, ...) -- shard-cache
+// warnings, contract breaches in non-throwing contexts. Messages below
+// the threshold are dropped; a test hook captures messages instead of
+// writing them, so units can assert on diagnostics without scraping
+// stderr. Diagnostics never touch simulation results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tcw::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* to_string(LogLevel level);
+
+/// printf-style message at `level`; one line on stderr as
+/// "tcw <level>: <message>" (or into the test capture sink). Never
+/// throws; safe from destructors and thread teardown.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+/// Messages below this level are dropped. Default: kInfo.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+struct LogCaptureEntry {
+  LogLevel level = LogLevel::kInfo;
+  std::string message;  // formatted, without the "tcw <level>:" prefix
+};
+
+/// Test hook: while `sink` is non-null every log() call (at or above the
+/// threshold) appends there instead of writing to stderr. Pass nullptr
+/// to restore stderr output. Not thread-safe against concurrent log()
+/// callers mutating the sink's lifetime -- install before the work starts.
+void set_log_capture_for_test(std::vector<LogCaptureEntry>* sink);
+
+}  // namespace tcw::obs

@@ -1,0 +1,142 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+
+namespace tcw::obs {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+ManifestCollector& ManifestCollector::global() {
+  static ManifestCollector collector;
+  return collector;
+}
+
+bool ManifestCollector::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void ManifestCollector::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+void ManifestCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sweeps_.clear();
+  caches_.clear();
+}
+
+void ManifestCollector::add_sweep(ManifestSweep sweep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  sweeps_.push_back(std::move(sweep));
+}
+
+void ManifestCollector::add_cache(ManifestCacheStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  caches_.push_back(std::move(stats));
+}
+
+std::vector<ManifestSweep> ManifestCollector::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+std::vector<ManifestCacheStats> ManifestCollector::caches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caches_;
+}
+
+std::string render_run_manifest(const RunManifestInfo& info) {
+  const ManifestCollector& collector = ManifestCollector::global();
+  std::string out = "{\"schema\":\"tcw-run-manifest-v1\"";
+  out += ",\"run\":" + json_quote(info.run);
+  out += ",\"created_utc\":" + json_quote(utc_now_iso8601());
+  out += ",\"threads\":" + std::to_string(info.threads);
+
+  out += ",\"sweeps\":[";
+  const std::vector<ManifestSweep> sweeps = collector.sweeps();
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const ManifestSweep& s = sweeps[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":" + json_quote(s.name);
+    out += ",\"jobs\":" + std::to_string(s.jobs);
+    out += ",\"cached_jobs\":" + std::to_string(s.cached_jobs);
+    out += ",\"base_seed\":" + json_quote(hex_u64(s.base_seed));
+    out += ",\"config_fingerprint\":" +
+           json_quote(hex_u64(s.config_fingerprint));
+    out += ",\"seeds\":[";
+    for (std::size_t j = 0; j < s.seeds.size(); ++j) {
+      if (j > 0) out += ',';
+      out += json_quote(hex_u64(s.seeds[j]));
+    }
+    out += "]}";
+  }
+  out += ']';
+
+  out += ",\"caches\":[";
+  const std::vector<ManifestCacheStats> caches = collector.caches();
+  for (std::size_t i = 0; i < caches.size(); ++i) {
+    const ManifestCacheStats& c = caches[i];
+    if (i > 0) out += ',';
+    out += "{\"suite\":" + json_quote(c.suite);
+    out += ",\"path\":" + json_quote(c.path);
+    out += ",\"cached_shards\":" + std::to_string(c.cached_shards);
+    out += ",\"executed_shards\":" + std::to_string(c.executed_shards);
+    out += ",\"entries\":" + std::to_string(c.entries);
+    out += ",\"loaded\":" + std::to_string(c.loaded);
+    out += c.recovered_corruption ? ",\"recovered_corruption\":true}"
+                                  : ",\"recovered_corruption\":false}";
+  }
+  out += ']';
+
+  if (!info.scheduler_report_json.empty()) {
+    out += ",\"scheduler_report\":" + info.scheduler_report_json;
+  }
+  out += ",\"registry\":" + Registry::global().snapshot().to_json();
+  out += '}';
+  return out;
+}
+
+bool write_run_manifest(const std::string& path,
+                        const RunManifestInfo& info) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    log(LogLevel::kWarn, "manifest: cannot write %s", path.c_str());
+    return false;
+  }
+  const std::string doc = render_run_manifest(info);
+  const bool ok =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+      std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) log(LogLevel::kWarn, "manifest: short write to %s", path.c_str());
+  return ok;
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,83 @@
+// Run manifest: a JSON sidecar written next to a run's output CSVs that
+// records everything needed to reproduce or audit the run -- suite/study
+// name, per-sweep configuration fingerprints and derived shard seeds,
+// thread count, shard-cache statistics, the scheduler's BENCH_JSON
+// report, and a snapshot of the metrics registry. The collector is a
+// process-global accumulator that scheduling code feeds when (and only
+// when) a manifest was requested; it is disabled by default so untimed
+// runs pay nothing but one branch per sweep.
+//
+// All 64-bit seeds and fingerprints are rendered as fixed-width hex
+// strings: JSON numbers above 2^53 are not round-trippable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tcw::obs {
+
+struct ManifestSweep {
+  std::string name;
+  std::size_t jobs = 0;         // shards actually scheduled
+  std::size_t cached_jobs = 0;  // shards served from the shard cache
+  std::uint64_t base_seed = 0;
+  std::uint64_t config_fingerprint = 0;
+  std::vector<std::uint64_t> seeds;  // derived per-shard stream seeds
+};
+
+struct ManifestCacheStats {
+  std::string suite;
+  std::string path;
+  std::size_t cached_shards = 0;
+  std::size_t executed_shards = 0;
+  std::size_t entries = 0;
+  std::size_t loaded = 0;
+  bool recovered_corruption = false;
+};
+
+/// Process-global accumulator for manifest input. Disabled by default;
+/// the --manifest-out plumbing enables it for the duration of a run.
+class ManifestCollector {
+ public:
+  static ManifestCollector& global();
+
+  bool enabled() const;
+  void set_enabled(bool enabled);
+  void clear();
+
+  /// No-ops when disabled, so call sites need no gating of their own
+  /// beyond avoiding expensive argument construction.
+  void add_sweep(ManifestSweep sweep);
+  void add_cache(ManifestCacheStats stats);
+
+  std::vector<ManifestSweep> sweeps() const;
+  std::vector<ManifestCacheStats> caches() const;
+
+ private:
+  ManifestCollector() = default;
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::vector<ManifestSweep> sweeps_;
+  std::vector<ManifestCacheStats> caches_;
+};
+
+struct RunManifestInfo {
+  std::string run;                     // suite/tool name, e.g. "study_suite"
+  std::size_t threads = 0;             // resolved worker count (0 = unknown)
+  std::string scheduler_report_json;   // SchedulerReport::bench_json(), opt.
+};
+
+/// The manifest document: schema tag, wall-clock creation time (the only
+/// wall timestamp in the codebase -- obs artifacts are exempt from the
+/// no-wall-clock rule), collector contents, and the current registry
+/// snapshot.
+std::string render_run_manifest(const RunManifestInfo& info);
+
+/// render_run_manifest() written to `path`; false (with a logged warning)
+/// when the file cannot be written.
+bool write_run_manifest(const std::string& path, const RunManifestInfo& info);
+
+}  // namespace tcw::obs

@@ -1,0 +1,91 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tcw::obs {
+
+namespace {
+
+bool stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stderr)) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+ProgressSampler::ProgressSampler(std::vector<ProgressSource> sources,
+                                 std::chrono::milliseconds period)
+    : sources_(std::move(sources)),
+      period_(period),
+      start_(std::chrono::steady_clock::now()),
+      tty_(stderr_is_tty()),
+      thread_([this] { run(); }) {}
+
+ProgressSampler::~ProgressSampler() { stop(); }
+
+void ProgressSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  render(/*final_line=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+}
+
+void ProgressSampler::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period_, [this] { return stopping_; })) break;
+    lock.unlock();
+    render(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void ProgressSampler::render(bool final_line) {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::string per_sweep;
+  for (const ProgressSource& src : sources_) {
+    const std::size_t d =
+        src.done != nullptr ? src.done->load(std::memory_order_relaxed) : 0;
+    done += d;
+    total += src.total;
+    if (!per_sweep.empty()) per_sweep += ' ';
+    per_sweep += src.name + ' ' + std::to_string(d) + '/' +
+                 std::to_string(src.total);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  char eta[48];
+  if (done > 0 && done < total && elapsed > 0.0) {
+    const double remaining =
+        elapsed * static_cast<double>(total - done) /
+        static_cast<double>(done);
+    std::snprintf(eta, sizeof eta, " eta %.0fs", remaining);
+  } else {
+    eta[0] = '\0';
+  }
+  // On a TTY, overwrite the previous line in place; in a pipe each sample
+  // is its own line so logs stay greppable.
+  const char* prefix = tty_ && wrote_line_ ? "\r\033[2K" : "";
+  const char* suffix = tty_ && !final_line ? "" : "\n";
+  std::fprintf(stderr, "%sprogress: %zu/%zu shards [%s] %.1fs%s%s", prefix,
+               done, total, per_sweep.c_str(), elapsed, eta, suffix);
+  std::fflush(stderr);
+  wrote_line_ = true;
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,61 @@
+// Live progress for long scheduler runs: a sampling thread that
+// periodically reads per-sweep done/total atomics published by the
+// scheduler and renders one stderr status line (shards done/total per
+// sweep plus an ETA extrapolated from the observed completion rate).
+// The sampler only ever *reads* counters the workers were updating
+// anyway, so enabling it cannot perturb results or scheduling order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tcw::obs {
+
+/// One sweep's progress source: `done` is written by scheduler workers
+/// (relaxed increments), read by the sampler. The vector of sources is
+/// immutable once the sampler starts.
+struct ProgressSource {
+  std::string name;
+  std::size_t total = 0;
+  const std::atomic<std::size_t>* done = nullptr;
+};
+
+class ProgressSampler {
+ public:
+  /// Starts the sampling thread. `sources` must outlive stop().
+  ProgressSampler(std::vector<ProgressSource> sources,
+                  std::chrono::milliseconds period =
+                      std::chrono::milliseconds(250));
+  ~ProgressSampler();
+
+  ProgressSampler(const ProgressSampler&) = delete;
+  ProgressSampler& operator=(const ProgressSampler&) = delete;
+
+  /// Stops the thread and emits one final status line (so even runs that
+  /// finish within a single period produce visible progress output).
+  /// Idempotent.
+  void stop();
+
+ private:
+  void run();
+  void render(bool final_line);
+
+  std::vector<ProgressSource> sources_;
+  std::chrono::milliseconds period_;
+  std::chrono::steady_clock::time_point start_;
+  bool tty_ = false;
+  bool wrote_line_ = false;  // sampler thread + final stop() only
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tcw::obs

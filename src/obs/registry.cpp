@@ -1,0 +1,145 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace tcw::obs {
+
+namespace detail {
+
+std::size_t this_thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kRegistrySlots;
+  return slot;
+}
+
+}  // namespace detail
+
+std::uint64_t HistogramSnapshot::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+std::uint64_t RegistrySnapshot::counter(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_quote(counters[i].name) + ":" +
+           std::to_string(counters[i].value);
+  }
+  out += "},\"histograms\":{";
+  char buf[64];
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i > 0) out += ',';
+    out += json_quote(h.name) + ":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      std::snprintf(buf, sizeof buf, "%.17g", h.bounds[b]);
+      out += buf;
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(h.counts[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterEntry& entry = counters_[name];
+  if (entry.cells == nullptr) {
+    entry.cells = std::make_unique<std::atomic<std::uint64_t>[]>(
+        kRegistrySlots * detail::kCellStride);
+    for (std::size_t i = 0; i < kRegistrySlots * detail::kCellStride; ++i) {
+      entry.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  return Counter(entry.cells.get());
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramEntry& entry = histograms_[name];
+  if (entry.cells == nullptr) {
+    entry.bounds = std::move(upper_bounds);
+    const std::size_t buckets = entry.bounds.size() + 1;
+    // Round the per-slot stride up to whole cache lines so slots of
+    // different threads never share a line.
+    entry.stride = (buckets + detail::kCellStride - 1) /
+                   detail::kCellStride * detail::kCellStride;
+    entry.cells = std::make_unique<std::atomic<std::uint64_t>[]>(
+        kRegistrySlots * entry.stride);
+    for (std::size_t i = 0; i < kRegistrySlots * entry.stride; ++i) {
+      entry.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  return Histogram(entry.bounds.data(), entry.bounds.size(),
+                   entry.cells.get(), entry.stride);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_) {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kRegistrySlots; ++s) {
+      sum += entry.cells[s * detail::kCellStride].load(
+          std::memory_order_relaxed);
+    }
+    snap.counters.push_back(CounterSnapshot{name, sum});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = entry.bounds;
+    h.counts.assign(entry.bounds.size() + 1, 0);
+    for (std::size_t s = 0; s < kRegistrySlots; ++s) {
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        h.counts[b] += entry.cells[s * entry.stride + b].load(
+            std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) {
+    for (std::size_t i = 0; i < kRegistrySlots * detail::kCellStride; ++i) {
+      entry.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, entry] : histograms_) {
+    for (std::size_t i = 0; i < kRegistrySlots * entry.stride; ++i) {
+      entry.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace tcw::obs

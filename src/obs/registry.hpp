@@ -1,0 +1,163 @@
+// Process-wide registry of named counters and fixed-bucket histograms for
+// zero-result-perturbation instrumentation of the simulation kernels,
+// scheduler, and caches.
+//
+// Design constraints, in order:
+//   * Observability must be overlay-only: handles never touch RNG state,
+//     never allocate on the hot path, and never throw. Every CSV a bench
+//     writes is byte-identical with instrumentation on, off, or at any
+//     thread count.
+//   * Hot-path increments must be cheap under contention: each counter
+//     owns a small array of cache-line-spaced atomic slots; a thread
+//     picks its slot once (thread_local) and does one relaxed fetch_add.
+//     snapshot() merges the slots.
+//   * Handles are value types that stay valid forever: the registry only
+//     grows (reset() zeroes cells but never frees them), so kernels can
+//     cache a `static` handle and skip the name lookup entirely.
+//
+// The obs library is a dependency-free leaf: everything else (util, exec,
+// net, bench) may link it, including the contract machinery.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcw::obs {
+
+/// Sharded slots per counter. A thread maps to slot (id % kRegistrySlots),
+/// so false sharing is rare for the worker counts the sweep engine uses.
+inline constexpr std::size_t kRegistrySlots = 16;
+
+namespace detail {
+/// This thread's slot index, assigned round-robin on first use.
+std::size_t this_thread_slot() noexcept;
+/// 64 bytes between consecutive slots of one counter.
+inline constexpr std::size_t kCellStride = 8;
+}  // namespace detail
+
+/// Handle to one registered counter. Default-constructed handles are
+/// inert (add() is a no-op); handles from Registry::counter() stay valid
+/// for the registry's lifetime.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) const noexcept {
+    if (cells_ == nullptr) return;
+    cells_[detail::this_thread_slot() * detail::kCellStride].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::atomic<std::uint64_t>* cells) : cells_(cells) {}
+  std::atomic<std::uint64_t>* cells_ = nullptr;
+};
+
+/// Handle to one registered fixed-bucket histogram: `bounds` are the
+/// ascending upper bounds; values above the last bound land in a final
+/// overflow bucket. record() is a linear scan (bucket counts are small)
+/// plus one relaxed fetch_add.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(double value) const noexcept {
+    if (cells_ == nullptr) return;
+    std::size_t bucket = nbounds_;  // overflow unless a bound catches it
+    for (std::size_t i = 0; i < nbounds_; ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    cells_[detail::this_thread_slot() * stride_ + bucket].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Histogram(const double* bounds, std::size_t nbounds,
+            std::atomic<std::uint64_t>* cells, std::size_t stride)
+      : bounds_(bounds), nbounds_(nbounds), cells_(cells), stride_(stride) {}
+
+  const double* bounds_ = nullptr;
+  std::size_t nbounds_ = 0;
+  std::atomic<std::uint64_t>* cells_ = nullptr;
+  std::size_t stride_ = 0;  // cells per slot, padded to cache lines
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;           // upper bounds, ascending
+  std::vector<std::uint64_t> counts;    // bounds.size() + 1 (overflow last)
+  std::uint64_t total() const;
+};
+
+/// Point-in-time merged view of a registry, name-sorted.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of the named counter; 0 when absent.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// The snapshot as one JSON object:
+  /// {"counters":{...},"histograms":{"name":{"bounds":[...],"counts":[...]}}}
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the kernels and the scheduler report into.
+  static Registry& global();
+
+  /// The counter named `name`, created on first request.
+  Counter counter(const std::string& name);
+
+  /// The histogram named `name` with the given ascending upper bounds,
+  /// created on first request; later calls return the existing histogram
+  /// (its original bounds win).
+  Histogram histogram(const std::string& name,
+                      std::vector<double> upper_bounds);
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zero every cell. Existing handles stay valid (entries are never
+  /// freed); meant for tests and for scoping a run's manifest snapshot.
+  void reset();
+
+ private:
+  struct CounterEntry {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  };
+  struct HistogramEntry {
+    std::vector<double> bounds;
+    std::size_t stride = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  };
+
+  mutable std::mutex mu_;
+  // std::map: node stability (handles keep raw pointers) + sorted
+  // snapshots without an extra sort.
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, HistogramEntry> histograms_;
+};
+
+}  // namespace tcw::obs

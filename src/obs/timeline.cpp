@@ -1,0 +1,81 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+
+namespace tcw::obs {
+
+void Timeline::record_span(const std::string& sweep, std::size_t shard,
+                           std::uint32_t worker, bool stolen,
+                           std::chrono::steady_clock::time_point begin,
+                           std::chrono::steady_clock::time_point end) {
+  TimelineSpan span;
+  span.sweep = sweep;
+  span.shard = shard;
+  span.worker = worker;
+  span.stolen = stolen;
+  span.begin = begin;
+  span.end = end;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Timeline::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TimelineSpan> Timeline::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Timeline::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string Timeline::to_chrome_trace_json() const {
+  const std::vector<TimelineSpan> spans = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[96];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TimelineSpan& s = spans[i];
+    if (i > 0) out += ',';
+    const double ts =
+        std::chrono::duration<double, std::micro>(s.begin - epoch_).count();
+    const double dur =
+        std::chrono::duration<double, std::micro>(s.end - s.begin).count();
+    out += "{\"name\":" +
+           json_quote(s.sweep + "#" + std::to_string(s.shard));
+    out += ",\"cat\":\"shard\",\"ph\":\"X\",\"pid\":1";
+    std::snprintf(buf, sizeof buf, ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  s.worker, ts, dur);
+    out += buf;
+    out += ",\"args\":{\"sweep\":" + json_quote(s.sweep);
+    out += ",\"shard\":" + std::to_string(s.shard);
+    out += ",\"worker\":" + std::to_string(s.worker);
+    out += s.stolen ? ",\"stolen\":true}}" : ",\"stolen\":false}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Timeline::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    log(LogLevel::kWarn, "timeline: cannot write %s", path.c_str());
+    return false;
+  }
+  const std::string doc = to_chrome_trace_json();
+  const bool ok =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+      std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) log(LogLevel::kWarn, "timeline: short write to %s", path.c_str());
+  return ok;
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,59 @@
+// Span recorder for scheduler shards: one complete span per executed
+// shard (sweep name, shard index, worker id, stolen flag), exported as
+// Chrome trace-event JSON so a run can be inspected in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Recording is
+// overlay-only: spans are timestamped with the steady clock and never
+// interact with simulation state.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tcw::obs {
+
+struct TimelineSpan {
+  std::string sweep;
+  std::size_t shard = 0;
+  std::uint32_t worker = 0;
+  bool stolen = false;  // claimed outside the worker's home sweep
+  std::chrono::steady_clock::time_point begin{};
+  std::chrono::steady_clock::time_point end{};
+};
+
+class Timeline {
+ public:
+  Timeline() : epoch_(std::chrono::steady_clock::now()) {}
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Record one completed span. Thread-safe; called by scheduler workers.
+  void record_span(const std::string& sweep, std::size_t shard,
+                   std::uint32_t worker, bool stolen,
+                   std::chrono::steady_clock::time_point begin,
+                   std::chrono::steady_clock::time_point end);
+
+  std::size_t span_count() const;
+  std::vector<TimelineSpan> snapshot() const;
+  void clear();
+
+  /// The recorded spans as a Chrome trace-event JSON document: one
+  /// complete ("ph":"X") event per span, ts/dur in microseconds relative
+  /// to the timeline's construction, tid = worker id. Loadable in
+  /// Perfetto / chrome://tracing.
+  std::string to_chrome_trace_json() const;
+
+  /// to_chrome_trace_json() written to `path`; false (with a logged
+  /// warning) when the file cannot be written.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TimelineSpan> spans_;
+};
+
+}  // namespace tcw::obs

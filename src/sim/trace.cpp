@@ -1,21 +1,28 @@
 #include "sim/trace.hpp"
 
+#include <iterator>
 #include <ostream>
 
 #include "util/contract.hpp"
 
 namespace tcw::sim {
 
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "process-start",   "probe-idle",     "probe-collision",
+    "transmission",    "sender-discard", "late-at-receiver",
+};
+static_assert(std::size(kKindNames) ==
+                  static_cast<std::size_t>(TraceKind::kCount),
+              "kKindNames must cover every TraceKind");
+
+}  // namespace
+
 std::string to_string(TraceKind kind) {
-  switch (kind) {
-    case TraceKind::ProcessStart: return "process-start";
-    case TraceKind::ProbeIdle: return "probe-idle";
-    case TraceKind::ProbeCollision: return "probe-collision";
-    case TraceKind::Transmission: return "transmission";
-    case TraceKind::SenderDiscard: return "sender-discard";
-    case TraceKind::LateAtReceiver: return "late-at-receiver";
-  }
-  return "?";
+  const auto index = static_cast<std::size_t>(kind);
+  if (index >= std::size(kKindNames)) return "?";
+  return kKindNames[index];
 }
 
 TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {

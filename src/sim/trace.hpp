@@ -18,6 +18,7 @@ enum class TraceKind : std::uint8_t {
   Transmission,     // a message transmission began
   SenderDiscard,    // element (4) dropped a message at the sender
   LateAtReceiver,   // a transmitted message exceeded its deadline
+  kCount,           // sentinel: number of kinds, not a kind
 };
 
 std::string to_string(TraceKind kind);
@@ -58,7 +59,8 @@ class TraceLog {
   std::vector<TraceRecord> ring_;
   std::size_t head_ = 0;  // next write position once the ring is full
   std::uint64_t total_ = 0;
-  std::uint64_t kind_counts_[6] = {};
+  std::uint64_t kind_counts_[static_cast<std::size_t>(TraceKind::kCount)] =
+      {};
 };
 
 }  // namespace tcw::sim

@@ -1,7 +1,8 @@
 #include "util/contract.hpp"
 
-#include <cstdio>
 #include <sstream>
+
+#include "obs/log.hpp"
 
 namespace tcw::detail {
 
@@ -14,8 +15,8 @@ void contract_fail(const char* kind, const char* expr, const char* file,
 
 void contract_log(const char* kind, const char* expr, const char* file,
                   int line) {
-  std::fprintf(stderr, "tcw: %s breached (continuing): `%s` at %s:%d\n",
-               kind, expr, file, line);
+  obs::log(obs::LogLevel::kError, "%s breached (continuing): `%s` at %s:%d",
+           kind, expr, file, line);
 }
 
 }  // namespace tcw::detail

@@ -16,6 +16,7 @@ void FlatChunkDeque::push_back(double v) {
   if (chunks_.empty() || chunks_.back().size() == cap_) {
     chunks_.emplace_back();
     chunks_.back().reserve(cap_);
+    ++chunks_allocated_;
   }
   chunks_.back().push_back(v);
   ++size_;
@@ -55,11 +56,13 @@ void FlatChunkDeque::erase(const Pos& p) {
   --size_;
   if (chunk.empty()) {
     chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(p.chunk));
+    ++chunks_released_;
     if (p.chunk == 0) head_ = 0;
   }
 }
 
 void FlatChunkDeque::clear() {
+  chunks_released_ += chunks_.size();
   chunks_.clear();
   head_ = 0;
   size_ = 0;

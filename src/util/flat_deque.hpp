@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -40,6 +41,7 @@ class FlatChunkDeque {
     --size_;
     if (head_ == chunks_.front().size()) {
       chunks_.pop_front();
+      ++chunks_released_;
       head_ = 0;
     }
   }
@@ -86,6 +88,13 @@ class FlatChunkDeque {
   /// Structural invariant: chunk bounds, head offset, strict monotonicity.
   bool check_invariant() const;
 
+  /// Lifetime chunk churn, for observability: chunks created by push_back
+  /// and chunks retired by pop_front/erase/clear. Plain counters -- the
+  /// deque is single-threaded; callers flush them into the metrics
+  /// registry when a run finalizes.
+  std::uint64_t chunks_allocated() const { return chunks_allocated_; }
+  std::uint64_t chunks_released() const { return chunks_released_; }
+
  private:
   /// lower_bound when the answer is neither end() nor the front element:
   /// binary search over chunks, then within the chunk.
@@ -95,6 +104,8 @@ class FlatChunkDeque {
   std::deque<std::vector<double>> chunks_;  // non-empty, globally ascending
   std::size_t head_ = 0;                    // first live index of chunks_[0]
   std::size_t size_ = 0;
+  std::uint64_t chunks_allocated_ = 0;
+  std::uint64_t chunks_released_ = 0;
 };
 
 }  // namespace tcw

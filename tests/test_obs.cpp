@@ -1,0 +1,310 @@
+// The observability layer: metrics registry merging, JSON escaping,
+// leveled logging with the test capture hook, timeline export, manifest
+// rendering, and -- the hard invariant -- overlay-only behaviour: a
+// scheduled run's results are bit-identical with every overlay attached.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/sweep_scheduler.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeline.hpp"
+#include "sim/rng.hpp"
+
+namespace tcw {
+namespace {
+
+// ---------------------------------------------------------------- json
+
+TEST(ObsJson, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(obs::json_quote("x\"y"), "\"x\\\"y\"");
+  EXPECT_EQ(obs::json_quote(""), "\"\"");
+}
+
+TEST(ObsJson, BenchJsonEscapesSweepNames) {
+  exec::SchedulerReport report;
+  report.threads = 2;
+  report.shards = 1;
+  exec::SweepTimingEntry entry;
+  entry.name = "we\"ird\\name";
+  entry.shards = 1;
+  report.sweeps.push_back(entry);
+  const std::string json = report.bench_json("sui\"te");
+  EXPECT_NE(json.find("\"sui\\\"te\""), std::string::npos);
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+  // The raw unescaped quote must not survive anywhere.
+  EXPECT_EQ(json.find("we\"ird"), std::string::npos);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(ObsRegistry, CountsAcrossThreadsAndResets) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("test.threads");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c]() {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counter("test.threads"), kThreads * kPerThread);
+  EXPECT_EQ(reg.snapshot().counter("no.such.counter"), 0u);
+
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counter("test.threads"), 0u);
+  c.add(3);  // handles survive reset
+  EXPECT_EQ(reg.snapshot().counter("test.threads"), 3u);
+}
+
+TEST(ObsRegistry, SameNameSharesCells) {
+  obs::Registry reg;
+  obs::Counter a = reg.counter("shared");
+  obs::Counter b = reg.counter("shared");
+  a.add(2);
+  b.add(5);
+  EXPECT_EQ(reg.snapshot().counter("shared"), 7u);
+}
+
+TEST(ObsRegistry, InertHandleIsANoOp) {
+  obs::Counter inert;
+  inert.add(42);  // must not crash
+  obs::Histogram h;
+  h.record(1.0);
+}
+
+TEST(ObsRegistry, HistogramBucketsIncludingOverflow) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("lat", {0.01, 0.1, 1.0});
+  h.record(0.005);  // bucket 0
+  h.record(0.01);   // bucket 0 (<= bound)
+  h.record(0.05);   // bucket 1
+  h.record(0.5);    // bucket 2
+  h.record(2.0);    // overflow
+  h.record(100.0);  // overflow
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const obs::HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.name, "lat");
+  ASSERT_EQ(hs.bounds.size(), 3u);
+  ASSERT_EQ(hs.counts.size(), 4u);
+  EXPECT_EQ(hs.counts[0], 2u);
+  EXPECT_EQ(hs.counts[1], 1u);
+  EXPECT_EQ(hs.counts[2], 1u);
+  EXPECT_EQ(hs.counts[3], 2u);
+  EXPECT_EQ(hs.total(), 6u);
+}
+
+TEST(ObsRegistry, SnapshotJsonIsSortedAndWellFormed) {
+  obs::Registry reg;
+  reg.counter("b.second").add(2);
+  reg.counter("a.first").add(1);
+  reg.histogram("h", {1.0}).record(0.5);
+  const std::string json = reg.snapshot().to_json();
+  const std::size_t a = json.find("a.first");
+  const std::size_t b = json.find("b.second");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);  // std::map keeps snapshots name-sorted
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------- log
+
+struct CaptureGuard {
+  std::vector<obs::LogCaptureEntry> entries;
+  CaptureGuard() { obs::set_log_capture_for_test(&entries); }
+  ~CaptureGuard() { obs::set_log_capture_for_test(nullptr); }
+};
+
+TEST(ObsLog, CaptureHookAndThreshold) {
+  CaptureGuard capture;
+  obs::log(obs::LogLevel::kWarn, "answer=%d", 42);
+  ASSERT_EQ(capture.entries.size(), 1u);
+  EXPECT_EQ(capture.entries[0].level, obs::LogLevel::kWarn);
+  EXPECT_EQ(capture.entries[0].message, "answer=42");
+
+  // Below the default kInfo threshold: dropped.
+  obs::log(obs::LogLevel::kDebug, "invisible");
+  EXPECT_EQ(capture.entries.size(), 1u);
+
+  obs::set_log_threshold(obs::LogLevel::kDebug);
+  obs::log(obs::LogLevel::kDebug, "now visible");
+  obs::set_log_threshold(obs::LogLevel::kInfo);
+  ASSERT_EQ(capture.entries.size(), 2u);
+  EXPECT_EQ(capture.entries[1].message, "now visible");
+}
+
+// ------------------------------------------------------------ timeline
+
+TEST(ObsTimeline, RecordsSpansAndRendersChromeTrace) {
+  obs::Timeline timeline;
+  const auto t0 = std::chrono::steady_clock::now();
+  timeline.record_span("alpha", 0, 1, false, t0,
+                       t0 + std::chrono::microseconds(500));
+  timeline.record_span("be\"ta", 3, 2, true,
+                       t0 + std::chrono::microseconds(100),
+                       t0 + std::chrono::microseconds(300));
+  EXPECT_EQ(timeline.span_count(), 2u);
+
+  const std::string json = timeline.to_chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("alpha#0"), std::string::npos);
+  EXPECT_NE(json.find("\"stolen\":true"), std::string::npos);
+  // The quote in the sweep name must be escaped in the output.
+  EXPECT_EQ(json.find("be\"ta"), std::string::npos);
+  EXPECT_NE(json.find("be\\\"ta"), std::string::npos);
+
+  timeline.clear();
+  EXPECT_EQ(timeline.span_count(), 0u);
+}
+
+TEST(ObsTimeline, WriteFailureLogsAndReturnsFalse) {
+  CaptureGuard capture;
+  obs::Timeline timeline;
+  EXPECT_FALSE(
+      timeline.write_chrome_trace("/nonexistent-dir-tcw/trace.json"));
+  ASSERT_FALSE(capture.entries.empty());
+  EXPECT_EQ(capture.entries[0].level, obs::LogLevel::kWarn);
+}
+
+// ------------------------------------------------------------ manifest
+
+TEST(ObsManifest, CollectorIsGatedByEnabled) {
+  obs::ManifestCollector& collector = obs::ManifestCollector::global();
+  collector.clear();
+  collector.set_enabled(false);
+  collector.add_sweep({"dropped", 1, 0, 1, 2, {3}});
+  EXPECT_TRUE(collector.sweeps().empty());
+
+  collector.set_enabled(true);
+  collector.add_sweep({"kept", 4, 1, 0xdeadbeef, 0x1234, {5, 6, 7, 8}});
+  obs::ManifestCacheStats stats;
+  stats.suite = "kept";
+  stats.path = "/tmp/cache";
+  collector.add_cache(stats);
+  ASSERT_EQ(collector.sweeps().size(), 1u);
+  EXPECT_EQ(collector.sweeps()[0].name, "kept");
+  EXPECT_EQ(collector.caches().size(), 1u);
+  collector.set_enabled(false);
+  collector.clear();
+}
+
+TEST(ObsManifest, RenderContainsSchemaSweepsAndHexSeeds) {
+  obs::ManifestCollector& collector = obs::ManifestCollector::global();
+  collector.clear();
+  collector.set_enabled(true);
+  obs::ManifestSweep sweep;
+  sweep.name = "panel/controlled";
+  sweep.jobs = 2;
+  sweep.cached_jobs = 1;
+  sweep.base_seed = 0x00000000deadbeefULL;
+  sweep.config_fingerprint = 0xfeedface12345678ULL;
+  sweep.seeds = {0x1ULL, 0xffffffffffffffffULL};
+  collector.add_sweep(sweep);
+
+  obs::RunManifestInfo info;
+  info.run = "unit_test";
+  info.threads = 4;
+  info.scheduler_report_json = "{\"suite\":\"unit_test\"}";
+  const std::string json = obs::render_run_manifest(info);
+  collector.set_enabled(false);
+  collector.clear();
+
+  EXPECT_NE(json.find("tcw-run-manifest-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"run\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(json.find("panel/controlled"), std::string::npos);
+  // u64 values are hex strings, never bare JSON numbers.
+  EXPECT_NE(json.find("\"0x00000000deadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"0xfeedface12345678\""), std::string::npos);
+  EXPECT_NE(json.find("\"0xffffffffffffffff\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry\""), std::string::npos);
+  EXPECT_NE(json.find("\"created_utc\""), std::string::npos);
+}
+
+// ------------------------------------------------ overlay determinism
+
+// Deterministic payload per shard: results depend only on the derived
+// seed, never on scheduling. Mirrors how the sweep engine shards work.
+std::uint64_t shard_value(std::uint64_t base_seed, std::size_t shard) {
+  sim::Rng rng(sim::derive_stream_seed(base_seed, shard, 0));
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 64; ++i) {
+    acc ^= rng();
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return acc;
+}
+
+std::vector<std::uint64_t> run_scheduled(unsigned threads,
+                                         obs::Timeline* timeline,
+                                         bool progress,
+                                         exec::SchedulerReport* report) {
+  constexpr std::size_t kShards = 24;
+  std::vector<std::uint64_t> out(kShards, 0);
+  exec::ThreadPool pool(threads);
+  exec::SweepScheduler scheduler(pool);
+  if (timeline != nullptr) scheduler.set_timeline(timeline);
+  scheduler.set_progress(progress);
+  std::vector<std::function<void()>> shards;
+  shards.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards.push_back([&out, i]() { out[i] = shard_value(99, i); });
+  }
+  scheduler.add_sweep("overlay", std::move(shards));
+  exec::SchedulerReport r = scheduler.run();
+  if (report != nullptr) *report = r;
+  return out;
+}
+
+TEST(ObsOverlay, ResultsAreIdenticalWithEveryOverlayAttached) {
+  const std::vector<std::uint64_t> plain =
+      run_scheduled(1, nullptr, false, nullptr);
+
+  obs::Timeline timeline;
+  exec::SchedulerReport report;
+  const std::vector<std::uint64_t> observed =
+      run_scheduled(4, &timeline, /*progress=*/true, &report);
+
+  EXPECT_EQ(plain, observed);
+  // One complete span per executed shard.
+  EXPECT_EQ(timeline.span_count(), report.shards);
+  EXPECT_EQ(report.shards, plain.size());
+}
+
+TEST(ObsOverlay, SchedulerFeedsRegistryCounters) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+  run_scheduled(2, nullptr, false, nullptr);
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.counter("exec.scheduler.runs"), 1u);
+  EXPECT_EQ(snap.counter("exec.scheduler.shards_home") +
+                snap.counter("exec.scheduler.shards_stolen"),
+            24u);
+}
+
+}  // namespace
+}  // namespace tcw

@@ -140,16 +140,11 @@ TEST(SweepTrace, TracedJobMatchesSoloRerunAndChangesNothing) {
 
 TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
   // The same plumbing through schedule_loss_curve: only the designated
-  // shard writes the log, and results stay bit-identical. Deliberately
-  // exercises the DEPRECATED loose trace fields (trace/trace_point/
-  // trace_replication), which are kept as a shim for one PR; delete this
-  // spelling together with them.
+  // shard writes the log, and results stay bit-identical.
   const std::vector<double> grid{30.0, 60.0};
   net::SweepConfig cfg = base_config(0);
   sim::TraceLog trace;
-  cfg.trace = &trace;
-  cfg.trace_point = 0;
-  cfg.trace_replication = 1;
+  cfg.trace_request = {&trace, 0, 1};
 
   tcw::exec::ThreadPool pool(2);
   tcw::exec::SweepScheduler scheduler(pool);
@@ -161,26 +156,6 @@ TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
   const auto untraced = net::simulate_loss_curve(
       base_config(1), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(handle.points(), untraced);
-}
-
-TEST(SweepTrace, TraceRequestTakesPrecedenceOverDeprecatedFields) {
-  net::SweepConfig cfg;
-  sim::TraceLog preferred;
-  sim::TraceLog legacy;
-  cfg.trace_request = {&preferred, 1, 2};
-  cfg.trace = &legacy;
-  cfg.trace_point = 0;
-  cfg.trace_replication = 0;
-  const net::SweepConfig::TraceRequest eff = cfg.effective_trace();
-  EXPECT_EQ(eff.log, &preferred);
-  EXPECT_EQ(eff.point, 1u);
-  EXPECT_EQ(eff.replication, 2);
-
-  cfg.trace_request.log = nullptr;  // shim: loose fields take over
-  const net::SweepConfig::TraceRequest fallback = cfg.effective_trace();
-  EXPECT_EQ(fallback.log, &legacy);
-  EXPECT_EQ(fallback.point, 0u);
-  EXPECT_EQ(fallback.replication, 0);
 }
 
 TEST(SweepTiming, AccumulateSumsJobsAndWallClock) {

@@ -192,6 +192,42 @@ TEST(SweepScheduler, ReportAccountsBusyTimeAndUtilization) {
   EXPECT_NE(json.find("\"name\":\"sleepy\""), std::string::npos);
 }
 
+TEST(SweepScheduler, ReportInvariantsHoldAcrossSweepsAndThreadCounts) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    SweepScheduler scheduler(pool);
+    std::vector<std::atomic<int>> a(5);
+    std::vector<std::atomic<int>> b(3);
+    std::vector<std::atomic<int>> c(9);
+    scheduler.add_sweep("a", counting_shards(a));
+    scheduler.add_sweep("b", counting_shards(b));
+    scheduler.add_sweep("c", counting_shards(c));
+    const SchedulerReport report = scheduler.run();
+
+    EXPECT_EQ(report.threads, threads);
+    EXPECT_GE(report.worker_utilization, 0.0);
+    EXPECT_LE(report.worker_utilization, 1.0 + 1e-9);
+    // Per-sweep shard counts sum to the consolidated total.
+    std::size_t sweep_shards = 0;
+    double sweep_busy = 0.0;
+    for (const auto& s : report.sweeps) {
+      sweep_shards += s.shards;
+      sweep_busy += s.busy_seconds;
+      EXPECT_GE(s.busy_seconds, 0.0);
+      EXPECT_GE(s.wall_seconds, 0.0);
+      // A sweep's summed shard time fits inside threads * its wall span.
+      EXPECT_LE(s.busy_seconds,
+                static_cast<double>(threads) * s.wall_seconds + 1e-6);
+    }
+    EXPECT_EQ(sweep_shards, report.shards);
+    EXPECT_EQ(report.shards, 17u);
+    EXPECT_NEAR(report.busy_seconds, sweep_busy, 1e-9);
+    // Total busy time cannot exceed the threads * wall-clock envelope.
+    EXPECT_LE(report.busy_seconds,
+              static_cast<double>(threads) * report.wall_seconds + 1e-6);
+  }
+}
+
 // ---- loss-curve integration: the determinism contract end to end ----
 
 net::SweepConfig small_config() {

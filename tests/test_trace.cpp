@@ -52,6 +52,33 @@ TEST(TraceLog, RingDropsOldest) {
   EXPECT_DOUBLE_EQ(records[2].time, 4.0);
 }
 
+TEST(TraceLog, CapacityOneKeepsOnlyTheNewestRecord) {
+  TraceLog log(1);
+  for (int i = 0; i < 4; ++i) {
+    log.record(static_cast<double>(i), TraceKind::Transmission);
+  }
+  EXPECT_EQ(log.total_recorded(), 4u);
+  EXPECT_EQ(log.dropped(), 3u);
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].time, 3.0);
+}
+
+TEST(TraceLog, SnapshotIsOldestFirstAfterRepeatedWraps) {
+  TraceLog log(3);
+  // Wrap the ring several times; the survivors must be the last three
+  // records in recording (oldest-first) order.
+  for (int i = 0; i < 11; ++i) {
+    log.record(static_cast<double>(i), TraceKind::ProbeIdle);
+  }
+  EXPECT_EQ(log.dropped(), 8u);
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[0].time, 8.0);
+  EXPECT_DOUBLE_EQ(records[1].time, 9.0);
+  EXPECT_DOUBLE_EQ(records[2].time, 10.0);
+}
+
 TEST(TraceLog, CountsPerKindSurviveRingWrap) {
   TraceLog log(2);
   for (int i = 0; i < 10; ++i) log.record(i, TraceKind::ProbeCollision);
