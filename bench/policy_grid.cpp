@@ -1,0 +1,8 @@
+// Standalone shim for the policy-grid MAC showdown study (see
+// bench/studies.cpp, PolicyGridStudy); same flags and CSV as
+// `study_tool policy_grid`.
+#include "study.hpp"
+
+int main(int argc, char** argv) {
+  return tcw::bench::run_study_main("policy_grid", argc, argv);
+}

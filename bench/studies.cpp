@@ -1,8 +1,9 @@
-// The registered studies: the six ablation/extension benches migrated
-// onto the declarative registry + exec::SweepScheduler. Each study keeps
-// the exact parameter defaults, quick-mode shrinks, table schemas, and
-// CSV columns of the standalone binary it replaces; the per-bench shims
-// now just call run_study_main with the study's name.
+// The registered studies: the ablation/extension benches migrated onto
+// the declarative registry + exec::SweepScheduler, plus the policy_grid
+// MAC showdown. Each migrated study keeps the exact parameter defaults,
+// quick-mode shrinks, table schemas, and CSV columns of the standalone
+// binary it replaces; the per-bench shims now just call run_study_main
+// with the study's name.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -626,6 +627,132 @@ class PriorityClassesStudy final : public Study {
   std::shared_ptr<GenericSweep> results_;
 };
 
+// MAC policy showdown: the paper's window engine vs fixed-p slotted ALOHA
+// vs pseudo-Bayesian dynamic ALOHA (see net/protocol_engine.hpp), swept
+// over {engine} x {K} x {rho} on one shared scheduler. Every cell reports
+// the loss fraction and its complement, the timely-delivery ratio -- the
+// fraction of offered messages delivered within the constraint -- which
+// is the quantity the paper's time-constrained setting actually prices.
+class PolicyGridStudy final : public Study {
+ public:
+  void register_flags(Flags& flags) override {
+    flags.add("t-end", &t_end_, "simulated slots per replication");
+    flags.add("m", &m_, "message length M");
+    flags.add("reps", &reps_, "replications per point");
+    flags.add("p", &tx_prob_,
+              "slotted-ALOHA transmission probability (<= 0 selects 1/e)");
+  }
+
+  void schedule(StudyContext& ctx) override {
+    double t_end = t_end_;
+    long long reps = reps_;
+    k_over_m_ = {1.5, 2.0, 3.0, 4.0, 6.0, 8.0};
+    if (ctx.quick()) {
+      t_end = 25000.0;
+      reps = 1;
+      k_over_m_ = {2.0, 4.0};
+    }
+    std::vector<double> k_grid;
+    for (const double r : k_over_m_) k_grid.push_back(r * m_);
+
+    std::printf("== policy grid: window engine vs slotted/dynamic ALOHA "
+                "(M=%.0f) ==\n(loss and timely-delivery ratio per "
+                "{engine, K, rho} cell; one shared scheduler)\n\n", m_);
+
+    for (const net::EngineKind kind :
+         {net::EngineKind::Window, net::EngineKind::SlottedAloha,
+          net::EngineKind::DynamicAloha}) {
+      for (const double rho : rhos_) {
+        net::SweepConfig cfg;
+        cfg.offered_load = rho;
+        cfg.message_length = m_;
+        cfg.t_end = t_end;
+        cfg.warmup = t_end / 15.0;
+        cfg.replications = static_cast<int>(reps);
+        cfg.engine.kind = kind;
+        cfg.engine.tx_prob = tx_prob_;
+        cfg.engine.arrival_rate = cfg.lambda();
+        const double width = cfg.heuristic_window_width();
+        const std::string name =
+            net::to_string(kind) + "/rho" + format_fixed(rho, 2);
+        arms_.push_back({kind, rho,
+                         ctx.sweep(
+                             name, cfg,
+                             [width](double deadline) {
+                               return core::ControlPolicy::optimal(deadline,
+                                                                   width);
+                             },
+                             k_grid)});
+      }
+    }
+  }
+
+  int render(StudyContext& ctx) override {
+    Table table({"engine", "rho", "K", "p_loss", "ci95", "timely_ratio",
+                 "sender_loss_frac", "receiver_loss_frac", "utilization"});
+    for (const Arm& arm : arms_) {
+      const auto pts = arm.sweep.points();
+      const std::string engine = net::to_string(arm.kind);
+      for (const net::SweepPoint& pt : pts) {
+        const double timely = 1.0 - pt.p_loss;
+        table.add_row({engine, format_fixed(arm.rho, 2),
+                       format_fixed(pt.constraint, 1),
+                       format_fixed(pt.p_loss, 5), format_fixed(pt.ci95, 5),
+                       format_fixed(timely, 5),
+                       format_fixed(pt.sender_loss_frac, 5),
+                       format_fixed(pt.receiver_loss_frac, 5),
+                       format_fixed(pt.utilization, 4)});
+        std::printf("BENCH_JSON {\"study\":\"policy_grid\","
+                    "\"engine\":\"%s\",\"rho\":%.2f,\"k\":%.1f,"
+                    "\"p_loss\":%.5f,\"timely_ratio\":%.5f}\n",
+                    engine.c_str(), arm.rho, pt.constraint, pt.p_loss,
+                    timely);
+      }
+    }
+    table.write_pretty(std::cout);
+    // Per-(rho, K) winner: arms are engine-major, so engine e at rho index
+    // r lives at arm e*rhos + r and the K grid is shared across arms.
+    std::printf("\nbest engine per cell (by timely-delivery ratio):\n");
+    const std::size_t n_rho = rhos_.size();
+    for (std::size_t r = 0; r < n_rho; ++r) {
+      for (std::size_t ki = 0; ki < k_over_m_.size(); ++ki) {
+        double best_loss = 2.0;
+        const Arm* best = nullptr;
+        double k = 0.0;
+        for (std::size_t e = 0; e < arms_.size() / n_rho; ++e) {
+          const Arm& arm = arms_[e * n_rho + r];
+          const auto pts = arm.sweep.points();
+          k = pts[ki].constraint;
+          if (pts[ki].p_loss < best_loss) {
+            best_loss = pts[ki].p_loss;
+            best = &arm;
+          }
+        }
+        std::printf("  rho'=%.2f K=%-5.1f -> %-13s (timely %.4f)\n",
+                    rhos_[r], k, net::to_string(best->kind).c_str(),
+                    1.0 - best_loss);
+      }
+    }
+    if (!table.save_csv(ctx.csv_path())) return 1;
+    std::printf("csv: %s\n", ctx.csv_path().c_str());
+    return 0;
+  }
+
+ private:
+  double t_end_ = 150000.0;
+  double m_ = 25.0;
+  long long reps_ = 2;
+  double tx_prob_ = 0.0;
+  const std::vector<double> rhos_{0.25, 0.50, 0.75};
+  std::vector<double> k_over_m_;
+  struct Arm {
+    net::EngineKind kind;
+    double rho;
+    net::ScheduledSweep sweep;
+  };
+  std::vector<Arm> arms_;
+};
+
 template <typename T>
 StudyEntry entry(std::string name, std::string summary, std::string figure) {
   StudySpec spec;
@@ -665,6 +792,11 @@ std::vector<StudyEntry> make_all_studies() {
       "priority_classes",
       "Two-class priority trade-off via process weights",
       "Section 5: priority classes via window scheduling weights"));
+  studies.push_back(entry<PolicyGridStudy>(
+      "policy_grid",
+      "Window controller vs slotted/dynamic ALOHA over {engine, K, rho}",
+      "MAC showdown: window policy vs fixed/dynamic ALOHA (loss + "
+      "timeliness)"));
   return studies;
 }
 

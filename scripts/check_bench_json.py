@@ -18,6 +18,8 @@ object, and must carry the required keys for its record shape. Shapes:
   kernel_bench cell  {"bench", "sim", "stations", "rho", "k_over_m",
                       "kernel", "wall_seconds", "slots_per_sec",
                       "probes_per_sec"}
+  policy-grid cell   {"study", "engine", "rho", "k", "p_loss",
+                      "timely_ratio"}
 
 Exit status: 0 when every BENCH_JSON line validates and at least one was
 seen (pass --allow-empty to tolerate none), 1 otherwise.
@@ -42,6 +44,9 @@ def classify(record):
                     "store_entries", "loaded",
                     "recovered_corruption"} - cache.keys()
         return "cache", missing
+    if "engine" in record:
+        return "policy_grid", {"study", "rho", "k", "p_loss",
+                               "timely_ratio"} - record.keys()
     if "bench" in record:
         return "kernel_bench", {"sim", "stations", "rho", "k_over_m",
                                 "kernel", "wall_seconds", "slots_per_sec",

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Policy-grid smoke: run the MAC-showdown study standalone and then inside
+# a `study_tool --suite` run sharing one scheduler with every other study,
+# and require the two CSVs byte-identical -- the standalone-vs-suite
+# determinism contract, which only holds if engine-id-keyed seed folding
+# keeps the three engines' random streams independent of suite
+# composition. Also exercises cache-resume on the grid (truncate the
+# shard store, resume, byte-compare).
+# Usage: policy_grid_smoke.sh <study_tool-binary> <scratch-dir>.
+set -euo pipefail
+
+tool=$(realpath "$1")
+scratch=$2
+study=policy_grid
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cd "$scratch"
+
+echo "-- policy-grid smoke: standalone $study run"
+"$tool" "$study" --quick --cache-dir=cache --csv=standalone.csv \
+    >standalone.log 2>&1
+
+echo "-- policy-grid smoke: $study inside a --suite run"
+mkdir -p suite
+(cd suite && "$tool" --suite --quick "$study" >../suite.log 2>&1)
+
+cmp standalone.csv "suite/$study.csv"
+
+store="cache/$study.shards"
+size=$(wc -c <"$store")
+echo "-- policy-grid smoke: truncating $store ($size -> $((size / 2)) bytes)"
+truncate -s $((size / 2)) "$store"
+
+echo "-- policy-grid smoke: resuming from the damaged store"
+"$tool" "$study" --quick --cache-dir=cache --resume --csv=resume.csv \
+    >resume.log 2>&1
+
+cmp standalone.csv resume.csv
+cached=$(sed -n 's/.*"cached_shards":\([0-9]*\).*/\1/p' resume.log)
+if [ -z "$cached" ] || [ "$cached" -eq 0 ]; then
+  echo "policy-grid smoke FAILED: no cached shards on the resume leg" >&2
+  grep BENCH_JSON resume.log >&2 || true
+  exit 1
+fi
+echo "policy-grid smoke OK: standalone, suite, and resumed CSVs" \
+     "byte-identical; $cached shard(s) served from the store"

@@ -20,6 +20,13 @@ WindowController::WindowController(const ControlPolicy& policy,
   TCW_EXPECTS(policy.window_width > 0.0);
   TCW_EXPECTS(policy.deadline >= 0.0);
   TCW_EXPECTS(policy.split_fraction > 0.0 && policy.split_fraction < 1.0);
+  // A width table with no positive entry can never open a window: the
+  // controller would idle forever while backlog accumulates. Reject it
+  // here with a precise message instead of hanging a simulation.
+  TCW_EXPECTS(policy.width_table.empty() ||
+              std::any_of(policy.width_table.begin(),
+                          policy.width_table.end(),
+                          [](double w) { return w > 0.0; }));
 }
 
 std::optional<Interval> WindowController::next_probe(double now) {
@@ -50,12 +57,26 @@ void WindowController::start_process(double now) {
   // deployed form of the SMDP's optimal w*(i)).
   double width = policy_.window_width;
   if (!policy_.width_table.empty()) {
-    const auto idx = std::min<std::size_t>(
-        static_cast<std::size_t>(std::llround(
-            std::max(0.0, pseudo_backlog(now)))),
-        policy_.width_table.size() - 1);
-    width = policy_.width_table[idx];
-    if (width <= 0.0) return;  // the table says: wait this slot
+    const auto raw = static_cast<std::size_t>(
+        std::llround(std::max(0.0, pseudo_backlog(now))));
+    const std::size_t last = policy_.width_table.size() - 1;
+    width = policy_.width_table[std::min(raw, last)];
+    if (width <= 0.0) {
+      // An in-range 0 entry means "wait this slot" -- the table's word at
+      // that exact backlog level. A *clamped* lookup (backlog past the
+      // table end) landing on a terminal 0 must not wait: the saturated
+      // controller would spin forever while the backlog only grows. Fall
+      // back to the deepest positive entry instead.
+      if (raw <= last) return;
+      width = 0.0;
+      for (std::size_t i = last + 1; i-- > 0;) {
+        if (policy_.width_table[i] > 0.0) {
+          width = policy_.width_table[i];
+          break;
+        }
+      }
+      TCW_ASSERT(width > 0.0);  // the ctor rejects all-nonpositive tables
+    }
   }
 
   double a = now;

@@ -47,8 +47,12 @@ struct ControlPolicy {
   /// Adaptive element (2): when non-empty, the initial width is looked up
   /// by the current pseudo-time backlog (in whole slots, clamped to the
   /// table end) instead of using `window_width`. Entry 0 is the width at
-  /// zero backlog; a 0 entry means "wait this slot" (probe nothing).
-  /// This is how the Section-3 SMDP's optimal w*(i) table is deployed.
+  /// zero backlog; an in-range 0 entry means "wait this slot" (probe
+  /// nothing), but a backlog clamped past the table end never waits on a
+  /// terminal 0 -- the controller falls back to the deepest positive
+  /// entry so a saturated backlog cannot starve. Tables with no positive
+  /// entry are rejected at controller construction. This is how the
+  /// Section-3 SMDP's optimal w*(i) table is deployed.
   std::vector<double> width_table;
   /// Element (4): discard messages older than `deadline` at the sender.
   bool discard = true;

@@ -41,11 +41,16 @@ AggregateSimulator::AggregateSimulator(
     const AggregateConfig& config,
     std::unique_ptr<chan::ArrivalProcess> arrivals)
     : config_(config), arrivals_(std::move(arrivals)), rng_(config.seed),
-      controller_(config.policy) {
+      coin_rng_(engine_coin_seed(config.engine.kind, config.seed)),
+      engine_(make_engine(config.engine, config.policy)) {
   TCW_EXPECTS(arrivals_ != nullptr);
   TCW_EXPECTS(config_.t_end > config_.warmup);
   TCW_EXPECTS(config_.message_length >= 1.0);
   TCW_EXPECTS(config_.slot_jitter >= 0.0);
+  // The retained seed-era path predates the engine seam and hardwires the
+  // window controller; it exists only as that engine's cross-check.
+  TCW_EXPECTS(config_.engine.kind == EngineKind::Window ||
+              !config_.reference_kernel);
   if (config_.record_wait_histogram) {
     const double hi = config_.wait_hist_max > 0.0
                           ? config_.wait_hist_max
@@ -70,12 +75,19 @@ void AggregateSimulator::generate_arrivals_until(double t) {
   }
 }
 
+const core::WindowController& AggregateSimulator::controller() const {
+  const core::WindowController* ctl = engine_->window_controller();
+  TCW_EXPECTS(ctl != nullptr);  // only the window engine has a controller
+  return *ctl;
+}
+
 void AggregateSimulator::purge_discarded() {
-  // Everything below the controller's floor is resolved; with element (4)
-  // active the only way an untransmitted arrival ends up there is sender
-  // discard. Without discard the floor never passes an untransmitted
-  // arrival (windows only resolve verified-empty or transmitted spans).
-  const double floor = controller_.floor();
+  // Everything below the engine's discard floor is resolved; with element
+  // (4) active the only way an untransmitted arrival ends up there is
+  // sender discard. Without discard the floor never passes an
+  // untransmitted arrival (window processes only resolve verified-empty
+  // or transmitted spans; ALOHA engines report no floor at all).
+  const double floor = engine_->discard_floor(now_);
   const auto discard_one = [&](double arrival) {
     TCW_ASSERT(config_.policy.discard);
     ++obs_discards_;
@@ -121,6 +133,23 @@ std::size_t AggregateSimulator::count_in_window(double lo, double hi,
   return count;
 }
 
+std::size_t AggregateSimulator::count_transmitters(double p, double* first) {
+  // reference_kernel is gated to the window engine, so only the flat
+  // structure ever backs a Probability plan.
+  std::size_t count = 0;
+  for (auto pos = pending_.begin_pos(); !pending_.is_end(pos);
+       pos = pending_.next(pos)) {
+    if (sim::bernoulli(coin_rng_, p)) {
+      ++count;
+      if (count == 1) {
+        found_pos_ = pos;
+        *first = pending_.at(pos);
+      }
+    }
+  }
+  return count;
+}
+
 void AggregateSimulator::erase_transmitted() {
   if (config_.reference_kernel) {
     pending_set_.erase(found_it_);
@@ -134,21 +163,22 @@ const SimMetrics& AggregateSimulator::run() {
   const double k = config_.policy.deadline;
   while (now_ < config_.t_end) {
     generate_arrivals_until(now_);
-    const bool was_in_process = controller_.in_process();
-    const auto window = controller_.next_probe(now_);
+    const bool was_in_process = engine_->in_process();
+    const SlotPlan plan = engine_->next_slot(now_);
+    const bool windowed = plan.kind == SlotPlan::Kind::Window;
     if (!was_in_process) {
       // A fresh process start (possibly degenerate): element (4) discards
-      // happened inside the controller; drop the matching messages.
-      if (config_.trace != nullptr && window) {
+      // happened inside the engine; drop the matching messages.
+      if (config_.trace != nullptr && windowed) {
         config_.trace->record(now_, sim::TraceKind::ProcessStart,
-                              window->lo, window->hi);
+                              plan.window.lo, plan.window.hi);
       }
       purge_discarded();
       if (now_ >= config_.warmup) {
-        metrics_.pseudo_backlog.add(controller_.pseudo_backlog(now_));
+        metrics_.pseudo_backlog.add(engine_->backlog_metric(now_));
       }
     }
-    if (!window) {
+    if (plan.kind == SlotPlan::Kind::Idle) {
       metrics_.usage.add_idle_slot();
       ++obs_idle_;
       now_ += step_duration(1.0);
@@ -156,22 +186,25 @@ const SimMetrics& AggregateSimulator::run() {
     }
     ++probe_steps_;
     const auto probes_so_far =
-        static_cast<double>(controller_.process_probes());
+        static_cast<double>(engine_->process_probes());
 
-    // Count pending arrivals inside the probe window.
+    // Count transmitters this slot: pending arrivals inside the probe
+    // window, or coin flips across the whole backlog for ALOHA plans.
     double first_arrival = 0.0;
     const std::size_t count =
-        count_in_window(window->lo, window->hi, &first_arrival);
+        windowed ? count_in_window(plan.window.lo, plan.window.hi,
+                                   &first_arrival)
+                 : count_transmitters(plan.tx_prob, &first_arrival);
 
     if (count == 0) {
       metrics_.usage.add_idle_slot();
       ++obs_idle_;
-      if (config_.trace != nullptr) {
-        config_.trace->record(now_, sim::TraceKind::ProbeIdle, window->lo,
-                              window->hi);
+      if (config_.trace != nullptr && windowed) {
+        config_.trace->record(now_, sim::TraceKind::ProbeIdle,
+                              plan.window.lo, plan.window.hi);
       }
-      controller_.on_feedback(core::Feedback::Idle);
-      if (!controller_.in_process() && now_ >= config_.warmup) {
+      engine_->on_feedback(core::Feedback::Idle);
+      if (!engine_->in_process() && now_ >= config_.warmup) {
         metrics_.process_slots.add(probes_so_far);  // empty process
       }
       now_ += step_duration(1.0);
@@ -207,18 +240,18 @@ const SimMetrics& AggregateSimulator::run() {
       }
       metrics_.usage.add_success(config_.message_length,
                                  config_.success_overhead);
-      controller_.on_feedback(core::Feedback::Success);
+      engine_->on_feedback(core::Feedback::Success);
       last_tx_end_ = now_ + step_duration(config_.message_length +
                                           config_.success_overhead);
       now_ = last_tx_end_;
     } else {
       metrics_.usage.add_collision_slot();
       ++obs_collisions_;
-      if (config_.trace != nullptr) {
+      if (config_.trace != nullptr && windowed) {
         config_.trace->record(now_, sim::TraceKind::ProbeCollision,
-                              window->lo, window->hi);
+                              plan.window.lo, plan.window.hi);
       }
-      controller_.on_feedback(core::Feedback::Collision);
+      engine_->on_feedback(core::Feedback::Collision);
       now_ += step_duration(1.0);
     }
   }

@@ -16,8 +16,8 @@
 #include <set>
 
 #include "chan/arrivals.hpp"
-#include "core/controller.hpp"
 #include "net/metrics.hpp"
+#include "net/protocol_engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 #include "util/flat_deque.hpp"
@@ -26,6 +26,11 @@ namespace tcw::net {
 
 struct AggregateConfig {
   core::ControlPolicy policy;
+  /// Which MAC discipline runs the slot-by-slot access decisions. The
+  /// default is the paper's window engine; see net/protocol_engine.hpp
+  /// for the catalog. reference_kernel requires the window engine (the
+  /// seed-era path predates the engine seam).
+  EngineConfig engine;
   double message_length = 25.0;   // M, slots
   double success_overhead = 1.0;  // extra slots per success
   double t_end = 200000.0;        // run length, slots
@@ -61,7 +66,11 @@ class AggregateSimulator {
   const SimMetrics& run();
 
   const SimMetrics& metrics() const { return metrics_; }
-  const core::WindowController& controller() const { return controller_; }
+  /// The window controller behind the engine. Contract violation for
+  /// non-window engines (they have no controller to expose); callers that
+  /// handle every engine should go through `engine()` instead.
+  const core::WindowController& controller() const;
+  const ProtocolEngine& engine() const { return *engine_; }
   double now() const { return now_; }
   /// Probe slots actually issued (windows probed), for throughput benches.
   std::uint64_t probe_steps() const { return probe_steps_; }
@@ -75,13 +84,22 @@ class AggregateSimulator {
   /// How many pending arrivals (capped at 2) fall in [lo, hi); `first`
   /// receives the oldest one when the count is nonzero.
   std::size_t count_in_window(double lo, double hi, double* first);
+  /// Probability plans: every pending arrival (its own station in the
+  /// infinite-population model) flips a coin with probability `p`. Every
+  /// coin is drawn -- the stream must stay aligned regardless of outcome.
+  /// Returns the number of transmitters; `first` receives the oldest one
+  /// when the count is nonzero.
+  std::size_t count_transmitters(double p, double* first);
   /// Remove the arrival returned via `first` (the successful transmitter).
   void erase_transmitted();
 
   AggregateConfig config_;
   std::unique_ptr<chan::ArrivalProcess> arrivals_;
   sim::Rng rng_;
-  core::WindowController controller_;
+  // Transmission coins for Probability plans, engine-id-keyed and separate
+  // from the arrival stream. Never drawn under the window engine.
+  sim::Rng coin_rng_;
+  std::unique_ptr<ProtocolEngine> engine_;
   // Pending untransmitted arrival instants. Poisson (and all supplied)
   // processes produce strictly increasing, hence distinct, times; exactly
   // the contract of the flat chunked deque. `pending_set_` is the retained

@@ -92,6 +92,13 @@ std::string loss_curve_fingerprint_text(const std::string& tag,
                 config.offered_load, config.message_length,
                 config.success_overhead, config.t_end, config.warmup);
   text += buf;
+  // The engine selection and its knobs change every job's result; fold
+  // them in unconditionally so two engines sharing one suite (and one
+  // store) can never collide on a shard key.
+  std::snprintf(buf, sizeof buf, "|engine=%s|txp=%.17g|rate=%.17g|n0=%.17g",
+                to_string(config.engine.kind).c_str(), config.engine.tx_prob,
+                config.engine.arrival_rate, config.engine.initial_backlog);
+  text += buf;
   text += "|grid=";
   for (const double k : grid) {
     std::snprintf(buf, sizeof buf, "%.17g,", k);
@@ -187,6 +194,7 @@ class LossCurveSweep {
   void run_job(std::size_t job) {
     AggregateConfig sim_cfg;
     sim_cfg.policy = policies_[job];
+    sim_cfg.engine = config_.engine;
     sim_cfg.message_length = config_.message_length;
     sim_cfg.success_overhead = config_.success_overhead;
     sim_cfg.t_end = config_.t_end;

@@ -36,6 +36,9 @@ core::ControlPolicy policy_for(ProtocolVariant variant, double deadline,
 
 struct SweepConfig {
   double offered_load = 0.5;      // rho' = lambda * M
+  /// MAC engine every job runs (default: the paper's window engine). Part
+  /// of the cached-shard fingerprint, so mixed-engine suites never alias.
+  EngineConfig engine;
   double message_length = 25.0;   // M, slots
   double success_overhead = 1.0;
   double t_end = 200000.0;        // slots per replication

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/registry.hpp"
+#include "sim/sampling.hpp"
 #include "util/contract.hpp"
 
 namespace tcw::net {
@@ -37,9 +38,15 @@ NetworkCounters& network_counters() {
 }  // namespace
 
 Network::Network(const NetworkConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      coin_rng_(engine_coin_seed(config.engine.kind, config.seed)) {
   TCW_EXPECTS(config_.t_end > config_.warmup);
   TCW_EXPECTS(config_.message_length >= 1.0);
+  // The retained seed-era path predates the engine seam and hardwires the
+  // window controller; it exists only as that engine's cross-check.
+  TCW_EXPECTS(config_.engine.kind == EngineKind::Window ||
+              !config_.reference_kernel);
 }
 
 void Network::add_station(std::unique_ptr<chan::ArrivalProcess> arrivals) {
@@ -66,24 +73,30 @@ Network Network::homogeneous_poisson(const NetworkConfig& config,
 }
 
 std::size_t Network::controller_replicas() const {
-  if (!controllers_.empty()) return controllers_.size();
-  if (config_.reference_kernel) return stations_.size();
+  if (!engines_.empty()) return engines_.size();
+  // The canonical replica always exists: every clamp below bottoms out at
+  // one replica, so 0- and 1-station configurations (where "stations - 1"
+  // leaves no room for shadows) still resolve sanely.
+  if (config_.reference_kernel) {
+    return std::max<std::size_t>(1, stations_.size());
+  }
   const std::size_t shadows =
       std::min(config_.shadow_replicas,
                stations_.empty() ? std::size_t{0} : stations_.size() - 1);
   return 1 + shadows;
 }
 
-void Network::build_controllers() {
+void Network::build_engines() {
   const std::size_t replicas = controller_replicas();
-  controllers_.reserve(replicas);
+  engines_.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) {
-    controllers_.emplace_back(config_.policy);
+    engines_.push_back(make_engine(config_.engine, config_.policy));
   }
 }
 
 void Network::desync_replica_for_test(std::size_t replica) {
   TCW_EXPECTS(!finished_);
+  TCW_EXPECTS(replica != SIZE_MAX);  // SIZE_MAX is the "none" sentinel
   desync_replica_ = replica;
 }
 
@@ -199,8 +212,8 @@ void Network::restamp_stranded(Station& st, double lo, double hi) {
 
 void Network::check_consistency() {
   ++checks_run_;
-  for (std::size_t i = 1; i < controllers_.size(); ++i) {
-    if (!controllers_[0].state_equals(controllers_[i])) {
+  for (std::size_t i = 1; i < engines_.size(); ++i) {
+    if (!engines_[0]->state_equals(*engines_[i])) {
       consistent_ = false;
       return;
     }
@@ -213,39 +226,40 @@ const SimMetrics& Network::run() {
   const double k = config_.policy.deadline;
   const bool reference = config_.reference_kernel;
 
-  build_controllers();
+  build_engines();
   if (desync_replica_ != SIZE_MAX) {
-    TCW_EXPECTS(desync_replica_ < controllers_.size());
+    TCW_EXPECTS(engines_.size() >= 2);  // see desync_replica_for_test
+    TCW_EXPECTS(desync_replica_ < engines_.size());
     // One out-of-band probe round nobody else sees: the replica resolves
-    // an interval the rest of the network never observed.
-    core::WindowController& rogue = controllers_[desync_replica_];
-    if (rogue.next_probe(1.0)) rogue.on_feedback(core::Feedback::Idle);
+    // an interval (or, for ALOHA engines, consumes a feedback) the rest
+    // of the network never observed.
+    ProtocolEngine& rogue = *engines_[desync_replica_];
+    if (rogue.next_slot(1.0).probes()) rogue.on_feedback(core::Feedback::Idle);
   }
 
   while (now_ < config_.t_end) {
     generate_arrivals_until(now_);
-    const bool was_in_process = controllers_[0].in_process();
+    const bool was_in_process = engines_[0]->in_process();
     // Every replica runs the same algorithm on the same feedback; the
     // canonical one (index 0) is authoritative, the shadows are audited.
-    // Once a shadow diverges (caught here when it disagrees about probing
-    // at all, or by check_consistency on full state) auditing stops: a
+    // Once a shadow diverges (caught here when it disagrees about the
+    // slot plan, or by check_consistency on full state) auditing stops: a
     // replica outside lockstep cannot keep consuming shared feedback.
     const bool audit = consistent_;
-    const std::optional<Interval> window = controllers_[0].next_probe(now_);
+    const SlotPlan plan = engines_[0]->next_slot(now_);
     if (audit) {
-      for (std::size_t i = 1; i < controllers_.size(); ++i) {
-        if (controllers_[i].next_probe(now_).has_value() !=
-            window.has_value()) {
+      for (std::size_t i = 1; i < engines_.size(); ++i) {
+        if (!(engines_[i]->next_slot(now_) == plan)) {
           consistent_ = false;
         }
       }
     }
     const bool step_shadows = audit && consistent_;
     const auto apply_feedback = [&](core::Feedback fb) {
-      controllers_[0].on_feedback(fb);
+      engines_[0]->on_feedback(fb);
       if (step_shadows) {
-        for (std::size_t i = 1; i < controllers_.size(); ++i) {
-          controllers_[i].on_feedback(fb);
+        for (std::size_t i = 1; i < engines_.size(); ++i) {
+          engines_[i]->on_feedback(fb);
         }
       }
     };
@@ -253,31 +267,47 @@ const SimMetrics& Network::run() {
     if (!was_in_process) {
       purge_expired();
       if (now_ >= config_.warmup) {
-        metrics_.pseudo_backlog.add(controllers_[0].pseudo_backlog(now_));
+        metrics_.pseudo_backlog.add(engines_[0]->backlog_metric(now_));
       }
     }
     if (config_.consistency_check_every != 0 &&
         probe_steps_ % config_.consistency_check_every == 0) {
       check_consistency();
     }
-    if (!window) {
+    if (plan.kind == SlotPlan::Kind::Idle) {
       metrics_.usage.add_idle_slot();
       ++obs_idle_;
       now_ += 1.0;
       continue;
     }
+    const bool windowed = plan.kind == SlotPlan::Kind::Window;
     const auto probes_so_far =
-        static_cast<double>(controllers_[0].process_probes());
+        static_cast<double>(engines_[0]->process_probes());
 
     // Who transmits in this probe slot? Only stations holding messages
-    // can; the incrementally maintained active index skips the rest, and
-    // two eligible stations already decide a collision.
+    // can. Window plans probe an arrival-time interval (the incrementally
+    // maintained active index skips empty queues, and two eligible
+    // stations already decide a collision); Probability plans flip an
+    // engine-id-keyed coin per backlogged station, every coin drawn in
+    // station-id order so the stream stays aligned regardless of outcome.
     Station* transmitter = nullptr;
     std::ptrdiff_t tx_index = -1;
     std::size_t tx_count = 0;
-    if (reference) {
+    if (!windowed) {
       for (Station& st : stations_) {
-        const std::ptrdiff_t idx = eligible_index(st, window->lo, window->hi);
+        if (st.queue.empty()) continue;
+        if (sim::bernoulli(coin_rng_, plan.tx_prob)) {
+          ++tx_count;
+          if (transmitter == nullptr) {
+            transmitter = &st;
+            tx_index = 0;  // ALOHA stations send their oldest message
+          }
+        }
+      }
+    } else if (reference) {
+      for (Station& st : stations_) {
+        const std::ptrdiff_t idx =
+            eligible_index(st, plan.window.lo, plan.window.hi);
         if (idx >= 0) {
           ++tx_count;
           transmitter = &st;
@@ -287,7 +317,8 @@ const SimMetrics& Network::run() {
     } else {
       for (const std::uint32_t id : active_) {
         Station& st = stations_[id];
-        const std::ptrdiff_t idx = eligible_index(st, window->lo, window->hi);
+        const std::ptrdiff_t idx =
+            eligible_index(st, plan.window.lo, plan.window.hi);
         if (idx >= 0) {
           ++tx_count;
           transmitter = &st;
@@ -300,12 +331,12 @@ const SimMetrics& Network::run() {
     if (tx_count == 0) {
       metrics_.usage.add_idle_slot();
       ++obs_idle_;
-      if (config_.trace != nullptr) {
-        config_.trace->record(now_, sim::TraceKind::ProbeIdle, window->lo,
-                              window->hi);
+      if (config_.trace != nullptr && windowed) {
+        config_.trace->record(now_, sim::TraceKind::ProbeIdle,
+                              plan.window.lo, plan.window.hi);
       }
       apply_feedback(core::Feedback::Idle);
-      if (!controllers_[0].in_process() && now_ >= config_.warmup) {
+      if (!engines_[0]->in_process() && now_ >= config_.warmup) {
         metrics_.process_slots.add(probes_so_far);
       }
       now_ += 1.0;
@@ -340,12 +371,16 @@ const SimMetrics& Network::run() {
       if (now_ >= config_.warmup) metrics_.process_slots.add(probes_so_far);
       metrics_.usage.add_success(config_.message_length,
                                  config_.success_overhead);
-      if (reference) {
+      if (!windowed) {
+        // No window resolved, so nothing is stranded; ALOHA queues stay
+        // arrival-ordered on their own.
+        if (transmitter->queue.empty()) deactivate(*transmitter);
+      } else if (reference) {
         // Seed-era path: restamp by full scan, then re-sort the queue.
         double restamp = now_;
         for (auto& pending : transmitter->queue) {
-          if (pending.window_stamp >= window->lo &&
-              pending.window_stamp < window->hi) {
+          if (pending.window_stamp >= plan.window.lo &&
+              pending.window_stamp < plan.window.hi) {
             restamp += 1e-7;
             pending.window_stamp = restamp;
             ++obs_restamps_;
@@ -356,7 +391,7 @@ const SimMetrics& Network::run() {
                     return a.window_stamp < b.window_stamp;
                   });
       } else {
-        restamp_stranded(*transmitter, window->lo, window->hi);
+        restamp_stranded(*transmitter, plan.window.lo, plan.window.hi);
         if (transmitter->queue.empty()) deactivate(*transmitter);
       }
       apply_feedback(core::Feedback::Success);
@@ -365,9 +400,9 @@ const SimMetrics& Network::run() {
     } else {
       metrics_.usage.add_collision_slot();
       ++obs_collisions_;
-      if (config_.trace != nullptr) {
+      if (config_.trace != nullptr && windowed) {
         config_.trace->record(now_, sim::TraceKind::ProbeCollision,
-                              window->lo, window->hi);
+                              plan.window.lo, plan.window.hi);
       }
       apply_feedback(core::Feedback::Collision);
       now_ += 1.0;

@@ -1,7 +1,8 @@
-// Finite-station simulation of the protocol, with one WindowController per
-// station driven ONLY by the shared channel feedback -- the distributed
-// system the paper describes, rather than its infinite-population
-// abstraction. Used to validate that
+// Finite-station simulation of the slotted channel, with one MAC policy
+// engine replica per station (the paper's window controller by default;
+// see net/protocol_engine.hpp) driven ONLY by the shared channel feedback
+// -- the distributed system the paper describes, rather than its
+// infinite-population abstraction. Used to validate that
 //   * every station derives the identical protocol state from feedback
 //     alone (the consistency checks), and
 //   * finite-population results approach the aggregate model as the
@@ -21,8 +22,8 @@
 
 #include "chan/arrivals.hpp"
 #include "chan/message.hpp"
-#include "core/controller.hpp"
 #include "net/metrics.hpp"
+#include "net/protocol_engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 
@@ -30,6 +31,11 @@ namespace tcw::net {
 
 struct NetworkConfig {
   core::ControlPolicy policy;
+  /// Which MAC discipline runs the slot-by-slot access decisions. The
+  /// default is the paper's window engine; see net/protocol_engine.hpp
+  /// for the catalog. reference_kernel requires the window engine (the
+  /// seed-era path predates the engine seam).
+  EngineConfig engine;
   double message_length = 25.0;
   double success_overhead = 1.0;
   double t_end = 50000.0;
@@ -38,13 +44,16 @@ struct NetworkConfig {
   /// Cross-check full controller state across stations every N probe steps
   /// (0 disables; checks are O(replicas * state)).
   std::size_t consistency_check_every = 0;
-  /// Controller replicas stepped besides the canonical one. Controllers
-  /// are deterministic functions of the shared feedback sequence, so the
+  /// Engine replicas stepped besides the canonical one. Engines are
+  /// deterministic functions of the shared feedback sequence, so the
   /// simulation only needs ONE; the shadows exist so check_consistency can
   /// keep verifying the distributed property on real replicas. The default
   /// keeps the seed-era behavior (one replica per station); benches opt
-  /// into a small count (kernel_bench uses 2). Clamped to stations - 1.
-  /// The simulated results are identical for every value, including 0.
+  /// into a small count (kernel_bench uses 2). Clamped to stations - 1,
+  /// and the total replica count never resolves below 1 (a single-station
+  /// network runs exactly one replica -- the canonical -- regardless of
+  /// this setting, including the SIZE_MAX sentinel). The simulated
+  /// results are identical for every value, including 0.
   std::size_t shadow_replicas = SIZE_MAX;
   /// Drive the per-slot bookkeeping through the retained seed-era path
   /// (every station steps its own controller, eligibility scans every
@@ -77,15 +86,20 @@ class Network {
   const SimMetrics& metrics() const { return metrics_; }
   /// Probe slots issued so far (throughput benches divide by wall time).
   std::uint64_t probe_steps() const { return probe_steps_; }
-  /// Controller replicas actually stepped (canonical + shadows); only
+  /// Engine replicas actually stepped (canonical + shadows); only
   /// meaningful once run() has started. Before run() it reports what the
-  /// configuration will resolve to for the current station count.
+  /// configuration will resolve to for the current station count. Always
+  /// at least 1: the canonical replica exists in every configuration.
   std::size_t controller_replicas() const;
 
   /// Test hook: apply one out-of-band probe/feedback round to replica
   /// `replica` (0 = canonical), desynchronizing it from the others. The
   /// consistency checks must then report the divergence. Call after
-  /// add_station and before run().
+  /// add_station and before run(). run() rejects the injection (contract
+  /// violation) when fewer than two replicas resolve: with only the
+  /// canonical replica a divergence has no peer to be observed against,
+  /// and desyncing the canonical would silently corrupt the simulation
+  /// instead of flagging inconsistency.
   void desync_replica_for_test(std::size_t replica);
 
  private:
@@ -102,7 +116,7 @@ class Network {
   /// Index of the message with the oldest stamp inside [lo, hi); -1 if none.
   static std::ptrdiff_t eligible_index(const Station& st, double lo,
                                        double hi);
-  void build_controllers();
+  void build_engines();
   void check_consistency();
   void finalize();
   void activate(Station& st);
@@ -113,12 +127,17 @@ class Network {
 
   NetworkConfig config_;
   std::vector<Station> stations_;
-  // controllers_[0] is the canonical replica driving the simulation; the
-  // rest are the shadows check_consistency audits (all stations under
+  // engines_[0] is the canonical replica driving the simulation; the rest
+  // are the shadows check_consistency audits (all stations under
   // reference_kernel or the default shadow_replicas).
-  std::vector<core::WindowController> controllers_;
+  std::vector<std::unique_ptr<ProtocolEngine>> engines_;
   std::vector<std::uint32_t> active_;  // ids of stations with pending work
   sim::Rng rng_;
+  // Transmission coins for Probability plans, engine-id-keyed and separate
+  // from the arrival stream. Local (kernel-side) randomness: replicas
+  // never see it, so engines stay pure functions of the feedback. Never
+  // drawn under the window engine -- its plans carry no probability.
+  sim::Rng coin_rng_;
   double now_ = 0.0;
   double last_tx_end_ = 0.0;
   chan::MessageId next_msg_id_ = 1;

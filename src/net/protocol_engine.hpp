@@ -1,0 +1,145 @@
+// Pluggable MAC policy engines for the per-slot kernels. A ProtocolEngine
+// owns "given the shared channel feedback and the local queue view, who
+// may transmit in this slot" plus the per-engine metric hooks; the kernels
+// (net::Network, net::AggregateSimulator) keep the channel, arrivals,
+// deadline/discard accounting, shadow-replica consistency machinery, and
+// obs counters.
+//
+// Every engine is a deterministic function of the shared feedback
+// sequence -- the same property the paper's window controller has -- so
+// the finite-station kernel can replicate any engine per shadow and audit
+// the distributed-consistency property with state_equals. Three engines
+// ship:
+//   * WindowEngine       -- the paper's window controller (the default;
+//                           kernels are bit-identical to the pre-engine
+//                           code at a fixed seed)
+//   * SlottedAlohaEngine -- every backlogged station transmits with a
+//                           fixed probability p each slot (p = 1/e is the
+//                           classic operating point)
+//   * DynamicAlohaEngine -- pseudo-Bayesian backlog estimation drives
+//                           p(t) = min(1, 1/n-hat) (Rivest-style control,
+//                           cf. Gong et al., arXiv:2108.03176)
+//
+// Transmission coins for Probability plans are *local* randomness: the
+// kernels draw them from their own engine-keyed stream (engine_coin_seed),
+// never from an engine, so shadow replicas stay a pure function of the
+// feedback sequence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/controller.hpp"
+#include "core/policy.hpp"
+#include "util/interval_set.hpp"
+
+namespace tcw::net {
+
+/// Registered MAC disciplines. The numeric value is the engine's stable
+/// id, folded into derived stream seeds -- append only, never renumber.
+enum class EngineKind : std::uint8_t {
+  Window = 0,
+  SlottedAloha = 1,
+  DynamicAloha = 2,
+};
+
+std::string to_string(EngineKind kind);
+
+/// Parse "window" / "slotted-aloha" / "dynamic-aloha". Returns false (and
+/// leaves *out untouched) for anything else.
+bool engine_kind_from_string(const std::string& name, EngineKind* out);
+
+/// Engine selection plus the engine-specific knobs, carried alongside the
+/// ControlPolicy in every kernel config. The default selects the window
+/// engine, so existing configs are unchanged.
+struct EngineConfig {
+  EngineKind kind = EngineKind::Window;
+  /// SlottedAloha: per-station transmission probability. <= 0 selects the
+  /// classic 1/e operating point.
+  double tx_prob = 0.0;
+  /// DynamicAloha: the arrival-rate estimate lambda-hat (messages/slot)
+  /// folded into the backlog drift between slots.
+  double arrival_rate = 0.0;
+  /// DynamicAloha: initial backlog estimate n-hat(0).
+  double initial_backlog = 1.0;
+};
+
+/// What an engine wants done with the slot beginning at `now`.
+struct SlotPlan {
+  enum class Kind : std::uint8_t {
+    Idle,         ///< nobody transmits; the slot idles
+    Window,       ///< stations with an eligible arrival in `window` transmit
+    Probability,  ///< every backlogged station transmits w.p. `tx_prob`
+  };
+  Kind kind = Kind::Idle;
+  Interval window{0.0, 0.0};  ///< valid when kind == Window
+  double tx_prob = 0.0;       ///< valid when kind == Probability
+
+  /// True when the slot counts as a probe (feedback will follow).
+  bool probes() const { return kind != Kind::Idle; }
+
+  friend bool operator==(const SlotPlan&, const SlotPlan&) = default;
+};
+
+class ProtocolEngine {
+ public:
+  virtual ~ProtocolEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+
+  /// The plan for the slot beginning at `now`. A non-Idle plan obligates
+  /// the caller to report the channel outcome via on_feedback before the
+  /// next next_slot call.
+  virtual SlotPlan next_slot(double now) = 0;
+
+  /// Report the shared channel outcome of the plan returned by next_slot.
+  virtual void on_feedback(core::Feedback fb) = 0;
+
+  /// True while a multi-slot resolution process is outstanding (window
+  /// splitting); memoryless engines are never "in process".
+  virtual bool in_process() const = 0;
+
+  /// Probe slots issued by the active process (1 for per-slot engines).
+  virtual int process_probes() const = 0;
+
+  /// The engine's backlog estimate at `now`, recorded into
+  /// SimMetrics::pseudo_backlog (pseudo-time backlog for the window
+  /// engine, n-hat for dynamic ALOHA, 0 when the engine tracks nothing).
+  virtual double backlog_metric(double now) const = 0;
+
+  /// Arrivals strictly below this instant are dead to the engine: the
+  /// kernels discard them at the sender (element 4). Engines without
+  /// discard semantics return 0 (nothing is ever below the floor).
+  virtual double discard_floor(double now) const = 0;
+
+  /// Structural equality of protocol state, for the distributed-
+  /// consistency audits. Engines of different kinds never compare equal.
+  virtual bool state_equals(const ProtocolEngine& other) const = 0;
+
+  /// The wrapped window controller, or nullptr for non-window engines
+  /// (compatibility surface for callers that inspect controller state).
+  virtual const core::WindowController* window_controller() const {
+    return nullptr;
+  }
+};
+
+/// The stream seed an engine's protocol-shared randomness runs on. Engine
+/// id 0 (the window engine) keeps `base` untouched -- seed-era CSVs must
+/// stay bit-identical -- while every other engine folds its id through
+/// sim::derive_stream_seed, so two engines in one suite can never alias
+/// each other's shared stream (the RandomGap/RandomHalf draws).
+std::uint64_t engine_stream_seed(EngineKind kind, std::uint64_t base);
+
+/// The seed for the kernel-local transmission coins of Probability plans.
+/// Always derived (the raw simulation seed drives arrivals) and keyed by
+/// the engine id, so coin streams never alias arrivals or other engines.
+std::uint64_t engine_coin_seed(EngineKind kind, std::uint64_t sim_seed);
+
+/// Build an engine. `policy` supplies the window elements (window engine)
+/// and the deadline/discard contract every engine honours. Validates the
+/// engine knobs (tx_prob <= 1, nonnegative rates).
+std::unique_ptr<ProtocolEngine> make_engine(const EngineConfig& config,
+                                            const core::ControlPolicy& policy);
+
+}  // namespace tcw::net

@@ -49,6 +49,29 @@ TEST(WidthTable, ZeroEntryMeansWait) {
   EXPECT_DOUBLE_EQ(w->length(), 2.0);  // clipped to available past
 }
 
+TEST(WidthTable, TerminalZeroFallsBackUnderSaturation) {
+  // A backlog clamped past the table end must never wait on a terminal 0:
+  // the saturated controller would spin forever while backlog only grows.
+  // It falls back to the deepest positive entry instead.
+  ControlPolicy policy = ControlPolicy::optimal(100.0, 50.0);
+  policy.width_table = {0.0, 3.0, 0.0};
+  WindowController c(policy);
+  // Backlog ~2 (the exact terminal index): in-range 0 still means wait.
+  EXPECT_FALSE(c.next_probe(2.0).has_value());
+  // Backlog ~80, clamped onto the terminal 0: fall back to width 3.
+  const auto w = c.next_probe(80.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->length(), 3.0);
+}
+
+TEST(WidthTable, AllNonpositiveTableRejected) {
+  // A table that can never open a window is a configuration bug; reject
+  // it at construction instead of idling forever.
+  ControlPolicy policy = ControlPolicy::optimal(100.0, 50.0);
+  policy.width_table = {0.0, 0.0, 0.0};
+  EXPECT_THROW(WindowController c(policy), tcw::ContractViolation);
+}
+
 TEST(WidthTable, EmptyTableUsesFixedWidth) {
   ControlPolicy policy = ControlPolicy::optimal(100.0, 7.0);
   WindowController c(policy);

@@ -14,6 +14,7 @@
 #include "chan/arrivals.hpp"
 #include "net/aggregate_sim.hpp"
 #include "net/network.hpp"
+#include "util/contract.hpp"
 
 using tcw::chan::ArrivalProcess;
 using tcw::chan::OnOffVoiceProcess;
@@ -100,6 +101,46 @@ TEST(NetworkKernel, ShadowCountDoesNotChangeMetrics) {
   for (std::size_t i = 1; i < prints.size(); ++i) {
     EXPECT_EQ(prints[0], prints[i]) << "shadow config " << i;
   }
+}
+
+// Regression: with one station, every shadow setting (including the
+// SIZE_MAX "replica per station" default, which used to underflow the
+// replica budget) must resolve to exactly the canonical replica and run
+// to completion reporting consistency.
+TEST(NetworkKernel, SingleStationResolvesOneReplicaForAnyShadowCount) {
+  for (const std::size_t shadows : {std::size_t{0}, std::size_t{5},
+                                    SIZE_MAX}) {
+    for (const bool reference : {false, true}) {
+      NetworkConfig cfg = base_network_config();
+      cfg.shadow_replicas = shadows;
+      cfg.consistency_check_every = 1;
+      cfg.reference_kernel = reference;
+      auto net = Network::homogeneous_poisson(cfg, 1, 0.01);
+      EXPECT_EQ(net.controller_replicas(), 1u)
+          << "shadows=" << shadows << " reference=" << reference;
+      net.run();
+      EXPECT_TRUE(net.stations_consistent());
+      EXPECT_GT(net.consistency_checks_run(), 0u);
+    }
+  }
+}
+
+// Regression: with only the canonical replica resolved, a desync
+// injection has no peer to be observed against -- it would silently
+// corrupt the simulation while reporting "consistent". run() must refuse.
+TEST(NetworkKernel, DesyncInjectionRejectedWithoutAShadowPeer) {
+  NetworkConfig cfg = base_network_config();
+  cfg.consistency_check_every = 1;
+  auto net = Network::homogeneous_poisson(cfg, 1, 0.02);
+  net.desync_replica_for_test(0);
+  EXPECT_THROW(net.run(), tcw::ContractViolation);
+}
+
+TEST(NetworkKernel, DesyncSentinelValueRejected) {
+  NetworkConfig cfg = base_network_config();
+  auto net = Network::homogeneous_poisson(cfg, 4, 0.02);
+  EXPECT_THROW(net.desync_replica_for_test(SIZE_MAX),
+               tcw::ContractViolation);
 }
 
 TEST(NetworkKernel, DesyncedReplicaTripsConsistencyForAnyShadowCount) {

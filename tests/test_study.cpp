@@ -69,11 +69,12 @@ tcw::core::ControlPolicy heuristic_policy(double k) {
   return tcw::core::ControlPolicy::optimal(k, 40.0);
 }
 
-TEST(StudyRegistry, ListsTheSixMigratedBenches) {
+TEST(StudyRegistry, ListsEveryRegisteredStudy) {
   const std::vector<std::string> expected{
       "ablation_theorem1",      "ablation_window_size",
       "ablation_split_fraction", "ablation_adaptive_width",
-      "ablation_asynchrony",    "priority_classes"};
+      "ablation_asynchrony",    "priority_classes",
+      "policy_grid"};
   const auto& entries = bench::registry();
   ASSERT_EQ(entries.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
