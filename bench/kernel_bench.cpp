@@ -1,14 +1,18 @@
 // Kernel throughput microbenchmark: single-run slots/sec and probes/sec of
-// the two per-slot simulation kernels (infinite-population
+// the per-slot simulation kernels (infinite-population
 // net::AggregateSimulator, finite-station net::Network) across
-// {stations} x {load} x {K} grids, reported as BENCH_JSON rows.
+// {stations} x {load} x {K} grids, plus the large-N event-skipping
+// network stepper (N up to 10^6) and the N -> infinity fluid-limit
+// kernel (net::FluidSimulator), reported as BENCH_JSON rows.
 //
 // Modes:
-//   (default)    bench the fast kernel only
+//   (default)    bench the fast kernel, the event-skip stepper at
+//                N in {1e4, 1e5, 1e6}, and the fluid kernel
 //   --baseline   bench fast AND the retained reference kernel per cell and
 //                report the speedup (the pre-PR numbers in EXPERIMENTS.md)
-//   --verify     run both kernels per cell and bit-compare every metric;
-//                nonzero exit on any mismatch (the tier-1 smoke)
+//   --verify     bit-compare fast vs reference per cell, and fast vs
+//                event-skip on the batched arrival stream for all three
+//                MAC engines; nonzero exit on any mismatch (tier-1 smoke)
 //   --reference  bench the reference kernel only
 //
 // Build with an optimized CMAKE_BUILD_TYPE (Release / RelWithDebInfo, the
@@ -24,6 +28,7 @@
 #include "analysis/splitting.hpp"
 #include "chan/arrivals.hpp"
 #include "net/aggregate_sim.hpp"
+#include "net/fluid_sim.hpp"
 #include "net/network.hpp"
 #include "obs_support.hpp"
 #include "util/csv.hpp"
@@ -51,6 +56,7 @@ struct Options {
 struct CellResult {
   SimMetrics metrics;
   std::uint64_t probe_steps = 0;
+  std::uint64_t skipped_slots = 0;
   double wall_seconds = 0.0;
 };
 
@@ -152,6 +158,73 @@ CellResult run_network(const Options& opt, const NetCell& cell,
   return r;
 }
 
+// Batched-arrival network run (homogeneous_poisson_batched): same cell
+// grid, any MAC engine, optionally stepping through the event-skip path.
+// fast(batched) and event-skip(batched) consume the identical arrival
+// realization, which is what makes them bit-comparable; both differ from
+// run_network's per-station streams at the same seed.
+CellResult run_network_batched(const Options& opt, const NetCell& cell,
+                               tcw::net::EngineKind kind, bool event_skip) {
+  tcw::net::NetworkConfig cfg;
+  const double lambda = cell.rho / opt.message_length;
+  const double k = cell.k_over_m * opt.message_length;
+  cfg.policy = tcw::core::ControlPolicy::optimal(
+      k, tcw::analysis::optimal_window_load() / lambda);
+  cfg.engine.kind = kind;
+  if (kind == tcw::net::EngineKind::DynamicAloha) {
+    cfg.engine.arrival_rate = lambda;
+  }
+  cfg.message_length = opt.message_length;
+  cfg.t_end = opt.t_end;
+  cfg.warmup = opt.warmup;
+  cfg.seed = opt.seed;
+  cfg.consistency_check_every = 1024;
+  cfg.shadow_replicas = static_cast<std::size_t>(opt.shadows);
+  cfg.event_skip = event_skip;
+  auto net = tcw::net::Network::homogeneous_poisson_batched(
+      cfg, cell.stations, lambda);
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult r;
+  r.metrics = net.run();
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.probe_steps = net.probe_steps();
+  r.skipped_slots = net.skipped_slots();
+  if (!net.stations_consistent()) {
+    std::fprintf(stderr,
+                 "kernel_bench: consistency violation (N=%zu, %s)\n",
+                 cell.stations, to_string(kind).c_str());
+    std::exit(2);
+  }
+  return r;
+}
+
+// Fluid-limit cell: events stand in for probe steps (both are the
+// kernel's unit of work per wall second); p_loss rides along in the JSON
+// row so sweeps can sanity-check against the Section 4 closed form.
+CellResult run_fluid(const Options& opt, const AggCell& cell,
+                     double* p_loss) {
+  tcw::analysis::ProtocolModelConfig mc;
+  mc.offered_load = cell.rho;
+  mc.message_length = opt.message_length;
+  tcw::net::FluidConfig cfg = tcw::net::protocol_fluid_config(
+      mc, cell.k_over_m * opt.message_length);
+  cfg.t_end = opt.t_end;
+  cfg.warmup = opt.warmup;
+  cfg.seed = opt.seed;
+  tcw::net::FluidSimulator sim(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult r;
+  const tcw::net::FluidMetrics& m = sim.run();
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.probe_steps = sim.events();
+  *p_loss = m.p_loss();
+  return r;
+}
+
 double rate(double count, double wall) {
   return wall > 0.0 ? count / wall : 0.0;
 }
@@ -227,8 +300,36 @@ int main(int argc, char** argv) {
       }
       ++cells;
     }
-    std::printf("verify: fast and reference kernels bit-identical over "
-                "%zu cells (t_end=%.0f)\n",
+    // Event-skip conformance: every MAC engine, fast(batched) vs
+    // event-skip(batched) on the same arrival realization. The reference
+    // kernel comparison above closes the chain for the window engine
+    // (reference == fast == event-skip); the aloha engines have no
+    // reference path.
+    const tcw::net::EngineKind kinds[] = {tcw::net::EngineKind::Window,
+                                          tcw::net::EngineKind::SlottedAloha,
+                                          tcw::net::EngineKind::DynamicAloha};
+    for (const auto kind : kinds) {
+      for (const NetCell& cell : net_cells) {
+        const CellResult fast = run_network_batched(opt, cell, kind, false);
+        const CellResult skip = run_network_batched(opt, cell, kind, true);
+        const std::string f = fingerprint(fast.metrics);
+        const std::string s = fingerprint(skip.metrics);
+        if (f != s || fast.probe_steps != skip.probe_steps) {
+          std::fprintf(stderr,
+                       "VERIFY FAILED event-skip %s N=%zu rho=%.2f "
+                       "K/M=%.1f (probes %llu vs %llu)\n fast: %s\n skip: %s\n",
+                       to_string(kind).c_str(), cell.stations, cell.rho,
+                       cell.k_over_m,
+                       static_cast<unsigned long long>(fast.probe_steps),
+                       static_cast<unsigned long long>(skip.probe_steps),
+                       f.c_str(), s.c_str());
+          return 1;
+        }
+        ++cells;
+      }
+    }
+    std::printf("verify: fast/reference and fast/event-skip kernels "
+                "bit-identical over %zu cells (t_end=%.0f)\n",
                 cells, opt.t_end);
     return obs.finish(nullptr);
   }
@@ -237,7 +338,7 @@ int main(int argc, char** argv) {
                     "wall_seconds", "slots_per_sec", "probes_per_sec"});
   const auto emit = [&](const char* sim_name, std::size_t stations,
                         double rho, double k_over_m, const char* kernel,
-                        const CellResult& r) {
+                        const CellResult& r, const std::string& extra = "") {
     const double slots_per_sec = rate(opt.t_end, r.wall_seconds);
     const double probes_per_sec =
         rate(static_cast<double>(r.probe_steps), r.wall_seconds);
@@ -249,9 +350,9 @@ int main(int argc, char** argv) {
     std::printf("BENCH_JSON {\"bench\":\"kernel_bench\",\"sim\":\"%s\","
                 "\"stations\":%zu,\"rho\":%.2f,\"k_over_m\":%.1f,"
                 "\"kernel\":\"%s\",\"wall_seconds\":%.4f,"
-                "\"slots_per_sec\":%.0f,\"probes_per_sec\":%.0f}\n",
+                "\"slots_per_sec\":%.0f,\"probes_per_sec\":%.0f%s}\n",
                 sim_name, stations, rho, k_over_m, kernel, r.wall_seconds,
-                slots_per_sec, probes_per_sec);
+                slots_per_sec, probes_per_sec, extra.c_str());
   };
 
   std::printf("== kernel_bench: t_end=%.0f warmup=%.0f M=%.0f shadows=%lld "
@@ -291,6 +392,43 @@ int main(int argc, char** argv) {
       std::printf("  -> network N=%zu rho=%.2f K/M=%.1f speedup %.2fx\n",
                   cell.stations, cell.rho, cell.k_over_m,
                   ref.wall_seconds / fast.wall_seconds);
+    }
+  }
+
+  if (!opt.reference) {
+    // Large-N headline: the event-skipping stepper on the batched stream.
+    // Per-slot cost is O(active stations), and quiescent stretches are
+    // jumped in O(replicas), so slots/sec stays in the tens of millions
+    // out to a million stations.
+    const std::vector<NetCell> large_cells{
+        {10000, 0.50, 3.0}, {100000, 0.50, 3.0}, {1000000, 0.50, 3.0}};
+    for (const NetCell& cell : large_cells) {
+      const CellResult r = run_network_batched(
+          opt, cell, tcw::net::EngineKind::Window, true);
+      char extra[96];
+      std::snprintf(extra, sizeof extra,
+                    ",\"skipped_slots\":%llu,\"skip_fraction\":%.4f",
+                    static_cast<unsigned long long>(r.skipped_slots),
+                    static_cast<double>(r.skipped_slots) / opt.t_end);
+      emit("network", cell.stations, cell.rho, cell.k_over_m, "event-skip",
+           r, extra);
+    }
+
+    // N -> infinity fluid limit: wall time scales with arrivals, not
+    // stations or slots.
+    const std::vector<AggCell> fluid_cells{
+        {0.30, 2.0}, {0.30, 4.0}, {0.60, 2.0},
+        {0.60, 4.0}, {0.90, 2.0}, {0.90, 4.0},
+    };
+    for (const AggCell& cell : fluid_cells) {
+      double p_loss = 0.0;
+      const CellResult r = run_fluid(opt, cell, &p_loss);
+      char extra[96];
+      std::snprintf(extra, sizeof extra,
+                    ",\"events_per_sec\":%.0f,\"p_loss\":%.6f",
+                    rate(static_cast<double>(r.probe_steps), r.wall_seconds),
+                    p_loss);
+      emit("fluid", 0, cell.rho, cell.k_over_m, "fluid", r, extra);
     }
   }
 

@@ -13,6 +13,8 @@
 #include "analysis/splitting.hpp"
 #include "core/policy.hpp"
 #include "net/aggregate_sim.hpp"
+#include "net/fluid_sim.hpp"
+#include "net/network.hpp"
 #include "net/priority.hpp"
 #include "smdp/window_model.hpp"
 #include "study.hpp"
@@ -753,6 +755,146 @@ class PolicyGridStudy final : public Study {
   std::vector<Arm> arms_;
 };
 
+// Large-N scaling study: the event-skipping batched kernel at station
+// counts far beyond the per-slot grids (10^4..10^6), with the
+// N -> infinity fluid limit (net::FluidSimulator) closing each load
+// column. Payloads carry only deterministic metrics (no wall times), so
+// cached shards resume to byte-identical CSVs.
+class LargeNStudy final : public Study {
+ public:
+  void register_flags(Flags& flags) override {
+    flags.add("t-end", &t_end_, "simulated slots per cell");
+    flags.add("m", &m_, "message length M");
+    flags.add("k-over-m", &k_over_m_,
+              "time constraint K as a multiple of M");
+  }
+
+  void schedule(StudyContext& ctx) override {
+    double t_end = t_end_;
+    stations_ = {10000, 100000, 1000000};
+    if (ctx.quick()) {
+      t_end = 20000.0;
+      stations_ = {10000, 100000};
+    }
+    const double k = k_over_m_ * m_;
+
+    std::printf("== large-N scaling: event-skip kernel to N=%zu, fluid "
+                "limit as N=inf (M=%.0f, K=%.0f) ==\n\n",
+                stations_.back(), m_, k);
+
+    std::string config_text = "tcw-large-n-payload-v1|m=" + fp_value(m_) +
+                              "|k=" + fp_value(k) +
+                              "|t_end=" + fp_value(t_end) + "|cells=";
+    for (const double rho : rhos_) {
+      for (const std::size_t n : stations_) {
+        config_text += std::to_string(n) + ":" + fp_value(rho) + ",";
+      }
+    }
+    config_text += "|fluid=";
+    for (const double rho : rhos_) config_text += fp_value(rho) + ",";
+
+    std::vector<std::function<std::vector<double>()>> jobs;
+    for (const double rho : rhos_) {
+      for (const std::size_t n : stations_) {
+        const double m = m_;
+        jobs.push_back([n, rho, k, m, t_end] {
+          net::NetworkConfig cfg;
+          const double lambda = rho / m;
+          cfg.policy = core::ControlPolicy::optimal(
+              k, analysis::optimal_window_load() / lambda);
+          cfg.message_length = m;
+          cfg.t_end = t_end;
+          cfg.warmup = t_end / 15.0;
+          cfg.seed = 57;
+          cfg.consistency_check_every = 4096;
+          cfg.shadow_replicas = 2;
+          cfg.event_skip = true;
+          auto sim = net::Network::homogeneous_poisson_batched(cfg, n,
+                                                               lambda);
+          const net::SimMetrics& metrics = sim.run();
+          return std::vector<double>{
+              metrics.p_loss(), 1.0 - metrics.p_loss(),
+              static_cast<double>(sim.skipped_slots()) / t_end,
+              static_cast<double>(metrics.arrivals),
+              static_cast<double>(metrics.delivered),
+              sim.stations_consistent() ? 1.0 : 0.0};
+        });
+      }
+    }
+    for (const double rho : rhos_) {
+      const double m = m_;
+      jobs.push_back([rho, k, m, t_end] {
+        analysis::ProtocolModelConfig mc;
+        mc.offered_load = rho;
+        mc.message_length = m;
+        net::FluidConfig cfg = net::protocol_fluid_config(mc, k);
+        cfg.t_end = t_end;
+        cfg.warmup = t_end / 15.0;
+        cfg.seed = 57;
+        net::FluidSimulator sim(cfg);
+        const net::FluidMetrics& metrics = sim.run();
+        // Slot layout matches the finite-N cells; the fluid kernel steps
+        // no slots, so its "skip fraction" is identically 1.
+        return std::vector<double>{
+            metrics.p_loss(), 1.0 - metrics.p_loss(), 1.0,
+            static_cast<double>(metrics.arrivals),
+            static_cast<double>(metrics.accepted), 1.0};
+      });
+    }
+    results_ = ctx.generic_sweep("cells", /*base_seed=*/57, config_text,
+                                 std::move(jobs));
+  }
+
+  int render(StudyContext& ctx) override {
+    Table table({"stations", "rho", "K", "p_loss", "timely_ratio",
+                 "skip_fraction", "arrivals", "delivered"});
+    const double k = k_over_m_ * m_;
+    std::size_t job = 0;
+    int bad = 0;
+    const auto row = [&](const std::string& stations, double rho) {
+      const std::vector<double>& p = results_->payload(job);
+      ++job;
+      if (p.size() != 6 || p[5] != 1.0) {
+        std::fprintf(stderr,
+                     "large_n: malformed or inconsistent result slot %zu\n",
+                     job - 1);
+        ++bad;
+        return;
+      }
+      table.add_row({stations, format_fixed(rho, 2), format_fixed(k, 1),
+                     format_fixed(p[0], 5), format_fixed(p[1], 5),
+                     format_fixed(p[2], 4), format_fixed(p[3], 0),
+                     format_fixed(p[4], 0)});
+      std::printf("BENCH_JSON {\"study\":\"large_n\",\"engine\":\"window\","
+                  "\"stations\":\"%s\",\"rho\":%.2f,\"k\":%.1f,"
+                  "\"p_loss\":%.5f,\"timely_ratio\":%.5f}\n",
+                  stations.c_str(), rho, k, p[0], p[1]);
+    };
+    for (const double rho : rhos_) {
+      for (const std::size_t n : stations_) row(std::to_string(n), rho);
+    }
+    for (const double rho : rhos_) row("inf", rho);
+    table.write_pretty(std::cout);
+    std::printf("\nloss is flat in N at fixed rho' and the fluid row closes "
+                "each column:\nthe finite-station protocol converges to the "
+                "Section 4 impatient-M/G/1\nabstraction, and the event-skip "
+                "kernel makes the approach observable\nat millions of "
+                "stations.\n");
+    if (bad != 0) return 1;
+    if (!table.save_csv(ctx.csv_path())) return 1;
+    std::printf("csv: %s\n", ctx.csv_path().c_str());
+    return 0;
+  }
+
+ private:
+  double t_end_ = 150000.0;
+  double m_ = 25.0;
+  double k_over_m_ = 3.0;
+  const std::vector<double> rhos_{0.50, 0.90};
+  std::vector<std::size_t> stations_;
+  std::shared_ptr<GenericSweep> results_;
+};
+
 template <typename T>
 StudyEntry entry(std::string name, std::string summary, std::string figure) {
   StudySpec spec;
@@ -797,6 +939,11 @@ std::vector<StudyEntry> make_all_studies() {
       "Window controller vs slotted/dynamic ALOHA over {engine, K, rho}",
       "MAC showdown: window policy vs fixed/dynamic ALOHA (loss + "
       "timeliness)"));
+  studies.push_back(entry<LargeNStudy>(
+      "large_n",
+      "Event-skip kernel at N=10^4..10^6 against the fluid limit",
+      "Section 4: finite-N protocol converges to the impatient-M/G/1 "
+      "abstraction"));
   return studies;
 }
 

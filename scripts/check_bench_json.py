@@ -17,7 +17,9 @@ object, and must carry the required keys for its record shape. Shapes:
                       "jobs_per_sec"}
   kernel_bench cell  {"bench", "sim", "stations", "rho", "k_over_m",
                       "kernel", "wall_seconds", "slots_per_sec",
-                      "probes_per_sec"}
+                      "probes_per_sec"}; kernel == "event-skip" rows also
+                      carry {"skipped_slots", "skip_fraction"} and
+                      sim == "fluid" rows {"events_per_sec", "p_loss"}
   policy-grid cell   {"study", "engine", "rho", "k", "p_loss",
                       "timely_ratio"}
 
@@ -48,9 +50,14 @@ def classify(record):
         return "policy_grid", {"study", "rho", "k", "p_loss",
                                "timely_ratio"} - record.keys()
     if "bench" in record:
-        return "kernel_bench", {"sim", "stations", "rho", "k_over_m",
-                                "kernel", "wall_seconds", "slots_per_sec",
-                                "probes_per_sec"} - record.keys()
+        missing = {"sim", "stations", "rho", "k_over_m", "kernel",
+                   "wall_seconds", "slots_per_sec",
+                   "probes_per_sec"} - record.keys()
+        if record.get("kernel") == "event-skip":
+            missing |= {"skipped_slots", "skip_fraction"} - record.keys()
+        if record.get("sim") == "fluid":
+            missing |= {"events_per_sec", "p_loss"} - record.keys()
+        return "kernel_bench", missing
     if "panel" in record:
         return "panel", {"threads", "jobs", "wall_seconds",
                          "jobs_per_sec"} - record.keys()

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Large-N smoke: push the event-skipping batched kernel (N up to 10^5 in
+# quick mode) plus the fluid-limit kernel through the full study / shard
+# cache / resume machinery and require byte-identical CSVs on every leg:
+# standalone vs `study_tool --suite`, and fresh vs resumed from a
+# truncated shard store. This is the determinism contract for the
+# event-skip stepper end to end -- certificates, batched arrivals, and
+# the Welford replay all have to reproduce the cached payloads exactly.
+# Usage: large_n_smoke.sh <study_tool-binary> <scratch-dir>.
+set -euo pipefail
+
+tool=$(realpath "$1")
+scratch=$2
+study=large_n
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cd "$scratch"
+
+echo "-- large-N smoke: standalone $study run"
+"$tool" "$study" --quick --cache-dir=cache --csv=standalone.csv \
+    >standalone.log 2>&1
+
+echo "-- large-N smoke: $study inside a --suite run"
+mkdir -p suite
+(cd suite && "$tool" --suite --quick "$study" >../suite.log 2>&1)
+
+cmp standalone.csv "suite/$study.csv"
+
+store="cache/$study.shards"
+size=$(wc -c <"$store")
+echo "-- large-N smoke: truncating $store ($size -> $((size / 2)) bytes)"
+truncate -s $((size / 2)) "$store"
+
+echo "-- large-N smoke: resuming from the damaged store"
+"$tool" "$study" --quick --cache-dir=cache --resume --csv=resume.csv \
+    >resume.log 2>&1
+
+cmp standalone.csv resume.csv
+cached=$(sed -n 's/.*"cached_shards":\([0-9]*\).*/\1/p' resume.log)
+if [ -z "$cached" ] || [ "$cached" -eq 0 ]; then
+  echo "large-N smoke FAILED: no cached shards on the resume leg" >&2
+  grep BENCH_JSON resume.log >&2 || true
+  exit 1
+fi
+echo "large-N smoke OK: standalone, suite, and resumed CSVs" \
+     "byte-identical; $cached shard(s) served from the store"

@@ -39,6 +39,9 @@ scripts/resume_smoke.sh build/bench/study_tool build/bench/resume_smoke
 echo "== tier-1: policy-grid smoke (standalone vs --suite vs resume, cmp) =="
 scripts/policy_grid_smoke.sh build/bench/study_tool build/bench/policy_grid_smoke
 
+echo "== tier-1: large-N smoke (event-skip kernel through study/cache/resume) =="
+scripts/large_n_smoke.sh build/bench/study_tool build/bench/large_n_smoke
+
 echo "== tier-1: observability overlay smoke (CSV bit-equality + trace/manifest) =="
 scripts/obs_smoke.sh build/bench/study_tool build/bench/obs_smoke
 
@@ -46,14 +49,16 @@ echo "== tier-1: BENCH_JSON schema check over the smoke logs =="
 python3 scripts/check_bench_json.py \
     build/bench/resume_smoke/fresh.log build/bench/resume_smoke/resume.log \
     build/bench/policy_grid_smoke/standalone.log \
-    build/bench/policy_grid_smoke/resume.log
+    build/bench/policy_grid_smoke/resume.log \
+    build/bench/large_n_smoke/standalone.log \
+    build/bench/large_n_smoke/resume.log
 
 echo "== tier-1: concurrency + kernel tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
     test_sweep_determinism test_sweep_scheduler test_flat_deque \
-    test_kernel_fastpath test_protocol_engines test_shard_cache test_study \
-    test_obs
+    test_kernel_fastpath test_event_skip test_protocol_engines \
+    test_shard_cache test_study test_obs
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|ProtocolEngine|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs')
 echo "tier-1 OK"

@@ -190,6 +190,65 @@ double WindowController::unresolved_backlog(double now) const {
   return (now - lo) - resolved_.measure(lo, now);
 }
 
+std::uint64_t WindowController::quiescent_slots(
+    double now, std::uint64_t max_slots) const {
+  if (max_slots == 0) return 0;
+  if (current_.has_value() || !pending_.empty()) return 0;
+  // RandomGap draws the protocol-shared stream at every process start;
+  // skipping would desynchronize the stream from the per-slot path.
+  if (policy_.position == PositionRule::RandomGap) return 0;
+  if (now != std::floor(now)) return 0;
+  // With K >= 1 the orbit backlog is (t - (t-1)) == 1.0 exactly at every
+  // slot; a sub-slot deadline makes it t - fl(t - K), whose rounding can
+  // vary with t -- not a constant-backlog stretch.
+  if (policy_.deadline < 1.0) return 0;
+  // The orbit invariant: start_process(now)'s discard + compaction slides
+  // the floor to exactly now - 1 and leaves nothing resolved above it.
+  double f = floor_;
+  if (policy_.discard) f = std::max(f, now - policy_.deadline);
+  if (resolved_.first_uncovered(f) != now - 1.0) return 0;
+  if (const auto top = resolved_.max_covered();
+      top.has_value() && *top > now - 1.0) {
+    return 0;
+  }
+  // Effective width at the orbit backlog (1.0), mirroring start_process's
+  // table lookup (including the clamped-0 fallback).
+  double width = policy_.window_width;
+  if (!policy_.width_table.empty()) {
+    const std::size_t raw = 1;
+    const std::size_t last = policy_.width_table.size() - 1;
+    width = policy_.width_table[std::min(raw, last)];
+    if (width <= 0.0) {
+      if (raw <= last) return 0;  // "wait" entry: a non-probing steady state
+      for (std::size_t i = last + 1; i-- > 0;) {
+        if (policy_.width_table[i] > 0.0) {
+          width = policy_.width_table[i];
+          break;
+        }
+      }
+    }
+  }
+  // Width >= 1 makes every probe cover [t-1, t) whole (OldestFirst and
+  // NewestFirst alike), so one Idle resolves the slot's entire past.
+  if (width < 1.0) return 0;
+  return max_slots;
+}
+
+void WindowController::skip_quiescent(double last_slot, std::uint64_t slots) {
+  TCW_EXPECTS(slots > 0);
+  TCW_EXPECTS(!current_.has_value() && pending_.empty());
+  // State after the orbit slot at last_slot: its process probed
+  // [last_slot - 1, last_slot), read Idle, and ended. Slot times are
+  // integral (quiescent_slots requires it), so last_slot - 1.0 is the
+  // exact value the per-slot compaction/insert chain produces.
+  floor_ = last_slot - 1.0;
+  resolved_.clear();
+  resolved_.insert(last_slot - 1.0, last_slot);
+  current_.reset();
+  process_probes_ = 1;
+  process_start_ = last_slot;
+}
+
 bool WindowController::state_equals(const WindowController& other) const {
   return floor_ == other.floor_ && resolved_ == other.resolved_ &&
          pending_ == other.pending_ && current_ == other.current_ &&

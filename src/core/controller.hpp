@@ -67,6 +67,24 @@ class WindowController {
   /// floor; also the left edge after element-4 discards).
   double floor() const { return floor_; }
 
+  /// How many of the next `max_slots` slots starting at `now` are provably
+  /// in the controller's *quiescent orbit*: with no arrivals anywhere, the
+  /// controller starts a one-probe process each slot t, probes the window
+  /// [t-1, t), reads Idle, and ends the process -- leaving exactly the
+  /// state the next slot's compaction reduces to the same orbit. Returns 0
+  /// (never a partial count) when the current state is not in that orbit:
+  /// mid-process, uncompacted backlog, a RandomGap policy (whose probe
+  /// placement draws the shared stream every process), an effective width
+  /// below one slot, or a non-integral `now` (exact +1 slot arithmetic is
+  /// part of the orbit proof). skip_quiescent then reproduces, bit for
+  /// bit, the state `max_slots` per-slot iterations would reach.
+  std::uint64_t quiescent_slots(double now, std::uint64_t max_slots) const;
+
+  /// Fast-forward over `slots` quiescent-orbit slots, the last beginning
+  /// at `last_slot`. Only valid immediately after quiescent_slots(now, n)
+  /// returned `slots` with last_slot == now + slots - 1.
+  void skip_quiescent(double last_slot, std::uint64_t slots);
+
   /// Structural equality of protocol state -- used by the distributed-
   /// consistency checks (every station must agree at every step).
   bool state_equals(const WindowController& other) const;

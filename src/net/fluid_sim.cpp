@@ -1,0 +1,91 @@
+#include "net/fluid_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::net {
+
+FluidConfig protocol_fluid_config(const analysis::ProtocolModelConfig& cfg,
+                                  double K) {
+  FluidConfig out;
+  out.lambda = cfg.lambda();
+  out.deadline = K;
+  const analysis::ControlledLossPoint point =
+      analysis::controlled_loss_at(cfg, K);
+  out.service = analysis::service_distribution(cfg, point.nu_eff);
+  return out;
+}
+
+FluidSimulator::FluidSimulator(const FluidConfig& config)
+    : config_(config), rng_(config.seed) {
+  TCW_EXPECTS(config_.lambda > 0.0);
+  TCW_EXPECTS(config_.deadline >= 0.0);
+  TCW_EXPECTS(config_.t_end > config_.warmup);
+  TCW_EXPECTS(config_.warmup >= 0.0);
+  TCW_EXPECTS(!config_.service.empty());
+  const std::vector<double>& p = config_.service.probabilities();
+  service_cdf_.reserve(p.size());
+  double cum = 0.0;
+  for (const double mass : p) {
+    TCW_EXPECTS(mass >= 0.0);
+    cum += mass;
+    service_cdf_.push_back(cum);
+  }
+  TCW_EXPECTS(cum > 0.0);
+  for (double& c : service_cdf_) c /= cum;
+  service_cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+double FluidSimulator::sample_service() {
+  // Inverse-CDF on the slot lattice: smallest k with CDF(k) > u.
+  const double u = sim::uniform01(rng_);
+  const auto it =
+      std::upper_bound(service_cdf_.begin(), service_cdf_.end(), u);
+  const auto k = std::min(
+      static_cast<std::size_t>(it - service_cdf_.begin()),
+      service_cdf_.size() - 1);
+  return static_cast<double>(k);
+}
+
+const FluidMetrics& FluidSimulator::run() {
+  TCW_EXPECTS(!finished_);
+  const double k = config_.deadline;
+  double t = 0.0;  // time of the previous arrival (0 = origin)
+  double v = 0.0;  // unfinished work at that instant, post-acceptance
+  while (true) {
+    const double gap = sim::exponential(rng_, config_.lambda);
+    const double next = t + gap;
+    // V drains at rate 1 and hits zero at t + v; credit the idle stretch
+    // inside the observation window [warmup, t_end).
+    const double idle_hi = std::min(next, config_.t_end);
+    const double idle_lo = std::max(t + v, config_.warmup);
+    if (idle_hi > idle_lo) metrics_.idle_time += idle_hi - idle_lo;
+    if (next >= config_.t_end) break;
+    v = std::max(0.0, v - gap);
+    ++events_;
+    const bool observed = next >= config_.warmup;
+    if (observed) {
+      ++metrics_.arrivals;
+      metrics_.virtual_wait.add(v);
+    }
+    if (v > k) {
+      // Balks: under element (4) this message would be discarded before
+      // transmission; it contributes no work to the queue (eq. 4.7).
+      if (observed) ++metrics_.lost;
+    } else {
+      if (observed) {
+        ++metrics_.accepted;
+        metrics_.accepted_wait.add(v);
+      }
+      v += sample_service();
+    }
+    t = next;
+  }
+  finished_ = true;
+  return metrics_;
+}
+
+}  // namespace tcw::net

@@ -1,0 +1,90 @@
+// N -> infinity fluid-limit kernel: the paper's Section 4 abstraction
+// simulated directly. No stations and no slots -- the distributed queue is
+// collapsed to its unfinished-work (virtual waiting time) process V(t): a
+// Poisson(lambda) stream of messages arrives, each sees the current V, and
+//   * V > K  -> the message is lost (it balks: under policy element (4) it
+//              would be discarded before ever reaching the channel), or
+//   * V <= K -> it is accepted and adds one service draw (scheduling +
+//              transmission slots) to V,
+// while V drains at rate 1 between arrivals. This is exactly the M/G/1
+// queue with impatient customers behind paper eq. 4.7, so the simulated
+// loss fraction must match analysis::mg1_impatient_loss on the same
+// service law -- the cross-check tests/test_fluid_model.cpp enforces and
+// kernel_bench's "fluid" cells benchmark. Event cost is O(1) per arrival:
+// wall time scales with lambda * t_end, independent of any station count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/loss_model.hpp"
+#include "dist/pmf.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace tcw::net {
+
+struct FluidConfig {
+  /// Aggregate arrival rate (messages/slot) -- the whole population's.
+  double lambda = 0.02;
+  /// The time constraint K, slots.
+  double deadline = 75.0;
+  /// Per-message service time on the integer slot lattice (scheduling +
+  /// transmission), e.g. analysis::service_distribution. Need not be
+  /// normalized: sampling renormalizes over the stored support (a
+  /// truncated tail is redistributed proportionally).
+  dist::Pmf service;
+  double t_end = 150000.0;
+  double warmup = 5000.0;
+  std::uint64_t seed = 1;
+};
+
+/// The protocol's fluid configuration at constraint K: lambda from the
+/// model config and the Section 4 service law evaluated at the *converged*
+/// effective window load of the controlled-loss fixpoint (so simulation
+/// and closed form describe the same queue).
+FluidConfig protocol_fluid_config(const analysis::ProtocolModelConfig& cfg,
+                                  double K);
+
+struct FluidMetrics {
+  std::uint64_t arrivals = 0;  ///< post-warmup arrivals
+  std::uint64_t accepted = 0;
+  std::uint64_t lost = 0;      ///< balked: virtual wait exceeded K
+  /// V seen by each post-warmup arrival (all of them / accepted only).
+  sim::RunningStats virtual_wait;
+  sim::RunningStats accepted_wait;
+  /// Lebesgue measure of {t in [warmup, t_end) : V(t) == 0}.
+  double idle_time = 0.0;
+
+  double p_loss() const {
+    return arrivals > 0
+               ? static_cast<double>(lost) / static_cast<double>(arrivals)
+               : 0.0;
+  }
+  double p_idle(double observed_span) const {
+    return observed_span > 0.0 ? idle_time / observed_span : 0.0;
+  }
+};
+
+class FluidSimulator {
+ public:
+  explicit FluidSimulator(const FluidConfig& config);
+
+  const FluidMetrics& run();
+
+  const FluidMetrics& metrics() const { return metrics_; }
+  /// Arrival events processed (including warmup); benches divide by wall.
+  std::uint64_t events() const { return events_; }
+
+ private:
+  double sample_service();
+
+  FluidConfig config_;
+  std::vector<double> service_cdf_;  // cumulative masses, normalized
+  sim::Rng rng_;
+  std::uint64_t events_ = 0;
+  bool finished_ = false;
+  FluidMetrics metrics_;
+};
+
+}  // namespace tcw::net

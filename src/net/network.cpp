@@ -1,6 +1,8 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "obs/registry.hpp"
 #include "sim/sampling.hpp"
@@ -9,6 +11,17 @@
 namespace tcw::net {
 
 namespace {
+
+// (hi, lo) coordinates of the batched arrival stream in the
+// derive_stream_seed plane. Far outside every other consumer's range:
+// engine streams use (engine_id, 0), transmission coins (engine_id,
+// 0xC0114), sweep shards (K-index, replication) -- all small values.
+constexpr std::uint64_t kBatchedArrivalHi = 0xBA7C4EDULL;
+constexpr std::uint64_t kBatchedArrivalLo = 0xA221ULL;
+
+// Arrivals generated per refill of the batched block: large enough to
+// amortize the refill, small enough to stay cache-resident.
+constexpr std::size_t kBatchedBlock = 4096;
 
 struct NetworkCounters {
   obs::Counter runs;
@@ -36,6 +49,11 @@ NetworkCounters& network_counters() {
 }
 
 }  // namespace
+
+std::uint64_t batched_arrival_seed(std::uint64_t sim_seed) {
+  return sim::derive_stream_seed(sim_seed, kBatchedArrivalHi,
+                                 kBatchedArrivalLo);
+}
 
 Network::Network(const NetworkConfig& config)
     : config_(config),
@@ -68,6 +86,26 @@ Network Network::homogeneous_poisson(const NetworkConfig& config,
   for (std::size_t i = 0; i < n_stations; ++i) {
     net.add_station(std::make_unique<chan::PoissonProcess>(
         total_rate / static_cast<double>(n_stations)));
+  }
+  return net;
+}
+
+Network Network::homogeneous_poisson_batched(const NetworkConfig& config,
+                                             std::size_t n_stations,
+                                             double total_rate) {
+  TCW_EXPECTS(n_stations > 0);
+  TCW_EXPECTS(n_stations <= std::numeric_limits<std::uint32_t>::max());
+  TCW_EXPECTS(total_rate > 0.0);
+  Network net(config);
+  net.batched_rate_ = total_rate;
+  net.batched_rng_ = sim::Rng(batched_arrival_seed(config.seed));
+  // Stations carry no per-station process: the batched stream owns both
+  // the inter-arrival clock and the station marks. next_arrival stays at
+  // +inf so the per-station generator can never fire.
+  net.stations_.resize(n_stations);
+  for (std::size_t i = 0; i < n_stations; ++i) {
+    net.stations_[i].id = static_cast<chan::StationId>(i);
+    net.stations_[i].next_arrival = std::numeric_limits<double>::infinity();
   }
   return net;
 }
@@ -115,7 +153,39 @@ void Network::deactivate(Station& st) {
   st.active_pos = -1;
 }
 
+void Network::refill_batched_block() {
+  batched_block_.clear();
+  batched_pos_ = 0;
+  const auto n = static_cast<std::uint64_t>(stations_.size());
+  for (std::size_t i = 0; i < kBatchedBlock; ++i) {
+    // One exponential gap + one station mark per arrival, always in
+    // arrival-time order: the stream's draw sequence never depends on how
+    // the kernel steps time.
+    batched_clock_ += sim::exponential(batched_rng_, batched_rate_);
+    batched_block_.push_back(
+        {batched_clock_,
+         static_cast<std::uint32_t>(sim::uniform_index(batched_rng_, n))});
+  }
+}
+
+double Network::next_batched_arrival() {
+  if (batched_pos_ == batched_block_.size()) refill_batched_block();
+  return batched_block_[batched_pos_].time;
+}
+
 void Network::generate_arrivals_until(double t) {
+  if (batched_rate_ > 0.0) {
+    while (next_batched_arrival() <= t) {
+      const BatchedArrival a = batched_block_[batched_pos_++];
+      Station& st = stations_[a.station];
+      chan::Message msg = chan::Message::make(next_msg_id_++, st.id, a.time,
+                                              config_.message_length);
+      st.queue.push_back(msg);
+      activate(st);
+      if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
+    }
+    return;
+  }
   for (Station& st : stations_) {
     while (st.next_arrival <= t) {
       chan::Message msg = chan::Message::make(
@@ -150,6 +220,24 @@ void Network::purge_expired() {
         } else {
           ++it;
         }
+      }
+    }
+    return;
+  }
+  if (config_.event_skip) {
+    // O(active) sweep: only stations in the active index can hold
+    // messages. Visit order differs from station order, but the purge
+    // only bumps integer tallies (lost_sender, obs_discards_), which
+    // commute; traces are excluded from event-skip mode for this reason.
+    for (std::size_t i = 0; i < active_.size();) {
+      Station& st = stations_[active_[i]];
+      st.queue.erase(
+          std::remove_if(st.queue.begin(), st.queue.end(), expired),
+          st.queue.end());
+      if (st.queue.empty()) {
+        deactivate(st);  // swaps another id into slot i; revisit it
+      } else {
+        ++i;
       }
     }
     return;
@@ -220,9 +308,67 @@ void Network::check_consistency() {
   }
 }
 
+bool Network::try_skip_quiescent() {
+  // Certificates need exact +1 slot arithmetic; a fractional clock (odd
+  // message lengths) falls back to per-slot stepping.
+  if (now_ != std::floor(now_)) return false;
+  // Slot t is arrival-free iff t < next_arrival, and simulated iff
+  // t < t_end; the skippable span is every slot before the earlier one.
+  const double horizon = std::min(next_batched_arrival(), config_.t_end);
+  if (horizon <= now_) return false;
+  const auto max_slots = static_cast<std::uint64_t>(
+      std::ceil(std::min(horizon - now_, 1e15)));
+  if (max_slots == 0) return false;
+  const QuiescentStretch stretch =
+      engines_[0]->quiescent_until(now_, max_slots);
+  if (stretch.slots == 0) return false;
+  // Every replica must issue the identical certificate; otherwise step
+  // per-slot, where the audit machinery judges divergence for real.
+  for (std::size_t i = 1; i < engines_.size(); ++i) {
+    if (!(engines_[i]->quiescent_until(now_, max_slots) == stretch)) {
+      return false;
+    }
+  }
+  // Replay the per-slot metric pattern of the stretch exactly: the
+  // accumulators are Welford streams, so each slot's contribution is
+  // applied in sequence (no closed form is bit-identical). This loop is a
+  // few flops per slot with no station, engine, or RNG work -- the whole
+  // point of the certificate.
+  double t = now_;
+  for (std::uint64_t i = 0; i < stretch.slots; ++i, t += 1.0) {
+    ++probe_steps_;
+    ++obs_idle_;
+    metrics_.usage.add_idle_slot();
+    if (t >= config_.warmup) {
+      metrics_.pseudo_backlog.add(stretch.backlog);
+      metrics_.process_slots.add(1.0);
+    }
+    if (config_.consistency_check_every != 0 &&
+        probe_steps_ % config_.consistency_check_every == 0) {
+      // Replicas are untouched during the replay, and honest replicas are
+      // bit-identical at every step, so comparing the pre-skip states at
+      // the due cadence reproduces the per-slot path's verdict and count.
+      check_consistency();
+    }
+  }
+  for (auto& engine : engines_) engine->skip_quiescent(t - 1.0, stretch.slots);
+  skipped_slots_ += stretch.slots;
+  now_ = t;
+  return true;
+}
+
 const SimMetrics& Network::run() {
   TCW_EXPECTS(!finished_);
   TCW_EXPECTS(!stations_.empty());
+  if (config_.event_skip) {
+    // The skip certificates only hold on the schedule-independent batched
+    // stream, produce no per-slot trace events, and canonicalize replica
+    // state (so a desync injection must be audited per-slot).
+    TCW_EXPECTS(batched_rate_ > 0.0);
+    TCW_EXPECTS(!config_.reference_kernel);
+    TCW_EXPECTS(config_.trace == nullptr);
+    TCW_EXPECTS(desync_replica_ == SIZE_MAX);
+  }
   const double k = config_.policy.deadline;
   const bool reference = config_.reference_kernel;
 
@@ -239,6 +385,10 @@ const SimMetrics& Network::run() {
 
   while (now_ < config_.t_end) {
     generate_arrivals_until(now_);
+    if (config_.event_skip && active_.empty() && consistent_ &&
+        try_skip_quiescent()) {
+      continue;
+    }
     const bool was_in_process = engines_[0]->in_process();
     // Every replica runs the same algorithm on the same feedback; the
     // canonical one (index 0) is authoritative, the shadows are audited.

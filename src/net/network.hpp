@@ -61,9 +61,27 @@ struct NetworkConfig {
   /// the fast path (kernel_bench --verify proves it); kept only as that
   /// cross-check and as the pre-PR throughput baseline.
   bool reference_kernel = false;
+  /// Large-N stepper: when the active-station index is empty and every
+  /// engine replica certifies a quiescent stretch (see
+  /// ProtocolEngine::quiescent_until), jump straight to the next
+  /// arrival-or-end event instead of iterating the empty slots. Requires
+  /// the batched arrival stream (homogeneous_poisson_batched) -- the
+  /// per-station lazy draws interleave on the shared rng_ in
+  /// schedule-dependent order -- and no trace / reference kernel / desync
+  /// injection. Metrics are bit-identical to the per-slot fast path on the
+  /// same batched stream (kernel_bench --verify and tests/test_event_skip
+  /// prove it).
+  bool event_skip = false;
   /// Optional event trace; must outlive the network. Not owned.
   sim::TraceLog* trace = nullptr;
 };
+
+/// Seed of the batched aggregate arrival stream, derived from the
+/// simulation seed on coordinates no other consumer uses (engine streams,
+/// transmission coins, and sweep-shard jobs all live elsewhere in the
+/// (hi, lo) plane; tests/test_seed_streams.cpp pins this down). Existing
+/// per-station streams read the raw seed and are untouched.
+std::uint64_t batched_arrival_seed(std::uint64_t sim_seed);
 
 class Network {
  public:
@@ -78,6 +96,20 @@ class Network {
                                      std::size_t n_stations,
                                      double total_rate);
 
+  /// Same station population, but arrivals come from ONE batched
+  /// Poisson(total_rate) stream with uniform station marks (the exact
+  /// superposition of n iid Poisson(total_rate/n) processes), drawn in
+  /// arrival-time order and refilled in blocks. The realization is
+  /// independent of the stepping schedule, which is what makes the
+  /// event-skipping stepper bit-comparable to the per-slot path; it is a
+  /// *different* realization from homogeneous_poisson at the same seed
+  /// (the batched stream runs on batched_arrival_seed). Required by
+  /// NetworkConfig::event_skip; also the only O(1)-per-slot arrival path
+  /// at N >= 10^5.
+  static Network homogeneous_poisson_batched(const NetworkConfig& config,
+                                             std::size_t n_stations,
+                                             double total_rate);
+
   const SimMetrics& run();
 
   std::size_t station_count() const { return stations_.size(); }
@@ -86,6 +118,9 @@ class Network {
   const SimMetrics& metrics() const { return metrics_; }
   /// Probe slots issued so far (throughput benches divide by wall time).
   std::uint64_t probe_steps() const { return probe_steps_; }
+  /// Slots covered by event-skip certificates rather than stepped one by
+  /// one (0 unless NetworkConfig::event_skip; benches report the ratio).
+  std::uint64_t skipped_slots() const { return skipped_slots_; }
   /// Engine replicas actually stepped (canonical + shadows); only
   /// meaningful once run() has started. Before run() it reports what the
   /// configuration will resolve to for the current station count. Always
@@ -111,7 +146,20 @@ class Network {
     std::ptrdiff_t active_pos = -1;   // slot in active_, -1 when queue empty
   };
 
+  struct BatchedArrival {
+    double time = 0.0;
+    std::uint32_t station = 0;
+  };
+
   void generate_arrivals_until(double t);
+  void refill_batched_block();
+  /// Time of the next undelivered batched arrival (refills as needed).
+  double next_batched_arrival();
+  /// Event-skip fast path: with no active station, certify a quiescent
+  /// stretch across every replica, replay its per-slot metric pattern
+  /// exactly, and fast-forward the engines. Returns false when no stretch
+  /// is certified (the caller steps the slot normally).
+  bool try_skip_quiescent();
   void purge_expired();
   /// Index of the message with the oldest stamp inside [lo, hi); -1 if none.
   static std::ptrdiff_t eligible_index(const Station& st, double lo,
@@ -138,10 +186,19 @@ class Network {
   // never see it, so engines stay pure functions of the feedback. Never
   // drawn under the window engine -- its plans carry no probability.
   sim::Rng coin_rng_;
+  // Batched aggregate arrival stream (homogeneous_poisson_batched); rate 0
+  // means per-station mode. Runs on its own derived stream so the existing
+  // per-station draws on rng_ stay bit-identical.
+  double batched_rate_ = 0.0;
+  sim::Rng batched_rng_{0};
+  double batched_clock_ = 0.0;  // time of the last generated arrival
+  std::vector<BatchedArrival> batched_block_;
+  std::size_t batched_pos_ = 0;
   double now_ = 0.0;
   double last_tx_end_ = 0.0;
   chan::MessageId next_msg_id_ = 1;
   std::uint64_t probe_steps_ = 0;
+  std::uint64_t skipped_slots_ = 0;
   std::uint64_t checks_run_ = 0;
   std::size_t desync_replica_ = SIZE_MAX;  // pending test-hook injection
   bool consistent_ = true;

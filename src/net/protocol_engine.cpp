@@ -43,6 +43,21 @@ class WindowEngine final : public ProtocolEngine {
 
   double discard_floor(double) const override { return controller_.floor(); }
 
+  QuiescentStretch quiescent_until(double now,
+                                   std::uint64_t max_slots) const override {
+    const std::uint64_t slots = controller_.quiescent_slots(now, max_slots);
+    if (slots == 0) return {};
+    // In the orbit each slot samples pseudo_backlog(t) right after the
+    // probe window [t-1, t) opened: floor == t-1 and nothing resolved
+    // above it, so the backlog is the unresolved measure of
+    // [max(t-1, t-K), t) == min(1, K) -- constant across the stretch.
+    return {slots, std::min(1.0, controller_.policy().deadline)};
+  }
+
+  void skip_quiescent(double last_slot, std::uint64_t slots) override {
+    if (slots > 0) controller_.skip_quiescent(last_slot, slots);
+  }
+
   bool state_equals(const ProtocolEngine& other) const override {
     if (other.kind() != EngineKind::Window) return false;
     return controller_.state_equals(
@@ -83,6 +98,16 @@ class SlottedAlohaEngine final : public ProtocolEngine {
   double discard_floor(double now) const override {
     return discard_ ? now - deadline_ : 0.0;
   }
+
+  QuiescentStretch quiescent_until(double,
+                                   std::uint64_t max_slots) const override {
+    // Stateless: every empty slot plans Probability(p), draws no coins
+    // (nobody is backlogged), idles, and ignores the feedback. Any
+    // stretch is certified and skipping is a no-op.
+    return {max_slots, 0.0};
+  }
+
+  void skip_quiescent(double, std::uint64_t) override {}
 
   bool state_equals(const ProtocolEngine& other) const override {
     if (other.kind() != EngineKind::SlottedAloha) return false;
@@ -136,6 +161,23 @@ class DynamicAlohaEngine final : public ProtocolEngine {
 
   double discard_floor(double now) const override {
     return discard_ ? now - deadline_ : 0.0;
+  }
+
+  QuiescentStretch quiescent_until(double now,
+                                   std::uint64_t max_slots) const override {
+    // Orbit: n-hat enters the slot at 0, drifts to exactly lambda at
+    // next_slot (the sampled backlog), and Idle feedback drops it back to
+    // max(0, lambda - 1) == 0 -- which needs lambda <= 1 and a one-slot
+    // drift computed exactly (integral `now` with last_now_ == now - 1).
+    if (nhat_ != 0.0 || lambda_ > 1.0) return {};
+    if (now != std::floor(now) || last_now_ != now - 1.0) return {};
+    return {max_slots, lambda_};
+  }
+
+  void skip_quiescent(double last_slot, std::uint64_t slots) override {
+    if (slots == 0) return;
+    nhat_ = 0.0;
+    last_now_ = last_slot;
   }
 
   bool state_equals(const ProtocolEngine& other) const override {

@@ -82,6 +82,22 @@ struct SlotPlan {
   friend bool operator==(const SlotPlan&, const SlotPlan&) = default;
 };
 
+/// A certificate that the next `slots` slots are *quiescent* for an engine:
+/// on an empty channel (no station holds a message), every one of those
+/// slots probes, reads Idle feedback, ends its one-probe process (the
+/// engine is not in_process afterwards), and samples the same constant
+/// `backlog` from backlog_metric. The event-skipping kernel uses the
+/// certificate to fast-forward the engine with skip_quiescent instead of
+/// stepping each empty slot. slots == 0 means "no certificate" (the caller
+/// must step per-slot).
+struct QuiescentStretch {
+  std::uint64_t slots = 0;
+  double backlog = 0.0;
+
+  friend bool operator==(const QuiescentStretch&,
+                         const QuiescentStretch&) = default;
+};
+
 class ProtocolEngine {
  public:
   virtual ~ProtocolEngine() = default;
@@ -112,6 +128,35 @@ class ProtocolEngine {
   /// kernels discard them at the sender (element 4). Engines without
   /// discard semantics return 0 (nothing is ever below the floor).
   virtual double discard_floor(double now) const = 0;
+
+  /// Certify up to `max_slots` quiescent slots starting at `now` (see
+  /// QuiescentStretch). `now` must begin a slot (next_slot not yet called
+  /// for it) and the engine must not be in_process. Implementations only
+  /// certify stretches they can fast-forward *bit-identically*: after
+  /// skip_quiescent(last, slots) the engine state equals the state after
+  /// `slots` iterations of {next_slot; on_feedback(Idle)} at times
+  /// now, now+1, ..., last. Engines return {0, 0} when the current state
+  /// is not provably in such an orbit (the caller steps per-slot, which is
+  /// always correct). Certificates require an integral `now`: slot times
+  /// then advance exactly (now + i is one double rounding), so the
+  /// closed-form end state matches the repeated `+= 1.0` chain bit for
+  /// bit. The default certifies nothing.
+  virtual QuiescentStretch quiescent_until(double now,
+                                           std::uint64_t max_slots) const {
+    (void)now;
+    (void)max_slots;
+    return {};
+  }
+
+  /// Fast-forward over `slots` quiescent slots previously certified by
+  /// quiescent_until; `last_slot` is the time of the final skipped slot
+  /// (= now + slots - 1 as computed by the caller's exact slot clock).
+  /// Must only be called with a certificate: the default rejects any
+  /// nonzero skip.
+  virtual void skip_quiescent(double last_slot, std::uint64_t slots) {
+    (void)last_slot;
+    (void)slots;
+  }
 
   /// Structural equality of protocol state, for the distributed-
   /// consistency audits. Engines of different kinds never compare equal.

@@ -1,0 +1,106 @@
+// FluidSimulator (the N -> infinity fluid-limit kernel) against the
+// paper's Section 4 closed form: on the same service law the simulated
+// loss fraction and idle probability must match analysis::mg1_impatient_loss
+// within replication confidence intervals, over a {rho, K} grid and at
+// the K = 0 anchor where the loss is rho/(1+rho) exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/loss_model.hpp"
+#include "analysis/mg1.hpp"
+#include "net/fluid_sim.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+using tcw::analysis::ImpatientLoss;
+using tcw::analysis::ProtocolModelConfig;
+using tcw::net::FluidConfig;
+using tcw::net::FluidSimulator;
+
+namespace {
+
+struct Replicated {
+  tcw::sim::RunningStats loss;
+  tcw::sim::RunningStats idle;
+};
+
+Replicated replicate(const FluidConfig& base, int reps) {
+  Replicated out;
+  for (int r = 0; r < reps; ++r) {
+    FluidConfig cfg = base;
+    cfg.seed = tcw::sim::derive_stream_seed(0xF1D0, 0, static_cast<std::uint64_t>(r));
+    FluidSimulator sim(cfg);
+    const tcw::net::FluidMetrics& m = sim.run();
+    EXPECT_EQ(m.arrivals, m.accepted + m.lost);
+    out.loss.add(m.p_loss());
+    out.idle.add(m.p_idle(cfg.t_end - cfg.warmup));
+  }
+  return out;
+}
+
+double standard_error(const tcw::sim::RunningStats& s) {
+  return s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+TEST(FluidModel, LossMatchesSection4AcrossGrid) {
+  // The analytic loss comes with a rigorous bracket (left/right sub-cell
+  // placement); the replicated simulation mean must sit within the
+  // bracket widened by 5 standard errors on each side.
+  for (const double rho : {0.3, 0.6, 0.9}) {
+    for (const double K : {50.0, 100.0}) {
+      ProtocolModelConfig mc;
+      mc.offered_load = rho;
+      FluidConfig cfg = tcw::net::protocol_fluid_config(mc, K);
+      cfg.t_end = 400000.0;
+      cfg.warmup = 20000.0;
+      const ImpatientLoss analytic = tcw::analysis::mg1_impatient_loss(
+          cfg.service, cfg.lambda, K, mc.refine);
+      const Replicated sim = replicate(cfg, 12);
+      const double se = standard_error(sim.loss);
+      EXPECT_GE(sim.loss.mean(), analytic.loss_lower - 5.0 * se)
+          << "rho=" << rho << " K=" << K;
+      EXPECT_LE(sim.loss.mean(), analytic.loss_upper + 5.0 * se)
+          << "rho=" << rho << " K=" << K;
+      const double se_idle = standard_error(sim.idle);
+      EXPECT_NEAR(sim.idle.mean(), analytic.p_idle, 5.0 * se_idle + 1e-4)
+          << "rho=" << rho << " K=" << K;
+    }
+  }
+}
+
+TEST(FluidModel, ZeroConstraintAnchorIsClosedForm) {
+  // K = 0: a message balks whenever the channel holds any work, so the
+  // queue alternates Exp(lambda) idle periods with single services and
+  // the loss is exactly rho/(1+rho) (paper Section 4.1 anchor).
+  ProtocolModelConfig mc;
+  mc.offered_load = 0.6;
+  FluidConfig cfg = tcw::net::protocol_fluid_config(mc, 0.0);
+  cfg.t_end = 400000.0;
+  cfg.warmup = 20000.0;
+  // The converged service law at K = 0 is pure transmission: M + 1 slots.
+  EXPECT_DOUBLE_EQ(cfg.service.mean(), mc.message_length + 1.0);
+  const double rho = cfg.lambda * cfg.service.mean();
+  const Replicated sim = replicate(cfg, 12);
+  const double se = standard_error(sim.loss);
+  EXPECT_NEAR(sim.loss.mean(), rho / (1.0 + rho), 5.0 * se + 1e-4);
+  const double se_idle = standard_error(sim.idle);
+  EXPECT_NEAR(sim.idle.mean(), 1.0 / (1.0 + rho), 5.0 * se_idle + 1e-4);
+}
+
+TEST(FluidModel, ConfigCarriesConvergedServiceLaw) {
+  // protocol_fluid_config must hand the simulator the Section 4 service
+  // distribution evaluated at the *converged* effective window load, so
+  // the simulated queue and controlled_loss_at describe the same system.
+  ProtocolModelConfig mc;
+  mc.offered_load = 0.5;
+  const double K = 75.0;
+  const auto point = tcw::analysis::controlled_loss_at(mc, K);
+  const FluidConfig cfg = tcw::net::protocol_fluid_config(mc, K);
+  EXPECT_DOUBLE_EQ(cfg.lambda, mc.lambda());
+  EXPECT_DOUBLE_EQ(cfg.deadline, K);
+  const double tx = mc.message_length + mc.success_overhead;
+  EXPECT_NEAR(cfg.service.mean() - tx, point.sched_mean, 1e-9);
+}
+
+}  // namespace

@@ -74,7 +74,7 @@ TEST(StudyRegistry, ListsEveryRegisteredStudy) {
       "ablation_theorem1",      "ablation_window_size",
       "ablation_split_fraction", "ablation_adaptive_width",
       "ablation_asynchrony",    "priority_classes",
-      "policy_grid"};
+      "policy_grid",            "large_n"};
   const auto& entries = bench::registry();
   ASSERT_EQ(entries.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
