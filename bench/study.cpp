@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "exec/shard_cache.hpp"
+#include "exec/shard_gate.hpp"
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "fig7_common.hpp"
+#include "study_dist.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "sim/rng.hpp"
@@ -33,9 +35,11 @@ net::ScheduledSweep StudyContext::sweep(
   }
   net::ScheduledSweep handle = net::schedule_loss_curve_cached(
       scheduler_, full, cfg, make_policy, grid,
-      net::SweepCacheBinding{cache_, full});
+      net::SweepCacheBinding{cache_, full, gate_});
   cached_shards_ += handle.cached_jobs();
-  scheduled_shards_ += handle.jobs() - handle.cached_jobs();
+  skipped_shards_ += handle.skipped_jobs();
+  scheduled_shards_ +=
+      handle.jobs() - handle.cached_jobs() - handle.skipped_jobs();
   return handle;
 }
 
@@ -55,19 +59,31 @@ std::shared_ptr<GenericSweep> StudyContext::generic_sweep(
           : 0;
   std::vector<std::function<void()>> shards;
   shards.reserve(jobs.size());
+  exec::ShardGate* gate = cache != nullptr ? gate_ : nullptr;
+  std::size_t skipped = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const exec::ShardKey key{sim::derive_stream_seed(base_seed, i, 0), fp};
     if (cache != nullptr && cache->lookup(key, &sweep->payloads_[i])) {
       ++sweep->cached_;
+      if (gate != nullptr) gate->observe(key, /*cached=*/true);
       continue;
     }
-    shards.push_back([sweep, cache, key, run = std::move(jobs[i]), i] {
+    if (gate != nullptr) {
+      gate->observe(key, /*cached=*/false);
+      if (!gate->admit(key)) {
+        ++skipped;  // another worker owns this shard; slot stays empty
+        continue;
+      }
+    }
+    shards.push_back([sweep, cache, key, gate, run = std::move(jobs[i]), i] {
       sweep->payloads_[i] = run();
       if (cache != nullptr) cache->insert(key, sweep->payloads_[i]);
+      if (gate != nullptr) gate->completed(key);
     });
   }
   cached_shards_ += sweep->cached_;
   scheduled_shards_ += shards.size();
+  skipped_shards_ += skipped;
   if (manifest.enabled()) {
     obs::ManifestSweep entry;
     entry.name = full;
@@ -107,8 +123,6 @@ std::string registry_markdown_table() {
   return out;
 }
 
-namespace {
-
 void register_common_flags(Flags& flags, StudyCommonOptions& o) {
   flags.add("threads", &o.threads,
             "sweep worker threads (0 = all hardware threads); results are "
@@ -124,13 +138,9 @@ void register_common_flags(Flags& flags, StudyCommonOptions& o) {
   register_obs_flags(flags, o.obs);
 }
 
-std::unique_ptr<exec::ShardCache> open_cache(const StudyCommonOptions& o,
-                                             const std::string& study) {
-  if (o.cache_dir.empty()) return nullptr;
-  return std::make_unique<exec::ShardCache>(
-      o.cache_dir + "/" + study + ".shards",
-      o.resume ? exec::ShardCache::Mode::Resume
-               : exec::ShardCache::Mode::Fresh);
+std::string study_store_path(const std::string& cache_dir,
+                             const std::string& study) {
+  return cache_dir + "/" + study + ".shards";
 }
 
 void print_cache_report(const std::string& study, const StudyContext& ctx) {
@@ -162,6 +172,17 @@ void print_cache_report(const std::string& study, const StudyContext& ctx) {
     stats.recovered_corruption = cache->recovered_corruption();
     manifest.add_cache(std::move(stats));
   }
+}
+
+namespace {
+
+std::unique_ptr<exec::ShardCache> open_cache(const StudyCommonOptions& o,
+                                             const std::string& study) {
+  if (o.cache_dir.empty()) return nullptr;
+  return std::make_unique<exec::ShardCache>(
+      study_store_path(o.cache_dir, study),
+      o.resume ? exec::ShardCache::Mode::Resume
+               : exec::ShardCache::Mode::Fresh);
 }
 
 int run_configured(const StudyEntry& entry, Study& study,
@@ -296,6 +317,9 @@ int study_tool_main(int argc, const char* const* argv) {
     if (!flags.parse(argc - 1, argv + 1)) return 1;
     return run_study_suite(common, flags.positional());
   }
+  if (mode == "--worker" || mode == "--drain" || mode == "--merge") {
+    return study_dist_main(argc, argv);
+  }
   if (!mode.empty() && mode.rfind("--", 0) != 0) {
     // study_tool <study> [study flags...]
     std::vector<const char*> fwd{argv[0]};
@@ -304,7 +328,11 @@ int study_tool_main(int argc, const char* const* argv) {
   }
   std::printf(
       "usage: study_tool --list | --markdown | --suite [flags] [studies] "
-      "| <study> [flags]\n\nregistered studies:\n");
+      "| <study> [flags]\n"
+      "       study_tool --worker N/M --cache-dir DIR [flags] [studies]\n"
+      "       study_tool --drain --cache-dir DIR [flags] [studies]\n"
+      "       study_tool --merge --cache-dir DIR [flags] [studies]\n\n"
+      "registered studies:\n");
   for (const StudyEntry& e : registry()) {
     std::printf("  %-24s %s\n", e.spec.name.c_str(), e.spec.summary.c_str());
   }

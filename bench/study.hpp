@@ -32,6 +32,7 @@
 
 namespace tcw::exec {
 class ShardCache;
+class ShardGate;
 class SweepScheduler;
 }  // namespace tcw::exec
 
@@ -113,19 +114,30 @@ class StudyContext {
       const std::string& config_text,
       std::vector<std::function<std::vector<double>()>> jobs);
 
-  /// Shards served from the store / actually enqueued, summed over every
-  /// sweep this context declared.
+  /// Bind a work-claim gate (distributed execution): every cacheable
+  /// shard of subsequently declared sweeps is offered to `gate`; declined
+  /// shards are skipped (slots left empty), so a context with
+  /// skipped_shards() > 0 must not render. Only effective with a cache.
+  /// Borrowed; must outlive schedule(). Call before Study::schedule().
+  void set_gate(exec::ShardGate* gate) { gate_ = gate; }
+  exec::ShardGate* gate() const { return gate_; }
+
+  /// Shards served from the store / actually enqueued / declined by the
+  /// gate, summed over every sweep this context declared.
   std::size_t cached_shards() const { return cached_shards_; }
   std::size_t scheduled_shards() const { return scheduled_shards_; }
+  std::size_t skipped_shards() const { return skipped_shards_; }
 
  private:
   const StudySpec& spec_;
   const StudyCommonOptions& common_;
   exec::SweepScheduler& scheduler_;
   exec::ShardCache* cache_;
+  exec::ShardGate* gate_ = nullptr;
   std::string csv_path_;
   std::size_t cached_shards_ = 0;
   std::size_t scheduled_shards_ = 0;
+  std::size_t skipped_shards_ = 0;
 };
 
 /// One registered study. Implementations live in bench/studies.cpp and
@@ -165,6 +177,20 @@ std::vector<StudyEntry> make_all_studies();
 
 /// The README bench-table rows (markdown), regenerated from the registry.
 std::string registry_markdown_table();
+
+/// Register the common runner flags (--threads, --quick, --csv,
+/// --cache-dir, --resume, observability) on `flags`, bound to `options`.
+/// For drivers that embed the runner (e.g. the distributed worker mode).
+void register_common_flags(Flags& flags, StudyCommonOptions& options);
+
+/// The shard-store path the runner opens for `study` under `cache_dir`:
+/// `<cache_dir>/<study>.shards`.
+std::string study_store_path(const std::string& cache_dir,
+                             const std::string& study);
+
+/// Print the per-study cache report (human line + BENCH_JSON cache
+/// record) and feed the manifest collector. No-op without a cache.
+void print_cache_report(const std::string& study, const StudyContext& ctx);
 
 /// Standalone driver: the whole main() body of a per-study shim binary.
 int run_study_main(const std::string& name, int argc,

@@ -1,0 +1,81 @@
+// Distributed study execution: multi-process shard workers over a shared
+// ShardCache directory, plus the merge step that assembles byte-identical
+// CSVs from any number of workers.
+//
+//   study_tool --worker N/M --cache-dir DIR [flags] [studies]
+//   study_tool --drain      --cache-dir DIR [flags] [studies]
+//   study_tool --merge      --cache-dir DIR [flags] [studies]
+//
+// Every worker enumerates the same deterministic shard universe (derived
+// SplitMix64 seed + config fingerprint, exactly as ShardCache keys
+// shards), claims cache-miss shards through lease files
+// (exec::LeaseManager), runs them on its own thread pool, and appends
+// results to its own store segment. Worker N/M's home partition is a
+// stable hash of the shard key; with stealing (the default) it also
+// drains other partitions once its own is empty, and --drain is simply a
+// steal-everything worker (partition 0/1). Workers loop in passes --
+// re-enumerating the universe against a rescanned cache -- until a pass
+// claims nothing new, so crashed peers' reclaimed shards get picked up.
+//
+// The merge step re-enumerates the universe against the merged segments,
+// refuses to render while any shard is missing (or a fresh lease shows a
+// live worker), then applies the ordinary fixed-order reduction -- the
+// CSV is byte-identical to a single-process run for any worker count,
+// partitioning, and completion order -- and finally compacts the
+// segments into the base store.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study.hpp"
+
+namespace tcw::bench {
+
+/// Options specific to worker/merge modes (see register_dist_flags).
+struct DistOptions {
+  std::string worker_id;      ///< "" = w<N>of<M>-<pid>
+  unsigned index = 0;         ///< this worker's partition (0-based)
+  unsigned total = 1;         ///< worker count M
+  bool steal = true;          ///< claim foreign-partition shards when idle
+  double stale_seconds = 60;  ///< lease age treated as a dead worker
+  double heartbeat_seconds = 15;  ///< lease refresh period (0 = off)
+  long long max_passes = 0;   ///< safety cap on claim passes (0 = auto)
+  bool compact = true;        ///< merge: fold segments into the base store
+
+  /// Storage for the inverted flag spellings (--no-steal, --no-compact);
+  /// call apply_flag_inversions() after Flags::parse.
+  bool no_steal = false;
+  bool no_compact = false;
+  void apply_flag_inversions() {
+    steal = !no_steal;
+    compact = !no_compact;
+  }
+};
+
+/// --worker-id, --no-steal, --lease-stale-seconds, --heartbeat-seconds,
+/// --max-passes, --no-compact.
+void register_dist_flags(Flags& flags, DistOptions& dist);
+
+/// Run this process as worker `dist.index`/`dist.total` for `names`
+/// (empty = every registered study). Requires common.cache_dir. Never
+/// renders CSVs; results land in the shared store segments. Returns 0
+/// when every pass completed (even if other workers still own shards).
+int run_study_workers(const StudyCommonOptions& common,
+                      const DistOptions& dist,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::string>& extra_argv = {});
+
+/// Merge the shared store for `names` (empty = all): verify coverage of
+/// the shard universe, render CSVs via the normal fixed-order reduction,
+/// and compact segments (unless --no-compact or live leases remain).
+/// Returns 1 if any study is missing shards (its CSV is not written).
+int run_study_merge(const StudyCommonOptions& common, const DistOptions& dist,
+                    const std::vector<std::string>& names,
+                    const std::vector<std::string>& extra_argv = {});
+
+/// The study_tool dispatch for --worker / --drain / --merge (argv[1] is
+/// the mode; --worker takes N/M as argv[2]).
+int study_dist_main(int argc, const char* const* argv);
+
+}  // namespace tcw::bench

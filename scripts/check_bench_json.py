@@ -13,6 +13,13 @@ object, and must carry the required keys for its record shape. Shapes:
   cache record       {"suite", "cache": {"path", "cached_shards",
                       "executed_shards", "store_entries", "loaded",
                       "recovered_corruption"}}
+  worker record      {"suite", "worker": {"id", "index", "total",
+                      "passes", "universe", "cached", "claimed",
+                      "stolen", "declined", "reclaimed", "foreign",
+                      "wall_seconds"}}
+  merge record       {"suite", "merge": {"path", "segments", "entries",
+                      "universe", "cached", "missing",
+                      "corrupt_segments", "compacted", "wall_seconds"}}
   panel record       {"panel", "threads", "jobs", "wall_seconds",
                       "jobs_per_sec"}
   kernel_bench cell  {"bench", "sim", "stations", "rho", "k_over_m",
@@ -37,6 +44,24 @@ SWEEP_KEYS = {"name", "jobs", "wall_seconds", "busy_seconds",
 
 def classify(record):
     """Return (shape-name, missing-keys) for one parsed record."""
+    if "worker" in record:
+        missing = {"suite"} - record.keys()
+        worker = record["worker"]
+        if not isinstance(worker, dict):
+            return "worker", {"worker(object)"}
+        missing |= {"id", "index", "total", "passes", "universe", "cached",
+                    "claimed", "stolen", "declined", "reclaimed", "foreign",
+                    "wall_seconds"} - worker.keys()
+        return "worker", missing
+    if "merge" in record:
+        missing = {"suite"} - record.keys()
+        merge = record["merge"]
+        if not isinstance(merge, dict):
+            return "merge", {"merge(object)"}
+        missing |= {"path", "segments", "entries", "universe", "cached",
+                    "missing", "corrupt_segments", "compacted",
+                    "wall_seconds"} - merge.keys()
+        return "merge", missing
     if "cache" in record:
         missing = {"suite"} - record.keys()
         cache = record["cache"]

@@ -8,8 +8,10 @@
 # per-slot kernels against their retained reference paths, a cache-resume
 # smoke (truncate the shard store, resume, bit-compare the CSVs), an
 # observability smoke (overlays on/off at 1 and N threads must leave
-# every CSV byte-identical), and a BENCH_JSON schema check over the
-# smoke logs.
+# every CSV byte-identical), a distributed worker/merge smoke
+# (multi-process workers over a shared shard store; merged CSVs must be
+# byte-identical to single-process, including after a SIGKILLed worker),
+# and a BENCH_JSON schema check over the smoke logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,20 +47,24 @@ scripts/large_n_smoke.sh build/bench/study_tool build/bench/large_n_smoke
 echo "== tier-1: observability overlay smoke (CSV bit-equality + trace/manifest) =="
 scripts/obs_smoke.sh build/bench/study_tool build/bench/obs_smoke
 
+echo "== tier-1: distributed worker/merge smoke (byte-identical CSVs, crash-restart) =="
+scripts/dist_smoke.sh build/bench/study_tool build/bench/dist_smoke
+
 echo "== tier-1: BENCH_JSON schema check over the smoke logs =="
 python3 scripts/check_bench_json.py \
     build/bench/resume_smoke/fresh.log build/bench/resume_smoke/resume.log \
     build/bench/policy_grid_smoke/standalone.log \
     build/bench/policy_grid_smoke/resume.log \
     build/bench/large_n_smoke/standalone.log \
-    build/bench/large_n_smoke/resume.log
+    build/bench/large_n_smoke/resume.log \
+    build/bench/dist_smoke/*.log
 
 echo "== tier-1: concurrency + kernel tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
     test_sweep_determinism test_sweep_scheduler test_flat_deque \
     test_kernel_fastpath test_event_skip test_protocol_engines \
-    test_shard_cache test_study test_obs
+    test_shard_cache test_study test_obs test_dist_exec
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs|DistLease|DistGate|SharedStore|DistExec')
 echo "tier-1 OK"

@@ -1,0 +1,17 @@
+#include "exec/dist_gate.hpp"
+
+#include "sim/rng.hpp"
+
+namespace tcw::exec {
+
+bool DistWorkerGate::is_home(const ShardKey& key, unsigned index,
+                             unsigned total) {
+  if (total <= 1) return true;
+  // Fold both halves of the key before mixing so sweeps that share seeds
+  // by design (common random numbers) still spread across workers.
+  const std::uint64_t h = sim::splitmix64_mix(
+      key.seed ^ (0x9E3779B97F4A7C15ULL * key.fingerprint));
+  return h % total == index;
+}
+
+}  // namespace tcw::exec

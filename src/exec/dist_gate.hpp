@@ -1,0 +1,106 @@
+// ShardGate implementations for distributed execution.
+//
+// DistWorkerGate sits between a worker's scheduler and its LeaseManager:
+// every cache-miss shard is offered to the gate, which claims a lease
+// before admitting it and releases the lease only AFTER the result has
+// been persisted (so there is never a moment where a shard is neither
+// leased nor cached). Workers partition the universe by a hash of the
+// shard key itself -- NOT by enumeration index, which would shift as
+// other workers populate the shared cache -- so worker N/M's "home" set
+// is stable across passes and restarts. With stealing enabled a worker
+// also claims foreign shards, which keeps the fleet busy when partitions
+// drain unevenly. Because leases are claimed at schedule time, the
+// worker driver enables stealing only from its second pass on (the
+// first pass is home-only) -- a pass-0 stealer would lease the whole
+// universe before its peers enumerate it and serialize the fleet.
+//
+// CoverageGate is the merge step's gate: it admits nothing and records
+// which shards are missing from the shared store, so the merge can refuse
+// to render an incomplete study.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/dist_lease.hpp"
+#include "exec/shard_cache.hpp"
+#include "exec/shard_gate.hpp"
+
+namespace tcw::exec {
+
+class DistWorkerGate final : public ShardGate {
+ public:
+  /// `index`/`total` name this worker's partition; `steal` lets it claim
+  /// shards outside its home partition.
+  DistWorkerGate(LeaseManager* leases, unsigned index, unsigned total,
+                 bool steal)
+      : leases_(leases), index_(index), total_(total), steal_(steal) {}
+
+  void observe(const ShardKey& key, bool cached) override {
+    universe_.push_back(key);
+    if (cached) ++cached_seen_;
+  }
+
+  bool admit(const ShardKey& key) override {
+    const bool home = is_home(key, index_, total_);
+    if (!home && !steal_) {
+      ++declined_;
+      return false;
+    }
+    if (!leases_->try_claim(key)) {
+      ++declined_;
+      return false;
+    }
+    ++claimed_;
+    if (!home) ++stolen_;
+    return true;
+  }
+
+  void completed(const ShardKey& key) override { leases_->release(key); }
+
+  /// Stable key-hash partition of the shard universe.
+  static bool is_home(const ShardKey& key, unsigned index, unsigned total);
+
+  const std::vector<ShardKey>& universe() const { return universe_; }
+  std::size_t cached_seen() const { return cached_seen_; }
+  std::size_t claimed() const { return claimed_; }
+  std::size_t stolen() const { return stolen_; }
+  std::size_t declined() const { return declined_; }
+
+ private:
+  LeaseManager* leases_;
+  unsigned index_;
+  unsigned total_;
+  bool steal_;
+  std::vector<ShardKey> universe_;
+  std::size_t cached_seen_ = 0;
+  std::size_t claimed_ = 0;
+  std::size_t stolen_ = 0;
+  std::size_t declined_ = 0;
+};
+
+class CoverageGate final : public ShardGate {
+ public:
+  void observe(const ShardKey& key, bool cached) override {
+    universe_.push_back(key);
+    if (cached) ++cached_seen_;
+  }
+
+  bool admit(const ShardKey& key) override {
+    missing_.push_back(key);
+    return false;
+  }
+
+  void completed(const ShardKey&) override {}
+
+  const std::vector<ShardKey>& universe() const { return universe_; }
+  const std::vector<ShardKey>& missing() const { return missing_; }
+  std::size_t cached_seen() const { return cached_seen_; }
+
+ private:
+  std::vector<ShardKey> universe_;
+  std::vector<ShardKey> missing_;
+  std::size_t cached_seen_ = 0;
+};
+
+}  // namespace tcw::exec

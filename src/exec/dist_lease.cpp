@@ -1,0 +1,271 @@
+#include "exec/dist_lease.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+
+namespace tcw::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct LeaseCounters {
+  obs::Counter claimed;
+  obs::Counter contention;
+  obs::Counter reclaimed;
+  obs::Counter released;
+};
+
+LeaseCounters& lease_counters() {
+  static LeaseCounters counters{
+      obs::Registry::global().counter("exec.dist.leases_claimed"),
+      obs::Registry::global().counter("exec.dist.lease_contention"),
+      obs::Registry::global().counter("exec.dist.leases_reclaimed"),
+      obs::Registry::global().counter("exec.dist.leases_released"),
+  };
+  return counters;
+}
+
+std::string sanitize_owner(const std::string& owner) {
+  std::string out = owner.empty() ? std::string("anon") : owner;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+bool is_lease_name(const std::string& name) {
+  static constexpr char kSuffix[] = ".lease";
+  const std::size_t n = sizeof kSuffix - 1;
+  return name.size() > n && name.compare(name.size() - n, n, kSuffix) == 0;
+}
+
+bool is_tombstone_name(const std::string& name) {
+  return name.find(".lease.stale-") != std::string::npos;
+}
+
+/// Age of `p`'s mtime exceeds stale_seconds. A vanished file is NOT
+/// stale: someone else already reclaimed or released it.
+bool lease_is_stale(const fs::path& p, double stale_seconds) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(p, ec);
+  if (ec) return false;
+  const auto now = fs::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count() > stale_seconds;
+}
+
+}  // namespace
+
+LeaseManager::LeaseManager(LeaseConfig config) : config_(std::move(config)) {
+  config_.owner = sanitize_owner(config_.owner);
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);  // best effort
+}
+
+LeaseManager::~LeaseManager() {
+  stop_heartbeat();
+  // Clean shutdown releases every held lease; only a killed worker leaves
+  // stale leases behind for reclaim.
+  std::map<ShardKey, std::string> held;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held.swap(held_);
+  }
+  std::error_code ec;
+  for (const auto& [key, path] : held) {
+    fs::remove(path, ec);
+    ++released_;
+    lease_counters().released.add(1);
+  }
+}
+
+std::string LeaseManager::lease_filename(const ShardKey& key) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%016llx-%016llx.lease",
+                static_cast<unsigned long long>(key.seed),
+                static_cast<unsigned long long>(key.fingerprint));
+  return buf;
+}
+
+std::string LeaseManager::lease_path(const ShardKey& key) const {
+  return config_.dir + "/" + lease_filename(key);
+}
+
+void LeaseManager::write_lease_file(const std::string& path,
+                                    std::uint64_t beat) {
+  // "wb" truncates in place: the path keeps existing (no unlink window)
+  // and the mtime refreshes, which is all staleness checks look at.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fprintf(f, "tcw-lease-v1\nowner=%s\npid=%ld\nbeat=%llu\n",
+               config_.owner.c_str(), static_cast<long>(::getpid()),
+               static_cast<unsigned long long>(beat));
+  std::fflush(f);
+  std::fclose(f);
+}
+
+bool LeaseManager::try_claim(const ShardKey& key) {
+  const std::string path = lease_path(key);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::FILE* f = std::fopen(path.c_str(), "wbx");
+    if (f != nullptr) {
+      std::fprintf(f, "tcw-lease-v1\nowner=%s\npid=%ld\nbeat=0\n",
+                   config_.owner.c_str(), static_cast<long>(::getpid()));
+      std::fflush(f);
+      std::fclose(f);
+      std::lock_guard<std::mutex> lock(mu_);
+      held_[key] = path;
+      ++claimed_;
+      lease_counters().claimed.add(1);
+      return true;
+    }
+    if (attempt > 0) break;
+    if (!lease_is_stale(path, config_.stale_seconds)) break;
+    // Stale lease from a dead worker: rename to a private tombstone
+    // (atomic -- only one reclaimer can win), unlink it, then retry the
+    // exclusive create. Losing the rename race means someone else is
+    // reclaiming; treat as contention.
+    const std::string tomb = path + ".stale-" + config_.owner;
+    std::error_code ec;
+    fs::rename(path, tomb, ec);
+    if (ec) break;
+    fs::remove(tomb, ec);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++reclaimed_;
+    }
+    lease_counters().reclaimed.add(1);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++contended_;
+  lease_counters().contention.add(1);
+  return false;
+}
+
+void LeaseManager::release(const ShardKey& key) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = held_.find(key);
+    if (it == held_.end()) return;
+    path = it->second;
+    held_.erase(it);
+    ++released_;
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  lease_counters().released.add(1);
+}
+
+void LeaseManager::start_heartbeat() {
+  if (config_.heartbeat_seconds <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heartbeat_running_) return;
+  heartbeat_stop_ = false;
+  heartbeat_running_ = true;
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void LeaseManager::stop_heartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!heartbeat_running_) return;
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  heartbeat_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  heartbeat_running_ = false;
+}
+
+void LeaseManager::heartbeat_loop() {
+  const auto period = std::chrono::duration<double>(config_.heartbeat_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!heartbeat_stop_) {
+    if (heartbeat_cv_.wait_for(lock, period,
+                               [this] { return heartbeat_stop_; })) {
+      return;
+    }
+    ++beat_;
+    // Copy paths so file I/O happens without blocking claim/release; a
+    // lease released meanwhile gets one harmless extra rewrite at worst
+    // (its file is already gone, recreating it is benign -- see header).
+    std::vector<std::string> paths;
+    paths.reserve(held_.size());
+    for (const auto& [key, path] : held_) paths.push_back(path);
+    const std::uint64_t beat = beat_;
+    lock.unlock();
+    for (const auto& path : paths) write_lease_file(path, beat);
+    lock.lock();
+  }
+}
+
+void LeaseManager::abandon_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_.clear();
+}
+
+std::size_t LeaseManager::held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return held_.size();
+}
+
+std::size_t LeaseManager::claimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claimed_;
+}
+
+std::size_t LeaseManager::contended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contended_;
+}
+
+std::size_t LeaseManager::reclaimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reclaimed_;
+}
+
+std::size_t LeaseManager::released() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return released_;
+}
+
+std::size_t count_live_leases(const std::string& dir, double stale_seconds) {
+  std::error_code ec;
+  std::size_t live = 0;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (!is_lease_name(name)) continue;
+    if (!lease_is_stale(it->path(), stale_seconds)) ++live;
+  }
+  return live;
+}
+
+std::size_t remove_all_leases(const std::string& dir) {
+  std::error_code ec;
+  std::size_t removed = 0;
+  std::vector<fs::path> victims;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (is_lease_name(name) || is_tombstone_name(name)) {
+      victims.push_back(it->path());
+    }
+  }
+  for (const auto& p : victims) {
+    if (fs::remove(p, ec)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace tcw::exec

@@ -1,0 +1,98 @@
+// Shard lease files: the work-claim primitive for distributed sweep
+// execution. A worker that wants to run shard (seed, fingerprint) creates
+// `<dir>/<seed-hex>-<fp-hex>.lease` with O_CREAT|O_EXCL semantics
+// (fopen "wbx"); exactly one creator wins, so at most one live worker
+// runs a shard at a time. The file carries owner/pid/heartbeat metadata
+// and its mtime doubles as a liveness signal: an optional heartbeat
+// thread rewrites every held lease periodically, and a lease whose mtime
+// is older than `stale_seconds` is presumed orphaned by a killed worker.
+// Reclaim is race-free via atomic rename: the reclaimer renames the stale
+// lease to a private tombstone (only one renamer can win), unlinks it,
+// and retries the exclusive create.
+//
+// Leases are a liveness optimization, never a correctness requirement:
+// shard results are keyed by derived seed + config fingerprint and
+// reduced in fixed order, so two workers racing one shard (e.g. a
+// heartbeat racing a reclaim) just duplicate deterministic work -- the
+// merged CSV cannot change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <condition_variable>
+
+#include "exec/shard_cache.hpp"
+
+namespace tcw::exec {
+
+struct LeaseConfig {
+  std::string dir;               ///< Lease directory (created on demand).
+  std::string owner;             ///< This worker's id (sanitized for paths).
+  double stale_seconds = 60.0;   ///< Mtime age after which a lease is orphaned.
+  double heartbeat_seconds = 0;  ///< >0: rewrite held leases this often.
+};
+
+class LeaseManager {
+ public:
+  explicit LeaseManager(LeaseConfig config);
+  ~LeaseManager();  // stops the heartbeat and releases held leases
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Claim the lease for `key`. Returns true on success (including after
+  /// reclaiming a stale lease). Thread-safe.
+  bool try_claim(const ShardKey& key);
+
+  /// Release a held lease (removes the file). No-op for leases we do not
+  /// hold. Thread-safe.
+  void release(const ShardKey& key);
+
+  /// Start/stop the heartbeat thread (no-op when heartbeat_seconds <= 0).
+  void start_heartbeat();
+  void stop_heartbeat();
+
+  /// Forget held leases WITHOUT removing the files -- simulates a worker
+  /// dying mid-shard so tests can exercise stale-lease reclaim.
+  void abandon_for_test();
+
+  std::size_t held() const;
+  std::size_t claimed() const;    ///< successful claims (incl. reclaims)
+  std::size_t contended() const;  ///< claims lost to a live lease
+  std::size_t reclaimed() const;  ///< stale leases torn down
+  std::size_t released() const;
+
+  const LeaseConfig& config() const { return config_; }
+  std::string lease_path(const ShardKey& key) const;
+  static std::string lease_filename(const ShardKey& key);
+
+ private:
+  void heartbeat_loop();
+  void write_lease_file(const std::string& path, std::uint64_t beat);
+
+  LeaseConfig config_;
+  mutable std::mutex mu_;
+  std::map<ShardKey, std::string> held_;  // key -> lease path
+  std::size_t claimed_ = 0;
+  std::size_t contended_ = 0;
+  std::size_t reclaimed_ = 0;
+  std::size_t released_ = 0;
+  std::uint64_t beat_ = 0;
+  std::thread heartbeat_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_stop_ = false;
+  bool heartbeat_running_ = false;
+};
+
+/// Number of non-stale lease files in `dir` (0 if it does not exist).
+/// The merge step uses this to refuse compaction while workers are live.
+std::size_t count_live_leases(const std::string& dir, double stale_seconds);
+
+/// Remove every lease file and reclaim tombstone in `dir` (after a merge
+/// established that no worker is live). Returns the number removed.
+std::size_t remove_all_leases(const std::string& dir);
+
+}  // namespace tcw::exec

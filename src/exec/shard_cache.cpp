@@ -63,6 +63,16 @@ bool read_u64(std::FILE* f, std::uint64_t* v) {
 // shard results are small vectors of summary statistics.
 constexpr std::uint64_t kMaxPayloadDoubles = 1u << 20;
 
+std::string sanitize_writer(const std::string& writer) {
+  std::string out = writer.empty() ? std::string("anon") : writer;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t ShardCache::fingerprint(std::string_view text) {
@@ -85,6 +95,18 @@ std::uint64_t ShardCache::fingerprint(std::string_view text) {
 ShardCache::ShardCache(std::string path, Mode mode)
     : path_(std::move(path)) {
   open_store(mode);
+}
+
+ShardCache::ShardCache(std::string path, const SharedOptions& shared)
+    : path_(std::move(path)), shared_(true), writer_(shared.writer) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path_);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);  // best effort
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  loaded_ = rescan_locked();
 }
 
 ShardCache::~ShardCache() {
@@ -182,12 +204,12 @@ bool ShardCache::load_records() {
   return clean;
 }
 
-void ShardCache::compact_locked() {
+bool ShardCache::write_compacted_locked() {
   // Rewrite header + every in-memory record to a temp file, then rename
   // over the store so readers never observe a half-written file.
   const std::string tmp = path_ + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return;
+  if (f == nullptr) return false;
   bool ok = std::fwrite(kMagic, 1, sizeof kMagic, f) == sizeof kMagic;
   for (const auto& [key, payload] : map_) {
     if (!ok) break;
@@ -202,15 +224,179 @@ void ShardCache::compact_locked() {
   std::fclose(f);
   if (!ok) {
     std::remove(tmp.c_str());
-    return;
+    return false;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path_, ec);
   if (ec) {
     std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void ShardCache::compact_locked() {
+  if (!write_compacted_locked()) return;
+  out_ = std::fopen(path_.c_str(), "ab");
+}
+
+std::size_t ShardCache::read_segment_locked(const std::string& seg,
+                                            SegmentState* st) {
+  if (st->corrupt) return 0;
+  std::FILE* in = std::fopen(seg.c_str(), "rb");
+  if (in == nullptr) return 0;
+  if (!st->header_ok) {
+    char magic[sizeof kMagic];
+    if (std::fread(magic, 1, sizeof magic, in) != sizeof magic) {
+      std::fclose(in);  // too short yet (writer mid-create); retry later
+      return 0;
+    }
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+      st->corrupt = true;
+      ++corrupt_segments_;
+      cache_counters().corrupt_stores.add(1);
+      obs::log(obs::LogLevel::kWarn,
+               "shard-cache: segment %s is not a shard store (bad header); "
+               "ignoring it",
+               seg.c_str());
+      std::fclose(in);
+      return 0;
+    }
+    st->header_ok = true;
+    st->offset = static_cast<long>(sizeof kMagic);
+  }
+  if (std::fseek(in, st->offset, SEEK_SET) != 0) {
+    std::fclose(in);
+    return 0;
+  }
+  std::size_t added = 0;
+  while (true) {
+    ShardKey key;
+    std::uint64_t count = 0;
+    if (!read_u64(in, &key.seed)) break;  // clean EOF (or tail not yet here)
+    // A short read anywhere inside a record is a torn tail: the writer may
+    // still be mid-append, so leave the offset at the last whole record
+    // and retry on the next rescan. Only a COMPLETE record that fails its
+    // checksum (or an absurd payload count) proves corruption.
+    if (!read_u64(in, &key.fingerprint) || !read_u64(in, &count)) break;
+    if (count > kMaxPayloadDoubles) {
+      st->corrupt = true;
+      ++corrupt_segments_;
+      cache_counters().corrupt_stores.add(1);
+      obs::log(obs::LogLevel::kWarn,
+               "shard-cache: segment %s has a corrupt record; keeping its "
+               "valid prefix only",
+               seg.c_str());
+      break;
+    }
+    std::vector<double> payload(static_cast<std::size_t>(count));
+    if (count > 0 && std::fread(payload.data(), sizeof(double),
+                                payload.size(), in) != payload.size()) {
+      break;
+    }
+    std::uint64_t checksum = 0;
+    if (!read_u64(in, &checksum)) break;
+    if (checksum != record_checksum(key, payload)) {
+      st->corrupt = true;
+      ++corrupt_segments_;
+      cache_counters().corrupt_stores.add(1);
+      obs::log(obs::LogLevel::kWarn,
+               "shard-cache: segment %s has a corrupt record; keeping its "
+               "valid prefix only",
+               seg.c_str());
+      break;
+    }
+    map_[key] = std::move(payload);
+    ++added;
+    st->offset = std::ftell(in);
+  }
+  std::fclose(in);
+  cache_counters().loaded_records.add(added);
+  return added;
+}
+
+std::size_t ShardCache::rescan_locked() {
+  namespace fs = std::filesystem;
+  std::size_t added = 0;
+  std::error_code ec;
+  if (fs::exists(path_, ec)) {
+    added += read_segment_locked(path_, &segments_[path_]);
+  }
+  const fs::path store(path_);
+  const std::string prefix = store.filename().string() + ".w-";
+  const fs::path dir =
+      store.has_parent_path() ? store.parent_path() : fs::path(".");
+  ec.clear();
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() < prefix.size() + 4) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - 4, 4, ".seg") != 0) continue;
+    const std::string full = it->path().string();
+    if (full == own_segment_path_) continue;  // we hold those records
+    added += read_segment_locked(full, &segments_[full]);
+  }
+  return added;
+}
+
+void ShardCache::ensure_own_segment_locked() {
+  if (out_ != nullptr || own_segment_failed_) return;
+  const std::string stem = path_ + ".w-" + sanitize_writer(writer_);
+  for (int k = 0; k < 100; ++k) {
+    const std::string candidate =
+        (k == 0 ? stem : stem + "-" + std::to_string(k)) + ".seg";
+    std::FILE* f = std::fopen(candidate.c_str(), "wbx");
+    if (f == nullptr) continue;  // exists (stale previous life); pick next
+    if (std::fwrite(kMagic, 1, sizeof kMagic, f) != sizeof kMagic ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      std::remove(candidate.c_str());
+      break;  // disk trouble; degrade to in-memory
+    }
+    out_ = f;
+    own_segment_path_ = candidate;
     return;
   }
-  out_ = std::fopen(path_.c_str(), "ab");
+  own_segment_failed_ = true;
+  obs::log(obs::LogLevel::kWarn,
+           "shard-cache: cannot create a writer segment for %s (writer %s); "
+           "results of this run will not be persisted",
+           path_.c_str(), writer_.c_str());
+}
+
+std::size_t ShardCache::rescan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!shared_) return 0;
+  return rescan_locked();
+}
+
+bool ShardCache::compact_shared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!shared_) return false;
+  rescan_locked();  // absorb any straggler appends first
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  if (!write_compacted_locked()) {
+    obs::log(obs::LogLevel::kWarn,
+             "shard-cache: compaction of %s failed; leaving segments in "
+             "place",
+             path_.c_str());
+    return false;
+  }
+  std::error_code ec;
+  for (const auto& [seg, st] : segments_) {
+    if (seg == path_) continue;
+    std::filesystem::remove(seg, ec);
+  }
+  if (!own_segment_path_.empty()) {
+    std::filesystem::remove(own_segment_path_, ec);
+    own_segment_path_.clear();
+  }
+  segments_.clear();
+  return true;
 }
 
 void ShardCache::append_record_locked(const ShardKey& key,
@@ -254,7 +440,13 @@ void ShardCache::insert(const ShardKey& key,
   cache_counters().inserts.add(1);
   std::lock_guard<std::mutex> lock(mu_);
   map_[key] = payload;
+  if (shared_) ensure_own_segment_locked();
   append_record_locked(key, payload);
+}
+
+bool ShardCache::contains(const ShardKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
 }
 
 std::size_t ShardCache::entries() const {
@@ -270,6 +462,16 @@ std::size_t ShardCache::hits() const {
 std::size_t ShardCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+std::size_t ShardCache::segments_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size() + (own_segment_path_.empty() ? 0 : 1);
+}
+
+std::size_t ShardCache::corrupt_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_segments_;
 }
 
 }  // namespace tcw::exec

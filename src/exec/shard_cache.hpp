@@ -21,6 +21,19 @@
 // via write-to-temp + atomic rename. A fingerprint mismatch (the study's
 // configuration changed) simply never hits, so stale shards are inert and
 // get overwritten by compaction or ignored forever.
+//
+// Shared (multi-process) mode: several workers may populate one study's
+// store concurrently. Each writer appends only to its own segment file
+// (`<store>.w-<writer>.seg`, same record format) while reading the base
+// store plus every other writer's segment; rescan() incrementally picks
+// up records other processes appended since the last scan. Nobody ever
+// rewrites a file another process might be appending to: a torn tail on
+// a foreign segment is simply not consumed yet (the scan resumes at the
+// same offset next time), a checksum-corrupt record marks the segment
+// permanently dead from that point, and open-time compaction is disabled
+// entirely. compact_shared() -- for the merge step, after verifying no
+// worker is live -- folds everything into the base store and removes the
+// segments.
 #pragma once
 
 #include <cstdint>
@@ -59,12 +72,28 @@ class ShardCache {
     Resume,  ///< Load the existing store (tolerating a damaged tail).
   };
 
+  /// Options for shared (multi-process) mode: `writer` names this
+  /// process's append segment. Writers of one store must use distinct
+  /// names; if the segment file already exists (e.g. a previous life of
+  /// the same worker id), a numeric suffix is appended so a possibly
+  /// torn foreign tail is never appended to.
+  struct SharedOptions {
+    std::string writer;
+  };
+
   /// Opens (and if necessary creates, including parent directories) the
   /// store at `path`. Never throws on I/O trouble: a store that cannot be
   /// read starts empty and one that cannot be written degrades to an
   /// in-memory cache, both with a warning on stderr -- caching is an
   /// optimization, not a correctness requirement.
   ShardCache(std::string path, Mode mode);
+
+  /// Opens the store in shared mode: loads the base store and all writer
+  /// segments read-only (always Resume semantics -- a shared store is a
+  /// coordination substrate, never discarded unilaterally) and appends
+  /// new inserts to this writer's own segment.
+  ShardCache(std::string path, const SharedOptions& shared);
+
   ~ShardCache();
 
   ShardCache(const ShardCache&) = delete;
@@ -84,6 +113,26 @@ class ShardCache {
   /// for a key wins.
   void insert(const ShardKey& key, const std::vector<double>& payload);
 
+  /// Membership test without hit/miss accounting (for universe coverage
+  /// scans -- progress polling must not skew the cache statistics).
+  /// Thread-safe.
+  bool contains(const ShardKey& key) const;
+
+  /// Shared mode only: re-read the base store and every foreign segment
+  /// from the last consumed offset, absorbing records other processes
+  /// appended since. Returns the number of records added. A torn tail
+  /// (short read mid-record) leaves the offset untouched so the record is
+  /// retried on the next rescan; a checksum mismatch on a complete record
+  /// marks that segment corrupt and stops consuming it. Thread-safe.
+  std::size_t rescan();
+
+  /// Shared mode only, merge step only: fold the in-memory map (base +
+  /// all segments, last insert wins) into the base store via write-temp +
+  /// atomic rename, then delete the segment files. The caller must have
+  /// established that no writer is live (e.g. no fresh lease files).
+  /// Returns false if the rewrite failed (segments are then left alone).
+  bool compact_shared();
+
   std::size_t entries() const;
   std::size_t hits() const;
   std::size_t misses() const;
@@ -91,14 +140,29 @@ class ShardCache {
   std::size_t loaded() const { return loaded_; }
   /// True when open found a truncated/corrupt tail and dropped it.
   bool recovered_corruption() const { return recovered_corruption_; }
+  /// Shared mode: segment files (incl. the base store) seen by scans.
+  std::size_t segments_seen() const;
+  /// Shared mode: segments abandoned due to a checksum-corrupt record.
+  std::size_t corrupt_segments() const;
+  bool shared() const { return shared_; }
   const std::string& path() const { return path_; }
 
  private:
+  struct SegmentState {
+    long offset = 0;        // bytes consumed so far
+    bool header_ok = false;
+    bool corrupt = false;   // permanent: checksum mismatch seen
+  };
+
   void open_store(Mode mode);
   bool load_records();  // returns false when a damaged tail was dropped
   void compact_locked();
+  bool write_compacted_locked();
   void append_record_locked(const ShardKey& key,
                             const std::vector<double>& payload);
+  std::size_t rescan_locked();
+  std::size_t read_segment_locked(const std::string& path, SegmentState* st);
+  void ensure_own_segment_locked();
 
   std::string path_;
   mutable std::mutex mu_;
@@ -108,6 +172,13 @@ class ShardCache {
   bool recovered_corruption_ = false;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
+  // Shared mode state.
+  bool shared_ = false;
+  std::string writer_;
+  std::string own_segment_path_;  // empty until first insert
+  bool own_segment_failed_ = false;
+  std::map<std::string, SegmentState> segments_;
+  std::size_t corrupt_segments_ = 0;
 };
 
 }  // namespace tcw::exec

@@ -1,0 +1,50 @@
+// Work-claim seam between shard scheduling and the distributed execution
+// layer. When a sweep is scheduled with a gate bound (see
+// net::SweepCacheBinding and bench::StudyContext), every cacheable shard
+// key flows through the gate in deterministic enumeration order:
+//
+//   observe(key, cached)  -- once per shard, cached or not; lets the gate
+//                            learn the full shard universe so workers and
+//                            the merge step can reason about global
+//                            coverage and progress.
+//   admit(key)            -- asked only for cache misses: may THIS
+//                            process execute the shard? A distributed
+//                            worker answers by claiming a lease; the
+//                            merge step answers false and records the
+//                            gap. Declined shards are skipped entirely
+//                            (their result slots stay empty), so callers
+//                            must not reduce/render a sweep that had
+//                            declined shards.
+//   completed(key)        -- the shard ran and its result is persisted in
+//                            the shard store; release any claim. Called
+//                            from scheduler worker threads, so
+//                            implementations must be thread-safe here
+//                            (observe/admit run serially at scheduling
+//                            time).
+//
+// Determinism contract: gates only decide WHERE a shard runs, never what
+// it computes -- results are keyed by derived seed + config fingerprint,
+// so duplicate execution (two workers racing one shard) merely wastes
+// work and can never change a merged CSV.
+#pragma once
+
+namespace tcw::exec {
+
+struct ShardKey;
+
+class ShardGate {
+ public:
+  virtual ~ShardGate() = default;
+
+  /// Called once per cacheable shard in enumeration order.
+  virtual void observe(const ShardKey& key, bool cached) = 0;
+
+  /// May this process execute `key` (a cache miss)? Called after
+  /// observe(key, false).
+  virtual bool admit(const ShardKey& key) = 0;
+
+  /// `key` ran here and its result is in the shard store. Thread-safe.
+  virtual void completed(const ShardKey& key) = 0;
+};
+
+}  // namespace tcw::exec

@@ -159,7 +159,7 @@ SchedulerReport SweepScheduler::run() {
   // before the try so the catch path can stop it while sweeps_ is still
   // alive (the sources point into sweeps_).
   std::optional<obs::ProgressSampler> progress;
-  if (progress_ && total > 0) {
+  if (progress_ && (total > 0 || progress_cluster_.has_value())) {
     std::vector<obs::ProgressSource> sources;
     sources.reserve(sweeps_.size());
     for (const auto& sweep : sweeps_) {
@@ -167,7 +167,11 @@ SchedulerReport SweepScheduler::run() {
                                             sweep->shards.size(),
                                             &sweep->done});
     }
-    progress.emplace(std::move(sources));
+    if (progress_cluster_.has_value()) {
+      progress.emplace(std::move(sources), *progress_cluster_);
+    } else {
+      progress.emplace(std::move(sources));
+    }
   }
   try {
     if (pool_.size() <= 1 || total <= 1) {

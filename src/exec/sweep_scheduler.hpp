@@ -25,10 +25,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/progress.hpp"
 
 namespace tcw::obs {
 class Timeline;
@@ -94,6 +97,14 @@ class SweepScheduler {
   /// When enabled, run() starts a sampling thread that renders a live
   /// shards-done/total + ETA line on stderr.
   void set_progress(bool enabled) { progress_ = enabled; }
+  /// Distributed runs: an extra progress row tracking the GLOBAL shard
+  /// universe (fed by shared-cache scans, so it counts shards finished by
+  /// other workers too). Takes over the headline done/total and the ETA;
+  /// this scheduler's own sweeps stay in the bracket. The `done` atomic
+  /// must outlive run(). Only consulted when progress is enabled.
+  void set_progress_cluster(obs::ProgressSource cluster) {
+    progress_cluster_ = std::move(cluster);
+  }
 
  private:
   struct Sweep {
@@ -118,6 +129,7 @@ class SweepScheduler {
   std::vector<std::unique_ptr<Sweep>> sweeps_;
   obs::Timeline* timeline_ = nullptr;
   bool progress_ = false;
+  std::optional<obs::ProgressSource> progress_cluster_;
 };
 
 }  // namespace tcw::exec

@@ -10,6 +10,7 @@
 #include "analysis/splitting.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/shard_cache.hpp"
+#include "exec/shard_gate.hpp"
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/manifest.hpp"
@@ -191,6 +192,9 @@ class LossCurveSweep {
   void mark_cached() { ++cached_jobs_; }
   std::size_t cached_jobs() const { return cached_jobs_; }
 
+  void mark_skipped() { ++skipped_jobs_; }
+  std::size_t skipped_jobs() const { return skipped_jobs_; }
+
   void run_job(std::size_t job) {
     AggregateConfig sim_cfg;
     sim_cfg.policy = policies_[job];
@@ -274,7 +278,8 @@ class LossCurveSweep {
   std::size_t reps_;
   std::vector<core::ControlPolicy> policies_;
   std::vector<SweepJobResult> results_;
-  std::size_t cached_jobs_ = 0;  // slots filled from a shard cache
+  std::size_t cached_jobs_ = 0;   // slots filled from a shard cache
+  std::size_t skipped_jobs_ = 0;  // declined by a gate; slots left empty
 };
 
 }  // namespace detail
@@ -290,6 +295,10 @@ std::size_t ScheduledSweep::jobs() const { return state_->jobs(); }
 
 std::size_t ScheduledSweep::cached_jobs() const {
   return state_->cached_jobs();
+}
+
+std::size_t ScheduledSweep::skipped_jobs() const {
+  return state_->skipped_jobs();
 }
 
 ScheduledSweep schedule_loss_curve_custom(
@@ -324,16 +333,30 @@ ScheduledSweep schedule_loss_curve_cached(
   std::vector<std::function<void()>> shards;
   shards.reserve(state->jobs());
   std::vector<double> payload;
+  exec::ShardGate* gate = cache != nullptr ? binding.gate : nullptr;
   for (std::size_t job = 0; job < state->jobs(); ++job) {
     if (cache != nullptr && !state->job_is_traced(job)) {
       const exec::ShardKey key{state->job_seed(job), fp};
       if (cache->lookup(key, &payload) && state->decode_job(job, payload)) {
         state->mark_cached();
+        if (gate != nullptr) gate->observe(key, /*cached=*/true);
         continue;  // slot filled from the store; nothing to schedule
       }
-      shards.push_back([state, job, cache, key] {
+      if (gate != nullptr) {
+        gate->observe(key, /*cached=*/false);
+        if (!gate->admit(key)) {
+          // Another worker owns (or will own) this shard: leave the slot
+          // empty. The sweep must not be reduced in this process.
+          state->mark_skipped();
+          continue;
+        }
+      }
+      shards.push_back([state, job, cache, key, gate] {
         state->run_job(job);
         cache->insert(key, state->encode_job(job));
+        // Release the claim only now that the result is persisted, so a
+        // shard is never simultaneously unleased and uncached.
+        if (gate != nullptr) gate->completed(key);
       });
       continue;
     }

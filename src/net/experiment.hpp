@@ -14,6 +14,7 @@
 
 namespace tcw::exec {
 class ShardCache;
+class ShardGate;
 class SweepScheduler;
 }  // namespace tcw::exec
 
@@ -152,6 +153,12 @@ ScheduledSweep schedule_loss_curve_custom(
 struct SweepCacheBinding {
   exec::ShardCache* cache = nullptr;  // null disables caching
   std::string tag;
+  /// Optional work-claim gate (distributed execution). Every cacheable
+  /// shard key is reported via observe(); cache misses are only scheduled
+  /// when admit() grants them (declined jobs are SKIPPED -- their slots
+  /// stay empty and points() must not be called); executed jobs call
+  /// completed() after their result is in the store. Requires `cache`.
+  exec::ShardGate* gate = nullptr;
 };
 
 /// schedule_loss_curve_custom with a shard cache: jobs whose results are
@@ -184,6 +191,11 @@ class ScheduledSweep {
   /// Of those, how many were served from the shard cache (0 without a
   /// cache binding).
   std::size_t cached_jobs() const;
+
+  /// Jobs declined by the binding's gate and therefore NOT scheduled
+  /// (distributed worker mode). A sweep with skipped jobs has empty
+  /// result slots: do not call points() on it.
+  std::size_t skipped_jobs() const;
 
  private:
   explicit ScheduledSweep(std::shared_ptr<detail::LossCurveSweep> state);

@@ -20,9 +20,35 @@ bool stderr_is_tty() {
 
 }  // namespace
 
+namespace {
+
+std::size_t source_done(const ProgressSource& src) {
+  return src.done != nullptr ? src.done->load(std::memory_order_relaxed) : 0;
+}
+
+std::size_t sum_done(const std::vector<ProgressSource>& sources) {
+  std::size_t done = 0;
+  for (const ProgressSource& src : sources) done += source_done(src);
+  return done;
+}
+
+}  // namespace
+
 ProgressSampler::ProgressSampler(std::vector<ProgressSource> sources,
                                  std::chrono::milliseconds period)
     : sources_(std::move(sources)),
+      initial_done_(sum_done(sources_)),
+      period_(period),
+      start_(std::chrono::steady_clock::now()),
+      tty_(stderr_is_tty()),
+      thread_([this] { run(); }) {}
+
+ProgressSampler::ProgressSampler(std::vector<ProgressSource> sources,
+                                 ProgressSource cluster,
+                                 std::chrono::milliseconds period)
+    : sources_(std::move(sources)),
+      cluster_(std::move(cluster)),
+      initial_done_(source_done(*cluster_)),
       period_(period),
       start_(std::chrono::steady_clock::now()),
       tty_(stderr_is_tty()),
@@ -58,22 +84,33 @@ void ProgressSampler::render(bool final_line) {
   std::size_t total = 0;
   std::string per_sweep;
   for (const ProgressSource& src : sources_) {
-    const std::size_t d =
-        src.done != nullptr ? src.done->load(std::memory_order_relaxed) : 0;
+    const std::size_t d = source_done(src);
     done += d;
     total += src.total;
     if (!per_sweep.empty()) per_sweep += ' ';
     per_sweep += src.name + ' ' + std::to_string(d) + '/' +
                  std::to_string(src.total);
   }
+  if (cluster_.has_value()) {
+    // The cluster source (global shard universe, fed by shared-cache
+    // scans) owns the headline; local sweeps stay in the bracket.
+    done = source_done(*cluster_);
+    total = cluster_->total;
+    if (!per_sweep.empty()) per_sweep += ' ';
+    per_sweep += cluster_->name + ' ' + std::to_string(done) + '/' +
+                 std::to_string(total);
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  // ETA from the completion-rate DELTA since the sampler started: under
+  // distributed runs the headline counter starts pre-filled with shards
+  // other workers already finished, and those must not inflate the rate.
+  const std::size_t advanced = done > initial_done_ ? done - initial_done_ : 0;
   char eta[48];
-  if (done > 0 && done < total && elapsed > 0.0) {
-    const double remaining =
-        elapsed * static_cast<double>(total - done) /
-        static_cast<double>(done);
+  if (advanced > 0 && done < total && elapsed > 0.0) {
+    const double remaining = elapsed * static_cast<double>(total - done) /
+                             static_cast<double>(advanced);
     std::snprintf(eta, sizeof eta, " eta %.0fs", remaining);
   } else {
     eta[0] = '\0';

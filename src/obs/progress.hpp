@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,18 @@ class ProgressSampler {
   ProgressSampler(std::vector<ProgressSource> sources,
                   std::chrono::milliseconds period =
                       std::chrono::milliseconds(250));
+
+  /// Distributed variant: `cluster` tracks the GLOBAL shard universe
+  /// (shards finished by any worker, discovered via shared-cache scans)
+  /// and takes over the headline done/total and the ETA; the local
+  /// per-sweep sources stay in the bracket for detail. The cluster
+  /// counter typically starts non-zero (other workers' finished shards),
+  /// so the ETA is extrapolated from the done-count DELTA since the
+  /// sampler started, not from the absolute count.
+  ProgressSampler(std::vector<ProgressSource> sources, ProgressSource cluster,
+                  std::chrono::milliseconds period =
+                      std::chrono::milliseconds(250));
+
   ~ProgressSampler();
 
   ProgressSampler(const ProgressSampler&) = delete;
@@ -47,6 +60,8 @@ class ProgressSampler {
   void render(bool final_line);
 
   std::vector<ProgressSource> sources_;
+  std::optional<ProgressSource> cluster_;
+  std::size_t initial_done_ = 0;  // headline done at construction
   std::chrono::milliseconds period_;
   std::chrono::steady_clock::time_point start_;
   bool tty_ = false;

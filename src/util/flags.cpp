@@ -146,6 +146,10 @@ bool Flags::parse(int argc, const char* const* argv) {
     }
     const Spec* spec = find(name);
     if (spec == nullptr) {
+      if (passthrough_ != nullptr) {
+        passthrough_->emplace_back(argv[i]);
+        continue;
+      }
       std::fprintf(stderr, "%s: unknown flag --%.*s\n%s", program_.c_str(),
                    static_cast<int>(name.size()), name.data(),
                    usage().c_str());

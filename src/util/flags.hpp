@@ -28,6 +28,15 @@ class Flags {
   void add(std::string name, bool* out, std::string help);
   void add(std::string name, std::string* out, std::string help);
 
+  /// Collect unknown flags into `*out` (verbatim tokens) instead of
+  /// failing parse(). Only the single-token spellings round-trip
+  /// (`--name=value`, bare `--switch`); an unknown flag in the two-token
+  /// `--name value` form forwards just `--name` (arity is unknown) and
+  /// `value` lands in positional(). For drivers that layer their own
+  /// flags over another parser's (e.g. the distributed worker modes
+  /// forwarding study-specific flags).
+  void set_passthrough(std::vector<std::string>* out) { passthrough_ = out; }
+
   /// Parse argv. Returns false (after printing a message) on error or --help.
   bool parse(int argc, const char* const* argv);
 
@@ -54,6 +63,7 @@ class Flags {
   std::string description_;
   std::vector<Spec> specs_;
   std::vector<std::string> positional_;
+  std::vector<std::string>* passthrough_ = nullptr;
 };
 
 }  // namespace tcw

@@ -113,6 +113,28 @@ TEST(Flags, DuplicateRegistrationIsAContractViolation) {
   EXPECT_THROW(flags.add("x", &a, "again"), tcw::ContractViolation);
 }
 
+TEST(Flags, PassthroughCollectsUnknownFlags) {
+  tcw::Flags flags("t", "test");
+  long long n = 0;
+  flags.add("n", &n, "count");
+  std::vector<std::string> extra;
+  flags.set_passthrough(&extra);
+  EXPECT_TRUE(run(flags, {"--n=2", "--t-end=500", "--verbose", "study"}));
+  EXPECT_EQ(n, 2);
+  ASSERT_EQ(extra.size(), 2u);
+  EXPECT_EQ(extra[0], "--t-end=500");
+  EXPECT_EQ(extra[1], "--verbose");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "study");
+}
+
+TEST(Flags, UnknownFlagStillFailsWithoutPassthrough) {
+  tcw::Flags flags("t", "test");
+  long long n = 0;
+  flags.add("n", &n, "count");
+  EXPECT_FALSE(run(flags, {"--t-end=500"}));
+}
+
 TEST(Flags, UsageMentionsEveryFlag) {
   tcw::Flags flags("prog", "description text");
   double rho = 0.25;
