@@ -65,16 +65,20 @@ int main(int argc, char** argv) {
   tcw::exec::SweepScheduler scheduler(pool);
   // Both arms derive job seeds from the same (base_seed, ki, rep), so the
   // comparison keeps the historical common-random-numbers design.
-  const auto with_discard = tcw::net::schedule_loss_curve_custom(
-      scheduler, "discard", sweep,
-      [width](double k) { return tcw::core::ControlPolicy::optimal(k, width); },
-      grid);
-  const auto without_discard = tcw::net::schedule_loss_curve_custom(
-      scheduler, "nodiscard", sweep,
-      [width](double k) {
-        return tcw::core::ControlPolicy::fcfs_baseline(k, width);
-      },
-      grid);
+  const auto with_discard = tcw::net::run_sweep(
+      {.config = sweep, .constraints = grid,
+       .make_policy =
+           [width](double k) {
+             return tcw::core::ControlPolicy::optimal(k, width);
+           }},
+      {.scheduler = &scheduler, .name = "discard"});
+  const auto without_discard = tcw::net::run_sweep(
+      {.config = sweep, .constraints = grid,
+       .make_policy =
+           [width](double k) {
+             return tcw::core::ControlPolicy::fcfs_baseline(k, width);
+           }},
+      {.scheduler = &scheduler, .name = "nodiscard"});
   tcw::bench::run_scheduler_with_report(scheduler, "ablation_discard");
 
   const auto with_points = with_discard.points();

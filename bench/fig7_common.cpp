@@ -97,17 +97,18 @@ Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler& scheduler,
   const Fig7Options o = with_quick_applied(opts);
   std::vector<double> grid = panel_grid(o);
   const net::SweepConfig sweep = sweep_config_from(o);
-  auto controlled = net::schedule_loss_curve(
-      scheduler, panel_name + "/controlled", sweep,
-      net::ProtocolVariant::Controlled, grid);
-  auto fcfs = net::schedule_loss_curve(scheduler, panel_name + "/fcfs",
-                                       sweep,
-                                       net::ProtocolVariant::FcfsNoDiscard,
-                                       grid);
-  auto lcfs = net::schedule_loss_curve(scheduler, panel_name + "/lcfs",
-                                       sweep,
-                                       net::ProtocolVariant::LcfsNoDiscard,
-                                       grid);
+  auto controlled = net::run_sweep(
+      {.config = sweep, .constraints = grid,
+       .variant = net::ProtocolVariant::Controlled},
+      {.scheduler = &scheduler, .name = panel_name + "/controlled"});
+  auto fcfs = net::run_sweep(
+      {.config = sweep, .constraints = grid,
+       .variant = net::ProtocolVariant::FcfsNoDiscard},
+      {.scheduler = &scheduler, .name = panel_name + "/fcfs"});
+  auto lcfs = net::run_sweep(
+      {.config = sweep, .constraints = grid,
+       .variant = net::ProtocolVariant::LcfsNoDiscard},
+      {.scheduler = &scheduler, .name = panel_name + "/lcfs"});
   return Fig7PanelJob(std::move(grid), std::move(controlled),
                       std::move(fcfs), std::move(lcfs));
 }
@@ -225,14 +226,20 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
 
   net::SweepTiming total;
   net::SweepTiming timing;
-  sim.controlled = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::Controlled, sim.grid, &timing);
+  sim.controlled = net::run_sweep({.config = sweep, .constraints = sim.grid,
+                                   .variant = net::ProtocolVariant::Controlled,
+                                   .timing = &timing})
+                       .points();
   total.accumulate(timing);
-  sim.fcfs = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::FcfsNoDiscard, sim.grid, &timing);
+  sim.fcfs = net::run_sweep({.config = sweep, .constraints = sim.grid,
+                             .variant = net::ProtocolVariant::FcfsNoDiscard,
+                             .timing = &timing})
+                 .points();
   total.accumulate(timing);
-  sim.lcfs = net::simulate_loss_curve(
-      sweep, net::ProtocolVariant::LcfsNoDiscard, sim.grid, &timing);
+  sim.lcfs = net::run_sweep({.config = sweep, .constraints = sim.grid,
+                             .variant = net::ProtocolVariant::LcfsNoDiscard,
+                             .timing = &timing})
+                 .points();
   total.accumulate(timing);
 
   int rc = render_fig7_panel(panel_name, o, sim, &total);
@@ -356,18 +363,19 @@ int run_fig7_suite(const Fig7SuiteOptions& suite) {
       const std::vector<double>& grid = sims[i].grid;
       identical &= points_identical(
           sims[i].controlled,
-          net::simulate_loss_curve(sweep, net::ProtocolVariant::Controlled,
-                                   grid));
+          net::run_sweep({.config = sweep, .constraints = grid,
+                          .variant = net::ProtocolVariant::Controlled})
+              .points());
       identical &= points_identical(
           sims[i].fcfs,
-          net::simulate_loss_curve(sweep,
-                                   net::ProtocolVariant::FcfsNoDiscard,
-                                   grid));
+          net::run_sweep({.config = sweep, .constraints = grid,
+                          .variant = net::ProtocolVariant::FcfsNoDiscard})
+              .points());
       identical &= points_identical(
           sims[i].lcfs,
-          net::simulate_loss_curve(sweep,
-                                   net::ProtocolVariant::LcfsNoDiscard,
-                                   grid));
+          net::run_sweep({.config = sweep, .constraints = grid,
+                          .variant = net::ProtocolVariant::LcfsNoDiscard})
+              .points());
     }
     const double sequential_wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -102,12 +102,18 @@ struct NetCell {
 };
 
 CellResult run_aggregate(const Options& opt, const AggCell& cell,
-                         bool reference) {
+                         bool reference,
+                         const tcw::net::PolicyConfig& mac = {}) {
   tcw::net::AggregateConfig cfg;
   const double lambda = cell.rho / opt.message_length;
   const double k = cell.k_over_m * opt.message_length;
   cfg.policy = tcw::core::ControlPolicy::optimal(
       k, tcw::analysis::optimal_window_load() / lambda);
+  cfg.mac = mac;
+  if (cfg.mac.engine.kind == tcw::net::EngineKind::DynamicAloha &&
+      cfg.mac.engine.arrival_rate <= 0.0) {
+    cfg.mac.engine.arrival_rate = lambda;
+  }
   cfg.message_length = opt.message_length;
   cfg.t_end = opt.t_end;
   cfg.warmup = opt.warmup;
@@ -126,12 +132,18 @@ CellResult run_aggregate(const Options& opt, const AggCell& cell,
 }
 
 CellResult run_network(const Options& opt, const NetCell& cell,
-                       bool reference) {
+                       bool reference,
+                       const tcw::net::PolicyConfig& mac = {}) {
   tcw::net::NetworkConfig cfg;
   const double lambda = cell.rho / opt.message_length;
   const double k = cell.k_over_m * opt.message_length;
   cfg.policy = tcw::core::ControlPolicy::optimal(
       k, tcw::analysis::optimal_window_load() / lambda);
+  cfg.mac = mac;
+  if (cfg.mac.engine.kind == tcw::net::EngineKind::DynamicAloha &&
+      cfg.mac.engine.arrival_rate <= 0.0) {
+    cfg.mac.engine.arrival_rate = lambda;
+  }
   cfg.message_length = opt.message_length;
   cfg.t_end = opt.t_end;
   cfg.warmup = opt.warmup;
@@ -170,9 +182,9 @@ CellResult run_network_batched(const Options& opt, const NetCell& cell,
   const double k = cell.k_over_m * opt.message_length;
   cfg.policy = tcw::core::ControlPolicy::optimal(
       k, tcw::analysis::optimal_window_load() / lambda);
-  cfg.engine.kind = kind;
+  cfg.mac.engine.kind = kind;
   if (kind == tcw::net::EngineKind::DynamicAloha) {
-    cfg.engine.arrival_rate = lambda;
+    cfg.mac.engine.arrival_rate = lambda;
   }
   cfg.message_length = opt.message_length;
   cfg.t_end = opt.t_end;
@@ -328,8 +340,54 @@ int main(int argc, char** argv) {
         ++cells;
       }
     }
-    std::printf("verify: fast/reference and fast/event-skip kernels "
-                "bit-identical over %zu cells (t_end=%.0f)\n",
+    // Multi-channel conformance: C = 2 under every {selector, engine}
+    // pair, fast vs reference on both kernels. Selectors route at
+    // arrival time only, so the reference steppers exercise the exact
+    // same routing sequence as the fast kernels.
+    const tcw::net::ChannelSelectorKind selectors[] = {
+        tcw::net::ChannelSelectorKind::HashShard,
+        tcw::net::ChannelSelectorKind::UniformRandom,
+        tcw::net::ChannelSelectorKind::LeastLoaded,
+        tcw::net::ChannelSelectorKind::DeadlineHop};
+    const AggCell mc_agg{0.50, 3.0};
+    const NetCell mc_net{50, 0.50, 3.0};
+    for (const auto kind : kinds) {
+      for (const auto selector : selectors) {
+        tcw::net::PolicyConfig mac;
+        mac.engine.kind = kind;
+        mac.channel.channels = 2;
+        mac.channel.selector = selector;
+        const std::string fast =
+            fingerprint(run_aggregate(opt, mc_agg, false, mac).metrics);
+        const std::string ref =
+            fingerprint(run_aggregate(opt, mc_agg, true, mac).metrics);
+        if (fast != ref) {
+          std::fprintf(stderr,
+                       "VERIFY FAILED multichannel aggregate %s/%s C=2\n"
+                       " fast: %s\n  ref: %s\n",
+                       to_string(kind).c_str(), to_string(selector).c_str(),
+                       fast.c_str(), ref.c_str());
+          return 1;
+        }
+        ++cells;
+        const std::string nfast =
+            fingerprint(run_network(opt, mc_net, false, mac).metrics);
+        const std::string nref =
+            fingerprint(run_network(opt, mc_net, true, mac).metrics);
+        if (nfast != nref) {
+          std::fprintf(stderr,
+                       "VERIFY FAILED multichannel network %s/%s C=2\n"
+                       " fast: %s\n  ref: %s\n",
+                       to_string(kind).c_str(), to_string(selector).c_str(),
+                       nfast.c_str(), nref.c_str());
+          return 1;
+        }
+        ++cells;
+      }
+    }
+    std::printf("verify: fast/reference, fast/event-skip, and C=2 "
+                "multichannel kernels bit-identical over %zu cells "
+                "(t_end=%.0f)\n",
                 cells, opt.t_end);
     return obs.finish(nullptr);
   }

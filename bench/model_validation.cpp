@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
 
   // The simulation arm runs as a scheduled sweep on a shared pool (the
   // same enqueue path fig7_all uses); points are bit-identical to the
-  // historical simulate_loss_curve call for any thread count.
+  // historical standalone run_sweep call for any thread count.
   tcw::net::SweepConfig sweep;
   sweep.offered_load = 0.48;
   sweep.message_length = 4.0;
@@ -153,9 +153,10 @@ int main(int argc, char** argv) {
   tcw::exec::ThreadPool pool(
       tcw::exec::resolve_threads(static_cast<int>(threads)));
   tcw::exec::SweepScheduler scheduler(pool);
-  const auto scheduled = tcw::net::schedule_loss_curve(
-      scheduler, "controlled_small_scale", sweep,
-      tcw::net::ProtocolVariant::Controlled, {24.0});
+  const auto scheduled = tcw::net::run_sweep(
+      {.config = sweep, .constraints = {24.0},
+       .variant = tcw::net::ProtocolVariant::Controlled},
+      {.scheduler = &scheduler, .name = "controlled_small_scale"});
   tcw::bench::run_scheduler_with_report(scheduler, "model_validation");
   const auto sim = scheduled.points();
 

@@ -1,0 +1,8 @@
+// Standalone shim for the multi-channel sharding study (see
+// bench/studies.cpp, MultiChannelStudy); same flags and CSV as
+// `study_tool multichannel`.
+#include "study.hpp"
+
+int main(int argc, char** argv) {
+  return tcw::bench::run_study_main("multichannel", argc, argv);
+}

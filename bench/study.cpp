@@ -33,9 +33,10 @@ net::ScheduledSweep StudyContext::sweep(
   if (common_.trace.log != nullptr && common_.trace_sweep == name) {
     cfg.trace_request = common_.trace;
   }
-  net::ScheduledSweep handle = net::schedule_loss_curve_cached(
-      scheduler_, full, cfg, make_policy, grid,
-      net::SweepCacheBinding{cache_, full, gate_});
+  net::ScheduledSweep handle = net::run_sweep(
+      {.config = cfg, .constraints = grid, .make_policy = make_policy},
+      {.scheduler = &scheduler_, .name = full,
+       .cache = net::SweepCacheBinding{cache_, full, gate_}});
   cached_shards_ += handle.cached_jobs();
   skipped_shards_ += handle.skipped_jobs();
   scheduled_shards_ +=
@@ -136,6 +137,23 @@ void register_common_flags(Flags& flags, StudyCommonOptions& o) {
             "reuse the study's existing shard store: cached shards are "
             "skipped and the CSV is byte-identical to an uninterrupted run");
   register_obs_flags(flags, o.obs);
+}
+
+bool parse_engine_flag(const std::string& value, net::EngineKind* out) {
+  if (value.empty() || net::engine_kind_from_string(value, out)) return true;
+  std::fprintf(stderr, "unknown engine '%s' (valid: %s)\n", value.c_str(),
+               net::engine_kind_names().c_str());
+  return false;
+}
+
+bool parse_selector_flag(const std::string& value,
+                         net::ChannelSelectorKind* out) {
+  if (value.empty() || net::channel_selector_from_string(value, out)) {
+    return true;
+  }
+  std::fprintf(stderr, "unknown channel selector '%s' (valid: %s)\n",
+               value.c_str(), net::channel_selector_names().c_str());
+  return false;
 }
 
 std::string study_store_path(const std::string& cache_dir,

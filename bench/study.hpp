@@ -183,6 +183,19 @@ std::string registry_markdown_table();
 /// For drivers that embed the runner (e.g. the distributed worker mode).
 void register_common_flags(Flags& flags, StudyCommonOptions& options);
 
+/// Parse a --engine flag value through the case-insensitive
+/// net::engine_kind_from_string; empty input leaves `*out` untouched and
+/// succeeds (flag not given). On failure prints the valid names
+/// (net::engine_kind_names()) to stderr and returns false. Shared by
+/// every study that takes an engine spelling so the error text is
+/// uniform.
+bool parse_engine_flag(const std::string& value, net::EngineKind* out);
+
+/// Channel-selector counterpart (net::channel_selector_from_string /
+/// net::channel_selector_names()).
+bool parse_selector_flag(const std::string& value,
+                         net::ChannelSelectorKind* out);
+
 /// The shard-store path the runner opens for `study` under `cache_dir`:
 /// `<cache_dir>/<study>.shards`.
 std::string study_store_path(const std::string& cache_dir,

@@ -58,8 +58,9 @@ int run_suite(const tcw::net::SweepConfig& cfg,
   std::vector<tcw::net::ScheduledSweep> handles;
   handles.reserve(variants.size());
   for (const VariantSpec& v : variants) {
-    handles.push_back(tcw::net::schedule_loss_curve(scheduler, v.name, cfg,
-                                                    v.variant, grid));
+    handles.push_back(tcw::net::run_sweep(
+        {.config = cfg, .constraints = grid, .variant = v.variant},
+        {.scheduler = &scheduler, .name = v.name}));
   }
   const auto report = scheduler.run();
 
@@ -175,11 +176,15 @@ int main(int argc, char** argv) {
                                           static_cast<std::size_t>(points));
   if (suite) return run_suite(cfg, grid, threads, csv, obs_opts);
 
-  // Standalone sweeps run on a transient pool inside simulate_loss_curve:
-  // manifest only, no scheduler timeline.
+  // Standalone sweeps run on a transient pool inside run_sweep: manifest
+  // only, no scheduler timeline.
   tcw::bench::ObsSession obs("sweep_tool", obs_opts);
   tcw::net::SweepTiming timing;
-  const auto pts = tcw::net::simulate_loss_curve(cfg, variant, grid, &timing);
+  const auto pts = tcw::net::run_sweep({.config = cfg,
+                                        .constraints = grid,
+                                        .variant = variant,
+                                        .timing = &timing})
+                       .points();
 
   tcw::analysis::ProtocolModelConfig model;
   model.offered_load = rho;

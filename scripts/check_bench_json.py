@@ -29,6 +29,11 @@ object, and must carry the required keys for its record shape. Shapes:
                       sim == "fluid" rows {"events_per_sec", "p_loss"}
   policy-grid cell   {"study", "engine", "rho", "k", "p_loss",
                       "timely_ratio"}
+  multichannel cell  {"study": "multichannel", "engine", "channels",
+                      "selector", "rho", "k", "p_loss", "timely_ratio"}
+  channel counters   {"study": "multichannel", "counter_prefix",
+                      "channel", "probe_slots", "idle_slots",
+                      "collisions", "successes", "sender_discards"}
 
 Exit status: 0 when every BENCH_JSON line validates and at least one was
 seen (pass --allow-empty to tolerate none), 1 otherwise.
@@ -71,6 +76,13 @@ def classify(record):
                     "store_entries", "loaded",
                     "recovered_corruption"} - cache.keys()
         return "cache", missing
+    if record.get("study") == "multichannel":
+        if "counter_prefix" in record:
+            return "multichannel_counters", {
+                "channel", "probe_slots", "idle_slots", "collisions",
+                "successes", "sender_discards"} - record.keys()
+        return "multichannel", {"engine", "channels", "selector", "rho",
+                                "k", "p_loss", "timely_ratio"} - record.keys()
     if "engine" in record:
         return "policy_grid", {"study", "rho", "k", "p_loss",
                                "timely_ratio"} - record.keys()

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Multi-channel smoke: run the C-channel sharding study standalone and
+# then inside a `study_tool --suite` run sharing one scheduler with every
+# other study, and require the two CSVs byte-identical -- the
+# standalone-vs-suite determinism contract, which only holds if the
+# channel and selector seed planes stay independent of suite composition.
+# Also exercises cache-resume on the grid (truncate the shard store,
+# resume, byte-compare), covering the multichannel fingerprint fields
+# (channels/selector/skew) end to end.
+# Usage: multichannel_smoke.sh <study_tool-binary> <scratch-dir>.
+set -euo pipefail
+
+tool=$(realpath "$1")
+scratch=$2
+study=multichannel
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cd "$scratch"
+
+echo "-- multichannel smoke: standalone $study run"
+"$tool" "$study" --quick --cache-dir=cache --csv=standalone.csv \
+    >standalone.log 2>&1
+
+echo "-- multichannel smoke: $study inside a --suite run"
+mkdir -p suite
+(cd suite && "$tool" --suite --quick "$study" >../suite.log 2>&1)
+
+cmp standalone.csv "suite/$study.csv"
+
+store="cache/$study.shards"
+size=$(wc -c <"$store")
+echo "-- multichannel smoke: truncating $store ($size -> $((size / 2)) bytes)"
+truncate -s $((size / 2)) "$store"
+
+echo "-- multichannel smoke: resuming from the damaged store"
+"$tool" "$study" --quick --cache-dir=cache --resume --csv=resume.csv \
+    >resume.log 2>&1
+
+cmp standalone.csv resume.csv
+cached=$(sed -n 's/.*"cached_shards":\([0-9]*\).*/\1/p' resume.log)
+if [ -z "$cached" ] || [ "$cached" -eq 0 ]; then
+  echo "multichannel smoke FAILED: no cached shards on the resume leg" >&2
+  grep BENCH_JSON resume.log >&2 || true
+  exit 1
+fi
+
+echo "-- multichannel smoke: selector/engine flag errors list valid names"
+if "$tool" "$study" --quick --selector=bogus --csv=bad.csv \
+    >bad.log 2>&1; then
+  echo "multichannel smoke FAILED: bogus selector accepted" >&2
+  exit 1
+fi
+grep -q "hash-shard" bad.log || {
+  echo "multichannel smoke FAILED: selector error lacks valid names" >&2
+  cat bad.log >&2
+  exit 1
+}
+
+echo "multichannel smoke OK: standalone, suite, and resumed CSVs" \
+     "byte-identical; $cached shard(s) served from the store"

@@ -50,6 +50,9 @@ scripts/obs_smoke.sh build/bench/study_tool build/bench/obs_smoke
 echo "== tier-1: distributed worker/merge smoke (byte-identical CSVs, crash-restart) =="
 scripts/dist_smoke.sh build/bench/study_tool build/bench/dist_smoke
 
+echo "== tier-1: multichannel smoke (standalone vs --suite vs resume, cmp) =="
+scripts/multichannel_smoke.sh build/bench/study_tool build/bench/multichannel_smoke
+
 echo "== tier-1: BENCH_JSON schema check over the smoke logs =="
 python3 scripts/check_bench_json.py \
     build/bench/resume_smoke/fresh.log build/bench/resume_smoke/resume.log \
@@ -57,6 +60,8 @@ python3 scripts/check_bench_json.py \
     build/bench/policy_grid_smoke/resume.log \
     build/bench/large_n_smoke/standalone.log \
     build/bench/large_n_smoke/resume.log \
+    build/bench/multichannel_smoke/standalone.log \
+    build/bench/multichannel_smoke/resume.log \
     build/bench/dist_smoke/*.log
 
 echo "== tier-1: concurrency + kernel tests under ThreadSanitizer =="
@@ -64,7 +69,7 @@ cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
     test_sweep_determinism test_sweep_scheduler test_flat_deque \
     test_kernel_fastpath test_event_skip test_protocol_engines \
-    test_shard_cache test_study test_obs test_dist_exec
+    test_multichannel test_shard_cache test_study test_obs test_dist_exec
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs|DistLease|DistGate|SharedStore|DistExec')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|MultiChannel|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs|DistLease|DistGate|SharedStore|DistExec')
 echo "tier-1 OK"

@@ -40,17 +40,17 @@ AggregateCounters& aggregate_counters() {
 AggregateSimulator::AggregateSimulator(
     const AggregateConfig& config,
     std::unique_ptr<chan::ArrivalProcess> arrivals)
-    : config_(config), arrivals_(std::move(arrivals)), rng_(config.seed),
-      coin_rng_(engine_coin_seed(config.engine.kind, config.seed)),
-      engine_(make_engine(config.engine, config.policy)) {
+    : config_(config), arrivals_(std::move(arrivals)), rng_(config.seed) {
   TCW_EXPECTS(arrivals_ != nullptr);
   TCW_EXPECTS(config_.t_end > config_.warmup);
   TCW_EXPECTS(config_.message_length >= 1.0);
   TCW_EXPECTS(config_.slot_jitter >= 0.0);
-  // The retained seed-era path predates the engine seam and hardwires the
-  // window controller; it exists only as that engine's cross-check.
-  TCW_EXPECTS(config_.engine.kind == EngineKind::Window ||
-              !config_.reference_kernel);
+  const ChannelPlan& plan = config_.mac.channel;
+  TCW_EXPECTS(plan.channels >= 1);
+  TCW_EXPECTS(plan.skew >= 0.0 && plan.skew < 1.0);
+  // Trace records carry no channel field; tracing is a single-channel
+  // debugging surface.
+  TCW_EXPECTS(config_.trace == nullptr || plan.channels == 1);
   if (config_.record_wait_histogram) {
     const double hi = config_.wait_hist_max > 0.0
                           ? config_.wait_hist_max
@@ -58,15 +58,52 @@ AggregateSimulator::AggregateSimulator(
     metrics_.wait_hist = sim::Histogram(0.0, hi, config_.wait_hist_bins);
     metrics_.wait_hist_enabled = true;
   }
+  const EngineConfig& ecfg = config_.mac.engine;
+  const std::uint64_t coin_base = engine_coin_seed(ecfg.kind, config_.seed);
+  lanes_.resize(plan.channels);
+  for (std::uint32_t c = 0; c < plan.channels; ++c) {
+    // Lane 0 runs on the raw seeds (channel_stream_seed is the identity
+    // there), so C = 1 runs are bit-identical to the single-channel
+    // kernel; lanes c > 0 get derived, non-aliasing streams.
+    core::ControlPolicy lane_policy = config_.policy;
+    lane_policy.shared_seed =
+        channel_stream_seed(config_.policy.shared_seed, c);
+    lanes_[c].engine = make_engine(ecfg, lane_policy);
+    lanes_[c].coin_rng = sim::Rng(channel_stream_seed(coin_base, c));
+  }
+  if (plan.channels > 1) {
+    selector_.emplace(plan, config_.seed);
+    lane_now_scratch_.resize(plan.channels);
+    lane_busy_scratch_.resize(plan.channels);
+    lane_load_scratch_.resize(plan.channels);
+  }
   next_arrival_ = arrivals_->next(rng_);
+}
+
+std::uint32_t AggregateSimulator::route_arrival(double arrival) {
+  for (std::size_t c = 0; c < lanes_.size(); ++c) {
+    const Lane& lane = lanes_[c];
+    lane_now_scratch_[c] = lane.now;
+    lane_busy_scratch_[c] = lane.last_tx_end;
+    lane_load_scratch_[c] = config_.reference_kernel
+                                ? lane.pending_set.size()
+                                : lane.pending.size();
+  }
+  return selector_->route(arrival, lane_now_scratch_.data(),
+                          lane_busy_scratch_.data(),
+                          lane_load_scratch_.data(),
+                          config_.message_length + config_.success_overhead);
 }
 
 void AggregateSimulator::generate_arrivals_until(double t) {
   while (!arrivals_exhausted_ && next_arrival_ <= t) {
+    Lane& lane = lanes_.size() == 1
+                     ? lanes_[0]
+                     : lanes_[route_arrival(next_arrival_)];
     if (config_.reference_kernel) {
-      pending_set_.insert(next_arrival_);
+      lane.pending_set.insert(next_arrival_);
     } else {
-      pending_.push_back(next_arrival_);  // arrivals strictly increase
+      lane.pending.push_back(next_arrival_);  // arrivals strictly increase
     }
     if (next_arrival_ >= config_.warmup) ++metrics_.arrivals;
     const double nxt = arrivals_->next(rng_);
@@ -76,188 +113,233 @@ void AggregateSimulator::generate_arrivals_until(double t) {
 }
 
 const core::WindowController& AggregateSimulator::controller() const {
-  const core::WindowController* ctl = engine_->window_controller();
+  const core::WindowController* ctl = lanes_[0].engine->window_controller();
   TCW_EXPECTS(ctl != nullptr);  // only the window engine has a controller
   return *ctl;
 }
 
-void AggregateSimulator::purge_discarded() {
+double AggregateSimulator::now() const {
+  double latest = lanes_[0].now;
+  for (const Lane& lane : lanes_) latest = std::max(latest, lane.now);
+  return latest;
+}
+
+std::uint64_t AggregateSimulator::probe_steps() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.tally.probe_slots;
+  return total;
+}
+
+std::vector<obs::ChannelTally> AggregateSimulator::channel_tallies() const {
+  std::vector<obs::ChannelTally> tallies;
+  tallies.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) tallies.push_back(lane.tally);
+  return tallies;
+}
+
+void AggregateSimulator::purge_discarded(Lane& lane) {
   // Everything below the engine's discard floor is resolved; with element
   // (4) active the only way an untransmitted arrival ends up there is
   // sender discard. Without discard the floor never passes an
   // untransmitted arrival (window processes only resolve verified-empty
-  // or transmitted spans; ALOHA engines report no floor at all).
-  const double floor = engine_->discard_floor(now_);
+  // or transmitted spans; ALOHA engines report no floor at all). Lanes
+  // step in argmin-clock order, so every arrival at or below this lane's
+  // clock is already routed -- the invariant holds per lane.
+  const double floor = lane.engine->discard_floor(lane.now);
   const auto discard_one = [&](double arrival) {
     TCW_ASSERT(config_.policy.discard);
-    ++obs_discards_;
+    ++lane.tally.sender_discards;
     if (arrival >= config_.warmup) ++metrics_.lost_sender;
     if (config_.trace != nullptr) {
-      config_.trace->record(now_, sim::TraceKind::SenderDiscard, arrival);
+      config_.trace->record(lane.now, sim::TraceKind::SenderDiscard, arrival);
     }
   };
   if (config_.reference_kernel) {
-    auto it = pending_set_.begin();
-    while (it != pending_set_.end() && *it < floor) {
+    auto it = lane.pending_set.begin();
+    while (it != lane.pending_set.end() && *it < floor) {
       discard_one(*it);
-      it = pending_set_.erase(it);
+      it = lane.pending_set.erase(it);
     }
   } else {
-    while (!pending_.empty() && pending_.front() < floor) {
-      discard_one(pending_.front());
-      pending_.pop_front();  // a prefix purge in the flat structure
+    while (!lane.pending.empty() && lane.pending.front() < floor) {
+      discard_one(lane.pending.front());
+      lane.pending.pop_front();  // a prefix purge in the flat structure
     }
   }
 }
 
-std::size_t AggregateSimulator::count_in_window(double lo, double hi,
-                                                double* first) {
+std::size_t AggregateSimulator::count_in_window(Lane& lane, double lo,
+                                                double hi, double* first) {
   std::size_t count = 0;
   if (config_.reference_kernel) {
-    found_it_ = pending_set_.lower_bound(lo);
-    auto it = found_it_;
-    while (it != pending_set_.end() && *it < hi && count < 2) {
+    lane.found_it = lane.pending_set.lower_bound(lo);
+    auto it = lane.found_it;
+    while (it != lane.pending_set.end() && *it < hi && count < 2) {
       ++count;
       ++it;
     }
-    if (count > 0) *first = *found_it_;
+    if (count > 0) *first = *lane.found_it;
   } else {
-    found_pos_ = pending_.lower_bound(lo);
-    auto pos = found_pos_;
-    while (!pending_.is_end(pos) && pending_.at(pos) < hi && count < 2) {
+    lane.found_pos = lane.pending.lower_bound(lo);
+    auto pos = lane.found_pos;
+    while (!lane.pending.is_end(pos) && lane.pending.at(pos) < hi &&
+           count < 2) {
       ++count;
-      pos = pending_.next(pos);
+      pos = lane.pending.next(pos);
     }
-    if (count > 0) *first = pending_.at(found_pos_);
+    if (count > 0) *first = lane.pending.at(lane.found_pos);
   }
   return count;
 }
 
-std::size_t AggregateSimulator::count_transmitters(double p, double* first) {
-  // reference_kernel is gated to the window engine, so only the flat
-  // structure ever backs a Probability plan.
+std::size_t AggregateSimulator::count_transmitters(Lane& lane, double p,
+                                                   double* first) {
   std::size_t count = 0;
-  for (auto pos = pending_.begin_pos(); !pending_.is_end(pos);
-       pos = pending_.next(pos)) {
-    if (sim::bernoulli(coin_rng_, p)) {
-      ++count;
-      if (count == 1) {
-        found_pos_ = pos;
-        *first = pending_.at(pos);
+  if (config_.reference_kernel) {
+    for (auto it = lane.pending_set.begin(); it != lane.pending_set.end();
+         ++it) {
+      if (sim::bernoulli(lane.coin_rng, p)) {
+        ++count;
+        if (count == 1) {
+          lane.found_it = it;
+          *first = *it;
+        }
+      }
+    }
+  } else {
+    for (auto pos = lane.pending.begin_pos(); !lane.pending.is_end(pos);
+         pos = lane.pending.next(pos)) {
+      if (sim::bernoulli(lane.coin_rng, p)) {
+        ++count;
+        if (count == 1) {
+          lane.found_pos = pos;
+          *first = lane.pending.at(pos);
+        }
       }
     }
   }
   return count;
 }
 
-void AggregateSimulator::erase_transmitted() {
+void AggregateSimulator::erase_transmitted(Lane& lane) {
   if (config_.reference_kernel) {
-    pending_set_.erase(found_it_);
+    lane.pending_set.erase(lane.found_it);
   } else {
-    pending_.erase(found_pos_);
+    lane.pending.erase(lane.found_pos);
   }
 }
 
 const SimMetrics& AggregateSimulator::run() {
   TCW_EXPECTS(!finished_);
-  const double k = config_.policy.deadline;
-  while (now_ < config_.t_end) {
-    generate_arrivals_until(now_);
-    const bool was_in_process = engine_->in_process();
-    const SlotPlan plan = engine_->next_slot(now_);
-    const bool windowed = plan.kind == SlotPlan::Kind::Window;
-    if (!was_in_process) {
-      // A fresh process start (possibly degenerate): element (4) discards
-      // happened inside the engine; drop the matching messages.
-      if (config_.trace != nullptr && windowed) {
-        config_.trace->record(now_, sim::TraceKind::ProcessStart,
-                              plan.window.lo, plan.window.hi);
-      }
-      purge_discarded();
-      if (now_ >= config_.warmup) {
-        metrics_.pseudo_backlog.add(engine_->backlog_metric(now_));
-      }
+  for (;;) {
+    // The lane with the minimum clock steps next (ties to the lowest
+    // index). With one lane this is the plain single-channel loop.
+    std::size_t li = 0;
+    for (std::size_t c = 1; c < lanes_.size(); ++c) {
+      if (lanes_[c].now < lanes_[li].now) li = c;
     }
-    if (plan.kind == SlotPlan::Kind::Idle) {
-      metrics_.usage.add_idle_slot();
-      ++obs_idle_;
-      now_ += step_duration(1.0);
-      continue;
-    }
-    ++probe_steps_;
-    const auto probes_so_far =
-        static_cast<double>(engine_->process_probes());
-
-    // Count transmitters this slot: pending arrivals inside the probe
-    // window, or coin flips across the whole backlog for ALOHA plans.
-    double first_arrival = 0.0;
-    const std::size_t count =
-        windowed ? count_in_window(plan.window.lo, plan.window.hi,
-                                   &first_arrival)
-                 : count_transmitters(plan.tx_prob, &first_arrival);
-
-    if (count == 0) {
-      metrics_.usage.add_idle_slot();
-      ++obs_idle_;
-      if (config_.trace != nullptr && windowed) {
-        config_.trace->record(now_, sim::TraceKind::ProbeIdle,
-                              plan.window.lo, plan.window.hi);
-      }
-      engine_->on_feedback(core::Feedback::Idle);
-      if (!engine_->in_process() && now_ >= config_.warmup) {
-        metrics_.process_slots.add(probes_so_far);  // empty process
-      }
-      now_ += step_duration(1.0);
-    } else if (count == 1) {
-      ++obs_successes_;
-      const double arrival = first_arrival;
-      erase_transmitted();
-      const double wait = now_ - arrival;  // true waiting time
-      if (config_.trace != nullptr) {
-        config_.trace->record(now_, sim::TraceKind::Transmission, arrival);
-        if (wait > k) {
-          config_.trace->record(now_, sim::TraceKind::LateAtReceiver,
-                                arrival);
-        }
-      }
-      const bool counted = arrival >= config_.warmup;
-      if (counted) {
-        metrics_.wait_all.add(wait);
-        metrics_.wait_p50.add(wait);
-        metrics_.wait_p90.add(wait);
-        metrics_.wait_p99.add(wait);
-        if (metrics_.wait_hist_enabled) metrics_.wait_hist.add(wait);
-        metrics_.scheduling.add(now_ - std::max(arrival, last_tx_end_));
-        if (wait <= k) {
-          ++metrics_.delivered;
-          metrics_.wait_delivered.add(wait);
-        } else {
-          ++metrics_.lost_receiver;
-        }
-      }
-      if (now_ >= config_.warmup) {
-        metrics_.process_slots.add(probes_so_far);
-      }
-      metrics_.usage.add_success(config_.message_length,
-                                 config_.success_overhead);
-      engine_->on_feedback(core::Feedback::Success);
-      last_tx_end_ = now_ + step_duration(config_.message_length +
-                                          config_.success_overhead);
-      now_ = last_tx_end_;
-    } else {
-      metrics_.usage.add_collision_slot();
-      ++obs_collisions_;
-      if (config_.trace != nullptr && windowed) {
-        config_.trace->record(now_, sim::TraceKind::ProbeCollision,
-                              plan.window.lo, plan.window.hi);
-      }
-      engine_->on_feedback(core::Feedback::Collision);
-      now_ += step_duration(1.0);
-    }
+    if (lanes_[li].now >= config_.t_end) break;
+    step_lane(lanes_[li]);
   }
   finalize();
   finished_ = true;
   return metrics_;
+}
+
+void AggregateSimulator::step_lane(Lane& lane) {
+  const double k = config_.policy.deadline;
+  generate_arrivals_until(lane.now);
+  ProtocolEngine& engine = *lane.engine;
+  const bool was_in_process = engine.in_process();
+  const SlotPlan plan = engine.next_slot(lane.now);
+  const bool windowed = plan.kind == SlotPlan::Kind::Window;
+  if (!was_in_process) {
+    // A fresh process start (possibly degenerate): element (4) discards
+    // happened inside the engine; drop the matching messages.
+    if (config_.trace != nullptr && windowed) {
+      config_.trace->record(lane.now, sim::TraceKind::ProcessStart,
+                            plan.window.lo, plan.window.hi);
+    }
+    purge_discarded(lane);
+    if (lane.now >= config_.warmup) {
+      metrics_.pseudo_backlog.add(engine.backlog_metric(lane.now));
+    }
+  }
+  if (plan.kind == SlotPlan::Kind::Idle) {
+    metrics_.usage.add_idle_slot();
+    ++lane.tally.idle_slots;
+    lane.now += step_duration(1.0);
+    return;
+  }
+  ++lane.tally.probe_slots;
+  const auto probes_so_far = static_cast<double>(engine.process_probes());
+
+  // Count transmitters this slot: pending arrivals inside the probe
+  // window, or coin flips across the whole backlog for ALOHA plans.
+  double first_arrival = 0.0;
+  const std::size_t count =
+      windowed ? count_in_window(lane, plan.window.lo, plan.window.hi,
+                                 &first_arrival)
+               : count_transmitters(lane, plan.tx_prob, &first_arrival);
+
+  if (count == 0) {
+    metrics_.usage.add_idle_slot();
+    ++lane.tally.idle_slots;
+    if (config_.trace != nullptr && windowed) {
+      config_.trace->record(lane.now, sim::TraceKind::ProbeIdle,
+                            plan.window.lo, plan.window.hi);
+    }
+    engine.on_feedback(core::Feedback::Idle);
+    if (!engine.in_process() && lane.now >= config_.warmup) {
+      metrics_.process_slots.add(probes_so_far);  // empty process
+    }
+    lane.now += step_duration(1.0);
+  } else if (count == 1) {
+    ++lane.tally.successes;
+    const double arrival = first_arrival;
+    erase_transmitted(lane);
+    const double wait = lane.now - arrival;  // true waiting time
+    if (config_.trace != nullptr) {
+      config_.trace->record(lane.now, sim::TraceKind::Transmission, arrival);
+      if (wait > k) {
+        config_.trace->record(lane.now, sim::TraceKind::LateAtReceiver,
+                              arrival);
+      }
+    }
+    const bool counted = arrival >= config_.warmup;
+    if (counted) {
+      metrics_.wait_all.add(wait);
+      metrics_.wait_p50.add(wait);
+      metrics_.wait_p90.add(wait);
+      metrics_.wait_p99.add(wait);
+      if (metrics_.wait_hist_enabled) metrics_.wait_hist.add(wait);
+      metrics_.scheduling.add(lane.now - std::max(arrival, lane.last_tx_end));
+      if (wait <= k) {
+        ++metrics_.delivered;
+        metrics_.wait_delivered.add(wait);
+      } else {
+        ++metrics_.lost_receiver;
+      }
+    }
+    if (lane.now >= config_.warmup) {
+      metrics_.process_slots.add(probes_so_far);
+    }
+    metrics_.usage.add_success(config_.message_length,
+                               config_.success_overhead);
+    engine.on_feedback(core::Feedback::Success);
+    lane.last_tx_end = lane.now + step_duration(config_.message_length +
+                                                config_.success_overhead);
+    lane.now = lane.last_tx_end;
+  } else {
+    metrics_.usage.add_collision_slot();
+    ++lane.tally.collisions;
+    if (config_.trace != nullptr && windowed) {
+      config_.trace->record(lane.now, sim::TraceKind::ProbeCollision,
+                            plan.window.lo, plan.window.hi);
+    }
+    engine.on_feedback(core::Feedback::Collision);
+    lane.now += step_duration(1.0);
+  }
 }
 
 double AggregateSimulator::step_duration(double base) {
@@ -267,29 +349,42 @@ double AggregateSimulator::step_duration(double base) {
 
 void AggregateSimulator::finalize() {
   const double k = config_.policy.deadline;
-  const auto account = [&](double arrival) {
-    if (arrival < config_.warmup) return;
-    if (now_ - arrival > k) {
-      ++metrics_.censored_lost;  // still queued but already past deadline
+  obs::ChannelTally total;
+  std::uint64_t chunks_allocated = 0;
+  std::uint64_t chunks_released = 0;
+  for (std::size_t c = 0; c < lanes_.size(); ++c) {
+    Lane& lane = lanes_[c];
+    const auto account = [&](double arrival) {
+      if (arrival < config_.warmup) return;
+      if (lane.now - arrival > k) {
+        ++metrics_.censored_lost;  // still queued but already past deadline
+      } else {
+        ++metrics_.pending_at_end;
+      }
+    };
+    if (config_.reference_kernel) {
+      for (const double arrival : lane.pending_set) account(arrival);
     } else {
-      ++metrics_.pending_at_end;
+      lane.pending.for_each(account);
     }
-  };
-  if (config_.reference_kernel) {
-    for (const double arrival : pending_set_) account(arrival);
-  } else {
-    pending_.for_each(account);
+    total += lane.tally;
+    chunks_allocated += lane.pending.chunks_allocated();
+    chunks_released += lane.pending.chunks_released();
+    if (lanes_.size() > 1) {
+      obs::flush_channel_tally("net.aggregate",
+                               static_cast<std::uint32_t>(c), lane.tally);
+    }
   }
 
   AggregateCounters& counters = aggregate_counters();
   counters.runs.add(1);
-  counters.probe_slots.add(probe_steps_);
-  counters.idle_slots.add(obs_idle_);
-  counters.collisions.add(obs_collisions_);
-  counters.successes.add(obs_successes_);
-  counters.sender_discards.add(obs_discards_);
-  counters.chunks_allocated.add(pending_.chunks_allocated());
-  counters.chunks_released.add(pending_.chunks_released());
+  counters.probe_slots.add(total.probe_slots);
+  counters.idle_slots.add(total.idle_slots);
+  counters.collisions.add(total.collisions);
+  counters.successes.add(total.successes);
+  counters.sender_discards.add(total.sender_discards);
+  counters.chunks_allocated.add(chunks_allocated);
+  counters.chunks_released.add(chunks_released);
 }
 
 }  // namespace tcw::net

@@ -9,15 +9,30 @@
 // element (4) active, messages are also discarded at the sender once the
 // controller has aged them out. The analytic model's approximate waiting
 // definition is thereby tested against the truth, as in the paper.
+//
+// Multi-channel runs (mac.channel.channels > 1) shard the aggregate
+// stream across C parallel lanes, one engine instance per lane, with the
+// ChannelPlan's selector routing each arrival at generation time. Lanes
+// step in argmin-clock order (ties to the lowest index), which guarantees
+// every arrival at or below a lane's clock is routed before that lane
+// probes -- so a lane's resolved window floor never passes an unrouted
+// arrival and the single-channel invariants hold per lane. With C = 1 the
+// lane machinery degenerates to exactly the pre-multichannel loop: no
+// selector is consulted, lane-0 seeds are the raw seeds, and runs are
+// bit-identical to the single-channel kernel.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "chan/arrivals.hpp"
+#include "net/channel_plan.hpp"
 #include "net/metrics.hpp"
 #include "net/protocol_engine.hpp"
+#include "obs/channel_counters.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 #include "util/flat_deque.hpp"
@@ -26,11 +41,11 @@ namespace tcw::net {
 
 struct AggregateConfig {
   core::ControlPolicy policy;
-  /// Which MAC discipline runs the slot-by-slot access decisions. The
-  /// default is the paper's window engine; see net/protocol_engine.hpp
-  /// for the catalog. reference_kernel requires the window engine (the
-  /// seed-era path predates the engine seam).
-  EngineConfig engine;
+  /// Which MAC discipline runs the slot-by-slot access decisions and how
+  /// many channels it is sharded across. The default is the paper's
+  /// window engine on one channel; see net/protocol_engine.hpp and
+  /// net/channel_plan.hpp for the catalogs.
+  PolicyConfig mac;
   double message_length = 25.0;   // M, slots
   double success_overhead = 1.0;  // extra slots per success
   double t_end = 200000.0;        // run length, slots
@@ -38,6 +53,7 @@ struct AggregateConfig {
   std::uint64_t seed = 1;
   bool record_wait_histogram = false;
   /// Optional event trace; must outlive the simulator. Not owned.
+  /// Requires a single channel (trace records carry no channel field).
   sim::TraceLog* trace = nullptr;
   /// Asynchrony-sensitivity knob (paper Section 5, second extension, as a
   /// robustness study -- see DESIGN.md): each probe step consumes an extra
@@ -66,63 +82,77 @@ class AggregateSimulator {
   const SimMetrics& run();
 
   const SimMetrics& metrics() const { return metrics_; }
-  /// The window controller behind the engine. Contract violation for
-  /// non-window engines (they have no controller to expose); callers that
-  /// handle every engine should go through `engine()` instead.
+  /// The window controller behind the lane-0 engine. Contract violation
+  /// for non-window engines (they have no controller to expose); callers
+  /// that handle every engine should go through `engine()` instead.
   const core::WindowController& controller() const;
-  const ProtocolEngine& engine() const { return *engine_; }
-  double now() const { return now_; }
-  /// Probe slots actually issued (windows probed), for throughput benches.
-  std::uint64_t probe_steps() const { return probe_steps_; }
+  const ProtocolEngine& engine() const { return *lanes_[0].engine; }
+  /// The furthest lane clock (== the clock with one channel).
+  double now() const;
+  /// Probe slots actually issued (windows probed), summed over channels.
+  std::uint64_t probe_steps() const;
+  /// Per-channel slot-outcome tallies, valid after run().
+  std::vector<obs::ChannelTally> channel_tallies() const;
 
  private:
+  /// One channel: its engine instance, its pending-arrival structures,
+  /// its slot clock, and its outcome tally.
+  struct Lane {
+    std::unique_ptr<ProtocolEngine> engine;
+    // Transmission coins for Probability plans, engine-id-keyed and
+    // separate from the arrival stream. Never drawn under the window
+    // engine. Lane 0 runs on the raw engine_coin_seed stream.
+    sim::Rng coin_rng{0};
+    // Pending untransmitted arrival instants. Poisson (and all supplied)
+    // processes produce strictly increasing, hence distinct, times;
+    // exactly the contract of the flat chunked deque. `pending_set` is
+    // the retained reference structure, populated only under
+    // reference_kernel.
+    FlatChunkDeque pending;
+    std::set<double> pending_set;
+    // Handle to the element found by the last count_in_window call.
+    FlatChunkDeque::Pos found_pos;
+    std::set<double>::iterator found_it;
+    double now = 0.0;
+    double last_tx_end = 0.0;
+    obs::ChannelTally tally;
+  };
+
   void generate_arrivals_until(double t);
-  void purge_discarded();
+  std::uint32_t route_arrival(double arrival);
+  void step_lane(Lane& lane);
+  void purge_discarded(Lane& lane);
   void finalize();
   /// Base slot(s) plus the configured synchronization jitter, if any.
   double step_duration(double base);
   /// How many pending arrivals (capped at 2) fall in [lo, hi); `first`
   /// receives the oldest one when the count is nonzero.
-  std::size_t count_in_window(double lo, double hi, double* first);
+  std::size_t count_in_window(Lane& lane, double lo, double hi,
+                              double* first);
   /// Probability plans: every pending arrival (its own station in the
   /// infinite-population model) flips a coin with probability `p`. Every
   /// coin is drawn -- the stream must stay aligned regardless of outcome.
   /// Returns the number of transmitters; `first` receives the oldest one
   /// when the count is nonzero.
-  std::size_t count_transmitters(double p, double* first);
+  std::size_t count_transmitters(Lane& lane, double p, double* first);
   /// Remove the arrival returned via `first` (the successful transmitter).
-  void erase_transmitted();
+  void erase_transmitted(Lane& lane);
 
   AggregateConfig config_;
   std::unique_ptr<chan::ArrivalProcess> arrivals_;
   sim::Rng rng_;
-  // Transmission coins for Probability plans, engine-id-keyed and separate
-  // from the arrival stream. Never drawn under the window engine.
-  sim::Rng coin_rng_;
-  std::unique_ptr<ProtocolEngine> engine_;
-  // Pending untransmitted arrival instants. Poisson (and all supplied)
-  // processes produce strictly increasing, hence distinct, times; exactly
-  // the contract of the flat chunked deque. `pending_set_` is the retained
-  // reference structure, populated only when config_.reference_kernel.
-  FlatChunkDeque pending_;
-  std::set<double> pending_set_;
-  // Handle to the element found by the last count_in_window call.
-  FlatChunkDeque::Pos found_pos_;
-  std::set<double>::iterator found_it_;
-  std::uint64_t probe_steps_ = 0;
-  double now_ = 0.0;
+  std::vector<Lane> lanes_;
+  // Routing state; engaged only when mac.channel.channels > 1 (C = 1
+  // never consults a selector, preserving stream bit-identity).
+  std::optional<ChannelSelector> selector_;
+  // Scratch per-lane views for ChannelSelector::route.
+  std::vector<double> lane_now_scratch_;
+  std::vector<double> lane_busy_scratch_;
+  std::vector<std::uint64_t> lane_load_scratch_;
   double next_arrival_ = 0.0;
   bool arrivals_exhausted_ = false;
-  double last_tx_end_ = 0.0;
   SimMetrics metrics_;
   bool finished_ = false;
-  // Observability tallies, kept as plain locals on the hot path and
-  // flushed into the global obs registry once, in finalize(). They never
-  // feed back into the simulation (no RNG draws, no control flow).
-  std::uint64_t obs_idle_ = 0;
-  std::uint64_t obs_collisions_ = 0;
-  std::uint64_t obs_successes_ = 0;
-  std::uint64_t obs_discards_ = 0;
 };
 
 }  // namespace tcw::net

@@ -1,0 +1,153 @@
+#include "net/channel_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sim/sampling.hpp"
+#include "util/contract.hpp"
+
+namespace tcw::net {
+namespace {
+
+// Distinctive (hi, lo) coordinates on the derive_stream_seed plane. The
+// other occupied coordinates are: engine shared streams (engine_id, 0)
+// with engine_id < 256, coin streams (engine_id, 0xC0114), batched
+// arrivals (0xBA7C4ED, 0xA221), and sweep/study shards (small hi, small
+// lo). Channel streams use a large hi with lo = channel; the selector
+// plane uses its own (hi, lo) pair. test_seed_streams pins the
+// non-aliasing property across all of these.
+constexpr std::uint64_t kChannelStreamHi = 0xC4A27E15ULL;
+constexpr std::uint64_t kChannelSelectorHi = 0x5E1EC702ULL;
+constexpr std::uint64_t kChannelSelectorLo = 0xD1A1ULL;
+
+std::string ascii_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(ChannelSelectorKind kind) {
+  switch (kind) {
+    case ChannelSelectorKind::HashShard:
+      return "hash-shard";
+    case ChannelSelectorKind::UniformRandom:
+      return "uniform-random";
+    case ChannelSelectorKind::LeastLoaded:
+      return "least-loaded";
+    case ChannelSelectorKind::DeadlineHop:
+      return "deadline-hop";
+  }
+  return "unknown";
+}
+
+bool channel_selector_from_string(const std::string& name,
+                                  ChannelSelectorKind* out) {
+  const std::string lower = ascii_lower(name);
+  for (ChannelSelectorKind kind :
+       {ChannelSelectorKind::HashShard, ChannelSelectorKind::UniformRandom,
+        ChannelSelectorKind::LeastLoaded, ChannelSelectorKind::DeadlineHop}) {
+    if (lower == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string channel_selector_names() {
+  return "hash-shard, uniform-random, least-loaded, deadline-hop";
+}
+
+std::uint64_t channel_stream_seed(std::uint64_t base, std::uint32_t channel) {
+  if (channel == 0) return base;
+  return sim::derive_stream_seed(base, kChannelStreamHi, channel);
+}
+
+std::uint64_t channel_selector_seed(std::uint64_t sim_seed) {
+  return sim::derive_stream_seed(sim_seed, kChannelSelectorHi,
+                                 kChannelSelectorLo);
+}
+
+ChannelSelector::ChannelSelector(const ChannelPlan& plan,
+                                 std::uint64_t sim_seed)
+    : plan_(plan), rng_(channel_selector_seed(sim_seed)) {
+  TCW_EXPECTS(plan.channels >= 1);
+  TCW_EXPECTS(plan.skew >= 0.0 && plan.skew < 1.0);
+  cumulative_.resize(plan.channels);
+  double weight = 1.0;
+  double total = 0.0;
+  for (std::uint32_t c = 0; c < plan.channels; ++c) {
+    total += weight;
+    cumulative_[c] = total;
+    weight *= (1.0 - plan.skew);
+  }
+  for (double& v : cumulative_) v /= total;
+  cumulative_.back() = 1.0;  // guard against rounding at the top edge
+}
+
+std::uint32_t ChannelSelector::from_unit(double u) const {
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(
+                                   cumulative_.size() - 1)));
+  return static_cast<std::uint32_t>(idx);
+}
+
+std::uint32_t ChannelSelector::route(double arrival, const double* lane_now,
+                                     const double* lane_busy_until,
+                                     const std::uint64_t* lane_load,
+                                     double service) {
+  TCW_EXPECTS(plan_.channels > 1);
+  const std::uint32_t channels = plan_.channels;
+  switch (plan_.selector) {
+    case ChannelSelectorKind::HashShard: {
+      // Stateless hash of the global arrival index -> unit interval ->
+      // weighted shard map. No stream is consumed.
+      const std::uint64_t mixed = sim::splitmix64_mix(arrival_index_++);
+      const double u =
+          static_cast<double>(mixed >> 11) * 0x1.0p-53;
+      return from_unit(u);
+    }
+    case ChannelSelectorKind::UniformRandom: {
+      ++arrival_index_;
+      return from_unit(sim::uniform01(rng_));
+    }
+    case ChannelSelectorKind::LeastLoaded: {
+      ++arrival_index_;
+      std::uint32_t best = 0;
+      for (std::uint32_t c = 1; c < channels; ++c) {
+        if (lane_load[c] < lane_load[best]) best = c;
+      }
+      return best;
+    }
+    case ChannelSelectorKind::DeadlineHop: {
+      ++arrival_index_;
+      // Greedy deadline-aware hop: earliest estimated completion, i.e.
+      // when the lane is next free for this arrival plus a drain estimate
+      // for the messages already queued ahead of it.
+      std::uint32_t best = 0;
+      double best_score = 0.0;
+      for (std::uint32_t c = 0; c < channels; ++c) {
+        const double free_at =
+            std::max(std::max(lane_now[c], lane_busy_until[c]), arrival);
+        const double score =
+            free_at + static_cast<double>(lane_load[c]) * service;
+        if (c == 0 || score < best_score) {
+          best = c;
+          best_score = score;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tcw::net

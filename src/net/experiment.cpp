@@ -93,12 +93,20 @@ std::string loss_curve_fingerprint_text(const std::string& tag,
                 config.offered_load, config.message_length,
                 config.success_overhead, config.t_end, config.warmup);
   text += buf;
-  // The engine selection and its knobs change every job's result; fold
-  // them in unconditionally so two engines sharing one suite (and one
-  // store) can never collide on a shard key.
+  // The MAC policy -- engine selection, engine knobs, and the channel
+  // plan -- changes every job's result; fold every field in
+  // unconditionally so two engines (or channel layouts) sharing one suite
+  // and one store can never collide on a shard key. Adding the channel
+  // fields deliberately re-keyed all pre-multichannel stores.
   std::snprintf(buf, sizeof buf, "|engine=%s|txp=%.17g|rate=%.17g|n0=%.17g",
-                to_string(config.engine.kind).c_str(), config.engine.tx_prob,
-                config.engine.arrival_rate, config.engine.initial_backlog);
+                to_string(config.mac.engine.kind).c_str(),
+                config.mac.engine.tx_prob, config.mac.engine.arrival_rate,
+                config.mac.engine.initial_backlog);
+  text += buf;
+  std::snprintf(buf, sizeof buf, "|channels=%u|selector=%s|skew=%.17g",
+                config.mac.channel.channels,
+                to_string(config.mac.channel.selector).c_str(),
+                config.mac.channel.skew);
   text += buf;
   text += "|grid=";
   for (const double k : grid) {
@@ -198,7 +206,7 @@ class LossCurveSweep {
   void run_job(std::size_t job) {
     AggregateConfig sim_cfg;
     sim_cfg.policy = policies_[job];
-    sim_cfg.engine = config_.engine;
+    sim_cfg.mac = config_.mac;
     sim_cfg.message_length = config_.message_length;
     sim_cfg.success_overhead = config_.success_overhead;
     sim_cfg.t_end = config_.t_end;
@@ -301,39 +309,39 @@ std::size_t ScheduledSweep::skipped_jobs() const {
   return state_->skipped_jobs();
 }
 
-ScheduledSweep schedule_loss_curve_custom(
-    exec::SweepScheduler& scheduler, std::string name,
-    const SweepConfig& config,
-    const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints) {
-  return schedule_loss_curve_cached(scheduler, std::move(name), config,
-                                    make_policy, constraints,
-                                    SweepCacheBinding{});
-}
-
-ScheduledSweep schedule_loss_curve_cached(
-    exec::SweepScheduler& scheduler, std::string name,
-    const SweepConfig& config,
-    const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints,
-    const SweepCacheBinding& binding) {
+ScheduledSweep run_sweep(const SweepRequest& request,
+                         const SweepBindings& bindings) {
+  const SweepConfig& config = request.config;
+  std::function<core::ControlPolicy(double)> make_policy = request.make_policy;
+  if (!make_policy) {
+    const double width = config.heuristic_window_width();
+    const ProtocolVariant variant = request.variant;
+    make_policy = [variant, width](double k) {
+      return policy_for(variant, k, width);
+    };
+  }
   auto state = std::make_shared<detail::LossCurveSweep>(config, make_policy,
-                                                        constraints);
-  exec::ShardCache* cache = binding.cache;
+                                                        request.constraints);
+
+  exec::ShardCache* cache = bindings.cache.cache;
   obs::ManifestCollector& manifest = obs::ManifestCollector::global();
+  // Manifests record scheduled suites (studies); standalone sweeps stay
+  // out of them, as before the API consolidation.
+  const bool want_manifest =
+      bindings.scheduler != nullptr && manifest.enabled();
   // The fingerprint keys cached shards, but it is also the sweep's
   // configuration identity in the run manifest, so compute it whenever a
   // manifest was requested even without a cache binding.
   const std::uint64_t fp =
-      cache != nullptr || manifest.enabled()
-          ? exec::ShardCache::fingerprint(
-                loss_curve_fingerprint_text(binding.tag, config, constraints))
+      cache != nullptr || want_manifest
+          ? exec::ShardCache::fingerprint(loss_curve_fingerprint_text(
+                bindings.cache.tag, config, request.constraints))
           : 0;
 
   std::vector<std::function<void()>> shards;
   shards.reserve(state->jobs());
   std::vector<double> payload;
-  exec::ShardGate* gate = cache != nullptr ? binding.gate : nullptr;
+  exec::ShardGate* gate = cache != nullptr ? bindings.cache.gate : nullptr;
   for (std::size_t job = 0; job < state->jobs(); ++job) {
     if (cache != nullptr && !state->job_is_traced(job)) {
       const exec::ShardKey key{state->job_seed(job), fp};
@@ -362,9 +370,9 @@ ScheduledSweep schedule_loss_curve_cached(
     }
     shards.push_back([state, job] { state->run_job(job); });
   }
-  if (manifest.enabled()) {
+  if (want_manifest) {
     obs::ManifestSweep entry;
-    entry.name = name;
+    entry.name = bindings.name;
     entry.jobs = shards.size();
     entry.cached_jobs = state->cached_jobs();
     entry.base_seed = config.base_seed;
@@ -375,8 +383,65 @@ ScheduledSweep schedule_loss_curve_cached(
     }
     manifest.add_sweep(std::move(entry));
   }
-  scheduler.add_sweep(std::move(name), std::move(shards));
+
+  if (bindings.scheduler != nullptr) {
+    bindings.scheduler->add_sweep(bindings.name, std::move(shards));
+    return ScheduledSweep(std::move(state));
+  }
+
+  // Standalone: run the shard closures to completion on a transient pool.
+  // Same closures, same reduction -- bit-identical to the scheduled path.
+  const auto t0 = std::chrono::steady_clock::now();
+  exec::ThreadPool pool(exec::resolve_threads(config.threads));
+  exec::parallel_for(pool, shards.size(),
+                     [&shards](std::size_t i) { shards[i](); });
+  if (request.timing != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    request.timing->threads = static_cast<unsigned>(pool.size());
+    request.timing->jobs = state->jobs();
+    request.timing->wall_seconds = elapsed.count();
+    request.timing->jobs_per_second =
+        elapsed.count() > 0.0
+            ? static_cast<double>(state->jobs()) / elapsed.count()
+            : 0.0;
+  }
   return ScheduledSweep(std::move(state));
+}
+
+// Deprecated shims: each is a pure re-spelling of its historical
+// signature onto run_sweep. They carry no logic of their own, which is
+// what tests/test_experiment.cpp's bit-compare relies on.
+ScheduledSweep schedule_loss_curve_custom(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints) {
+  SweepRequest request;
+  request.config = config;
+  request.constraints = constraints;
+  request.make_policy = make_policy;
+  SweepBindings bindings;
+  bindings.scheduler = &scheduler;
+  bindings.name = std::move(name);
+  return run_sweep(request, bindings);
+}
+
+ScheduledSweep schedule_loss_curve_cached(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints,
+    const SweepCacheBinding& binding) {
+  SweepRequest request;
+  request.config = config;
+  request.constraints = constraints;
+  request.make_policy = make_policy;
+  SweepBindings bindings;
+  bindings.scheduler = &scheduler;
+  bindings.name = std::move(name);
+  bindings.cache = binding;
+  return run_sweep(request, bindings);
 }
 
 ScheduledSweep schedule_loss_curve(exec::SweepScheduler& scheduler,
@@ -384,46 +449,37 @@ ScheduledSweep schedule_loss_curve(exec::SweepScheduler& scheduler,
                                    const SweepConfig& config,
                                    ProtocolVariant variant,
                                    const std::vector<double>& constraints) {
-  const double width = config.heuristic_window_width();
-  return schedule_loss_curve_custom(
-      scheduler, std::move(name), config,
-      [variant, width](double k) { return policy_for(variant, k, width); },
-      constraints);
+  SweepRequest request;
+  request.config = config;
+  request.constraints = constraints;
+  request.variant = variant;
+  SweepBindings bindings;
+  bindings.scheduler = &scheduler;
+  bindings.name = std::move(name);
+  return run_sweep(request, bindings);
 }
 
 std::vector<SweepPoint> simulate_loss_curve_custom(
     const SweepConfig& config,
     const std::function<core::ControlPolicy(double)>& make_policy,
     const std::vector<double>& constraints, SweepTiming* timing) {
-  const auto t0 = std::chrono::steady_clock::now();
-  detail::LossCurveSweep sweep(config, make_policy, constraints);
-  exec::ThreadPool pool(exec::resolve_threads(config.threads));
-  exec::parallel_for(pool, sweep.jobs(),
-                     [&sweep](std::size_t job) { sweep.run_job(job); });
-  std::vector<SweepPoint> out = sweep.reduce();
-
-  if (timing != nullptr) {
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - t0;
-    timing->threads = static_cast<unsigned>(pool.size());
-    timing->jobs = sweep.jobs();
-    timing->wall_seconds = elapsed.count();
-    timing->jobs_per_second =
-        elapsed.count() > 0.0
-            ? static_cast<double>(sweep.jobs()) / elapsed.count()
-            : 0.0;
-  }
-  return out;
+  SweepRequest request;
+  request.config = config;
+  request.constraints = constraints;
+  request.make_policy = make_policy;
+  request.timing = timing;
+  return run_sweep(request).points();
 }
 
 std::vector<SweepPoint> simulate_loss_curve(
     const SweepConfig& config, ProtocolVariant variant,
     const std::vector<double>& constraints, SweepTiming* timing) {
-  const double width = config.heuristic_window_width();
-  return simulate_loss_curve_custom(
-      config,
-      [variant, width](double k) { return policy_for(variant, k, width); },
-      constraints, timing);
+  SweepRequest request;
+  request.config = config;
+  request.constraints = constraints;
+  request.variant = variant;
+  request.timing = timing;
+  return run_sweep(request).points();
 }
 
 std::vector<double> linear_grid(double lo, double hi, std::size_t n) {

@@ -37,9 +37,11 @@ core::ControlPolicy policy_for(ProtocolVariant variant, double deadline,
 
 struct SweepConfig {
   double offered_load = 0.5;      // rho' = lambda * M
-  /// MAC engine every job runs (default: the paper's window engine). Part
-  /// of the cached-shard fingerprint, so mixed-engine suites never alias.
-  EngineConfig engine;
+  /// MAC policy every job runs: engine selection plus the channel plan
+  /// (default: the paper's window engine on one channel). Every field is
+  /// part of the cached-shard fingerprint, so mixed-engine or
+  /// mixed-channel suites never alias.
+  PolicyConfig mac;
   double message_length = 25.0;   // M, slots
   double success_overhead = 1.0;
   double t_end = 200000.0;        // slots per replication
@@ -96,24 +98,6 @@ struct SweepTiming {
   void accumulate(const SweepTiming& other);
 };
 
-/// Sweep one protocol variant over an ascending K grid using the
-/// infinite-population simulator. Runs every (K, replication) pair as an
-/// independent job on `config.threads` workers; deterministic given
-/// base_seed (bit-identical for any thread count). `timing`, when
-/// non-null, receives the sweep's wall-clock accounting.
-std::vector<SweepPoint> simulate_loss_curve(
-    const SweepConfig& config, ProtocolVariant variant,
-    const std::vector<double>& constraints, SweepTiming* timing = nullptr);
-
-/// Sweep with a caller-supplied policy factory (for ablations over
-/// arbitrary element combinations). The factory receives K; it is invoked
-/// serially on the calling thread (once per (K, replication), K-major),
-/// so it needs no internal synchronization.
-std::vector<SweepPoint> simulate_loss_curve_custom(
-    const SweepConfig& config,
-    const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints, SweepTiming* timing = nullptr);
-
 /// Evenly spaced K grid helper: n points from lo to hi inclusive.
 std::vector<double> linear_grid(double lo, double hi, std::size_t n);
 
@@ -123,33 +107,13 @@ class LossCurveSweep;
 
 class ScheduledSweep;
 
-/// Enqueue one loss-curve sweep as a named shard set on an externally
-/// owned exec::SweepScheduler (one shard per (K, replication) job), so
-/// many sweeps share a single thread pool with cross-sweep work stealing.
-/// `config.threads` is ignored in this mode. The returned handle's
-/// points() -- valid once the scheduler's run() has returned -- is
-/// bit-identical to simulate_loss_curve(...) with the same config.
-ScheduledSweep schedule_loss_curve(exec::SweepScheduler& scheduler,
-                                   std::string name,
-                                   const SweepConfig& config,
-                                   ProtocolVariant variant,
-                                   const std::vector<double>& constraints);
-
-/// Scheduler counterpart of simulate_loss_curve_custom. The factory is
-/// invoked serially at scheduling time (K-major, once per replication),
-/// exactly as in the standalone path.
-ScheduledSweep schedule_loss_curve_custom(
-    exec::SweepScheduler& scheduler, std::string name,
-    const SweepConfig& config,
-    const std::function<core::ControlPolicy(double)>& make_policy,
-    const std::vector<double>& constraints);
-
-/// Binds a scheduled sweep to a shard store for resumable studies. `tag`
-/// must uniquely describe the sweep's policy/configuration within the
-/// store (sweeps that deliberately share derived seeds -- common random
-/// numbers across ablation arms -- are separated by their tags): it is
-/// folded, together with every result-affecting SweepConfig field and the
-/// K grid, into the fingerprint half of each shard's ShardKey.
+/// Binds a sweep to a shard store for resumable studies. `tag` must
+/// uniquely describe the sweep's policy/configuration within the store
+/// (sweeps that deliberately share derived seeds -- common random numbers
+/// across ablation arms -- are separated by their tags): it is folded,
+/// together with every result-affecting SweepConfig field (including the
+/// MAC engine and channel plan) and the K grid, into the fingerprint half
+/// of each shard's ShardKey.
 struct SweepCacheBinding {
   exec::ShardCache* cache = nullptr;  // null disables caching
   std::string tag;
@@ -161,14 +125,83 @@ struct SweepCacheBinding {
   exec::ShardGate* gate = nullptr;
 };
 
-/// schedule_loss_curve_custom with a shard cache: jobs whose results are
-/// already in the store are decoded straight into their result slots and
-/// NOT registered as shards (the scheduler skips them); executed jobs
-/// append their results to the store as they complete. Reduction order is
-/// unchanged, so a resumed sweep's points are bit-identical to an
-/// uninterrupted run -- for any thread count. A job targeted by the
-/// config's trace request is always executed (a cache hit cannot replay
-/// protocol events).
+/// Everything one loss-curve sweep needs: the workload/engine/channel
+/// configuration, the ascending K grid, and the policy source. This is
+/// the options struct of the single entry point net::run_sweep, which
+/// replaced the five simulate_loss_curve* / schedule_loss_curve*
+/// functions (kept as deprecated shims for one PR).
+struct SweepRequest {
+  SweepConfig config;
+  /// Ascending K grid; one SweepPoint per entry.
+  std::vector<double> constraints;
+  /// Protocol variant used when `make_policy` is empty: policies come
+  /// from policy_for(variant, K, config.heuristic_window_width()).
+  ProtocolVariant variant = ProtocolVariant::Controlled;
+  /// Optional policy factory for ablations over arbitrary element
+  /// combinations. Receives K; invoked serially on the calling thread
+  /// (once per (K, replication), K-major), so it needs no internal
+  /// synchronization. When set, `variant` is ignored.
+  std::function<core::ControlPolicy(double)> make_policy;
+  /// Optional wall-clock accounting, filled in standalone mode only (a
+  /// scheduler-bound sweep is timed by its scheduler).
+  SweepTiming* timing = nullptr;
+};
+
+/// Optional execution bindings for run_sweep. Default-constructed
+/// bindings run the sweep standalone to completion on a transient pool of
+/// config.threads workers. With `scheduler` set, the sweep is enqueued as
+/// a named shard set on that externally owned exec::SweepScheduler (one
+/// shard per (K, replication) job, cross-sweep work stealing;
+/// config.threads is ignored) and points() becomes valid once the
+/// scheduler's run() has returned. `cache` binds a shard store in either
+/// mode: cached jobs are decoded straight into their result slots and not
+/// executed; executed jobs append their results to the store as they
+/// complete. Reduction order never changes, so cached/resumed/scheduled
+/// runs are all bit-identical to a cold standalone run -- for any thread
+/// count. A job targeted by the config's trace request is always executed
+/// (a cache hit cannot replay protocol events).
+struct SweepBindings {
+  exec::SweepScheduler* scheduler = nullptr;
+  /// Sweep name on the scheduler (required with `scheduler`); also the
+  /// name under which a run manifest records the sweep.
+  std::string name;
+  SweepCacheBinding cache;
+};
+
+/// THE sweep entry point: run (or enqueue) one loss-curve sweep described
+/// by `request` under `bindings`. Runs every (K, replication) pair as an
+/// independent job; deterministic given config.base_seed (bit-identical
+/// for any thread count, with or without a scheduler or cache).
+ScheduledSweep run_sweep(const SweepRequest& request,
+                         const SweepBindings& bindings = {});
+
+/// Deprecated shims over run_sweep (one-PR compatibility surface).
+[[deprecated("use net::run_sweep(SweepRequest)")]]
+std::vector<SweepPoint> simulate_loss_curve(
+    const SweepConfig& config, ProtocolVariant variant,
+    const std::vector<double>& constraints, SweepTiming* timing = nullptr);
+
+[[deprecated("use net::run_sweep(SweepRequest)")]]
+std::vector<SweepPoint> simulate_loss_curve_custom(
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints, SweepTiming* timing = nullptr);
+
+[[deprecated("use net::run_sweep(SweepRequest) with SweepBindings")]]
+ScheduledSweep schedule_loss_curve(exec::SweepScheduler& scheduler,
+                                   std::string name,
+                                   const SweepConfig& config,
+                                   ProtocolVariant variant,
+                                   const std::vector<double>& constraints);
+
+[[deprecated("use net::run_sweep(SweepRequest) with SweepBindings")]]
+ScheduledSweep schedule_loss_curve_custom(
+    exec::SweepScheduler& scheduler, std::string name,
+    const SweepConfig& config,
+    const std::function<core::ControlPolicy(double)>& make_policy,
+    const std::vector<double>& constraints);
+
+[[deprecated("use net::run_sweep(SweepRequest) with SweepBindings")]]
 ScheduledSweep schedule_loss_curve_cached(
     exec::SweepScheduler& scheduler, std::string name,
     const SweepConfig& config,
@@ -176,13 +209,14 @@ ScheduledSweep schedule_loss_curve_cached(
     const std::vector<double>& constraints,
     const SweepCacheBinding& binding);
 
-/// Handle to a sweep registered via schedule_loss_curve*. Copyable; all
-/// copies view the same shard slots.
+/// Handle to a sweep built by run_sweep. Copyable; all copies view the
+/// same shard slots.
 class ScheduledSweep {
  public:
-  /// Fixed-order reduction of the shard results. Call only after the
-  /// owning scheduler's run() has returned (shard slots are written
-  /// concurrently until then).
+  /// Fixed-order reduction of the shard results. In standalone mode,
+  /// valid as soon as run_sweep returns; in scheduler mode, call only
+  /// after the owning scheduler's run() has returned (shard slots are
+  /// written concurrently until then).
   std::vector<SweepPoint> points() const;
 
   /// Number of (K, replication) shards this sweep contributed.
@@ -199,10 +233,7 @@ class ScheduledSweep {
 
  private:
   explicit ScheduledSweep(std::shared_ptr<detail::LossCurveSweep> state);
-  friend ScheduledSweep schedule_loss_curve_cached(
-      exec::SweepScheduler&, std::string, const SweepConfig&,
-      const std::function<core::ControlPolicy(double)>&,
-      const std::vector<double>&, const SweepCacheBinding&);
+  friend ScheduledSweep run_sweep(const SweepRequest&, const SweepBindings&);
 
   std::shared_ptr<detail::LossCurveSweep> state_;
 };

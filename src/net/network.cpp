@@ -58,13 +58,15 @@ std::uint64_t batched_arrival_seed(std::uint64_t sim_seed) {
 Network::Network(const NetworkConfig& config)
     : config_(config),
       rng_(config.seed),
-      coin_rng_(engine_coin_seed(config.engine.kind, config.seed)) {
+      coin_rng_(engine_coin_seed(config.mac.engine.kind, config.seed)) {
   TCW_EXPECTS(config_.t_end > config_.warmup);
   TCW_EXPECTS(config_.message_length >= 1.0);
-  // The retained seed-era path predates the engine seam and hardwires the
-  // window controller; it exists only as that engine's cross-check.
-  TCW_EXPECTS(config_.engine.kind == EngineKind::Window ||
-              !config_.reference_kernel);
+  const ChannelPlan& plan = config_.mac.channel;
+  TCW_EXPECTS(plan.channels >= 1);
+  TCW_EXPECTS(plan.skew >= 0.0 && plan.skew < 1.0);
+  // Trace records carry no channel field; tracing is a single-channel
+  // debugging surface.
+  TCW_EXPECTS(config_.trace == nullptr || plan.channels == 1);
 }
 
 void Network::add_station(std::unique_ptr<chan::ArrivalProcess> arrivals) {
@@ -128,8 +130,32 @@ void Network::build_engines() {
   const std::size_t replicas = controller_replicas();
   engines_.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) {
-    engines_.push_back(make_engine(config_.engine, config_.policy));
+    engines_.push_back(make_engine(config_.mac.engine, config_.policy));
   }
+}
+
+std::uint64_t Network::probe_steps() const {
+  if (mc_lanes_.empty()) return probe_steps_;
+  std::uint64_t total = 0;
+  for (const McLane& lane : mc_lanes_) total += lane.tally.probe_slots;
+  return total;
+}
+
+std::vector<obs::ChannelTally> Network::channel_tallies() const {
+  std::vector<obs::ChannelTally> tallies;
+  if (mc_lanes_.empty()) {
+    obs::ChannelTally tally;
+    tally.probe_slots = probe_steps_;
+    tally.idle_slots = obs_idle_;
+    tally.collisions = obs_collisions_;
+    tally.successes = obs_successes_;
+    tally.sender_discards = obs_discards_;
+    tallies.push_back(tally);
+    return tallies;
+  }
+  tallies.reserve(mc_lanes_.size());
+  for (const McLane& lane : mc_lanes_) tallies.push_back(lane.tally);
+  return tallies;
 }
 
 void Network::desync_replica_for_test(std::size_t replica) {
@@ -254,8 +280,13 @@ void Network::purge_expired() {
 
 std::ptrdiff_t Network::eligible_index(const Station& st, double lo,
                                        double hi) {
-  for (std::size_t i = 0; i < st.queue.size(); ++i) {
-    const double stamp = st.queue[i].window_stamp;
+  return eligible_index_q(st.queue, lo, hi);
+}
+
+std::ptrdiff_t Network::eligible_index_q(const std::deque<chan::Message>& q,
+                                         double lo, double hi) {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const double stamp = q[i].window_stamp;
     if (stamp >= hi) break;  // queue is sorted by stamp
     if (stamp >= lo) return static_cast<std::ptrdiff_t>(i);
   }
@@ -360,6 +391,7 @@ bool Network::try_skip_quiescent() {
 const SimMetrics& Network::run() {
   TCW_EXPECTS(!finished_);
   TCW_EXPECTS(!stations_.empty());
+  if (config_.mac.channel.channels > 1) return run_multichannel();
   if (config_.event_skip) {
     // The skip certificates only hold on the schedule-independent batched
     // stream, produce no per-slot trace events, and canonicalize replica
@@ -563,8 +595,371 @@ const SimMetrics& Network::run() {
   return metrics_;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-channel stepping (mac.channel.channels > 1). Each lane is its own
+// slotted channel with its own engine replicas, coin stream, per-station
+// queues, and clock; the ChannelPlan's selector routes each message to one
+// lane at arrival time. Lanes step in argmin-clock order (ties to the
+// lowest index), which guarantees every arrival at or below a lane's clock
+// is routed before that lane probes, so the single-channel invariants
+// (window floors never passing unrouted arrivals) hold per lane.
+
+void Network::mc_activate(McLane& lane, std::uint32_t station) {
+  if (lane.active_pos[station] >= 0) return;
+  lane.active_pos[station] = static_cast<std::ptrdiff_t>(lane.active.size());
+  lane.active.push_back(station);
+}
+
+void Network::mc_deactivate(McLane& lane, std::uint32_t station) {
+  if (lane.active_pos[station] < 0) return;
+  const auto pos = static_cast<std::size_t>(lane.active_pos[station]);
+  lane.active[pos] = lane.active.back();
+  lane.active_pos[lane.active[pos]] = static_cast<std::ptrdiff_t>(pos);
+  lane.active.pop_back();
+  lane.active_pos[station] = -1;
+}
+
+void Network::mc_route_message(chan::Message msg) {
+  for (std::size_t c = 0; c < mc_lanes_.size(); ++c) {
+    const McLane& lane = mc_lanes_[c];
+    lane_now_scratch_[c] = lane.now;
+    lane_busy_scratch_[c] = lane.last_tx_end;
+    lane_load_scratch_[c] = lane.pending;
+  }
+  const std::uint32_t c = selector_->route(
+      msg.arrival, lane_now_scratch_.data(), lane_busy_scratch_.data(),
+      lane_load_scratch_.data(),
+      config_.message_length + config_.success_overhead);
+  McLane& lane = mc_lanes_[c];
+  const auto station = static_cast<std::uint32_t>(msg.station);
+  lane.queues[station].push_back(msg);
+  ++lane.pending;
+  mc_activate(lane, station);
+  if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
+}
+
+void Network::mc_generate_arrivals_until(double t) {
+  if (batched_rate_ > 0.0) {
+    while (next_batched_arrival() <= t) {
+      const BatchedArrival a = batched_block_[batched_pos_++];
+      Station& st = stations_[a.station];
+      mc_route_message(chan::Message::make(next_msg_id_++, st.id, a.time,
+                                           config_.message_length));
+    }
+    return;
+  }
+  for (Station& st : stations_) {
+    while (st.next_arrival <= t) {
+      mc_route_message(chan::Message::make(
+          next_msg_id_++, st.id, st.next_arrival, config_.message_length));
+      st.next_arrival = st.arrivals->next(rng_);
+    }
+  }
+}
+
+void Network::mc_purge_expired(McLane& lane) {
+  if (!config_.policy.discard) return;
+  const double cutoff = lane.now - config_.policy.deadline;
+  const auto expired = [&](const chan::Message& msg) {
+    if (msg.arrival >= cutoff) return false;
+    ++lane.tally.sender_discards;
+    --lane.pending;
+    if (msg.arrival >= config_.warmup) ++metrics_.lost_sender;
+    return true;
+  };
+  if (config_.reference_kernel) {
+    // Reference path: per-element deque erase, every station scanned.
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      auto& queue = lane.queues[s];
+      for (auto it = queue.begin(); it != queue.end();) {
+        if (expired(*it)) {
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (queue.empty()) {
+        mc_deactivate(lane, static_cast<std::uint32_t>(s));
+      }
+    }
+    return;
+  }
+  // One stable sweep per station in id order (the same order as the
+  // reference path, so tallies and metrics are bit-identical).
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    auto& queue = lane.queues[s];
+    if (queue.empty()) continue;
+    queue.erase(std::remove_if(queue.begin(), queue.end(), expired),
+                queue.end());
+    if (queue.empty()) mc_deactivate(lane, static_cast<std::uint32_t>(s));
+  }
+}
+
+void Network::mc_check_consistency(McLane& lane) {
+  ++checks_run_;
+  for (std::size_t i = 1; i < lane.engines.size(); ++i) {
+    if (!lane.engines[0]->state_equals(*lane.engines[i])) {
+      lane.consistent = false;
+      consistent_ = false;
+      return;
+    }
+  }
+}
+
+void Network::mc_restamp_stranded(McLane& lane, std::uint32_t station,
+                                  double lo, double hi) {
+  auto& queue = lane.queues[station];
+  double restamp = lane.now;
+  std::size_t first = queue.size();
+  std::size_t last = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    chan::Message& pending = queue[i];
+    if (pending.window_stamp >= lo && pending.window_stamp < hi) {
+      restamp += 1e-7;
+      pending.window_stamp = restamp;
+      first = std::min(first, i);
+      last = i;
+      ++count;
+    }
+  }
+  if (count == 0) return;
+  obs_restamps_ += count;
+  if (count == last - first + 1) {
+    std::rotate(queue.begin() + static_cast<std::ptrdiff_t>(first),
+                queue.begin() + static_cast<std::ptrdiff_t>(last + 1),
+                queue.end());
+  } else {
+    std::sort(queue.begin(), queue.end(),
+              [](const chan::Message& a, const chan::Message& b) {
+                return a.window_stamp < b.window_stamp;
+              });
+  }
+}
+
+void Network::mc_step_lane(McLane& lane) {
+  const double k = config_.policy.deadline;
+  const bool reference = config_.reference_kernel;
+  mc_generate_arrivals_until(lane.now);
+  const bool was_in_process = lane.engines[0]->in_process();
+  const bool audit = lane.consistent;
+  const SlotPlan plan = lane.engines[0]->next_slot(lane.now);
+  if (audit) {
+    for (std::size_t i = 1; i < lane.engines.size(); ++i) {
+      if (!(lane.engines[i]->next_slot(lane.now) == plan)) {
+        lane.consistent = false;
+        consistent_ = false;
+      }
+    }
+  }
+  const bool step_shadows = audit && lane.consistent;
+  const auto apply_feedback = [&](core::Feedback fb) {
+    lane.engines[0]->on_feedback(fb);
+    if (step_shadows) {
+      for (std::size_t i = 1; i < lane.engines.size(); ++i) {
+        lane.engines[i]->on_feedback(fb);
+      }
+    }
+  };
+  ++lane.tally.probe_slots;
+  if (!was_in_process) {
+    mc_purge_expired(lane);
+    if (lane.now >= config_.warmup) {
+      metrics_.pseudo_backlog.add(lane.engines[0]->backlog_metric(lane.now));
+    }
+  }
+  if (config_.consistency_check_every != 0 &&
+      lane.tally.probe_slots % config_.consistency_check_every == 0) {
+    mc_check_consistency(lane);
+  }
+  if (plan.kind == SlotPlan::Kind::Idle) {
+    metrics_.usage.add_idle_slot();
+    ++lane.tally.idle_slots;
+    lane.now += 1.0;
+    return;
+  }
+  const bool windowed = plan.kind == SlotPlan::Kind::Window;
+  const auto probes_so_far =
+      static_cast<double>(lane.engines[0]->process_probes());
+
+  std::uint32_t tx_station = 0;
+  std::ptrdiff_t tx_index = -1;
+  std::size_t tx_count = 0;
+  if (!windowed) {
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      if (lane.queues[s].empty()) continue;
+      if (sim::bernoulli(lane.coin_rng, plan.tx_prob)) {
+        ++tx_count;
+        if (tx_count == 1) {
+          tx_station = static_cast<std::uint32_t>(s);
+          tx_index = 0;  // ALOHA stations send their oldest message
+        }
+      }
+    }
+  } else if (reference) {
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      const std::ptrdiff_t idx =
+          eligible_index_q(lane.queues[s], plan.window.lo, plan.window.hi);
+      if (idx >= 0) {
+        ++tx_count;
+        tx_station = static_cast<std::uint32_t>(s);
+        tx_index = idx;
+      }
+    }
+  } else {
+    for (const std::uint32_t id : lane.active) {
+      const std::ptrdiff_t idx =
+          eligible_index_q(lane.queues[id], plan.window.lo, plan.window.hi);
+      if (idx >= 0) {
+        ++tx_count;
+        tx_station = id;
+        tx_index = idx;
+        if (tx_count == 2) break;  // collision decided
+      }
+    }
+  }
+
+  if (tx_count == 0) {
+    metrics_.usage.add_idle_slot();
+    ++lane.tally.idle_slots;
+    apply_feedback(core::Feedback::Idle);
+    if (!lane.engines[0]->in_process() && lane.now >= config_.warmup) {
+      metrics_.process_slots.add(probes_so_far);
+    }
+    lane.now += 1.0;
+  } else if (tx_count == 1) {
+    ++lane.tally.successes;
+    auto& queue = lane.queues[tx_station];
+    const chan::Message msg = queue[static_cast<std::size_t>(tx_index)];
+    queue.erase(queue.begin() + tx_index);
+    --lane.pending;
+    const double wait = lane.now - msg.arrival;
+    if (msg.arrival >= config_.warmup) {
+      metrics_.wait_all.add(wait);
+      metrics_.wait_p50.add(wait);
+      metrics_.wait_p90.add(wait);
+      metrics_.wait_p99.add(wait);
+      if (metrics_.wait_hist_enabled) metrics_.wait_hist.add(wait);
+      metrics_.scheduling.add(lane.now -
+                              std::max(msg.arrival, lane.last_tx_end));
+      if (wait <= k) {
+        ++metrics_.delivered;
+        metrics_.wait_delivered.add(wait);
+      } else {
+        ++metrics_.lost_receiver;
+      }
+    }
+    if (lane.now >= config_.warmup) metrics_.process_slots.add(probes_so_far);
+    metrics_.usage.add_success(config_.message_length,
+                               config_.success_overhead);
+    if (!windowed) {
+      if (queue.empty()) mc_deactivate(lane, tx_station);
+    } else if (reference) {
+      double restamp = lane.now;
+      for (auto& pending : queue) {
+        if (pending.window_stamp >= plan.window.lo &&
+            pending.window_stamp < plan.window.hi) {
+          restamp += 1e-7;
+          pending.window_stamp = restamp;
+          ++obs_restamps_;
+        }
+      }
+      std::sort(queue.begin(), queue.end(),
+                [](const chan::Message& a, const chan::Message& b) {
+                  return a.window_stamp < b.window_stamp;
+                });
+    } else {
+      mc_restamp_stranded(lane, tx_station, plan.window.lo, plan.window.hi);
+      if (queue.empty()) mc_deactivate(lane, tx_station);
+    }
+    apply_feedback(core::Feedback::Success);
+    lane.last_tx_end =
+        lane.now + config_.message_length + config_.success_overhead;
+    lane.now = lane.last_tx_end;
+  } else {
+    metrics_.usage.add_collision_slot();
+    ++lane.tally.collisions;
+    apply_feedback(core::Feedback::Collision);
+    lane.now += 1.0;
+  }
+}
+
+const SimMetrics& Network::run_multichannel() {
+  // Multi-channel runs exclude the single-channel-only surfaces: the
+  // event-skip stepper (certificates assume one lane), traces (records
+  // carry no channel field; also enforced at construction), and the
+  // desync test hook (the audit machinery is per-lane).
+  TCW_EXPECTS(!config_.event_skip);
+  TCW_EXPECTS(config_.trace == nullptr);
+  TCW_EXPECTS(desync_replica_ == SIZE_MAX);
+  const ChannelPlan& plan = config_.mac.channel;
+  const std::size_t replicas = controller_replicas();
+  mc_lanes_.resize(plan.channels);
+  const std::uint64_t coin_base =
+      engine_coin_seed(config_.mac.engine.kind, config_.seed);
+  for (std::uint32_t c = 0; c < plan.channels; ++c) {
+    McLane& lane = mc_lanes_[c];
+    core::ControlPolicy lane_policy = config_.policy;
+    lane_policy.shared_seed =
+        channel_stream_seed(config_.policy.shared_seed, c);
+    lane.engines.reserve(replicas);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      lane.engines.push_back(make_engine(config_.mac.engine, lane_policy));
+    }
+    lane.coin_rng = sim::Rng(channel_stream_seed(coin_base, c));
+    lane.queues.resize(stations_.size());
+    lane.active_pos.assign(stations_.size(), -1);
+  }
+  selector_.emplace(plan, config_.seed);
+  lane_now_scratch_.resize(plan.channels);
+  lane_busy_scratch_.resize(plan.channels);
+  lane_load_scratch_.resize(plan.channels);
+
+  for (;;) {
+    std::size_t li = 0;
+    for (std::size_t c = 1; c < mc_lanes_.size(); ++c) {
+      if (mc_lanes_[c].now < mc_lanes_[li].now) li = c;
+    }
+    if (mc_lanes_[li].now >= config_.t_end) break;
+    mc_step_lane(mc_lanes_[li]);
+  }
+  finalize();
+  finished_ = true;
+  return metrics_;
+}
+
 void Network::finalize() {
   const double k = config_.policy.deadline;
+  NetworkCounters& counters = network_counters();
+  if (!mc_lanes_.empty()) {
+    obs::ChannelTally total;
+    for (std::size_t c = 0; c < mc_lanes_.size(); ++c) {
+      McLane& lane = mc_lanes_[c];
+      for (const auto& queue : lane.queues) {
+        for (const chan::Message& msg : queue) {
+          if (msg.arrival < config_.warmup) continue;
+          if (lane.now - msg.arrival > k) {
+            ++metrics_.censored_lost;
+          } else {
+            ++metrics_.pending_at_end;
+          }
+        }
+      }
+      if (config_.consistency_check_every != 0) mc_check_consistency(lane);
+      total += lane.tally;
+      obs::flush_channel_tally("net.network", static_cast<std::uint32_t>(c),
+                               lane.tally);
+    }
+    counters.runs.add(1);
+    counters.probe_slots.add(total.probe_slots);
+    counters.idle_slots.add(total.idle_slots);
+    counters.collisions.add(total.collisions);
+    counters.successes.add(total.successes);
+    counters.sender_discards.add(total.sender_discards);
+    counters.restamps.add(obs_restamps_);
+    counters.consistency_checks.add(checks_run_);
+    return;
+  }
   for (const Station& st : stations_) {
     for (const chan::Message& msg : st.queue) {
       if (msg.arrival < config_.warmup) continue;
@@ -577,7 +972,6 @@ void Network::finalize() {
   }
   if (config_.consistency_check_every != 0) check_consistency();
 
-  NetworkCounters& counters = network_counters();
   counters.runs.add(1);
   counters.probe_slots.add(probe_steps_);
   counters.idle_slots.add(obs_idle_);

@@ -18,12 +18,15 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "chan/arrivals.hpp"
 #include "chan/message.hpp"
+#include "net/channel_plan.hpp"
 #include "net/metrics.hpp"
 #include "net/protocol_engine.hpp"
+#include "obs/channel_counters.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 
@@ -31,11 +34,14 @@ namespace tcw::net {
 
 struct NetworkConfig {
   core::ControlPolicy policy;
-  /// Which MAC discipline runs the slot-by-slot access decisions. The
-  /// default is the paper's window engine; see net/protocol_engine.hpp
-  /// for the catalog. reference_kernel requires the window engine (the
-  /// seed-era path predates the engine seam).
-  EngineConfig engine;
+  /// Which MAC discipline runs the slot-by-slot access decisions and how
+  /// many channels it is sharded across. The default is the paper's
+  /// window engine on one channel; see net/protocol_engine.hpp and
+  /// net/channel_plan.hpp for the catalogs. Multi-channel runs
+  /// (mac.channel.channels > 1) route each message to one channel at
+  /// arrival time and step lanes in argmin-clock order; they exclude
+  /// event_skip, traces, and the desync test hook.
+  PolicyConfig mac;
   double message_length = 25.0;
   double success_overhead = 1.0;
   double t_end = 50000.0;
@@ -116,8 +122,12 @@ class Network {
   std::uint64_t consistency_checks_run() const { return checks_run_; }
   bool stations_consistent() const { return consistent_; }
   const SimMetrics& metrics() const { return metrics_; }
-  /// Probe slots issued so far (throughput benches divide by wall time).
-  std::uint64_t probe_steps() const { return probe_steps_; }
+  /// Probe slots issued so far, summed over channels (throughput benches
+  /// divide by wall time).
+  std::uint64_t probe_steps() const;
+  /// Per-channel slot-outcome tallies, valid after run(). Single-channel
+  /// runs report their one channel at index 0.
+  std::vector<obs::ChannelTally> channel_tallies() const;
   /// Slots covered by event-skip certificates rather than stepped one by
   /// one (0 unless NetworkConfig::event_skip; benches report the ratio).
   std::uint64_t skipped_slots() const { return skipped_slots_; }
@@ -151,6 +161,23 @@ class Network {
     std::uint32_t station = 0;
   };
 
+  /// One channel of a multi-channel run: its engine replicas, slot clock,
+  /// coin stream, per-station message queues, active-station index, and
+  /// outcome tally. The single-channel path never builds these (it runs
+  /// the original loop on the flat members below, bit-identically).
+  struct McLane {
+    std::vector<std::unique_ptr<ProtocolEngine>> engines;
+    sim::Rng coin_rng{0};
+    double now = 0.0;
+    double last_tx_end = 0.0;
+    bool consistent = true;
+    std::uint64_t pending = 0;  // messages queued across all stations
+    std::vector<std::deque<chan::Message>> queues;  // per station, by stamp
+    std::vector<std::uint32_t> active;              // station ids
+    std::vector<std::ptrdiff_t> active_pos;         // per station, -1 = out
+    obs::ChannelTally tally;
+  };
+
   void generate_arrivals_until(double t);
   void refill_batched_block();
   /// Time of the next undelivered batched arrival (refills as needed).
@@ -164,6 +191,8 @@ class Network {
   /// Index of the message with the oldest stamp inside [lo, hi); -1 if none.
   static std::ptrdiff_t eligible_index(const Station& st, double lo,
                                        double hi);
+  static std::ptrdiff_t eligible_index_q(const std::deque<chan::Message>& q,
+                                         double lo, double hi);
   void build_engines();
   void check_consistency();
   void finalize();
@@ -172,6 +201,20 @@ class Network {
   /// Move the transmitter's messages stranded in the resolved window
   /// [lo, hi) behind everything else, re-stamped to fresh instants.
   void restamp_stranded(Station& st, double lo, double hi);
+
+  // Multi-channel (mac.channel.channels > 1) machinery. Lanes step in
+  // argmin-clock order, so every arrival at or below a lane's clock is
+  // routed before that lane probes.
+  const SimMetrics& run_multichannel();
+  void mc_step_lane(McLane& lane);
+  void mc_generate_arrivals_until(double t);
+  void mc_route_message(chan::Message msg);
+  void mc_purge_expired(McLane& lane);
+  void mc_check_consistency(McLane& lane);
+  void mc_restamp_stranded(McLane& lane, std::uint32_t station, double lo,
+                           double hi);
+  void mc_activate(McLane& lane, std::uint32_t station);
+  void mc_deactivate(McLane& lane, std::uint32_t station);
 
   NetworkConfig config_;
   std::vector<Station> stations_;
@@ -212,6 +255,12 @@ class Network {
   std::uint64_t obs_successes_ = 0;
   std::uint64_t obs_discards_ = 0;
   std::uint64_t obs_restamps_ = 0;
+  // Multi-channel state; empty/disengaged in single-channel runs.
+  std::vector<McLane> mc_lanes_;
+  std::optional<ChannelSelector> selector_;
+  std::vector<double> lane_now_scratch_;
+  std::vector<double> lane_busy_scratch_;
+  std::vector<std::uint64_t> lane_load_scratch_;
 };
 
 }  // namespace tcw::net

@@ -1,6 +1,7 @@
 #include "net/protocol_engine.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <numbers>
 
@@ -208,15 +209,23 @@ std::string to_string(EngineKind kind) {
 
 bool engine_kind_from_string(const std::string& name, EngineKind* out) {
   TCW_EXPECTS(out != nullptr);
+  std::string lower = name;
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   for (const EngineKind kind :
        {EngineKind::Window, EngineKind::SlottedAloha,
         EngineKind::DynamicAloha}) {
-    if (name == to_string(kind)) {
+    if (lower == to_string(kind)) {
       *out = kind;
       return true;
     }
   }
   return false;
+}
+
+std::string engine_kind_names() {
+  return "window, slotted-aloha, dynamic-aloha";
 }
 
 std::uint64_t engine_stream_seed(EngineKind kind, std::uint64_t base) {
@@ -253,6 +262,13 @@ std::unique_ptr<ProtocolEngine> make_engine(
   }
   TCW_ASSERT(false);
   return nullptr;
+}
+
+std::unique_ptr<ProtocolEngine> make_engine(
+    const PolicyConfig& config, const core::ControlPolicy& policy) {
+  TCW_EXPECTS(config.channel.channels >= 1);
+  TCW_EXPECTS(config.channel.skew >= 0.0 && config.channel.skew < 1.0);
+  return make_engine(config.engine, policy);
 }
 
 }  // namespace tcw::net

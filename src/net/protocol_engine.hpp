@@ -32,6 +32,7 @@
 
 #include "core/controller.hpp"
 #include "core/policy.hpp"
+#include "net/channel_plan.hpp"
 #include "util/interval_set.hpp"
 
 namespace tcw::net {
@@ -46,9 +47,12 @@ enum class EngineKind : std::uint8_t {
 
 std::string to_string(EngineKind kind);
 
-/// Parse "window" / "slotted-aloha" / "dynamic-aloha". Returns false (and
-/// leaves *out untouched) for anything else.
+/// Parse "window" / "slotted-aloha" / "dynamic-aloha", case-insensitively.
+/// Returns false (and leaves *out untouched) for anything else.
 bool engine_kind_from_string(const std::string& name, EngineKind* out);
+
+/// The valid engine names, comma-separated, for error messages.
+std::string engine_kind_names();
 
 /// Engine selection plus the engine-specific knobs, carried alongside the
 /// ControlPolicy in every kernel config. The default selects the window
@@ -63,6 +67,17 @@ struct EngineConfig {
   double arrival_rate = 0.0;
   /// DynamicAloha: initial backlog estimate n-hat(0).
   double initial_backlog = 1.0;
+};
+
+/// The complete MAC-policy configuration: which engine runs each channel
+/// plus how many channels there are and how arrivals pick one. This is
+/// the one knob bundle every kernel config (NetworkConfig,
+/// AggregateConfig, SweepConfig) carries and the sweep fingerprint folds
+/// in. Defaults are the single-channel window engine, bit-identical to
+/// the pre-multichannel kernels.
+struct PolicyConfig {
+  EngineConfig engine;
+  ChannelPlan channel;
 };
 
 /// What an engine wants done with the slot beginning at `now`.
@@ -185,6 +200,13 @@ std::uint64_t engine_coin_seed(EngineKind kind, std::uint64_t sim_seed);
 /// and the deadline/discard contract every engine honours. Validates the
 /// engine knobs (tx_prob <= 1, nonnegative rates).
 std::unique_ptr<ProtocolEngine> make_engine(const EngineConfig& config,
+                                            const core::ControlPolicy& policy);
+
+/// Build the lane-0 engine of a PolicyConfig after validating the channel
+/// plan (channels >= 1, skew in [0, 1)). The kernels build further lane
+/// engines themselves, folding channel_stream_seed into the policy's
+/// shared seed per lane.
+std::unique_ptr<ProtocolEngine> make_engine(const PolicyConfig& config,
                                             const core::ControlPolicy& policy);
 
 }  // namespace tcw::net

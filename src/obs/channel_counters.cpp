@@ -1,0 +1,28 @@
+#include "obs/channel_counters.hpp"
+
+#include "obs/registry.hpp"
+
+namespace tcw::obs {
+
+std::string channel_counter_name(const std::string& prefix,
+                                 std::uint32_t channel,
+                                 const std::string& outcome) {
+  return prefix + ".ch" + std::to_string(channel) + "." + outcome;
+}
+
+void flush_channel_tally(const std::string& prefix, std::uint32_t channel,
+                         const ChannelTally& tally) {
+  Registry& reg = Registry::global();
+  reg.counter(channel_counter_name(prefix, channel, "probe_slots"))
+      .add(tally.probe_slots);
+  reg.counter(channel_counter_name(prefix, channel, "idle_slots"))
+      .add(tally.idle_slots);
+  reg.counter(channel_counter_name(prefix, channel, "collisions"))
+      .add(tally.collisions);
+  reg.counter(channel_counter_name(prefix, channel, "successes"))
+      .add(tally.successes);
+  reg.counter(channel_counter_name(prefix, channel, "sender_discards"))
+      .add(tally.sender_discards);
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,46 @@
+// Per-channel slot-outcome tallies for the multi-channel kernels.
+//
+// The kernels count outcomes per channel into plain ChannelTally locals
+// (no atomics on the hot path -- same discipline as the per-run metric
+// tallies) and flush once per run into the global registry under
+// "<prefix>.ch<channel>.<outcome>" names. Flushing is overlay-only: it
+// never perturbs simulation results, only the obs registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tcw::obs {
+
+/// Slot outcomes observed on one channel over one simulation run.
+struct ChannelTally {
+  std::uint64_t probe_slots = 0;
+  std::uint64_t idle_slots = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t sender_discards = 0;
+
+  ChannelTally& operator+=(const ChannelTally& o) {
+    probe_slots += o.probe_slots;
+    idle_slots += o.idle_slots;
+    collisions += o.collisions;
+    successes += o.successes;
+    sender_discards += o.sender_discards;
+    return *this;
+  }
+};
+
+/// The registry counter name for one channel outcome, e.g.
+/// channel_counter_name("net.aggregate", 2, "collisions") ==
+/// "net.aggregate.ch2.collisions".
+std::string channel_counter_name(const std::string& prefix,
+                                 std::uint32_t channel,
+                                 const std::string& outcome);
+
+/// Flush one channel's tallies into Registry::global() under
+/// "<prefix>.ch<channel>.*". Zero fields are still flushed (counter
+/// creation is idempotent; add(0) is harmless) so the name set is stable.
+void flush_channel_tally(const std::string& prefix, std::uint32_t channel,
+                         const ChannelTally& tally);
+
+}  // namespace tcw::obs

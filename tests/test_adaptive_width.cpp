@@ -122,19 +122,27 @@ TEST(WidthTable, AdaptiveBeatsOrMatchesStaticAtTightDeadline) {
   cfg.replications = 2;
   const double width = cfg.heuristic_window_width();
 
-  const double static_loss = tcw::net::simulate_loss_curve_custom(
-      cfg,
-      [width](double k) { return ControlPolicy::optimal(k, width); },
-      {24.0})[0].p_loss;
-  const double adaptive_loss = tcw::net::simulate_loss_curve_custom(
-      cfg,
-      [&](double k) {
-        auto p = ControlPolicy::optimal(k, width);
-        p.width_table.assign(solved.width_per_state.begin(),
-                             solved.width_per_state.end());
-        return p;
-      },
-      {24.0})[0].p_loss;
+  const double static_loss =
+      tcw::net::run_sweep(
+              {.config = cfg,
+               .constraints = {24.0},
+               .make_policy =
+                   [width](double k) { return ControlPolicy::optimal(k, width); }})
+          .points()[0]
+          .p_loss;
+  const double adaptive_loss =
+      tcw::net::run_sweep({.config = cfg,
+                           .constraints = {24.0},
+                           .make_policy =
+                               [&](double k) {
+                                 auto p = ControlPolicy::optimal(k, width);
+                                 p.width_table.assign(
+                                     solved.width_per_state.begin(),
+                                     solved.width_per_state.end());
+                                 return p;
+                               }})
+          .points()[0]
+          .p_loss;
   EXPECT_LE(adaptive_loss, static_loss + 0.015);
 }
 

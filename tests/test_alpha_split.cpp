@@ -174,14 +174,18 @@ TEST(AlphaSplitEndToEnd, SimulatedLossComparableToBinary) {
   const double width = cfg.heuristic_window_width();
   const double k = 75.0;
   const auto run_alpha = [&](double alpha) {
-    return tcw::net::simulate_loss_curve_custom(
-        cfg,
-        [&, alpha](double deadline) {
-          auto p = tcw::core::ControlPolicy::optimal(deadline, width);
-          p.split_fraction = alpha;
-          return p;
-        },
-        {k})[0].p_loss;
+    return tcw::net::run_sweep(
+               {.config = cfg,
+                .constraints = {k},
+                .make_policy =
+                    [&, alpha](double deadline) {
+                      auto p =
+                          tcw::core::ControlPolicy::optimal(deadline, width);
+                      p.split_fraction = alpha;
+                      return p;
+                    }})
+        .points()[0]
+        .p_loss;
   };
   const double binary = run_alpha(0.5);
   const double skewed = run_alpha(0.4);

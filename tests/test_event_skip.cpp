@@ -72,9 +72,9 @@ NetworkConfig make_config(const Cell& cell, bool event_skip) {
   const double lambda = cell.rho / cell.message_length;
   cfg.policy = ControlPolicy::optimal(
       cell.k, tcw::analysis::optimal_window_load() / lambda);
-  cfg.engine.kind = cell.kind;
+  cfg.mac.engine.kind = cell.kind;
   if (cell.kind == EngineKind::DynamicAloha) {
-    cfg.engine.arrival_rate = lambda;
+    cfg.mac.engine.arrival_rate = lambda;
   }
   cfg.message_length = cell.message_length;
   cfg.t_end = cell.t_end;

@@ -26,6 +26,15 @@ net::SweepConfig quick_config() {
   return cfg;
 }
 
+// Every sweep in this file drives the single entry point; the shim
+// compatibility test below is the one deliberate exception.
+std::vector<net::SweepPoint> sweep(const net::SweepConfig& cfg,
+                                   net::ProtocolVariant v,
+                                   const std::vector<double>& grid) {
+  return net::run_sweep({.config = cfg, .constraints = grid, .variant = v})
+      .points();
+}
+
 TEST(LinearGrid, EndpointsAndSpacing) {
   const auto g = net::linear_grid(0.0, 100.0, 5);
   ASSERT_EQ(g.size(), 5u);
@@ -63,8 +72,8 @@ TEST(SweepConfig, HeuristicWidthIsNuStarOverLambda) {
 }
 
 TEST(Sweep, ProducesOnePointPerConstraint) {
-  const auto pts = net::simulate_loss_curve(
-      quick_config(), net::ProtocolVariant::Controlled, {25.0, 50.0, 100.0});
+  const auto pts = sweep(quick_config(), net::ProtocolVariant::Controlled,
+                         {25.0, 50.0, 100.0});
   ASSERT_EQ(pts.size(), 3u);
   for (const auto& p : pts) {
     EXPECT_GE(p.p_loss, 0.0);
@@ -74,29 +83,30 @@ TEST(Sweep, ProducesOnePointPerConstraint) {
 }
 
 TEST(Sweep, LossDecreasesWithK) {
-  const auto pts = net::simulate_loss_curve(
-      quick_config(), net::ProtocolVariant::Controlled,
-      {25.0, 100.0, 400.0});
+  const auto pts = sweep(quick_config(), net::ProtocolVariant::Controlled,
+                         {25.0, 100.0, 400.0});
   EXPECT_GT(pts[0].p_loss, pts[2].p_loss);
 }
 
 TEST(Sweep, DeterministicGivenSeed) {
-  const auto a = net::simulate_loss_curve(
-      quick_config(), net::ProtocolVariant::Controlled, {50.0});
-  const auto b = net::simulate_loss_curve(
-      quick_config(), net::ProtocolVariant::Controlled, {50.0});
+  const auto a = sweep(quick_config(), net::ProtocolVariant::Controlled,
+                       {50.0});
+  const auto b = sweep(quick_config(), net::ProtocolVariant::Controlled,
+                       {50.0});
   EXPECT_DOUBLE_EQ(a[0].p_loss, b[0].p_loss);
 }
 
 TEST(Sweep, CustomPolicyFactoryIsHonored) {
   int calls = 0;
-  const auto pts = net::simulate_loss_curve_custom(
-      quick_config(),
-      [&calls](double k) {
-        ++calls;
-        return tcw::core::ControlPolicy::optimal(k, 40.0);
-      },
-      {30.0, 60.0});
+  const auto pts = net::run_sweep({.config = quick_config(),
+                                  .constraints = {30.0, 60.0},
+                                  .make_policy =
+                                      [&calls](double k) {
+                                        ++calls;
+                                        return tcw::core::ControlPolicy::
+                                            optimal(k, 40.0);
+                                      }})
+                       .points();
   EXPECT_EQ(pts.size(), 2u);
   EXPECT_EQ(calls, 2 * quick_config().replications);
 }
@@ -104,8 +114,7 @@ TEST(Sweep, CustomPolicyFactoryIsHonored) {
 TEST(Sweep, SingleReplicationUsesWithinRunCi) {
   auto cfg = quick_config();
   cfg.replications = 1;
-  const auto pts = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {30.0});
+  const auto pts = sweep(cfg, net::ProtocolVariant::Controlled, {30.0});
   EXPECT_GT(pts[0].ci95, 0.0);
 }
 
@@ -116,8 +125,7 @@ TEST(Sweep, SeedsAreHashDerivedPerJob) {
   auto cfg = quick_config();
   cfg.replications = 1;
   const double k = 50.0;
-  const auto pts = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {k});
+  const auto pts = sweep(cfg, net::ProtocolVariant::Controlled, {k});
 
   tcw::net::AggregateConfig sim_cfg;
   sim_cfg.policy = net::policy_for(net::ProtocolVariant::Controlled, k,
@@ -142,8 +150,7 @@ TEST(Sweep, AcrossReplicationCiUsesStudentT) {
   auto cfg = quick_config();
   cfg.replications = 3;
   const double k = 50.0;
-  const auto pts = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {k});
+  const auto pts = sweep(cfg, net::ProtocolVariant::Controlled, {k});
 
   tcw::sim::RunningStats loss;
   double last_rep_binomial_ci = 0.0;
@@ -175,11 +182,38 @@ TEST(Sweep, AcrossReplicationCiUsesStudentT) {
 TEST(Sweep, ControlledBeatsBaselinesAtModerateK) {
   const auto cfg = quick_config();
   const std::vector<double> grid{75.0};
-  const auto controlled = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, grid);
-  const auto lcfs = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::LcfsNoDiscard, grid);
+  const auto controlled = sweep(cfg, net::ProtocolVariant::Controlled, grid);
+  const auto lcfs = sweep(cfg, net::ProtocolVariant::LcfsNoDiscard, grid);
   EXPECT_LT(controlled[0].p_loss, lcfs[0].p_loss + 0.02);
+}
+
+TEST(RunSweep, DeprecatedShimsAreBitIdentical) {
+  // The five legacy entry points are pure re-spellings of run_sweep; this
+  // pins the contract with a bitwise comparison on one of them.
+  const auto cfg = quick_config();
+  const std::vector<double> grid{40.0, 80.0};
+  const auto via_api = sweep(cfg, net::ProtocolVariant::Controlled, grid);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const auto via_shim = net::simulate_loss_curve(
+      cfg, net::ProtocolVariant::Controlled, grid);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  ASSERT_EQ(via_shim.size(), via_api.size());
+  for (std::size_t i = 0; i < via_api.size(); ++i) {
+    EXPECT_EQ(via_shim[i].constraint, via_api[i].constraint);
+    EXPECT_EQ(via_shim[i].p_loss, via_api[i].p_loss);
+    EXPECT_EQ(via_shim[i].ci95, via_api[i].ci95);
+    EXPECT_EQ(via_shim[i].mean_wait, via_api[i].mean_wait);
+    EXPECT_EQ(via_shim[i].mean_scheduling, via_api[i].mean_scheduling);
+    EXPECT_EQ(via_shim[i].utilization, via_api[i].utilization);
+    EXPECT_EQ(via_shim[i].sender_loss_frac, via_api[i].sender_loss_frac);
+    EXPECT_EQ(via_shim[i].receiver_loss_frac, via_api[i].receiver_loss_frac);
+    EXPECT_EQ(via_shim[i].messages, via_api[i].messages);
+  }
 }
 
 }  // namespace

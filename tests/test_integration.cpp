@@ -31,6 +31,13 @@ net::SweepConfig sweep_config(double rho, double m) {
   return cfg;
 }
 
+std::vector<net::SweepPoint> sweep(const net::SweepConfig& cfg,
+                                   net::ProtocolVariant v,
+                                   const std::vector<double>& grid) {
+  return net::run_sweep({.config = cfg, .constraints = grid, .variant = v})
+      .points();
+}
+
 class AnalyticVsSimTest
     : public ::testing::TestWithParam<std::tuple<double, double>> {};
 
@@ -44,8 +51,8 @@ TEST_P(AnalyticVsSimTest, ControlledLossAgreesInShape) {
   acfg.message_length = m;
   const auto analytic = analysis::controlled_loss_at(acfg, k, 0.2);
 
-  const auto sim = net::simulate_loss_curve(
-      sweep_config(rho, m), net::ProtocolVariant::Controlled, {k});
+  const auto sim =
+      sweep(sweep_config(rho, m), net::ProtocolVariant::Controlled, {k});
 
   // The paper's own analytic/simulation agreement is a few points of loss;
   // accept the same order of agreement here (absolute + relative slack).
@@ -79,7 +86,10 @@ TEST(Theorem1, OptimalElementsMinimizeLossAmongAllCombos) {
         p.split = split;
         return p;
       };
-      const auto pts = net::simulate_loss_curve_custom(cfg, make, {k});
+      const auto pts =
+          net::run_sweep(
+              {.config = cfg, .constraints = {k}, .make_policy = make})
+              .points();
       loss[{pos, split}] = pts[0].p_loss;
     }
   }
@@ -98,10 +108,8 @@ TEST(Theorem1, OptimalElementsMinimizeLossAmongAllCombos) {
 TEST(ElementFourAblation, DiscardHelpsUnderTightConstraints) {
   const auto cfg = sweep_config(0.75, 25.0);
   const double k = 50.0;
-  const auto with = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {k});
-  const auto without = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::FcfsNoDiscard, {k});
+  const auto with = sweep(cfg, net::ProtocolVariant::Controlled, {k});
+  const auto without = sweep(cfg, net::ProtocolVariant::FcfsNoDiscard, {k});
   EXPECT_LT(with[0].p_loss, without[0].p_loss);
 }
 
@@ -109,16 +117,11 @@ TEST(VariantOrdering, ControlledBestThenFcfsThenLcfs) {
   const auto cfg = sweep_config(0.5, 25.0);
   const double k = 100.0;
   const double controlled =
-      net::simulate_loss_curve(cfg, net::ProtocolVariant::Controlled, {k})[0]
-          .p_loss;
+      sweep(cfg, net::ProtocolVariant::Controlled, {k})[0].p_loss;
   const double fcfs =
-      net::simulate_loss_curve(cfg, net::ProtocolVariant::FcfsNoDiscard,
-                               {k})[0]
-          .p_loss;
+      sweep(cfg, net::ProtocolVariant::FcfsNoDiscard, {k})[0].p_loss;
   const double lcfs =
-      net::simulate_loss_curve(cfg, net::ProtocolVariant::LcfsNoDiscard,
-                               {k})[0]
-          .p_loss;
+      sweep(cfg, net::ProtocolVariant::LcfsNoDiscard, {k})[0].p_loss;
   EXPECT_LE(controlled, fcfs + 0.01);
   EXPECT_LT(fcfs, lcfs + 0.01);
 }
@@ -129,8 +132,8 @@ TEST(AnalyticBaseline, FcfsFormulaMatchesFcfsSimulation) {
   acfg.message_length = 25.0;
   const double k = 100.0;
   const double analytic = analysis::fcfs_nodiscard_loss(acfg, k);
-  const auto sim = net::simulate_loss_curve(
-      sweep_config(0.5, 25.0), net::ProtocolVariant::FcfsNoDiscard, {k});
+  const auto sim = sweep(sweep_config(0.5, 25.0),
+                         net::ProtocolVariant::FcfsNoDiscard, {k});
   EXPECT_NEAR(sim[0].p_loss, analytic, 0.02 + 0.5 * analytic);
 }
 
@@ -148,16 +151,14 @@ TEST(KZeroLimit, SimLossApproachesOneAnalyticApproachesClosedForm) {
 
   auto cfg = sweep_config(0.5, 25.0);
   cfg.t_end = 40000.0;
-  const auto sim = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {0.0});
+  const auto sim = sweep(cfg, net::ProtocolVariant::Controlled, {0.0});
   EXPECT_GT(sim[0].p_loss, 0.99);
 }
 
 TEST(LargeKLimit, EverythingDeliveredWhenStable) {
   auto cfg = sweep_config(0.5, 25.0);
   cfg.t_end = 60000.0;
-  const auto sim = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {2000.0});
+  const auto sim = sweep(cfg, net::ProtocolVariant::Controlled, {2000.0});
   EXPECT_LT(sim[0].p_loss, 0.002);
 }
 
@@ -176,8 +177,7 @@ TEST_P(OverloadRegimeTest, Eq47TracksSimulationBeyondCapacity) {
 
   auto cfg = sweep_config(rho, 25.0);
   cfg.replications = 2;
-  const auto sim = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {k});
+  const auto sim = sweep(cfg, net::ProtocolVariant::Controlled, {k});
 
   EXPECT_GT(sim[0].p_loss, 1.0 - 1.0 / analytic.rho - 0.02)
       << "must shed at least the capacity excess";
@@ -195,8 +195,7 @@ TEST(Scheduling, SimMatchesRenewalPrediction) {
   // renewal value at the effective window load.
   auto cfg = sweep_config(0.5, 25.0);
   cfg.t_end = 200000.0;
-  const auto sim = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, {500.0});
+  const auto sim = sweep(cfg, net::ProtocolVariant::Controlled, {500.0});
   const double predicted = analysis::conditional_scheduling_mean(
       analysis::optimal_window_load());
   EXPECT_NEAR(sim[0].mean_scheduling, predicted, 1.0);

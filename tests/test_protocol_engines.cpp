@@ -8,12 +8,15 @@
 // tier-1 TSan filter in scripts/tier1.sh.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <limits>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "chan/arrivals.hpp"
+#include "net/channel_plan.hpp"
 #include "exec/sweep_scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/aggregate_sim.hpp"
@@ -80,12 +83,63 @@ TEST(ProtocolEngineSeeds, StreamAndCoinSeedsNeverAlias) {
   }
 }
 
+TEST(ProtocolEngineParsing, EngineNamesRoundTripCaseInsensitively) {
+  for (const EngineKind kind : kAllKinds) {
+    const std::string name = net::to_string(kind);
+    EngineKind parsed = EngineKind::Window;
+    EXPECT_TRUE(net::engine_kind_from_string(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+    // Upper-cased spelling parses to the same engine.
+    std::string upper = name;
+    for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+    parsed = EngineKind::Window;
+    EXPECT_TRUE(net::engine_kind_from_string(upper, &parsed)) << upper;
+    EXPECT_EQ(parsed, kind) << upper;
+    // Every valid name appears in the error-message catalog.
+    EXPECT_NE(net::engine_kind_names().find(name), std::string::npos);
+  }
+}
+
+TEST(ProtocolEngineParsing, UnknownEngineNameLeavesOutputUntouched) {
+  EngineKind parsed = EngineKind::DynamicAloha;
+  EXPECT_FALSE(net::engine_kind_from_string("csma-cd", &parsed));
+  EXPECT_FALSE(net::engine_kind_from_string("", &parsed));
+  EXPECT_EQ(parsed, EngineKind::DynamicAloha);
+}
+
+TEST(ProtocolEngineParsing, SelectorNamesRoundTripCaseInsensitively) {
+  constexpr net::ChannelSelectorKind kSelectors[] = {
+      net::ChannelSelectorKind::HashShard,
+      net::ChannelSelectorKind::UniformRandom,
+      net::ChannelSelectorKind::LeastLoaded,
+      net::ChannelSelectorKind::DeadlineHop};
+  for (const net::ChannelSelectorKind kind : kSelectors) {
+    const std::string name = net::to_string(kind);
+    net::ChannelSelectorKind parsed = net::ChannelSelectorKind::HashShard;
+    EXPECT_TRUE(net::channel_selector_from_string(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+    std::string upper = name;
+    for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+    parsed = net::ChannelSelectorKind::HashShard;
+    EXPECT_TRUE(net::channel_selector_from_string(upper, &parsed)) << upper;
+    EXPECT_EQ(parsed, kind) << upper;
+    EXPECT_NE(net::channel_selector_names().find(name), std::string::npos);
+  }
+}
+
+TEST(ProtocolEngineParsing, UnknownSelectorNameLeavesOutputUntouched) {
+  auto parsed = net::ChannelSelectorKind::DeadlineHop;
+  EXPECT_FALSE(net::channel_selector_from_string("round-robin", &parsed));
+  EXPECT_FALSE(net::channel_selector_from_string("", &parsed));
+  EXPECT_EQ(parsed, net::ChannelSelectorKind::DeadlineHop);
+}
+
 TEST(ProtocolEngineConformance, FateBucketsConserveArrivalsOnBothKernels) {
   for (const EngineKind kind : kAllKinds) {
     // Finite-station kernel.
     net::NetworkConfig ncfg;
     ncfg.policy = ControlPolicy::optimal(75.0, 85.0);
-    ncfg.engine = engine_config(kind, 0.02);
+    ncfg.mac.engine = engine_config(kind, 0.02);
     ncfg.t_end = 20000.0;
     ncfg.warmup = 2000.0;
     ncfg.seed = 42;
@@ -101,7 +155,7 @@ TEST(ProtocolEngineConformance, FateBucketsConserveArrivalsOnBothKernels) {
     // Infinite-population kernel.
     net::AggregateConfig acfg;
     acfg.policy = ControlPolicy::optimal(75.0, 85.0);
-    acfg.engine = engine_config(kind, 0.02);
+    acfg.mac.engine = engine_config(kind, 0.02);
     acfg.t_end = 20000.0;
     acfg.warmup = 2000.0;
     acfg.seed = 7;
@@ -121,7 +175,7 @@ TEST(ProtocolEngineConformance, ShadowReplicasStayConsistentEverySlot) {
   for (const EngineKind kind : kAllKinds) {
     net::NetworkConfig cfg;
     cfg.policy = ControlPolicy::optimal(60.0, 70.0);
-    cfg.engine = engine_config(kind, 0.03);
+    cfg.mac.engine = engine_config(kind, 0.03);
     cfg.t_end = 8000.0;
     cfg.warmup = 800.0;
     cfg.consistency_check_every = 1;
@@ -141,7 +195,7 @@ TEST(ProtocolEngineConformance, DesyncDetectionMatchesEngineStatefulness) {
   for (const EngineKind kind : kAllKinds) {
     net::NetworkConfig cfg;
     cfg.policy = ControlPolicy::optimal(60.0, 70.0);
-    cfg.engine = engine_config(kind, 0.03);
+    cfg.mac.engine = engine_config(kind, 0.03);
     cfg.t_end = 8000.0;
     cfg.warmup = 800.0;
     cfg.consistency_check_every = 1;
@@ -162,7 +216,7 @@ TEST(ProtocolEngineConformance, AlohaDiscardsExpiredSendersUnderTinyDeadline) {
        {EngineKind::SlottedAloha, EngineKind::DynamicAloha}) {
     net::AggregateConfig cfg;
     cfg.policy = ControlPolicy::optimal(4.0, 10.0);  // K = 4 slots, M = 25
-    cfg.engine = engine_config(kind, 0.02);
+    cfg.mac.engine = engine_config(kind, 0.02);
     cfg.t_end = 20000.0;
     cfg.warmup = 2000.0;
     net::AggregateSimulator sim(
@@ -179,7 +233,7 @@ TEST(ProtocolEngineConformance, WarmupEdgeArrivalLandsInOneBucket) {
   for (const EngineKind kind : kAllKinds) {
     net::AggregateConfig cfg;
     cfg.policy = ControlPolicy::optimal(40.0, 50.0);
-    cfg.engine = engine_config(kind, 0.0);
+    cfg.mac.engine = engine_config(kind, 0.0);
     cfg.t_end = 2000.0;
     cfg.warmup = 500.0;
     net::AggregateSimulator sim(cfg, std::make_unique<ScriptedProcess>(
@@ -195,28 +249,48 @@ TEST(ProtocolEngineConformance, WarmupEdgeArrivalLandsInOneBucket) {
   }
 }
 
-TEST(ProtocolEngineConformance, ReferenceKernelRequiresTheWindowEngine) {
-  // The retained seed-era paths predate the engine seam; selecting them
-  // under any other engine is a configuration bug, rejected up front.
-  net::AggregateConfig acfg;
-  acfg.policy = ControlPolicy::optimal(75.0, 85.0);
-  acfg.engine.kind = EngineKind::SlottedAloha;
-  acfg.reference_kernel = true;
-  EXPECT_THROW(net::AggregateSimulator(
-                   acfg, std::make_unique<tcw::chan::PoissonProcess>(0.02)),
-               tcw::ContractViolation);
+TEST(ProtocolEngineConformance, ReferenceKernelCoversEveryEngine) {
+  // The retained seed-era paths used to be window-only; the multi-channel
+  // conformance grid needs them under every engine, so each kernel's
+  // reference path must now run any EngineKind bit-identically to its
+  // fast path.
+  for (const EngineKind kind : kAllKinds) {
+    net::AggregateConfig acfg;
+    acfg.policy = ControlPolicy::optimal(75.0, 85.0);
+    acfg.mac.engine = engine_config(kind, 0.02);
+    acfg.t_end = 4000.0;
+    acfg.warmup = 400.0;
+    acfg.reference_kernel = true;
+    net::AggregateSimulator ref(
+        acfg, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+    const net::SimMetrics ref_m = ref.run();
+    acfg.reference_kernel = false;
+    net::AggregateSimulator fast(
+        acfg, std::make_unique<tcw::chan::PoissonProcess>(0.02));
+    const net::SimMetrics fast_m = fast.run();
+    EXPECT_EQ(ref_m.p_loss(), fast_m.p_loss()) << net::to_string(kind);
+    EXPECT_EQ(ref_m.delivered, fast_m.delivered) << net::to_string(kind);
 
-  net::NetworkConfig ncfg;
-  ncfg.policy = ControlPolicy::optimal(75.0, 85.0);
-  ncfg.engine.kind = EngineKind::DynamicAloha;
-  ncfg.reference_kernel = true;
-  EXPECT_THROW(net::Network{ncfg}, tcw::ContractViolation);
+    net::NetworkConfig ncfg;
+    ncfg.policy = ControlPolicy::optimal(75.0, 85.0);
+    ncfg.mac.engine = engine_config(kind, 0.02);
+    ncfg.t_end = 4000.0;
+    ncfg.warmup = 400.0;
+    ncfg.reference_kernel = true;
+    auto ref_net = net::Network::homogeneous_poisson(ncfg, 8, 0.02);
+    const net::SimMetrics ref_n = ref_net.run();
+    ncfg.reference_kernel = false;
+    auto fast_net = net::Network::homogeneous_poisson(ncfg, 8, 0.02);
+    const net::SimMetrics fast_n = fast_net.run();
+    EXPECT_EQ(ref_n.p_loss(), fast_n.p_loss()) << net::to_string(kind);
+    EXPECT_EQ(ref_n.delivered, fast_n.delivered) << net::to_string(kind);
+  }
 }
 
 TEST(ProtocolEngineConformance, ControllerAccessorGatedToWindowEngine) {
   net::AggregateConfig cfg;
   cfg.policy = ControlPolicy::optimal(75.0, 85.0);
-  cfg.engine.kind = EngineKind::SlottedAloha;
+  cfg.mac.engine.kind = EngineKind::SlottedAloha;
   net::AggregateSimulator sim(
       cfg, std::make_unique<tcw::chan::PoissonProcess>(0.02));
   EXPECT_THROW(sim.controller(), tcw::ContractViolation);
@@ -241,7 +315,7 @@ TEST(PolicyGridDeterminism, SweepBitIdenticalAloneVersusInSuite) {
   };
   const auto config_for = [&](EngineKind kind) {
     net::SweepConfig cfg = base;
-    cfg.engine = engine_config(kind, cfg.lambda());
+    cfg.mac.engine = engine_config(kind, cfg.lambda());
     return cfg;
   };
 
@@ -250,8 +324,10 @@ TEST(PolicyGridDeterminism, SweepBitIdenticalAloneVersusInSuite) {
   for (const EngineKind kind : kAllKinds) {
     exec::ThreadPool pool(2);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_custom(
-        scheduler, net::to_string(kind), config_for(kind), policy, grid);
+    auto handle = net::run_sweep(
+        {.config = config_for(kind), .constraints = grid,
+         .make_policy = policy},
+        {.scheduler = &scheduler, .name = net::to_string(kind)});
     scheduler.run();
     alone.push_back(handle.points());
   }
@@ -262,8 +338,10 @@ TEST(PolicyGridDeterminism, SweepBitIdenticalAloneVersusInSuite) {
     exec::ThreadPool pool(3);
     exec::SweepScheduler scheduler(pool);
     for (const EngineKind kind : kAllKinds) {
-      handles.push_back(net::schedule_loss_curve_custom(
-          scheduler, net::to_string(kind), config_for(kind), policy, grid));
+      handles.push_back(net::run_sweep(
+          {.config = config_for(kind), .constraints = grid,
+           .make_policy = policy},
+          {.scheduler = &scheduler, .name = net::to_string(kind)}));
     }
     scheduler.run();
   }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "analysis/splitting.hpp"
+#include "net/channel_plan.hpp"
 #include "net/network.hpp"
 #include "net/protocol_engine.hpp"
 #include "sim/rng.hpp"
@@ -72,6 +73,49 @@ TEST(SeedStreams, BatchedArrivalSeedSeparatesBaseSeeds) {
   for (const std::uint64_t base : kBaseSeeds) {
     EXPECT_TRUE(seen.insert(tcw::net::batched_arrival_seed(base)).second)
         << "base=" << base;
+  }
+}
+
+TEST(SeedStreams, ChannelStreamChannelZeroIsIdentity) {
+  // Channel 0 must be the raw seed: C = 1 runs use the exact streams the
+  // pre-multichannel kernels used, which is what keeps them bit-identical.
+  for (const std::uint64_t base : kBaseSeeds) {
+    EXPECT_EQ(tcw::net::channel_stream_seed(base, 0), base);
+  }
+}
+
+TEST(SeedStreams, ChannelPlanesAvoidEveryOtherStream) {
+  // Channel streams (c > 0) and the selector stream must alias neither
+  // each other nor any existing plane: engine streams, coin streams, the
+  // batched arrival stream, or the low-corner sweep-shard plane.
+  for (const std::uint64_t base : kBaseSeeds) {
+    std::set<std::uint64_t> others;
+    others.insert(base);
+    others.insert(tcw::net::batched_arrival_seed(base));
+    for (const EngineKind kind : kKinds) {
+      others.insert(tcw::net::engine_stream_seed(kind, base));
+      others.insert(tcw::net::engine_coin_seed(kind, base));
+    }
+    std::set<std::uint64_t> fresh;
+    EXPECT_TRUE(fresh.insert(tcw::net::channel_selector_seed(base)).second);
+    for (std::uint32_t c = 1; c <= 8; ++c) {
+      EXPECT_TRUE(fresh.insert(tcw::net::channel_stream_seed(base, c)).second)
+          << "channel streams collide, base=" << base;
+    }
+    for (const std::uint64_t seed : fresh) {
+      EXPECT_EQ(others.count(seed), 0u)
+          << "channel plane aliases an existing stream, base=" << base;
+    }
+    // The sweep-shard plane uses small (hi, lo) coordinates (as do the
+    // engine streams, which is why they are excluded here): the fresh
+    // channel/selector planes must stay clear of that whole corner.
+    for (std::uint64_t hi = 0; hi < 64; ++hi) {
+      for (std::uint64_t lo = 0; lo < 64; ++lo) {
+        EXPECT_EQ(fresh.count(tcw::sim::derive_stream_seed(base, hi, lo)),
+                  0u)
+            << "base=" << base << " hi=" << hi << " lo=" << lo;
+      }
+    }
   }
 }
 
@@ -173,9 +217,9 @@ TEST(SeedStreams, GoldenSmallNFingerprints) {
     const double lambda = c.rho / 25.0;
     cfg.policy = tcw::core::ControlPolicy::optimal(
         c.k, tcw::analysis::optimal_window_load() / lambda);
-    cfg.engine.kind = c.kind;
+    cfg.mac.engine.kind = c.kind;
     if (c.kind == EngineKind::DynamicAloha) {
-      cfg.engine.arrival_rate = lambda;
+      cfg.mac.engine.arrival_rate = lambda;
     }
     cfg.t_end = 12000.0;
     cfg.warmup = 1000.0;

@@ -69,12 +69,24 @@ tcw::core::ControlPolicy heuristic_policy(double k) {
   return tcw::core::ControlPolicy::optimal(k, 40.0);
 }
 
+// All cached-sweep legs in this file go through the one entry point.
+net::ScheduledSweep schedule_cached(exec::SweepScheduler& scheduler,
+                                    std::string name,
+                                    const net::SweepConfig& cfg,
+                                    const std::vector<double>& grid,
+                                    const net::SweepCacheBinding& binding) {
+  return net::run_sweep(
+      {.config = cfg, .constraints = grid, .make_policy = heuristic_policy},
+      {.scheduler = &scheduler, .name = std::move(name), .cache = binding});
+}
+
 TEST(StudyRegistry, ListsEveryRegisteredStudy) {
   const std::vector<std::string> expected{
       "ablation_theorem1",      "ablation_window_size",
       "ablation_split_fraction", "ablation_adaptive_width",
       "ablation_asynchrony",    "priority_classes",
-      "policy_grid",            "large_n"};
+      "policy_grid",            "large_n",
+      "multichannel"};
   const auto& entries = bench::registry();
   ASSERT_EQ(entries.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -107,8 +119,7 @@ TEST(StudyCache, TruncatedResumeBitIdenticalForAnyThreadCount) {
   {
     exec::ThreadPool pool(2);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_cached(
-        scheduler, "ref", cfg, heuristic_policy, grid, no_cache);
+    auto handle = schedule_cached(scheduler, "ref", cfg, grid, no_cache);
     scheduler.run();
     EXPECT_EQ(handle.cached_jobs(), 0u);
     reference = handle.points();
@@ -119,9 +130,8 @@ TEST(StudyCache, TruncatedResumeBitIdenticalForAnyThreadCount) {
     exec::ShardCache cache(store, exec::ShardCache::Mode::Fresh);
     exec::ThreadPool pool(3);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_cached(
-        scheduler, "leg1", cfg, heuristic_policy, grid,
-        net::SweepCacheBinding{&cache, "tag"});
+    auto handle = schedule_cached(scheduler, "leg1", cfg, grid,
+                                  net::SweepCacheBinding{&cache, "tag"});
     EXPECT_EQ(handle.cached_jobs(), 0u);
     scheduler.run();
     expect_bitwise_equal(handle.points(), reference);
@@ -138,9 +148,8 @@ TEST(StudyCache, TruncatedResumeBitIdenticalForAnyThreadCount) {
     EXPECT_TRUE(cache.recovered_corruption());
     exec::ThreadPool pool(1);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_cached(
-        scheduler, "leg2", cfg, heuristic_policy, grid,
-        net::SweepCacheBinding{&cache, "tag"});
+    auto handle = schedule_cached(scheduler, "leg2", cfg, grid,
+                                  net::SweepCacheBinding{&cache, "tag"});
     EXPECT_GT(handle.cached_jobs(), 0u);
     EXPECT_LT(handle.cached_jobs(), handle.jobs());
     scheduler.run();
@@ -153,9 +162,8 @@ TEST(StudyCache, TruncatedResumeBitIdenticalForAnyThreadCount) {
     EXPECT_FALSE(cache.recovered_corruption());
     exec::ThreadPool pool(2);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_cached(
-        scheduler, "leg3", cfg, heuristic_policy, grid,
-        net::SweepCacheBinding{&cache, "tag"});
+    auto handle = schedule_cached(scheduler, "leg3", cfg, grid,
+                                  net::SweepCacheBinding{&cache, "tag"});
     EXPECT_EQ(handle.cached_jobs(), handle.jobs());
     scheduler.run();
     expect_bitwise_equal(handle.points(), reference);
@@ -170,9 +178,8 @@ TEST(StudyCache, FingerprintChangeInvalidatesStaleShards) {
     exec::ShardCache cache(store, exec::ShardCache::Mode::Fresh);
     exec::ThreadPool pool(2);
     exec::SweepScheduler scheduler(pool);
-    net::schedule_loss_curve_cached(scheduler, "warm", small_config(),
-                                    heuristic_policy, grid,
-                                    net::SweepCacheBinding{&cache, "tag"});
+    schedule_cached(scheduler, "warm", small_config(), grid,
+                    net::SweepCacheBinding{&cache, "tag"});
     scheduler.run();
   }
   // Same seeds, changed run length: the fingerprint differs, so the
@@ -183,9 +190,8 @@ TEST(StudyCache, FingerprintChangeInvalidatesStaleShards) {
     longer.t_end = 4000.0;
     exec::ThreadPool pool(2);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_cached(
-        scheduler, "changed", longer, heuristic_policy, grid,
-        net::SweepCacheBinding{&cache, "tag"});
+    auto handle = schedule_cached(scheduler, "changed", longer, grid,
+                                  net::SweepCacheBinding{&cache, "tag"});
     EXPECT_EQ(handle.cached_jobs(), 0u);
     scheduler.run();
   }
@@ -195,9 +201,9 @@ TEST(StudyCache, FingerprintChangeInvalidatesStaleShards) {
     exec::ShardCache cache(store, exec::ShardCache::Mode::Resume);
     exec::ThreadPool pool(2);
     exec::SweepScheduler scheduler(pool);
-    auto handle = net::schedule_loss_curve_cached(
-        scheduler, "other_arm", small_config(), heuristic_policy, grid,
-        net::SweepCacheBinding{&cache, "other-tag"});
+    auto handle = schedule_cached(scheduler, "other_arm", small_config(),
+                                  grid,
+                                  net::SweepCacheBinding{&cache, "other-tag"});
     EXPECT_EQ(handle.cached_jobs(), 0u);
     scheduler.run();
   }

@@ -47,23 +47,32 @@ void expect_bitwise_equal(const std::vector<net::SweepPoint>& a,
   }
 }
 
+std::vector<net::SweepPoint> sweep(const net::SweepConfig& cfg,
+                                   net::ProtocolVariant v,
+                                   const std::vector<double>& grid,
+                                   net::SweepTiming* timing = nullptr) {
+  return net::run_sweep({.config = cfg, .constraints = grid, .variant = v,
+                         .timing = timing})
+      .points();
+}
+
 TEST(SweepDeterminism, IdenticalAcrossThreadCounts) {
   const std::vector<double> grid{25.0, 50.0, 100.0};
-  const auto serial = net::simulate_loss_curve(
-      base_config(1), net::ProtocolVariant::Controlled, grid);
+  const auto serial =
+      sweep(base_config(1), net::ProtocolVariant::Controlled, grid);
 
-  const auto two_workers = net::simulate_loss_curve(
-      base_config(2), net::ProtocolVariant::Controlled, grid);
+  const auto two_workers =
+      sweep(base_config(2), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(serial, two_workers);
 
   const int hw = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
-  const auto hw_workers = net::simulate_loss_curve(
-      base_config(hw), net::ProtocolVariant::Controlled, grid);
+  const auto hw_workers =
+      sweep(base_config(hw), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(serial, hw_workers);
 
-  const auto auto_workers = net::simulate_loss_curve(
-      base_config(0), net::ProtocolVariant::Controlled, grid);
+  const auto auto_workers =
+      sweep(base_config(0), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(serial, auto_workers);
 }
 
@@ -72,10 +81,14 @@ TEST(SweepDeterminism, CustomSweepIdenticalAcrossThreadCounts) {
   const auto factory = [](double k) {
     return tcw::core::ControlPolicy::optimal(k, 40.0);
   };
-  const auto serial = net::simulate_loss_curve_custom(
-      base_config(1), factory, grid);
-  const auto parallel = net::simulate_loss_curve_custom(
-      base_config(4), factory, grid);
+  const auto serial =
+      net::run_sweep({.config = base_config(1), .constraints = grid,
+                      .make_policy = factory})
+          .points();
+  const auto parallel =
+      net::run_sweep({.config = base_config(4), .constraints = grid,
+                      .make_policy = factory})
+          .points();
   expect_bitwise_equal(serial, parallel);
 }
 
@@ -83,9 +96,8 @@ TEST(SweepDeterminism, TimingIsReportedForAnyThreadCount) {
   const std::vector<double> grid{50.0};
   for (const int threads : {1, 2}) {
     net::SweepTiming timing;
-    const auto pts = net::simulate_loss_curve(
-        base_config(threads), net::ProtocolVariant::Controlled, grid,
-        &timing);
+    const auto pts = sweep(base_config(threads),
+                           net::ProtocolVariant::Controlled, grid, &timing);
     ASSERT_EQ(pts.size(), 1u);
     EXPECT_EQ(timing.threads, static_cast<unsigned>(threads));
     EXPECT_EQ(timing.jobs, grid.size() * 3);  // 3 replications
@@ -105,8 +117,8 @@ TEST(SweepTrace, TracedJobMatchesSoloRerunAndChangesNothing) {
   net::SweepConfig cfg = base_config(4);
   sim::TraceLog sweep_trace;
   cfg.trace_request = {&sweep_trace, trace_point, trace_replication};
-  const auto traced_points = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, grid);
+  const auto traced_points =
+      sweep(cfg, net::ProtocolVariant::Controlled, grid);
   EXPECT_GT(sweep_trace.total_recorded(), 0u);
 
   // Solo rerun of exactly that shard: same config knobs, same policy,
@@ -133,14 +145,14 @@ TEST(SweepTrace, TracedJobMatchesSoloRerunAndChangesNothing) {
 
   // Tracing is observation only: the traced sweep's numbers are
   // bit-identical to an untraced serial sweep.
-  const auto untraced = net::simulate_loss_curve(
-      base_config(1), net::ProtocolVariant::Controlled, grid);
+  const auto untraced =
+      sweep(base_config(1), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(traced_points, untraced);
 }
 
 TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
-  // The same plumbing through schedule_loss_curve: only the designated
-  // shard writes the log, and results stay bit-identical.
+  // The same plumbing through a scheduler-bound run_sweep: only the
+  // designated shard writes the log, and results stay bit-identical.
   const std::vector<double> grid{30.0, 60.0};
   net::SweepConfig cfg = base_config(0);
   sim::TraceLog trace;
@@ -148,13 +160,15 @@ TEST(SweepTrace, TracedShardWorksUnderExternalScheduler) {
 
   tcw::exec::ThreadPool pool(2);
   tcw::exec::SweepScheduler scheduler(pool);
-  auto handle = net::schedule_loss_curve(
-      scheduler, "traced", cfg, net::ProtocolVariant::Controlled, grid);
+  auto handle = net::run_sweep(
+      {.config = cfg, .constraints = grid,
+       .variant = net::ProtocolVariant::Controlled},
+      {.scheduler = &scheduler, .name = "traced"});
   scheduler.run();
   EXPECT_GT(trace.total_recorded(), 0u);
 
-  const auto untraced = net::simulate_loss_curve(
-      base_config(1), net::ProtocolVariant::Controlled, grid);
+  const auto untraced =
+      sweep(base_config(1), net::ProtocolVariant::Controlled, grid);
   expect_bitwise_equal(handle.points(), untraced);
 }
 

@@ -258,21 +258,28 @@ TEST(SweepScheduler, ScheduledSweepsMatchStandaloneForEveryThreadCount) {
   const std::vector<double> grid{25.0, 50.0, 100.0};
   net::SweepConfig cfg = small_config();
   cfg.threads = 1;
-  const auto standalone_controlled = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::Controlled, grid);
-  const auto standalone_fcfs = net::simulate_loss_curve(
-      cfg, net::ProtocolVariant::FcfsNoDiscard, grid);
+  const auto standalone_controlled =
+      net::run_sweep({.config = cfg, .constraints = grid,
+                      .variant = net::ProtocolVariant::Controlled})
+          .points();
+  const auto standalone_fcfs =
+      net::run_sweep({.config = cfg, .constraints = grid,
+                      .variant = net::ProtocolVariant::FcfsNoDiscard})
+          .points();
 
   const int hw = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
   for (const int threads : {1, 2, hw}) {
     ThreadPool pool(static_cast<unsigned>(threads));
     SweepScheduler scheduler(pool);
-    auto controlled = net::schedule_loss_curve(
-        scheduler, "controlled", cfg, net::ProtocolVariant::Controlled,
-        grid);
-    auto fcfs = net::schedule_loss_curve(
-        scheduler, "fcfs", cfg, net::ProtocolVariant::FcfsNoDiscard, grid);
+    auto controlled = net::run_sweep(
+        {.config = cfg, .constraints = grid,
+         .variant = net::ProtocolVariant::Controlled},
+        {.scheduler = &scheduler, .name = "controlled"});
+    auto fcfs = net::run_sweep(
+        {.config = cfg, .constraints = grid,
+         .variant = net::ProtocolVariant::FcfsNoDiscard},
+        {.scheduler = &scheduler, .name = "fcfs"});
     EXPECT_EQ(controlled.jobs(), grid.size() * 2);
     const SchedulerReport report = scheduler.run();
     EXPECT_EQ(report.shards, grid.size() * 2 * 2);
@@ -287,17 +294,21 @@ TEST(SweepScheduler, SweepSubmissionOrderDoesNotChangeResults) {
 
   ThreadPool pool(3);
   SweepScheduler forward(pool);
-  auto fwd_a = net::schedule_loss_curve(
-      forward, "a", cfg, net::ProtocolVariant::Controlled, grid);
-  auto fwd_b = net::schedule_loss_curve(
-      forward, "b", cfg, net::ProtocolVariant::LcfsNoDiscard, grid);
+  auto fwd_a = net::run_sweep({.config = cfg, .constraints = grid,
+                               .variant = net::ProtocolVariant::Controlled},
+                              {.scheduler = &forward, .name = "a"});
+  auto fwd_b = net::run_sweep({.config = cfg, .constraints = grid,
+                               .variant = net::ProtocolVariant::LcfsNoDiscard},
+                              {.scheduler = &forward, .name = "b"});
   forward.run();
 
   SweepScheduler reversed(pool);
-  auto rev_b = net::schedule_loss_curve(
-      reversed, "b", cfg, net::ProtocolVariant::LcfsNoDiscard, grid);
-  auto rev_a = net::schedule_loss_curve(
-      reversed, "a", cfg, net::ProtocolVariant::Controlled, grid);
+  auto rev_b = net::run_sweep({.config = cfg, .constraints = grid,
+                               .variant = net::ProtocolVariant::LcfsNoDiscard},
+                              {.scheduler = &reversed, .name = "b"});
+  auto rev_a = net::run_sweep({.config = cfg, .constraints = grid,
+                               .variant = net::ProtocolVariant::Controlled},
+                              {.scheduler = &reversed, .name = "a"});
   reversed.run();
 
   expect_points_equal(fwd_a.points(), rev_a.points());
@@ -311,12 +322,15 @@ TEST(SweepScheduler, CustomPolicySweepMatchesStandalone) {
     return tcw::core::ControlPolicy::optimal(k, 40.0);
   };
   const auto standalone =
-      net::simulate_loss_curve_custom(cfg, factory, grid);
+      net::run_sweep(
+          {.config = cfg, .constraints = grid, .make_policy = factory})
+          .points();
 
   ThreadPool pool(2);
   SweepScheduler scheduler(pool);
-  auto scheduled = net::schedule_loss_curve_custom(scheduler, "custom", cfg,
-                                                   factory, grid);
+  auto scheduled = net::run_sweep(
+      {.config = cfg, .constraints = grid, .make_policy = factory},
+      {.scheduler = &scheduler, .name = "custom"});
   scheduler.run();
   expect_points_equal(scheduled.points(), standalone);
 }
