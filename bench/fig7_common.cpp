@@ -93,22 +93,29 @@ Fig7PanelSim Fig7PanelJob::collect() const {
 
 Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler& scheduler,
                                  const std::string& panel_name,
-                                 const Fig7Options& opts) {
+                                 const Fig7Options& opts, ObsSession* obs) {
   const Fig7Options o = with_quick_applied(opts);
   std::vector<double> grid = panel_grid(o);
   const net::SweepConfig sweep = sweep_config_from(o);
-  auto controlled = net::run_sweep(
-      {.config = sweep, .constraints = grid,
-       .variant = net::ProtocolVariant::Controlled},
-      {.scheduler = &scheduler, .name = panel_name + "/controlled"});
-  auto fcfs = net::run_sweep(
-      {.config = sweep, .constraints = grid,
-       .variant = net::ProtocolVariant::FcfsNoDiscard},
-      {.scheduler = &scheduler, .name = panel_name + "/fcfs"});
-  auto lcfs = net::run_sweep(
-      {.config = sweep, .constraints = grid,
-       .variant = net::ProtocolVariant::LcfsNoDiscard},
-      {.scheduler = &scheduler, .name = panel_name + "/lcfs"});
+  // One variant's sweep, with the obs session's kernel capture attached
+  // (and the sweep tracked for attribution) when one was handed in.
+  const auto schedule_variant = [&](const std::string& variant,
+                                    net::ProtocolVariant kind) {
+    const std::string name = panel_name + "/" + variant;
+    net::SweepConfig cfg = sweep;
+    if (obs != nullptr && obs->wants_capture()) {
+      cfg.capture_request.capture = obs->make_capture(name, cfg.base_seed);
+    }
+    net::ScheduledSweep handle =
+        net::run_sweep({.config = cfg, .constraints = grid, .variant = kind},
+                       {.scheduler = &scheduler, .name = name});
+    if (obs != nullptr) obs->track_sweep(name, handle);
+    return handle;
+  };
+  auto controlled =
+      schedule_variant("controlled", net::ProtocolVariant::Controlled);
+  auto fcfs = schedule_variant("fcfs", net::ProtocolVariant::FcfsNoDiscard);
+  auto lcfs = schedule_variant("lcfs", net::ProtocolVariant::LcfsNoDiscard);
   return Fig7PanelJob(std::move(grid), std::move(controlled),
                       std::move(fcfs), std::move(lcfs));
 }
@@ -226,21 +233,23 @@ int run_fig7_panel(const std::string& panel_name, const Fig7Options& opts) {
 
   net::SweepTiming total;
   net::SweepTiming timing;
-  sim.controlled = net::run_sweep({.config = sweep, .constraints = sim.grid,
-                                   .variant = net::ProtocolVariant::Controlled,
-                                   .timing = &timing})
-                       .points();
-  total.accumulate(timing);
-  sim.fcfs = net::run_sweep({.config = sweep, .constraints = sim.grid,
-                             .variant = net::ProtocolVariant::FcfsNoDiscard,
-                             .timing = &timing})
-                 .points();
-  total.accumulate(timing);
-  sim.lcfs = net::run_sweep({.config = sweep, .constraints = sim.grid,
-                             .variant = net::ProtocolVariant::LcfsNoDiscard,
-                             .timing = &timing})
-                 .points();
-  total.accumulate(timing);
+  const auto run_variant = [&](const std::string& variant,
+                               net::ProtocolVariant kind) {
+    const std::string name = panel_name + "/" + variant;
+    net::SweepConfig cfg = sweep;
+    if (obs.wants_capture()) {
+      cfg.capture_request.capture = obs.make_capture(name, cfg.base_seed);
+    }
+    net::ScheduledSweep handle = net::run_sweep(
+        {.config = cfg, .constraints = sim.grid, .variant = kind,
+         .timing = &timing});
+    obs.track_sweep(name, handle);
+    total.accumulate(timing);
+    return handle.points();
+  };
+  sim.controlled = run_variant("controlled", net::ProtocolVariant::Controlled);
+  sim.fcfs = run_variant("fcfs", net::ProtocolVariant::FcfsNoDiscard);
+  sim.lcfs = run_variant("lcfs", net::ProtocolVariant::LcfsNoDiscard);
 
   int rc = render_fig7_panel(panel_name, o, sim, &total);
   rc |= obs.finish(nullptr);
@@ -334,7 +343,7 @@ int run_fig7_suite(const Fig7SuiteOptions& suite) {
     o.offered_load = p.offered_load;
     o.message_length = p.message_length;
     o.csv = suite.csv_dir + "/" + p.name + ".csv";
-    jobs.push_back(schedule_fig7_panel(scheduler, p.name, o));
+    jobs.push_back(schedule_fig7_panel(scheduler, p.name, o, &obs));
     panel_opts.push_back(std::move(o));
   }
 

@@ -76,7 +76,7 @@ class Fig7PanelJob {
  private:
   friend Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler&,
                                           const std::string&,
-                                          const Fig7Options&);
+                                          const Fig7Options&, ObsSession*);
   Fig7PanelJob(std::vector<double> grid, net::ScheduledSweep controlled,
                net::ScheduledSweep fcfs, net::ScheduledSweep lcfs);
 
@@ -88,10 +88,13 @@ class Fig7PanelJob {
 
 /// Register one panel's controlled/FCFS/LCFS sweeps (named
 /// "<panel>/<variant>") on `scheduler`. Applies --quick itself, so pass
-/// the raw options.
+/// the raw options. With `obs` non-null, each sweep gets a kernel
+/// capture (under --flight-out / --series-out) and feeds the
+/// deadline-loss attribution report.
 Fig7PanelJob schedule_fig7_panel(exec::SweepScheduler& scheduler,
                                  const std::string& panel_name,
-                                 const Fig7Options& opts);
+                                 const Fig7Options& opts,
+                                 ObsSession* obs = nullptr);
 
 /// Print one panel's table, plot and shape checks, and write its CSV.
 /// `engine_timing`, when non-null, is echoed as the panel's own

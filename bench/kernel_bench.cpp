@@ -58,6 +58,7 @@ struct CellResult {
   std::uint64_t probe_steps = 0;
   std::uint64_t skipped_slots = 0;
   double wall_seconds = 0.0;
+  std::vector<tcw::obs::ChannelTally> tallies;  // deadline-loss attribution
 };
 
 void append_stats(std::ostringstream& out, const char* name,
@@ -103,7 +104,8 @@ struct NetCell {
 
 CellResult run_aggregate(const Options& opt, const AggCell& cell,
                          bool reference,
-                         const tcw::net::PolicyConfig& mac = {}) {
+                         const tcw::net::PolicyConfig& mac = {},
+                         const tcw::obs::KernelCapture& capture = {}) {
   tcw::net::AggregateConfig cfg;
   const double lambda = cell.rho / opt.message_length;
   const double k = cell.k_over_m * opt.message_length;
@@ -119,6 +121,7 @@ CellResult run_aggregate(const Options& opt, const AggCell& cell,
   cfg.warmup = opt.warmup;
   cfg.seed = opt.seed;
   cfg.reference_kernel = reference;
+  cfg.capture = capture;
   tcw::net::AggregateSimulator sim(
       cfg, std::make_unique<tcw::chan::PoissonProcess>(lambda));
   const auto t0 = std::chrono::steady_clock::now();
@@ -128,12 +131,14 @@ CellResult run_aggregate(const Options& opt, const AggCell& cell,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   r.probe_steps = sim.probe_steps();
+  r.tallies = sim.channel_tallies();
   return r;
 }
 
 CellResult run_network(const Options& opt, const NetCell& cell,
                        bool reference,
-                       const tcw::net::PolicyConfig& mac = {}) {
+                       const tcw::net::PolicyConfig& mac = {},
+                       const tcw::obs::KernelCapture& capture = {}) {
   tcw::net::NetworkConfig cfg;
   const double lambda = cell.rho / opt.message_length;
   const double k = cell.k_over_m * opt.message_length;
@@ -150,6 +155,7 @@ CellResult run_network(const Options& opt, const NetCell& cell,
   cfg.seed = opt.seed;
   cfg.consistency_check_every = 1024;
   cfg.reference_kernel = reference;
+  cfg.capture = capture;
   if (!reference) {
     cfg.shadow_replicas = static_cast<std::size_t>(opt.shadows);
   }
@@ -162,6 +168,7 @@ CellResult run_network(const Options& opt, const NetCell& cell,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   r.probe_steps = net.probe_steps();
+  r.tallies = net.channel_tallies();
   if (!net.stations_consistent()) {
     std::fprintf(stderr, "kernel_bench: consistency violation (N=%zu)\n",
                  cell.stations);
@@ -176,7 +183,8 @@ CellResult run_network(const Options& opt, const NetCell& cell,
 // realization, which is what makes them bit-comparable; both differ from
 // run_network's per-station streams at the same seed.
 CellResult run_network_batched(const Options& opt, const NetCell& cell,
-                               tcw::net::EngineKind kind, bool event_skip) {
+                               tcw::net::EngineKind kind, bool event_skip,
+                               const tcw::obs::KernelCapture& capture = {}) {
   tcw::net::NetworkConfig cfg;
   const double lambda = cell.rho / opt.message_length;
   const double k = cell.k_over_m * opt.message_length;
@@ -193,6 +201,7 @@ CellResult run_network_batched(const Options& opt, const NetCell& cell,
   cfg.consistency_check_every = 1024;
   cfg.shadow_replicas = static_cast<std::size_t>(opt.shadows);
   cfg.event_skip = event_skip;
+  cfg.capture = capture;
   auto net = tcw::net::Network::homogeneous_poisson_batched(
       cfg, cell.stations, lambda);
   const auto t0 = std::chrono::steady_clock::now();
@@ -203,6 +212,7 @@ CellResult run_network_batched(const Options& opt, const NetCell& cell,
           .count();
   r.probe_steps = net.probe_steps();
   r.skipped_slots = net.skipped_slots();
+  r.tallies = net.channel_tallies();
   if (!net.stations_consistent()) {
     std::fprintf(stderr,
                  "kernel_bench: consistency violation (N=%zu, %s)\n",
@@ -287,8 +297,23 @@ int main(int argc, char** argv) {
 
   if (opt.verify) {
     std::size_t cells = 0;
+    // A throwaway recorder+series riding on every fast run: the
+    // fingerprint comparisons against the capture-free reference runs
+    // double as the strict-overlay proof (instrumentation perturbs no
+    // RNG draw, so metrics stay bit-identical).
+    tcw::obs::FlightRecorder verify_rec({opt.seed, 1.0, 4096});
+    std::size_t seg_id = 0;
+    const auto verify_capture = [&](tcw::obs::SlotSeries* series) {
+      tcw::obs::KernelCapture c;
+      c.flight = verify_rec.segment("verify/" + std::to_string(seg_id++));
+      c.series = series;
+      return c;
+    };
     for (const AggCell& cell : agg_cells) {
-      const std::string fast = fingerprint(run_aggregate(opt, cell, false).metrics);
+      tcw::obs::SlotSeries series;
+      const std::string fast = fingerprint(
+          run_aggregate(opt, cell, false, {}, verify_capture(&series))
+              .metrics);
       const std::string ref = fingerprint(run_aggregate(opt, cell, true).metrics);
       if (fast != ref) {
         std::fprintf(stderr,
@@ -300,7 +325,9 @@ int main(int argc, char** argv) {
       ++cells;
     }
     for (const NetCell& cell : net_cells) {
-      const std::string fast = fingerprint(run_network(opt, cell, false).metrics);
+      tcw::obs::SlotSeries series;
+      const std::string fast = fingerprint(
+          run_network(opt, cell, false, {}, verify_capture(&series)).metrics);
       const std::string ref = fingerprint(run_network(opt, cell, true).metrics);
       if (fast != ref) {
         std::fprintf(stderr,
@@ -322,10 +349,26 @@ int main(int argc, char** argv) {
                                           tcw::net::EngineKind::DynamicAloha};
     for (const auto kind : kinds) {
       for (const NetCell& cell : net_cells) {
-        const CellResult fast = run_network_batched(opt, cell, kind, false);
-        const CellResult skip = run_network_batched(opt, cell, kind, true);
+        // The per-slot and event-skip steppers carry their own series;
+        // event-skip synthesizes closed-form idle samples for jumped
+        // stretches, so the rendered rows must match byte for byte.
+        tcw::obs::SlotSeries fast_series;
+        tcw::obs::SlotSeries skip_series;
+        const CellResult fast = run_network_batched(
+            opt, cell, kind, false, verify_capture(&fast_series));
+        const CellResult skip = run_network_batched(
+            opt, cell, kind, true, verify_capture(&skip_series));
         const std::string f = fingerprint(fast.metrics);
         const std::string s = fingerprint(skip.metrics);
+        if (fast_series.to_csv_rows("x") != skip_series.to_csv_rows("x")) {
+          std::fprintf(stderr,
+                       "VERIFY FAILED event-skip series %s N=%zu rho=%.2f "
+                       "K/M=%.1f: per-slot and event-skip SlotSeries rows "
+                       "differ\n",
+                       to_string(kind).c_str(), cell.stations, cell.rho,
+                       cell.k_over_m);
+          return 1;
+        }
         if (f != s || fast.probe_steps != skip.probe_steps) {
           std::fprintf(stderr,
                        "VERIFY FAILED event-skip %s N=%zu rho=%.2f "
@@ -385,8 +428,9 @@ int main(int argc, char** argv) {
         ++cells;
       }
     }
-    std::printf("verify: fast/reference, fast/event-skip, and C=2 "
-                "multichannel kernels bit-identical over %zu cells "
+    std::printf("verify: fast/reference, fast/event-skip (metrics and "
+                "slot series), and C=2 multichannel kernels bit-identical "
+                "over %zu cells, capture overlay zero-perturbing "
                 "(t_end=%.0f)\n",
                 cells, opt.t_end);
     return obs.finish(nullptr);
@@ -413,6 +457,40 @@ int main(int argc, char** argv) {
                 slots_per_sec, probes_per_sec, extra.c_str());
   };
 
+  // Under --flight-out / --series-out each fast cell gets a kernel
+  // capture tagged with the cell coordinates, and its deadline-loss
+  // attribution tallies are echoed as BENCH_JSON rows (kernel_bench has
+  // no sweeps, so the rows are emitted here rather than through the
+  // flight report's sweep table).
+  const auto cell_capture = [&](const char* sim_name, std::size_t stations,
+                                double rho, double k_over_m) {
+    tcw::obs::KernelCapture c;
+    if (!obs.wants_capture()) return c;
+    char tag[96];
+    std::snprintf(tag, sizeof tag, "%s/n%zu_rho%.2f_km%.1f", sim_name,
+                  stations, rho, k_over_m);
+    return obs.make_capture(tag, opt.seed);
+  };
+  const auto emit_attribution = [&](const char* sim_name,
+                                    std::size_t stations, double rho,
+                                    double k_over_m, const CellResult& r) {
+    if (!obs.wants_capture()) return;
+    for (std::size_t ch = 0; ch < r.tallies.size(); ++ch) {
+      const tcw::obs::ChannelTally& t = r.tallies[ch];
+      std::printf(
+          "BENCH_JSON {\"bench\":\"kernel_bench\","
+          "\"sweep\":\"%s/n%zu_rho%.2f_km%.1f\",\"k\":%.17g,"
+          "\"channel\":%zu,\"admission_starved\":%llu,"
+          "\"collision_killed\":%llu,\"queue_expired\":%llu,"
+          "\"discards\":%llu}\n",
+          sim_name, stations, rho, k_over_m, k_over_m * opt.message_length,
+          ch, static_cast<unsigned long long>(t.admission_starved),
+          static_cast<unsigned long long>(t.collision_killed),
+          static_cast<unsigned long long>(t.queue_expired),
+          static_cast<unsigned long long>(t.sender_discards));
+    }
+  };
+
   std::printf("== kernel_bench: t_end=%.0f warmup=%.0f M=%.0f shadows=%lld "
               "==\n\n",
               opt.t_end, opt.warmup, opt.message_length, opt.shadows);
@@ -421,8 +499,11 @@ int main(int argc, char** argv) {
     CellResult fast{};
     CellResult ref{};
     if (!opt.reference) {
-      fast = run_aggregate(opt, cell, false);
+      fast = run_aggregate(opt, cell, false, {},
+                           cell_capture("aggregate", 0, cell.rho,
+                                        cell.k_over_m));
       emit("aggregate", 0, cell.rho, cell.k_over_m, "fast", fast);
+      emit_attribution("aggregate", 0, cell.rho, cell.k_over_m, fast);
     }
     if (opt.reference || opt.baseline) {
       ref = run_aggregate(opt, cell, true);
@@ -438,8 +519,12 @@ int main(int argc, char** argv) {
     CellResult fast{};
     CellResult ref{};
     if (!opt.reference) {
-      fast = run_network(opt, cell, false);
+      fast = run_network(opt, cell, false, {},
+                         cell_capture("network", cell.stations, cell.rho,
+                                      cell.k_over_m));
       emit("network", cell.stations, cell.rho, cell.k_over_m, "fast", fast);
+      emit_attribution("network", cell.stations, cell.rho, cell.k_over_m,
+                       fast);
     }
     if (opt.reference || opt.baseline) {
       ref = run_network(opt, cell, true);
@@ -462,7 +547,9 @@ int main(int argc, char** argv) {
         {10000, 0.50, 3.0}, {100000, 0.50, 3.0}, {1000000, 0.50, 3.0}};
     for (const NetCell& cell : large_cells) {
       const CellResult r = run_network_batched(
-          opt, cell, tcw::net::EngineKind::Window, true);
+          opt, cell, tcw::net::EngineKind::Window, true,
+          cell_capture("event-skip", cell.stations, cell.rho,
+                       cell.k_over_m));
       char extra[96];
       std::snprintf(extra, sizeof extra,
                     ",\"skipped_slots\":%llu,\"skip_fraction\":%.4f",
@@ -470,6 +557,8 @@ int main(int argc, char** argv) {
                     static_cast<double>(r.skipped_slots) / opt.t_end);
       emit("network", cell.stations, cell.rho, cell.k_over_m, "event-skip",
            r, extra);
+      emit_attribution("event-skip", cell.stations, cell.rho, cell.k_over_m,
+                       r);
     }
 
     // N -> infinity fluid limit: wall time scales with arrivals, not

@@ -33,10 +33,19 @@ net::ScheduledSweep StudyContext::sweep(
   if (common_.trace.log != nullptr && common_.trace_sweep == name) {
     cfg.trace_request = common_.trace;
   }
+  // Kernel captures ride on the run's ObsSession when one is bound.
+  // Worker mode never binds one (captures are local artifacts and a
+  // partially-skipped sweep must not be reduced); the merge pass binds
+  // its session so the captured job is re-executed locally and the
+  // flight/series/attribution artifacts match a single-process run.
+  if (obs_ != nullptr && obs_->wants_capture()) {
+    cfg.capture_request.capture = obs_->make_capture(full, cfg.base_seed);
+  }
   net::ScheduledSweep handle = net::run_sweep(
       {.config = cfg, .constraints = grid, .make_policy = make_policy},
       {.scheduler = &scheduler_, .name = full,
        .cache = net::SweepCacheBinding{cache_, full, gate_}});
+  if (obs_ != nullptr) obs_->track_sweep(full, handle);
   cached_shards_ += handle.cached_jobs();
   skipped_shards_ += handle.skipped_jobs();
   scheduled_shards_ +=
@@ -213,6 +222,7 @@ int run_configured(const StudyEntry& entry, Study& study,
   const std::unique_ptr<exec::ShardCache> cache =
       open_cache(common, entry.spec.name);
   StudyContext ctx(entry.spec, common, scheduler, cache.get());
+  ctx.set_obs(&obs);
   study.schedule(ctx);
   const exec::SchedulerReport report =
       run_scheduler_with_report(scheduler, entry.spec.name);
@@ -298,6 +308,7 @@ int run_study_suite(const StudyCommonOptions& common,
     caches.push_back(open_cache(per_study, e->spec.name));
     contexts.push_back(std::make_unique<StudyContext>(
         e->spec, per_study, scheduler, caches.back().get()));
+    contexts.back()->set_obs(&obs);
     studies.back()->schedule(*contexts.back());
   }
 

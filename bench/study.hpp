@@ -122,6 +122,13 @@ class StudyContext {
   void set_gate(exec::ShardGate* gate) { gate_ = gate; }
   exec::ShardGate* gate() const { return gate_; }
 
+  /// Bind the run's ObsSession so every declared loss-curve sweep gets a
+  /// kernel capture (under --flight-out / --series-out) and is tracked
+  /// for the deadline-loss attribution report. Ignored in gated (worker)
+  /// mode: captures are local artifacts; the merge pass re-captures.
+  /// Borrowed; must outlive render(). Call before Study::schedule().
+  void set_obs(ObsSession* obs) { obs_ = obs; }
+
   /// Shards served from the store / actually enqueued / declined by the
   /// gate, summed over every sweep this context declared.
   std::size_t cached_shards() const { return cached_shards_; }
@@ -134,6 +141,7 @@ class StudyContext {
   exec::SweepScheduler& scheduler_;
   exec::ShardCache* cache_;
   exec::ShardGate* gate_ = nullptr;
+  ObsSession* obs_ = nullptr;
   std::string csv_path_;
   std::size_t cached_shards_ = 0;
   std::size_t scheduled_shards_ = 0;

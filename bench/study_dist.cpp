@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -20,6 +22,8 @@
 #include "exec/thread_pool.hpp"
 #include "fig7_common.hpp"
 #include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 
 namespace tcw::bench {
 
@@ -152,6 +156,26 @@ bool parse_worker_spec(const std::string& spec, unsigned* index,
   return true;
 }
 
+/// This worker's contribution to the global metrics registry: the
+/// per-counter DELTA between the registry now and `baseline` (counters
+/// are process-cumulative; other runs in this process must not leak into
+/// the sidecar). Zero deltas are dropped so sidecars stay small.
+std::map<std::string, std::uint64_t> registry_delta(
+    const obs::RegistrySnapshot& baseline) {
+  std::map<std::string, std::uint64_t> base;
+  for (const obs::CounterSnapshot& c : baseline.counters) {
+    base[c.name] = c.value;
+  }
+  std::map<std::string, std::uint64_t> delta;
+  for (const obs::CounterSnapshot& c :
+       obs::Registry::global().snapshot().counters) {
+    const auto it = base.find(c.name);
+    const std::uint64_t before = it != base.end() ? it->second : 0;
+    if (c.value > before) delta[c.name] = c.value - before;
+  }
+  return delta;
+}
+
 void write_worker_sidecar(const std::string& cache_dir,
                           const std::string& owner, const DistOptions& dist,
                           const std::vector<const StudyEntry*>& entries,
@@ -159,7 +183,9 @@ void write_worker_sidecar(const std::string& cache_dir,
                           std::size_t cached, std::size_t claimed,
                           std::size_t stolen, std::size_t declined,
                           const exec::LeaseManager& leases,
-                          double wall_seconds) {
+                          double wall_seconds,
+                          const std::map<std::string, std::uint64_t>&
+                              registry) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const std::string dir = cache_dir + "/workers";
@@ -175,6 +201,11 @@ void write_worker_sidecar(const std::string& cache_dir,
     if (!studies.empty()) studies += ',';
     studies += obs::json_quote(e->spec.name);
   }
+  std::string registry_json;
+  for (const auto& [name, value] : registry) {
+    if (!registry_json.empty()) registry_json += ',';
+    registry_json += obs::json_quote(name) + ":" + std::to_string(value);
+  }
   std::fprintf(
       f,
       "{\"schema\":\"tcw-dist-worker-v1\",\"worker\":%s,\"pid\":%ld,"
@@ -182,13 +213,59 @@ void write_worker_sidecar(const std::string& cache_dir,
       "\"universe\":%zu,\"cached\":%zu,\"claimed\":%zu,\"stolen\":%zu,"
       "\"declined\":%zu,\"reclaimed\":%zu,\"contended\":%zu,"
       "\"released\":%zu,\"stale_seconds\":%.3f,\"heartbeat_seconds\":%.3f,"
-      "\"wall_seconds\":%.4f,\"studies\":[%s]}\n",
+      "\"wall_seconds\":%.4f,\"studies\":[%s],\"registry\":{%s}}\n",
       obs::json_quote(owner).c_str(), static_cast<long>(::getpid()),
       dist.index, dist.total, dist.steal ? "true" : "false", passes, universe,
       cached, claimed, stolen, declined, leases.reclaimed(),
       leases.contended(), leases.released(), dist.stale_seconds,
-      dist.heartbeat_seconds, wall_seconds, studies.c_str());
+      dist.heartbeat_seconds, wall_seconds, studies.c_str(),
+      registry_json.c_str());
   std::fclose(f);
+}
+
+/// Parse the flat "registry":{"name":value,...} object out of one worker
+/// sidecar and add its counts into `totals`. Hand-rolled scan matched to
+/// write_worker_sidecar's own emission (names are json_quote'd; values
+/// are bare unsigned integers). Returns false on malformed input.
+bool accumulate_sidecar_registry(const std::string& text,
+                                 std::map<std::string, std::uint64_t>*
+                                     totals) {
+  const std::string marker = "\"registry\":{";
+  const std::size_t at = text.find(marker);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + marker.size();
+  while (i < text.size() && text[i] != '}') {
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] != '"') return false;
+    std::size_t end = i + 1;
+    std::string name;
+    while (end < text.size() && text[end] != '"') {
+      if (text[end] == '\\' && end + 1 < text.size()) {
+        name += text[end + 1];
+        end += 2;
+        continue;
+      }
+      name += text[end];
+      ++end;
+    }
+    if (end >= text.size() || end + 1 >= text.size() ||
+        text[end + 1] != ':') {
+      return false;
+    }
+    i = end + 2;
+    std::uint64_t value = 0;
+    const std::size_t digits_at = i;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      ++i;
+    }
+    if (i == digits_at) return false;
+    (*totals)[name] += value;
+  }
+  return i < text.size();
 }
 
 }  // namespace
@@ -241,6 +318,11 @@ int run_study_workers(const StudyCommonOptions& common,
   StudyCommonOptions per_study = common;
   per_study.csv.clear();
   ObsSession obs("study_worker", common.obs);
+  // Sidecars carry this worker's registry DELTA, so snapshot the baseline
+  // after the session (which may have reset the registry), before any
+  // pass runs kernels.
+  const obs::RegistrySnapshot registry_baseline =
+      obs::Registry::global().snapshot();
 
   std::printf("== worker %s: partition %u/%u%s over %zu stud%s ==\n",
               owner.c_str(), dist.index, dist.total,
@@ -347,7 +429,8 @@ int run_study_workers(const StudyCommonOptions& common,
           : 0;
   write_worker_sidecar(common.cache_dir, owner, dist, entries, passes,
                        universe, cached_at_start, claimed_total, stolen_total,
-                       declined_total, leases, wall);
+                       declined_total, leases, wall,
+                       registry_delta(registry_baseline));
   std::printf(
       "worker %s: %zu pass(es), universe %zu shard(s): %zu cached at "
       "start, %zu claimed here (%zu stolen), %zu left to other workers; "
@@ -376,11 +459,57 @@ int run_study_merge(const StudyCommonOptions& common, const DistOptions& dist,
   std::vector<const StudyEntry*> entries;
   if (!resolve_entries(names, &entries)) return 1;
 
-  ObsSession obs("study_merge", common.obs);
+  // Single-study merges take the study's name as the run label so the
+  // flight report is byte-identical to the single-process run's
+  // (flight_smoke.sh leg c); multi-study merges keep the generic label.
+  ObsSession obs(entries.size() == 1 ? entries[0]->spec.name : "study_merge",
+                 common.obs);
   // A suite-wide --csv only makes sense for a single study (merge renders
   // one CSV per study), mirroring run_study_suite.
   StudyCommonOptions per_study = common;
   if (entries.size() > 1) per_study.csv.clear();
+
+  // Fold every worker sidecar's registry delta into one cluster-wide
+  // total for the merge manifest: the merged_registry section then equals
+  // the sum of the per-worker sidecars (asserted by test_dist_exec).
+  {
+    namespace fs = std::filesystem;
+    std::map<std::string, std::uint64_t> totals;
+    std::size_t sidecars = 0;
+    std::error_code ec;
+    fs::directory_iterator it(common.cache_dir + "/workers", ec);
+    if (!ec) {
+      std::vector<fs::path> paths;
+      for (const fs::directory_entry& de : it) {
+        if (de.path().extension() == ".json") paths.push_back(de.path());
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const fs::path& p : paths) {
+        std::FILE* f = std::fopen(p.c_str(), "rb");
+        if (f == nullptr) continue;
+        std::string text;
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+          text.append(buf, n);
+        }
+        std::fclose(f);
+        if (accumulate_sidecar_registry(text, &totals)) {
+          ++sidecars;
+        } else {
+          std::fprintf(stderr, "merge: malformed worker sidecar %s\n",
+                       p.c_str());
+        }
+      }
+    }
+    if (sidecars > 0) {
+      obs::ManifestCollector::global().set_merged_registry(
+          std::move(totals));
+      std::printf("merge: folded registry deltas from %zu worker "
+                  "sidecar(s)\n",
+                  sidecars);
+    }
+  }
 
   int rc = 0;
   exec::SchedulerReport last_report;
@@ -402,6 +531,7 @@ int run_study_merge(const StudyCommonOptions& common, const DistOptions& dist,
     if (!flags_ok) return 1;
     StudyContext ctx(e->spec, per_study, scheduler, &cache);
     ctx.set_gate(&gate);
+    ctx.set_obs(&obs);
     study->schedule(ctx);
 
     const std::size_t missing = gate.missing().size();

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a kernel_bench run against the committed throughput baseline.
+
+Reads BENCH_JSON lines from a kernel_bench run (stdin, or a file passed
+with --input), matches cells against results/bench_baseline.json by
+(sim, stations, rho, k_over_m, kernel), and reports the throughput ratio
+current/baseline per cell.
+
+The check is INFORMATIONAL in tier-1: wall clocks depend on the machine,
+its load, and the build type, so the script always exits 0 unless
+--strict is given. With --strict, cells whose slots_per_sec ratio falls
+below --min-ratio (default 0.5) fail the run -- a band wide enough to
+ignore machine noise but catch an accidental 2x kernel regression.
+
+Usage:
+    build/bench/kernel_bench --quick | scripts/bench_compare.py
+    scripts/bench_compare.py --input bench.log --strict --min-ratio 0.4
+    build/bench/kernel_bench --quick | scripts/bench_compare.py --update
+
+--update rewrites the baseline in place from the current run (commit the
+result after an intentional performance change).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results", "bench_baseline.json")
+
+KEY_FIELDS = ("sim", "stations", "rho", "k_over_m", "kernel")
+
+
+def cell_key(record):
+    return tuple(record.get(f) for f in KEY_FIELDS)
+
+
+def read_bench_lines(stream):
+    """Throughput cells (rows with slots_per_sec) from BENCH_JSON lines."""
+    cells = []
+    for line in stream:
+        line = line.strip()
+        if line.startswith("BENCH_JSON "):
+            line = line[len("BENCH_JSON "):]
+        if not line.startswith("{"):
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if record.get("bench") == "kernel_bench" and "slots_per_sec" in record:
+            cells.append(record)
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path")
+    parser.add_argument("--input", default="-",
+                        help="kernel_bench output to read ('-' = stdin)")
+    parser.add_argument("--min-ratio", type=float, default=0.5,
+                        help="slots_per_sec ratio below this fails --strict")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero on regressions (default: report "
+                             "only)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args()
+
+    if args.input == "-":
+        current = read_bench_lines(sys.stdin)
+    else:
+        with open(args.input) as f:
+            current = read_bench_lines(f)
+    if not current:
+        print("bench_compare: no kernel_bench BENCH_JSON cells in input",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        with open(args.baseline) as f:
+            doc = json.load(f)
+        doc["cells"] = current
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+        print("bench_compare: baseline updated with %d cells -> %s"
+              % (len(current), args.baseline))
+        return 0
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    baseline = {cell_key(c): c for c in doc.get("cells", [])}
+
+    regressions = []
+    missing = []
+    print("%-12s %8s %5s %5s %-10s %12s %12s %7s"
+          % ("sim", "stations", "rho", "K/M", "kernel",
+             "base_slots/s", "cur_slots/s", "ratio"))
+    for record in current:
+        key = cell_key(record)
+        base = baseline.get(key)
+        if base is None:
+            missing.append(key)
+            continue
+        base_rate = float(base.get("slots_per_sec", 0.0))
+        cur_rate = float(record.get("slots_per_sec", 0.0))
+        ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        flag = ""
+        if ratio < args.min_ratio:
+            flag = "  <-- regression"
+            regressions.append((key, ratio))
+        print("%-12s %8s %5.2f %5.1f %-10s %12.0f %12.0f %7.2f%s"
+              % (record["sim"], record["stations"], record["rho"],
+                 record["k_over_m"], record["kernel"], base_rate, cur_rate,
+                 ratio, flag))
+    for key in missing:
+        print("bench_compare: cell %r not in baseline (new cell?)" % (key,))
+
+    if regressions:
+        print("bench_compare: %d cell(s) below %.2fx of baseline"
+              % (len(regressions), args.min_ratio))
+        if args.strict:
+            return 1
+        print("bench_compare: informational mode, not failing "
+              "(pass --strict to gate)")
+    else:
+        print("bench_compare: all %d matched cells within tolerance"
+              % (len(current) - len(missing)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,10 @@ object, and must carry the required keys for its record shape. Shapes:
   channel counters   {"study": "multichannel", "counter_prefix",
                       "channel", "probe_slots", "idle_slots",
                       "collisions", "successes", "sender_discards"}
+  attribution row    {"sweep", "k", "channel", "admission_starved",
+                      "collision_killed", "queue_expired", "discards"};
+                      flight-report rows also carry {"engine"}, and the
+                      three categories must sum exactly to discards
 
 Exit status: 0 when every BENCH_JSON line validates and at least one was
 seen (pass --allow-empty to tolerate none), 1 otherwise.
@@ -76,6 +80,20 @@ def classify(record):
                     "store_entries", "loaded",
                     "recovered_corruption"} - cache.keys()
         return "cache", missing
+    if "admission_starved" in record:
+        # Deadline-loss attribution rows (flight report or kernel_bench).
+        # Must precede the "engine"/"bench" branches: flight-report rows
+        # carry "engine" and kernel_bench rows carry "bench".
+        missing = {"sweep", "k", "channel", "admission_starved",
+                   "collision_killed", "queue_expired",
+                   "discards"} - record.keys()
+        if not missing:
+            total = (record["admission_starved"] + record["collision_killed"]
+                     + record["queue_expired"])
+            if total != record["discards"]:
+                missing.add("categories_sum_to_discards(%d != %d)"
+                            % (total, record["discards"]))
+        return "attribution", missing
     if record.get("study") == "multichannel":
         if "counter_prefix" in record:
             return "multichannel_counters", {

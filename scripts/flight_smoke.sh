@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Flight-recorder / slot-series smoke: prove the second observability
+# tier is a strict overlay and that its artifacts are reproducible
+# across execution modes. Legs:
+#   (a) a quick study suite four times -- with and without
+#       --flight-out/--series-out at 1 and N threads -- every CSV must be
+#       byte-identical across all four legs, and the flight report and
+#       series CSV must be byte-identical between the 1- and N-thread
+#       overlay legs (deterministic hash sampling, thread-count
+#       invariant),
+#   (b) kernel_bench --quick --verify, whose event-skip conformance loop
+#       asserts the per-slot and event-skip steppers render bit-identical
+#       SlotSeries rows (and that captures perturb no metrics),
+#   (c) a 4-worker distributed run merged with --flight-out/--series-out
+#       at a sub-unity sample rate: the merged CSV, flight report, and
+#       series CSV must equal the single-process run byte for byte,
+# plus BENCH_JSON schema validation (the attribution rows' three
+# categories must sum exactly to discards) on every leg's log.
+# Usage: flight_smoke.sh <study_tool-binary> <kernel_bench-binary> <scratch-dir>.
+set -euo pipefail
+
+tool=$(realpath "$1")
+kbench=$(realpath "$2")
+scratch=$3
+checker=$(realpath "$(dirname "$0")/check_bench_json.py")
+study=ablation_window_size
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cd "$scratch"
+
+run_leg() { # <leg-dir> [extra flags...]
+  local leg=$1
+  shift
+  mkdir -p "$leg"
+  (cd "$leg" && "$tool" --suite "$study" --quick "$@" \
+      >run.log 2>stderr.log)
+}
+
+echo "-- flight smoke: plain legs (no recorder), threads 1 and N"
+run_leg plain_t1 --threads=1
+run_leg plain_tn --threads=0
+
+echo "-- flight smoke: recorder legs (--flight-out --series-out)"
+run_leg flight_t1 --threads=1 --flight-out=flight.json \
+    --series-out=series.csv
+run_leg flight_tn --threads=0 --flight-out=flight.json \
+    --series-out=series.csv
+
+echo "-- flight smoke: CSVs byte-identical with recorder on/off, 1/N threads"
+csvs=$(cd plain_t1 && ls ./*.csv)
+for csv in $csvs; do
+  for leg in plain_tn flight_t1 flight_tn; do
+    cmp "plain_t1/$csv" "$leg/$csv"
+  done
+done
+
+echo "-- flight smoke: flight/series artifacts thread-count invariant"
+cmp flight_t1/flight.json flight_tn/flight.json
+cmp flight_t1/series.csv flight_tn/series.csv
+
+echo "-- flight smoke: flight report carries sampled events + attribution"
+python3 - <<'EOF'
+import json
+
+with open("flight_tn/flight.json") as f:
+    report = json.load(f)
+if report["format"] != "tcw-flight-report-v1":
+    raise SystemExit("unexpected flight report format %r" % report["format"])
+flight = report["flight"]
+if not flight["segments"]:
+    raise SystemExit("flight report has no segments")
+recorded = sum(s["recorded"] for s in flight["segments"])
+if recorded == 0:
+    raise SystemExit("flight recorder captured no events")
+rows = report["attribution"]
+if not rows:
+    raise SystemExit("attribution table is empty")
+for row in rows:
+    total = (row["admission_starved"] + row["collision_killed"]
+             + row["queue_expired"])
+    if total != row["discards"]:
+        raise SystemExit("attribution categories sum %d != discards %d in %r"
+                         % (total, row["discards"], row["sweep"]))
+print("flight report: %d segments, %d events, %d attribution rows"
+      % (len(flight["segments"]), recorded, len(rows)))
+EOF
+
+echo "-- flight smoke: per-slot vs event-skip SlotSeries (kernel_bench --verify)"
+"$kbench" --quick --verify --csv=kb_verify.csv >kb_verify.log 2>&1
+grep -q "slot series" kb_verify.log
+
+echo "-- flight smoke: single-process reference with recorder (rate 0.25)"
+"$tool" "$study" --quick --csv=single.csv --flight-out=single_flight.json \
+    --series-out=single_series.csv --flight-sample-rate=0.25 \
+    >single.log 2>&1
+
+echo "-- flight smoke: 4 concurrent workers + merge with recorder"
+pids=()
+for i in 0 1 2 3; do
+  "$tool" --worker $i/4 --cache-dir=dist --quick "$study" \
+      >"dist_w${i}.log" 2>&1 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+"$tool" --merge --cache-dir=dist --quick --csv=merged.csv \
+    --flight-out=merged_flight.json --series-out=merged_series.csv \
+    --flight-sample-rate=0.25 "$study" >merge.log 2>&1
+
+echo "-- flight smoke: merged artifacts byte-identical to single-process"
+cmp single.csv merged.csv
+cmp single_flight.json merged_flight.json
+cmp single_series.csv merged_series.csv
+
+echo "-- flight smoke: BENCH_JSON schema (attribution sums) on every leg"
+python3 "$checker" plain_t1/run.log plain_tn/run.log flight_t1/run.log \
+    flight_tn/run.log single.log merge.log
+
+echo "flight smoke OK: CSVs byte-identical recorder on/off at 1/N threads," \
+     "per-slot == event-skip series, distributed merge reproduces the" \
+     "single-process flight report byte for byte"

@@ -11,7 +11,11 @@
 # every CSV byte-identical), a distributed worker/merge smoke
 # (multi-process workers over a shared shard store; merged CSVs must be
 # byte-identical to single-process, including after a SIGKILLed worker),
-# and a BENCH_JSON schema check over the smoke logs.
+# a flight-recorder smoke (packet capture + slot series are a strict
+# overlay, thread-count invariant, and distributed merges reproduce the
+# single-process flight report byte for byte), an informational
+# kernel-throughput comparison against the committed baseline, and a
+# BENCH_JSON schema check over the smoke logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +57,16 @@ scripts/dist_smoke.sh build/bench/study_tool build/bench/dist_smoke
 echo "== tier-1: multichannel smoke (standalone vs --suite vs resume, cmp) =="
 scripts/multichannel_smoke.sh build/bench/study_tool build/bench/multichannel_smoke
 
+echo "== tier-1: flight recorder / slot series / attribution smoke =="
+scripts/flight_smoke.sh build/bench/study_tool build/bench/kernel_bench \
+    build/bench/flight_smoke
+
+echo "== tier-1: kernel throughput vs committed baseline (informational) =="
+build/bench/kernel_bench --quick --csv=build/bench/bench_compare.csv \
+    >build/bench/bench_compare.log 2>&1 || true
+python3 scripts/bench_compare.py --input build/bench/bench_compare.log \
+    || true
+
 echo "== tier-1: BENCH_JSON schema check over the smoke logs =="
 python3 scripts/check_bench_json.py \
     build/bench/resume_smoke/fresh.log build/bench/resume_smoke/resume.log \
@@ -69,7 +83,8 @@ cmake -B build-tsan -S . -DTCW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_thread_pool \
     test_sweep_determinism test_sweep_scheduler test_flat_deque \
     test_kernel_fastpath test_event_skip test_protocol_engines \
-    test_multichannel test_shard_cache test_study test_obs test_dist_exec
+    test_multichannel test_shard_cache test_study test_obs test_dist_exec \
+    test_flight_recorder test_slot_series
 (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|MultiChannel|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs|DistLease|DistGate|SharedStore|DistExec')
+    -R 'ThreadPool|ParallelFor|ResolveThreads|SweepDeterminism|SweepTiming|SweepScheduler|SweepTrace|FlatDeque|NetworkKernel|AggregateKernel|KernelWarmupEdge|EventSkip|ProtocolEngine|MultiChannel|PolicyGrid|ShardCache|StudyCache|StudyRunner|StudyRegistry|StudyTrace|Obs|DistLease|DistGate|SharedStore|DistExec|FlightRecorder|SlotSeries|BoundedRing|TraceLog')
 echo "tier-1 OK"

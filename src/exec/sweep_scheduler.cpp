@@ -168,9 +168,10 @@ SchedulerReport SweepScheduler::run() {
                                             &sweep->done});
     }
     if (progress_cluster_.has_value()) {
-      progress.emplace(std::move(sources), *progress_cluster_);
+      progress.emplace(std::move(sources), *progress_cluster_,
+                       progress_stats_);
     } else {
-      progress.emplace(std::move(sources));
+      progress.emplace(std::move(sources), progress_stats_);
     }
   }
   try {

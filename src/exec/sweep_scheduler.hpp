@@ -105,6 +105,11 @@ class SweepScheduler {
   void set_progress_cluster(obs::ProgressSource cluster) {
     progress_cluster_ = std::move(cluster);
   }
+  /// Cumulative registry statistics appended to the progress line
+  /// (" ok=N coll=N drop=N"); read by the sampling thread only.
+  void set_progress_stats(std::vector<obs::ProgressStat> stats) {
+    progress_stats_ = std::move(stats);
+  }
 
  private:
   struct Sweep {
@@ -130,6 +135,7 @@ class SweepScheduler {
   obs::Timeline* timeline_ = nullptr;
   bool progress_ = false;
   std::optional<obs::ProgressSource> progress_cluster_;
+  std::vector<obs::ProgressStat> progress_stats_;
 };
 
 }  // namespace tcw::exec

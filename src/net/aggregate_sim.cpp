@@ -97,13 +97,30 @@ std::uint32_t AggregateSimulator::route_arrival(double arrival) {
 
 void AggregateSimulator::generate_arrivals_until(double t) {
   while (!arrivals_exhausted_ && next_arrival_ <= t) {
-    Lane& lane = lanes_.size() == 1
-                     ? lanes_[0]
-                     : lanes_[route_arrival(next_arrival_)];
+    const std::uint32_t ch =
+        lanes_.size() == 1 ? 0 : route_arrival(next_arrival_);
+    Lane& lane = lanes_[ch];
     if (config_.reference_kernel) {
       lane.pending_set.insert(next_arrival_);
     } else {
       lane.pending.push_back(next_arrival_);  // arrivals strictly increase
+    }
+    if (config_.capture.series != nullptr) {
+      config_.capture.series->add_arrival(next_arrival_,
+                                          config_.policy.deadline);
+    }
+    if (config_.capture.flight != nullptr &&
+        config_.capture.flight->sampled(next_arrival_, ch)) {
+      config_.capture.flight->record(next_arrival_,
+                                     obs::FlightEventKind::kArrival,
+                                     next_arrival_, config_.policy.deadline,
+                                     ch);
+      if (lanes_.size() > 1) {
+        config_.capture.flight->record(next_arrival_,
+                                       obs::FlightEventKind::kRoute,
+                                       next_arrival_, config_.policy.deadline,
+                                       ch);
+      }
     }
     if (next_arrival_ >= config_.warmup) ++metrics_.arrivals;
     const double nxt = arrivals_->next(rng_);
@@ -137,7 +154,7 @@ std::vector<obs::ChannelTally> AggregateSimulator::channel_tallies() const {
   return tallies;
 }
 
-void AggregateSimulator::purge_discarded(Lane& lane) {
+void AggregateSimulator::purge_discarded(Lane& lane, std::uint32_t ch) {
   // Everything below the engine's discard floor is resolved; with element
   // (4) active the only way an untransmitted arrival ends up there is
   // sender discard. Without discard the floor never passes an
@@ -149,7 +166,25 @@ void AggregateSimulator::purge_discarded(Lane& lane) {
   const auto discard_one = [&](double arrival) {
     TCW_ASSERT(config_.policy.discard);
     ++lane.tally.sender_discards;
+    // Attribution: an arrival inside a collided window span reached the
+    // channel and lost; one the controller never probed into a collision
+    // was starved of admission. (Only the window engine has a discard
+    // floor here, so queue_expired stays zero in this kernel.)
+    if (lane.collided_spans.contains(arrival)) {
+      ++lane.tally.collision_killed;
+    } else {
+      ++lane.tally.admission_starved;
+    }
     if (arrival >= config_.warmup) ++metrics_.lost_sender;
+    if (config_.capture.series != nullptr) {
+      config_.capture.series->add_discard(lane.now);
+    }
+    if (config_.capture.flight != nullptr &&
+        config_.capture.flight->sampled(arrival, ch)) {
+      config_.capture.flight->record(
+          lane.now, obs::FlightEventKind::kExpiry, arrival,
+          config_.policy.deadline - (lane.now - arrival), ch);
+    }
     if (config_.trace != nullptr) {
       config_.trace->record(lane.now, sim::TraceKind::SenderDiscard, arrival);
     }
@@ -166,6 +201,9 @@ void AggregateSimulator::purge_discarded(Lane& lane) {
       lane.pending.pop_front();  // a prefix purge in the flat structure
     }
   }
+  // Spans below the floor can never be consulted again (arrival stamps
+  // only grow); prune them so the attribution set stays tiny.
+  lane.collided_spans.erase_below(floor);
 }
 
 std::size_t AggregateSimulator::count_in_window(Lane& lane, double lo,
@@ -194,12 +232,18 @@ std::size_t AggregateSimulator::count_in_window(Lane& lane, double lo,
 
 std::size_t AggregateSimulator::count_transmitters(Lane& lane, double p,
                                                    double* first) {
+  // The flight recorder needs the full transmitter list to attach
+  // collision events to sampled packets; collecting it is gated on the
+  // segment so the uncaptured hot path stays allocation-free.
+  const bool collect = config_.capture.flight != nullptr;
+  if (collect) lane.tx_scratch.clear();
   std::size_t count = 0;
   if (config_.reference_kernel) {
     for (auto it = lane.pending_set.begin(); it != lane.pending_set.end();
          ++it) {
       if (sim::bernoulli(lane.coin_rng, p)) {
         ++count;
+        if (collect) lane.tx_scratch.push_back(*it);
         if (count == 1) {
           lane.found_it = it;
           *first = *it;
@@ -211,6 +255,7 @@ std::size_t AggregateSimulator::count_transmitters(Lane& lane, double p,
          pos = lane.pending.next(pos)) {
       if (sim::bernoulli(lane.coin_rng, p)) {
         ++count;
+        if (collect) lane.tx_scratch.push_back(lane.pending.at(pos));
         if (count == 1) {
           lane.found_pos = pos;
           *first = lane.pending.at(pos);
@@ -239,20 +284,28 @@ const SimMetrics& AggregateSimulator::run() {
       if (lanes_[c].now < lanes_[li].now) li = c;
     }
     if (lanes_[li].now >= config_.t_end) break;
-    step_lane(lanes_[li]);
+    step_lane(lanes_[li], static_cast<std::uint32_t>(li));
   }
   finalize();
   finished_ = true;
   return metrics_;
 }
 
-void AggregateSimulator::step_lane(Lane& lane) {
+void AggregateSimulator::step_lane(Lane& lane, std::uint32_t ch) {
   const double k = config_.policy.deadline;
   generate_arrivals_until(lane.now);
   ProtocolEngine& engine = *lane.engine;
   const bool was_in_process = engine.in_process();
   const SlotPlan plan = engine.next_slot(lane.now);
   const bool windowed = plan.kind == SlotPlan::Kind::Window;
+  obs::SlotSeries* const series = config_.capture.series;
+  obs::FlightRecorder::Segment* const flight = config_.capture.flight;
+  // The series' backlog track samples the lane's actual queue depth.
+  const auto queued = [&] {
+    return static_cast<double>(config_.reference_kernel
+                                   ? lane.pending_set.size()
+                                   : lane.pending.size());
+  };
   if (!was_in_process) {
     // A fresh process start (possibly degenerate): element (4) discards
     // happened inside the engine; drop the matching messages.
@@ -260,7 +313,7 @@ void AggregateSimulator::step_lane(Lane& lane) {
       config_.trace->record(lane.now, sim::TraceKind::ProcessStart,
                             plan.window.lo, plan.window.hi);
     }
-    purge_discarded(lane);
+    purge_discarded(lane, ch);
     if (lane.now >= config_.warmup) {
       metrics_.pseudo_backlog.add(engine.backlog_metric(lane.now));
     }
@@ -268,6 +321,7 @@ void AggregateSimulator::step_lane(Lane& lane) {
   if (plan.kind == SlotPlan::Kind::Idle) {
     metrics_.usage.add_idle_slot();
     ++lane.tally.idle_slots;
+    if (series != nullptr) series->add_idle(lane.now, queued());
     lane.now += step_duration(1.0);
     return;
   }
@@ -285,6 +339,7 @@ void AggregateSimulator::step_lane(Lane& lane) {
   if (count == 0) {
     metrics_.usage.add_idle_slot();
     ++lane.tally.idle_slots;
+    if (series != nullptr) series->add_idle(lane.now, queued());
     if (config_.trace != nullptr && windowed) {
       config_.trace->record(lane.now, sim::TraceKind::ProbeIdle,
                             plan.window.lo, plan.window.hi);
@@ -299,6 +354,13 @@ void AggregateSimulator::step_lane(Lane& lane) {
     const double arrival = first_arrival;
     erase_transmitted(lane);
     const double wait = lane.now - arrival;  // true waiting time
+    if (series != nullptr) series->add_success(lane.now, k - wait, queued());
+    if (flight != nullptr && flight->sampled(arrival, ch)) {
+      flight->record(lane.now, obs::FlightEventKind::kAdmit, arrival,
+                     k - wait, ch);
+      flight->record(lane.now, obs::FlightEventKind::kSuccess, arrival,
+                     k - wait, ch);
+    }
     if (config_.trace != nullptr) {
       config_.trace->record(lane.now, sim::TraceKind::Transmission, arrival);
       if (wait > k) {
@@ -333,6 +395,33 @@ void AggregateSimulator::step_lane(Lane& lane) {
   } else {
     metrics_.usage.add_collision_slot();
     ++lane.tally.collisions;
+    // Attribution: remember that this window span collided -- any of its
+    // arrivals that the floor later drops was collision_killed.
+    if (windowed) {
+      lane.collided_spans.insert(plan.window.lo, plan.window.hi);
+    }
+    if (series != nullptr) series->add_collision(lane.now, queued());
+    if (flight != nullptr) {
+      if (windowed) {
+        // The infinite-population window probe resolves only the oldest
+        // eligible arrival's identity; its flight track carries the
+        // collision.
+        if (flight->sampled(first_arrival, ch)) {
+          flight->record(lane.now, obs::FlightEventKind::kAdmit,
+                         first_arrival, k - (lane.now - first_arrival), ch);
+          flight->record(lane.now, obs::FlightEventKind::kCollision,
+                         first_arrival, k - (lane.now - first_arrival), ch);
+        }
+      } else {
+        for (const double arrival : lane.tx_scratch) {
+          if (!flight->sampled(arrival, ch)) continue;
+          flight->record(lane.now, obs::FlightEventKind::kAdmit, arrival,
+                         k - (lane.now - arrival), ch);
+          flight->record(lane.now, obs::FlightEventKind::kCollision, arrival,
+                         k - (lane.now - arrival), ch);
+        }
+      }
+    }
     if (config_.trace != nullptr && windowed) {
       config_.trace->record(lane.now, sim::TraceKind::ProbeCollision,
                             plan.window.lo, plan.window.hi);

@@ -32,10 +32,12 @@
 #include "net/channel_plan.hpp"
 #include "net/metrics.hpp"
 #include "net/protocol_engine.hpp"
+#include "obs/capture.hpp"
 #include "obs/channel_counters.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 #include "util/flat_deque.hpp"
+#include "util/interval_set.hpp"
 
 namespace tcw::net {
 
@@ -69,6 +71,10 @@ struct AggregateConfig {
   /// reference path exists only as that cross-check and as the pre-PR
   /// throughput baseline.
   bool reference_kernel = false;
+  /// Optional flight-recorder segment / slot-series hooks (strict
+  /// overlays: never touch RNG state or results). Not owned; must
+  /// outlive the simulator.
+  obs::KernelCapture capture;
 };
 
 class AggregateSimulator {
@@ -116,12 +122,22 @@ class AggregateSimulator {
     double now = 0.0;
     double last_tx_end = 0.0;
     obs::ChannelTally tally;
+    // Deadline-loss attribution state (always on -- the classification is
+    // pure observation and feeds the cached sweep payloads): arrival-time
+    // spans of every window probe that collided. A discard whose arrival
+    // lies in a collided span lost the race after reaching the channel
+    // (collision_killed); otherwise the window never admitted it in time
+    // (admission_starved). Pruned with the discard floor.
+    tcw::IntervalSet collided_spans;
+    // Scratch: transmitter arrivals of the current Probability slot,
+    // collected only when a flight segment is attached.
+    std::vector<double> tx_scratch;
   };
 
   void generate_arrivals_until(double t);
   std::uint32_t route_arrival(double arrival);
-  void step_lane(Lane& lane);
-  void purge_discarded(Lane& lane);
+  void step_lane(Lane& lane, std::uint32_t ch);
+  void purge_discarded(Lane& lane, std::uint32_t ch);
   void finalize();
   /// Base slot(s) plus the configured synchronization jitter, if any.
   double step_duration(double base);

@@ -1,6 +1,7 @@
 #include "net/experiment.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -74,6 +75,10 @@ struct SweepJobResult {
   sim::RunningStats receiver_loss;
   std::uint64_t messages = 0;
   double within_run_ci = 0.0;  // binomial CI; only filled when reps == 1
+  // Per-channel deadline-loss attribution counts {admission_starved,
+  // collision_killed, queue_expired}, one triple per channel. Rides in
+  // the cache payload so cached/merged runs report identical attribution.
+  std::vector<std::array<std::uint64_t, 3>> attribution;
 };
 
 // Canonical text fingerprinted into every shard key of a cached sweep.
@@ -86,7 +91,8 @@ struct SweepJobResult {
 std::string loss_curve_fingerprint_text(const std::string& tag,
                                         const SweepConfig& config,
                                         const std::vector<double>& grid) {
-  std::string text = "tcw-losscurve-payload-v1|tag=" + tag;
+  // v2: payload gained 3 attribution counts per channel.
+  std::string text = "tcw-losscurve-payload-v2|tag=" + tag;
   char buf[160];
   std::snprintf(buf, sizeof buf,
                 "|rho=%.17g|m=%.17g|overhead=%.17g|t_end=%.17g|warmup=%.17g",
@@ -167,23 +173,46 @@ class LossCurveSweep {
            job % reps_ == static_cast<std::size_t>(tr.replication);
   }
 
+  /// Whether the config's capture request targets this job. Like traced
+  /// jobs, captured jobs bypass the shard cache (and its gate): a cached
+  /// result cannot replay per-slot events into the flight recorder or
+  /// series, so the job is always executed locally.
+  bool job_is_captured(std::size_t job) const {
+    const SweepConfig::CaptureRequest& cr = config_.capture_request;
+    return cr.capture.any() && job / reps_ == cr.point &&
+           cr.replication >= 0 &&
+           job % reps_ == static_cast<std::size_t>(cr.replication);
+  }
+
+  std::size_t channels() const { return config_.mac.channel.channels; }
+
   /// Serialize job `job`'s result slot as a flat cache payload. Layout
   /// (version tag lives in the sweep fingerprint text): every metric is a
   /// single-sample accumulator, so the raw values round-trip bit-exactly
-  /// through decode_job's RunningStats::add.
+  /// through decode_job's RunningStats::add; the trailing 3*channels
+  /// doubles are bit_cast attribution counts.
   std::vector<double> encode_job(std::size_t job) const {
     const SweepJobResult& r = results_[job];
-    return {r.loss.mean(),          r.wait.mean(),
-            r.sched.mean(),         r.util.mean(),
-            r.sender_loss.mean(),   r.receiver_loss.mean(),
-            std::bit_cast<double>(r.messages), r.within_run_ci};
+    std::vector<double> out = {r.loss.mean(),          r.wait.mean(),
+                               r.sched.mean(),         r.util.mean(),
+                               r.sender_loss.mean(),   r.receiver_loss.mean(),
+                               std::bit_cast<double>(r.messages),
+                               r.within_run_ci};
+    out.reserve(8 + 3 * r.attribution.size());
+    for (const std::array<std::uint64_t, 3>& a : r.attribution) {
+      out.push_back(std::bit_cast<double>(a[0]));
+      out.push_back(std::bit_cast<double>(a[1]));
+      out.push_back(std::bit_cast<double>(a[2]));
+    }
+    return out;
   }
 
   /// Reconstruct job `job`'s result slot from a cache payload. Returns
   /// false (slot untouched) when the payload does not match the expected
   /// layout, so the caller falls back to recomputing.
   bool decode_job(std::size_t job, const std::vector<double>& payload) {
-    if (payload.size() != 8) return false;
+    const std::size_t want = 8 + 3 * channels();
+    if (payload.size() != want) return false;
     SweepJobResult r;
     r.loss.add(payload[0]);
     r.wait.add(payload[1]);
@@ -193,6 +222,13 @@ class LossCurveSweep {
     r.receiver_loss.add(payload[5]);
     r.messages = std::bit_cast<std::uint64_t>(payload[6]);
     r.within_run_ci = payload[7];
+    r.attribution.resize(channels());
+    for (std::size_t c = 0; c < channels(); ++c) {
+      for (std::size_t f = 0; f < 3; ++f) {
+        r.attribution[c][f] =
+            std::bit_cast<std::uint64_t>(payload[8 + 3 * c + f]);
+      }
+    }
     results_[job] = r;
     return true;
   }
@@ -216,6 +252,10 @@ class LossCurveSweep {
       // only this shard touches the log
       sim_cfg.trace = config_.trace_request.log;
     }
+    if (job_is_captured(job)) {
+      // only this shard feeds the flight recorder / slot series
+      sim_cfg.capture = config_.capture_request.capture;
+    }
     AggregateSimulator sim(
         sim_cfg, std::make_unique<chan::PoissonProcess>(config_.lambda()));
     const SimMetrics& m = sim.run();
@@ -231,6 +271,13 @@ class LossCurveSweep {
         static_cast<double>(m.lost_receiver + m.censored_lost) / decided);
     r.messages = m.decided();
     if (reps_ == 1) r.within_run_ci = m.p_loss_ci95();
+    const std::vector<obs::ChannelTally> tallies = sim.channel_tallies();
+    r.attribution.resize(tallies.size());
+    for (std::size_t c = 0; c < tallies.size(); ++c) {
+      r.attribution[c] = {tallies[c].admission_starved,
+                          tallies[c].collision_killed,
+                          tallies[c].queue_expired};
+    }
   }
 
   // Fixed-order reduction: merging job results ki-major/rep-ascending makes
@@ -280,6 +327,34 @@ class LossCurveSweep {
     return out;
   }
 
+  // Attribution reduction: (K-major, channel-ascending), summed over
+  // replications in fixed rep order. Jobs with empty slots (skipped by a
+  // gate) contribute nothing; like reduce(), only call when none were.
+  std::vector<SweepAttribution> attribution_rows() const {
+    std::vector<SweepAttribution> out;
+    out.reserve(constraints_.size() * channels());
+    for (std::size_t ki = 0; ki < constraints_.size(); ++ki) {
+      for (std::size_t ch = 0; ch < channels(); ++ch) {
+        SweepAttribution row;
+        row.constraint = constraints_[ki];
+        row.channel = static_cast<std::uint32_t>(ch);
+        for (std::size_t rep = 0; rep < reps_; ++rep) {
+          const SweepJobResult& r = results_[ki * reps_ + rep];
+          if (ch >= r.attribution.size()) continue;
+          row.admission_starved += r.attribution[ch][0];
+          row.collision_killed += r.attribution[ch][1];
+          row.queue_expired += r.attribution[ch][2];
+        }
+        out.push_back(row);
+      }
+    }
+    return out;
+  }
+
+  std::string engine_name() const {
+    return to_string(config_.mac.engine.kind);
+  }
+
  private:
   SweepConfig config_;
   std::vector<double> constraints_;
@@ -307,6 +382,18 @@ std::size_t ScheduledSweep::cached_jobs() const {
 
 std::size_t ScheduledSweep::skipped_jobs() const {
   return state_->skipped_jobs();
+}
+
+std::vector<SweepAttribution> ScheduledSweep::attribution() const {
+  return state_->attribution_rows();
+}
+
+std::string ScheduledSweep::engine_name() const {
+  return state_->engine_name();
+}
+
+std::uint32_t ScheduledSweep::channels() const {
+  return static_cast<std::uint32_t>(state_->channels());
 }
 
 ScheduledSweep run_sweep(const SweepRequest& request,
@@ -343,7 +430,8 @@ ScheduledSweep run_sweep(const SweepRequest& request,
   std::vector<double> payload;
   exec::ShardGate* gate = cache != nullptr ? bindings.cache.gate : nullptr;
   for (std::size_t job = 0; job < state->jobs(); ++job) {
-    if (cache != nullptr && !state->job_is_traced(job)) {
+    if (cache != nullptr && !state->job_is_traced(job) &&
+        !state->job_is_captured(job)) {
       const exec::ShardKey key{state->job_seed(job), fp};
       if (cache->lookup(key, &payload) && state->decode_job(job, payload)) {
         state->mark_cached();

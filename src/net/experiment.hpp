@@ -66,10 +66,40 @@ struct SweepConfig {
     int replication = 0;
   };
   TraceRequest trace_request;
+  /// Optional kernel capture (flight-recorder segment + slot series; see
+  /// obs/capture.hpp), attached -- like a trace -- to exactly the job at
+  /// K-grid index `point`, replication `replication`. The captured job
+  /// bypasses the shard cache AND its gate (a cached result cannot
+  /// replay per-slot events), so it is always executed locally but still
+  /// computes bit-identical results: captures are strict overlays.
+  /// Distributed workers never set capture requests; the gateless-style
+  /// re-execution is what lets the merge pass re-capture locally.
+  struct CaptureRequest {
+    obs::KernelCapture capture;
+    std::size_t point = 0;
+    int replication = 0;
+  };
+  CaptureRequest capture_request;
 
   double lambda() const { return offered_load / message_length; }
   /// Element (2) heuristic width: nu*/lambda (paper Section 4.1).
   double heuristic_window_width() const;
+};
+
+/// Deadline-loss attribution for one (K, channel) cell of a sweep, summed
+/// over replications: every element-(4) sender discard classified into
+/// exactly one category (the categories sum to the cell's discard count;
+/// tests assert this). See obs::ChannelTally for the taxonomy.
+struct SweepAttribution {
+  double constraint = 0.0;  // K
+  std::uint32_t channel = 0;
+  std::uint64_t admission_starved = 0;
+  std::uint64_t collision_killed = 0;
+  std::uint64_t queue_expired = 0;
+
+  std::uint64_t discards() const {
+    return admission_starved + collision_killed + queue_expired;
+  }
 };
 
 struct SweepPoint {
@@ -230,6 +260,16 @@ class ScheduledSweep {
   /// (distributed worker mode). A sweep with skipped jobs has empty
   /// result slots: do not call points() on it.
   std::size_t skipped_jobs() const;
+
+  /// Deadline-loss attribution rows, (K-major, channel-ascending), summed
+  /// over replications. Same validity window as points(). Rides in the
+  /// cached shard payloads, so cached/merged runs report identical rows.
+  std::vector<SweepAttribution> attribution() const;
+
+  /// The MAC engine name and channel count the sweep ran under (labels
+  /// for attribution reports).
+  std::string engine_name() const;
+  std::uint32_t channels() const;
 
  private:
   explicit ScheduledSweep(std::shared_ptr<detail::LossCurveSweep> state);

@@ -150,6 +150,9 @@ std::vector<obs::ChannelTally> Network::channel_tallies() const {
     tally.collisions = obs_collisions_;
     tally.successes = obs_successes_;
     tally.sender_discards = obs_discards_;
+    tally.admission_starved = obs_admission_starved_;
+    tally.collision_killed = obs_collision_killed_;
+    tally.queue_expired = obs_queue_expired_;
     tallies.push_back(tally);
     return tallies;
   }
@@ -200,6 +203,18 @@ double Network::next_batched_arrival() {
 }
 
 void Network::generate_arrivals_until(double t) {
+  const auto observe_arrival = [&](const chan::Message& msg) {
+    if (config_.capture.series != nullptr) {
+      config_.capture.series->add_arrival(msg.arrival,
+                                          config_.policy.deadline);
+    }
+    if (config_.capture.flight != nullptr &&
+        config_.capture.flight->sampled(msg.arrival, 0)) {
+      config_.capture.flight->record(msg.arrival,
+                                     obs::FlightEventKind::kArrival,
+                                     msg.arrival, config_.policy.deadline, 0);
+    }
+  };
   if (batched_rate_ > 0.0) {
     while (next_batched_arrival() <= t) {
       const BatchedArrival a = batched_block_[batched_pos_++];
@@ -208,6 +223,7 @@ void Network::generate_arrivals_until(double t) {
                                               config_.message_length);
       st.queue.push_back(msg);
       activate(st);
+      observe_arrival(msg);
       if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
     }
     return;
@@ -218,6 +234,7 @@ void Network::generate_arrivals_until(double t) {
           next_msg_id_++, st.id, st.next_arrival, config_.message_length);
       st.queue.push_back(msg);
       activate(st);
+      observe_arrival(msg);
       if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
       st.next_arrival = st.arrivals->next(rng_);
     }
@@ -227,16 +244,43 @@ void Network::generate_arrivals_until(double t) {
 void Network::purge_expired() {
   if (!config_.policy.discard) return;
   const double cutoff = now_ - config_.policy.deadline;
+  const bool windowed_engine = config_.mac.engine.kind == EngineKind::Window;
   const auto expired = [&](const chan::Message& msg) {
     if (msg.arrival >= cutoff) return false;
     ++obs_discards_;
+    // Attribution (see the member doc): the eligibility key is the
+    // CURRENT window stamp -- restamped messages are judged by the spans
+    // their restamp was probed into, exactly what admission saw.
+    if (windowed_engine) {
+      if (collided_spans_.contains(msg.window_stamp)) {
+        ++obs_collision_killed_;
+      } else {
+        ++obs_admission_starved_;
+      }
+    } else if (collided_ids_.erase(msg.id) > 0) {
+      ++obs_collision_killed_;
+    } else {
+      ++obs_queue_expired_;
+    }
     if (msg.arrival >= config_.warmup) ++metrics_.lost_sender;
+    if (config_.capture.series != nullptr) {
+      config_.capture.series->add_discard(now_);
+    }
+    if (config_.capture.flight != nullptr &&
+        config_.capture.flight->sampled(msg.arrival, 0)) {
+      config_.capture.flight->record(
+          now_, obs::FlightEventKind::kExpiry, msg.arrival,
+          config_.policy.deadline - (now_ - msg.arrival), 0);
+    }
     if (config_.trace != nullptr) {
       config_.trace->record(now_, sim::TraceKind::SenderDiscard,
                             msg.arrival);
     }
     return true;
   };
+  // Live stamps never drop below the cutoff (stamps only grow from the
+  // arrival), so collided spans below it are dead weight -- prune them.
+  collided_spans_.erase_below(cutoff);
   if (config_.reference_kernel) {
     // Seed-era path: per-element deque erase, quadratic in the purged run.
     for (Station& st : stations_) {
@@ -360,6 +404,15 @@ bool Network::try_skip_quiescent() {
       return false;
     }
   }
+  // A captured series sees the stretch as its closed-form synthesis:
+  // add_idle_run is bit-identical to the per-slot path's stretch.slots
+  // consecutive add_idle calls at the certified constant backlog (the
+  // per-slot path samples backlog_metric, which the certificate pins to
+  // stretch.backlog on every skipped slot).
+  if (config_.capture.series != nullptr) {
+    config_.capture.series->add_idle_run(now_, stretch.slots,
+                                         stretch.backlog);
+  }
   // Replay the per-slot metric pattern of the stretch exactly: the
   // accumulators are Welford streams, so each slot's contribution is
   // applied in sequence (no closed form is bit-identical). This loop is a
@@ -403,6 +456,14 @@ const SimMetrics& Network::run() {
   }
   const double k = config_.policy.deadline;
   const bool reference = config_.reference_kernel;
+  obs::SlotSeries* const series = config_.capture.series;
+  obs::FlightRecorder::Segment* const flight = config_.capture.flight;
+  // The series' backlog track samples the engine's backlog estimate: the
+  // same quantity the event-skip certificates pin, so per-slot and
+  // event-skip runs produce byte-identical series.
+  const auto backlog_now = [&] {
+    return engines_[0]->backlog_metric(now_);
+  };
 
   build_engines();
   if (desync_replica_ != SIZE_MAX) {
@@ -459,6 +520,7 @@ const SimMetrics& Network::run() {
     if (plan.kind == SlotPlan::Kind::Idle) {
       metrics_.usage.add_idle_slot();
       ++obs_idle_;
+      if (series != nullptr) series->add_idle(now_, backlog_now());
       now_ += 1.0;
       continue;
     }
@@ -476,10 +538,13 @@ const SimMetrics& Network::run() {
     std::ptrdiff_t tx_index = -1;
     std::size_t tx_count = 0;
     if (!windowed) {
+      tx_scratch_.clear();
       for (Station& st : stations_) {
         if (st.queue.empty()) continue;
         if (sim::bernoulli(coin_rng_, plan.tx_prob)) {
           ++tx_count;
+          tx_scratch_.emplace_back(st.queue.front().id,
+                                   st.queue.front().arrival);
           if (transmitter == nullptr) {
             transmitter = &st;
             tx_index = 0;  // ALOHA stations send their oldest message
@@ -513,6 +578,7 @@ const SimMetrics& Network::run() {
     if (tx_count == 0) {
       metrics_.usage.add_idle_slot();
       ++obs_idle_;
+      if (series != nullptr) series->add_idle(now_, backlog_now());
       if (config_.trace != nullptr && windowed) {
         config_.trace->record(now_, sim::TraceKind::ProbeIdle,
                               plan.window.lo, plan.window.hi);
@@ -528,6 +594,16 @@ const SimMetrics& Network::run() {
           (*transmitter).queue[static_cast<std::size_t>(tx_index)];
       transmitter->queue.erase(transmitter->queue.begin() + tx_index);
       const double wait = now_ - msg.arrival;
+      if (!windowed) collided_ids_.erase(msg.id);
+      if (series != nullptr) {
+        series->add_success(now_, k - wait, backlog_now());
+      }
+      if (flight != nullptr && flight->sampled(msg.arrival, 0)) {
+        flight->record(now_, obs::FlightEventKind::kAdmit, msg.arrival,
+                       k - wait, 0);
+        flight->record(now_, obs::FlightEventKind::kSuccess, msg.arrival,
+                       k - wait, 0);
+      }
       if (config_.trace != nullptr) {
         config_.trace->record(now_, sim::TraceKind::Transmission,
                               msg.arrival);
@@ -582,6 +658,42 @@ const SimMetrics& Network::run() {
     } else {
       metrics_.usage.add_collision_slot();
       ++obs_collisions_;
+      // Attribution bookkeeping: remember what collided. Only useful when
+      // discards can happen (the sets are otherwise never consulted and
+      // would grow unpruned).
+      if (config_.policy.discard) {
+        if (windowed) {
+          collided_spans_.insert(plan.window.lo, plan.window.hi);
+        } else {
+          for (const auto& [id, arrival] : tx_scratch_) {
+            collided_ids_.insert(id);
+          }
+        }
+      }
+      if (series != nullptr) series->add_collision(now_, backlog_now());
+      if (flight != nullptr) {
+        if (windowed) {
+          // The early-exit eligibility scan resolves the identity of the
+          // last eligible message found; its flight track carries the
+          // collision.
+          const chan::Message& msg =
+              (*transmitter).queue[static_cast<std::size_t>(tx_index)];
+          if (flight->sampled(msg.arrival, 0)) {
+            flight->record(now_, obs::FlightEventKind::kAdmit, msg.arrival,
+                           k - (now_ - msg.arrival), 0);
+            flight->record(now_, obs::FlightEventKind::kCollision,
+                           msg.arrival, k - (now_ - msg.arrival), 0);
+          }
+        } else {
+          for (const auto& [id, arrival] : tx_scratch_) {
+            if (!flight->sampled(arrival, 0)) continue;
+            flight->record(now_, obs::FlightEventKind::kAdmit, arrival,
+                           k - (now_ - arrival), 0);
+            flight->record(now_, obs::FlightEventKind::kCollision, arrival,
+                           k - (now_ - arrival), 0);
+          }
+        }
+      }
       if (config_.trace != nullptr && windowed) {
         config_.trace->record(now_, sim::TraceKind::ProbeCollision,
                               plan.window.lo, plan.window.hi);
@@ -635,6 +747,17 @@ void Network::mc_route_message(chan::Message msg) {
   lane.queues[station].push_back(msg);
   ++lane.pending;
   mc_activate(lane, station);
+  if (config_.capture.series != nullptr) {
+    config_.capture.series->add_arrival(msg.arrival, config_.policy.deadline);
+  }
+  if (config_.capture.flight != nullptr &&
+      config_.capture.flight->sampled(msg.arrival, c)) {
+    config_.capture.flight->record(msg.arrival,
+                                   obs::FlightEventKind::kArrival,
+                                   msg.arrival, config_.policy.deadline, c);
+    config_.capture.flight->record(msg.arrival, obs::FlightEventKind::kRoute,
+                                   msg.arrival, config_.policy.deadline, c);
+  }
   if (msg.arrival >= config_.warmup) ++metrics_.arrivals;
 }
 
@@ -657,16 +780,38 @@ void Network::mc_generate_arrivals_until(double t) {
   }
 }
 
-void Network::mc_purge_expired(McLane& lane) {
+void Network::mc_purge_expired(McLane& lane, std::uint32_t ch) {
   if (!config_.policy.discard) return;
   const double cutoff = lane.now - config_.policy.deadline;
+  const bool windowed_engine = config_.mac.engine.kind == EngineKind::Window;
   const auto expired = [&](const chan::Message& msg) {
     if (msg.arrival >= cutoff) return false;
     ++lane.tally.sender_discards;
     --lane.pending;
+    if (windowed_engine) {
+      if (lane.collided_spans.contains(msg.window_stamp)) {
+        ++lane.tally.collision_killed;
+      } else {
+        ++lane.tally.admission_starved;
+      }
+    } else if (lane.collided_ids.erase(msg.id) > 0) {
+      ++lane.tally.collision_killed;
+    } else {
+      ++lane.tally.queue_expired;
+    }
     if (msg.arrival >= config_.warmup) ++metrics_.lost_sender;
+    if (config_.capture.series != nullptr) {
+      config_.capture.series->add_discard(lane.now);
+    }
+    if (config_.capture.flight != nullptr &&
+        config_.capture.flight->sampled(msg.arrival, ch)) {
+      config_.capture.flight->record(
+          lane.now, obs::FlightEventKind::kExpiry, msg.arrival,
+          config_.policy.deadline - (lane.now - msg.arrival), ch);
+    }
     return true;
   };
+  lane.collided_spans.erase_below(cutoff);
   if (config_.reference_kernel) {
     // Reference path: per-element deque erase, every station scanned.
     for (std::size_t s = 0; s < stations_.size(); ++s) {
@@ -737,9 +882,14 @@ void Network::mc_restamp_stranded(McLane& lane, std::uint32_t station,
   }
 }
 
-void Network::mc_step_lane(McLane& lane) {
+void Network::mc_step_lane(McLane& lane, std::uint32_t ch) {
   const double k = config_.policy.deadline;
   const bool reference = config_.reference_kernel;
+  obs::SlotSeries* const series = config_.capture.series;
+  obs::FlightRecorder::Segment* const flight = config_.capture.flight;
+  const auto backlog_now = [&] {
+    return lane.engines[0]->backlog_metric(lane.now);
+  };
   mc_generate_arrivals_until(lane.now);
   const bool was_in_process = lane.engines[0]->in_process();
   const bool audit = lane.consistent;
@@ -763,7 +913,7 @@ void Network::mc_step_lane(McLane& lane) {
   };
   ++lane.tally.probe_slots;
   if (!was_in_process) {
-    mc_purge_expired(lane);
+    mc_purge_expired(lane, ch);
     if (lane.now >= config_.warmup) {
       metrics_.pseudo_backlog.add(lane.engines[0]->backlog_metric(lane.now));
     }
@@ -775,6 +925,7 @@ void Network::mc_step_lane(McLane& lane) {
   if (plan.kind == SlotPlan::Kind::Idle) {
     metrics_.usage.add_idle_slot();
     ++lane.tally.idle_slots;
+    if (series != nullptr) series->add_idle(lane.now, backlog_now());
     lane.now += 1.0;
     return;
   }
@@ -786,10 +937,13 @@ void Network::mc_step_lane(McLane& lane) {
   std::ptrdiff_t tx_index = -1;
   std::size_t tx_count = 0;
   if (!windowed) {
+    lane.tx_scratch.clear();
     for (std::size_t s = 0; s < stations_.size(); ++s) {
       if (lane.queues[s].empty()) continue;
       if (sim::bernoulli(lane.coin_rng, plan.tx_prob)) {
         ++tx_count;
+        lane.tx_scratch.emplace_back(lane.queues[s].front().id,
+                                     lane.queues[s].front().arrival);
         if (tx_count == 1) {
           tx_station = static_cast<std::uint32_t>(s);
           tx_index = 0;  // ALOHA stations send their oldest message
@@ -822,6 +976,7 @@ void Network::mc_step_lane(McLane& lane) {
   if (tx_count == 0) {
     metrics_.usage.add_idle_slot();
     ++lane.tally.idle_slots;
+    if (series != nullptr) series->add_idle(lane.now, backlog_now());
     apply_feedback(core::Feedback::Idle);
     if (!lane.engines[0]->in_process() && lane.now >= config_.warmup) {
       metrics_.process_slots.add(probes_so_far);
@@ -834,6 +989,16 @@ void Network::mc_step_lane(McLane& lane) {
     queue.erase(queue.begin() + tx_index);
     --lane.pending;
     const double wait = lane.now - msg.arrival;
+    if (!windowed) lane.collided_ids.erase(msg.id);
+    if (series != nullptr) {
+      series->add_success(lane.now, k - wait, backlog_now());
+    }
+    if (flight != nullptr && flight->sampled(msg.arrival, ch)) {
+      flight->record(lane.now, obs::FlightEventKind::kAdmit, msg.arrival,
+                     k - wait, ch);
+      flight->record(lane.now, obs::FlightEventKind::kSuccess, msg.arrival,
+                     k - wait, ch);
+    }
     if (msg.arrival >= config_.warmup) {
       metrics_.wait_all.add(wait);
       metrics_.wait_p50.add(wait);
@@ -879,6 +1044,36 @@ void Network::mc_step_lane(McLane& lane) {
   } else {
     metrics_.usage.add_collision_slot();
     ++lane.tally.collisions;
+    if (config_.policy.discard) {
+      if (windowed) {
+        lane.collided_spans.insert(plan.window.lo, plan.window.hi);
+      } else {
+        for (const auto& [id, arrival] : lane.tx_scratch) {
+          lane.collided_ids.insert(id);
+        }
+      }
+    }
+    if (series != nullptr) series->add_collision(lane.now, backlog_now());
+    if (flight != nullptr) {
+      if (windowed) {
+        const chan::Message& msg =
+            lane.queues[tx_station][static_cast<std::size_t>(tx_index)];
+        if (flight->sampled(msg.arrival, ch)) {
+          flight->record(lane.now, obs::FlightEventKind::kAdmit, msg.arrival,
+                         k - (lane.now - msg.arrival), ch);
+          flight->record(lane.now, obs::FlightEventKind::kCollision,
+                         msg.arrival, k - (lane.now - msg.arrival), ch);
+        }
+      } else {
+        for (const auto& [id, arrival] : lane.tx_scratch) {
+          if (!flight->sampled(arrival, ch)) continue;
+          flight->record(lane.now, obs::FlightEventKind::kAdmit, arrival,
+                         k - (lane.now - arrival), ch);
+          flight->record(lane.now, obs::FlightEventKind::kCollision, arrival,
+                         k - (lane.now - arrival), ch);
+        }
+      }
+    }
     apply_feedback(core::Feedback::Collision);
     lane.now += 1.0;
   }
@@ -921,7 +1116,7 @@ const SimMetrics& Network::run_multichannel() {
       if (mc_lanes_[c].now < mc_lanes_[li].now) li = c;
     }
     if (mc_lanes_[li].now >= config_.t_end) break;
-    mc_step_lane(mc_lanes_[li]);
+    mc_step_lane(mc_lanes_[li], static_cast<std::uint32_t>(li));
   }
   finalize();
   finished_ = true;

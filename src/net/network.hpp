@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "chan/arrivals.hpp"
@@ -26,9 +27,11 @@
 #include "net/channel_plan.hpp"
 #include "net/metrics.hpp"
 #include "net/protocol_engine.hpp"
+#include "obs/capture.hpp"
 #include "obs/channel_counters.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
+#include "util/interval_set.hpp"
 
 namespace tcw::net {
 
@@ -80,6 +83,11 @@ struct NetworkConfig {
   bool event_skip = false;
   /// Optional event trace; must outlive the network. Not owned.
   sim::TraceLog* trace = nullptr;
+  /// Optional flight-recorder segment / slot-series hooks (strict
+  /// overlays: never touch RNG state or results; the event-skip stepper
+  /// synthesizes bit-identical series samples for skipped stretches).
+  /// Not owned; must outlive the network.
+  obs::KernelCapture capture;
 };
 
 /// Seed of the batched aggregate arrival stream, derived from the
@@ -176,6 +184,11 @@ class Network {
     std::vector<std::uint32_t> active;              // station ids
     std::vector<std::ptrdiff_t> active_pos;         // per station, -1 = out
     obs::ChannelTally tally;
+    // Deadline-loss attribution state (always on, observation-only);
+    // see the single-channel members below for semantics.
+    tcw::IntervalSet collided_spans;
+    std::unordered_set<std::uint64_t> collided_ids;
+    std::vector<std::pair<std::uint64_t, double>> tx_scratch;
   };
 
   void generate_arrivals_until(double t);
@@ -206,10 +219,10 @@ class Network {
   // argmin-clock order, so every arrival at or below a lane's clock is
   // routed before that lane probes.
   const SimMetrics& run_multichannel();
-  void mc_step_lane(McLane& lane);
+  void mc_step_lane(McLane& lane, std::uint32_t ch);
   void mc_generate_arrivals_until(double t);
   void mc_route_message(chan::Message msg);
-  void mc_purge_expired(McLane& lane);
+  void mc_purge_expired(McLane& lane, std::uint32_t ch);
   void mc_check_consistency(McLane& lane);
   void mc_restamp_stranded(McLane& lane, std::uint32_t station, double lo,
                            double hi);
@@ -255,6 +268,24 @@ class Network {
   std::uint64_t obs_successes_ = 0;
   std::uint64_t obs_discards_ = 0;
   std::uint64_t obs_restamps_ = 0;
+  // Deadline-loss attribution (always on -- the classification is pure
+  // observation and feeds the cached sweep payloads). Window engines:
+  // window-stamp spans of every collided probe; a purged message whose
+  // stamp lies in a collided span reached the channel and lost
+  // (collision_killed), otherwise the window never admitted it in time
+  // (admission_starved). Probability engines: message ids that ever
+  // transmitted into a collision (collision_killed at purge); the rest
+  // aged out in queue (queue_expired -- ALOHA has no admission control).
+  // Pruned against the discard cutoff / erased on success, so both stay
+  // bounded by the live backlog.
+  std::uint64_t obs_admission_starved_ = 0;
+  std::uint64_t obs_collision_killed_ = 0;
+  std::uint64_t obs_queue_expired_ = 0;
+  tcw::IntervalSet collided_spans_;
+  std::unordered_set<std::uint64_t> collided_ids_;
+  // Scratch: (message id, arrival) of the current Probability slot's
+  // transmitters, reused across slots.
+  std::vector<std::pair<std::uint64_t, double>> tx_scratch_;
   // Multi-channel state; empty/disengaged in single-channel runs.
   std::vector<McLane> mc_lanes_;
   std::optional<ChannelSelector> selector_;

@@ -1,0 +1,20 @@
+// The optional capture hooks a kernel config can carry: a flight-recorder
+// segment (per-packet lifecycle events) and a slot series (windowed
+// per-slot aggregates). Both are strict overlays -- null pointers mean
+// "not captured" and cost one branch per hook site; attached captures
+// never touch RNG state or simulation results.
+#pragma once
+
+#include "obs/flight_recorder.hpp"
+#include "obs/slot_series.hpp"
+
+namespace tcw::obs {
+
+struct KernelCapture {
+  FlightRecorder::Segment* flight = nullptr;
+  SlotSeries* series = nullptr;
+
+  bool any() const { return flight != nullptr || series != nullptr; }
+};
+
+}  // namespace tcw::obs

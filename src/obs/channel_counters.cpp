@@ -23,6 +23,12 @@ void flush_channel_tally(const std::string& prefix, std::uint32_t channel,
       .add(tally.successes);
   reg.counter(channel_counter_name(prefix, channel, "sender_discards"))
       .add(tally.sender_discards);
+  reg.counter(channel_counter_name(prefix, channel, "admission_starved"))
+      .add(tally.admission_starved);
+  reg.counter(channel_counter_name(prefix, channel, "collision_killed"))
+      .add(tally.collision_killed);
+  reg.counter(channel_counter_name(prefix, channel, "queue_expired"))
+      .add(tally.queue_expired);
 }
 
 }  // namespace tcw::obs

@@ -19,6 +19,18 @@ struct ChannelTally {
   std::uint64_t collisions = 0;
   std::uint64_t successes = 0;
   std::uint64_t sender_discards = 0;
+  // Deadline-loss attribution: every sender discard lands in exactly one
+  // category, so the three always sum to sender_discards.
+  //   * admission_starved: windowed engines -- the packet's eligibility
+  //     stamp never fell inside a collided window span; it died waiting
+  //     for window admission.
+  //   * collision_killed: the packet transmitted into (windowed: its
+  //     stamp lay inside) a collided slot before expiring.
+  //   * queue_expired: probability engines -- the packet expired without
+  //     ever having transmitted into a collision.
+  std::uint64_t admission_starved = 0;
+  std::uint64_t collision_killed = 0;
+  std::uint64_t queue_expired = 0;
 
   ChannelTally& operator+=(const ChannelTally& o) {
     probe_slots += o.probe_slots;
@@ -26,6 +38,9 @@ struct ChannelTally {
     collisions += o.collisions;
     successes += o.successes;
     sender_discards += o.sender_discards;
+    admission_starved += o.admission_starved;
+    collision_killed += o.collision_killed;
+    queue_expired += o.queue_expired;
     return *this;
   }
 };

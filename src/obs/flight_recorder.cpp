@@ -1,0 +1,144 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tcw::obs {
+
+namespace {
+
+// SplitMix64 finalizer, reimplemented locally so obs stays a dependency-
+// free leaf. Must stay identical to sim::splitmix64_mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Recorder-private derivation constants. Fresh values, aliasing none of
+// the existing derived stream planes (engine streams, coin streams,
+// sweep shards, batched arrivals, channel streams).
+constexpr std::uint64_t kFlightPlaneHi = 0xF117ECC0ULL;
+constexpr std::uint64_t kFlightPlaneLo = 0x5A17ULL;
+
+std::uint64_t derive_plane(std::uint64_t base) {
+  // Double absorption, same shape as sim::derive_stream_seed.
+  return mix64(mix64(base ^ mix64(kFlightPlaneHi)) ^ mix64(kFlightPlaneLo));
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kArrival: return "arrival";
+    case FlightEventKind::kRoute: return "route";
+    case FlightEventKind::kAdmit: return "admit";
+    case FlightEventKind::kCollision: return "collision";
+    case FlightEventKind::kSuccess: return "success";
+    case FlightEventKind::kExpiry: return "expiry";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(const Options& options)
+    : options_(options),
+      plane_(derive_plane(options.base_seed)),
+      sample_all_(options.sample_rate >= 1.0) {
+  const double rate = options.sample_rate;
+  threshold_ =
+      rate <= 0.0
+          ? 0
+          : sample_all_
+                ? ~0ULL
+                : static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+}
+
+bool FlightRecorder::Segment::sampled(double arrival,
+                                      std::uint32_t channel) const {
+  if (sample_all_) return true;
+  if (threshold_ == 0) return false;
+  const std::uint64_t h =
+      mix64(plane_ ^ bits_of(arrival) ^
+            (static_cast<std::uint64_t>(channel) + 1) * 0x9E3779B97F4A7C15ULL);
+  return h < threshold_;
+}
+
+FlightRecorder::Segment* FlightRecorder::segment(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(tag);
+  if (it == segments_.end()) {
+    it = segments_
+             .emplace(tag, std::unique_ptr<Segment>(new Segment(
+                               plane_, threshold_, sample_all_,
+                               options_.capacity)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string FlightRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"format\":\"tcw-flight-v1\",\"sample_rate\":";
+  append_double(out, options_.sample_rate);
+  out += ",\"segments\":[";
+  bool first_seg = true;
+  for (const auto& [tag, seg] : segments_) {
+    if (!first_seg) out += ',';
+    first_seg = false;
+    out += "{\"tag\":\"";
+    out += tag;  // tags are sweep/cell names: no characters needing escape
+    out += "\",\"counts\":{";
+    for (std::size_t k = 0; k < kFlightEventKinds; ++k) {
+      if (k > 0) out += ',';
+      out += '"';
+      out += to_string(static_cast<FlightEventKind>(k));
+      out += "\":";
+      out += std::to_string(seg->kind_counts_[k]);
+    }
+    out += "},\"recorded\":" + std::to_string(seg->total());
+    out += ",\"dropped\":" + std::to_string(seg->dropped());
+    out += ",\"events\":[";
+    const std::vector<FlightEvent> events = seg->events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FlightEvent& e = events[i];
+      if (i > 0) out += ',';
+      out += "{\"t\":";
+      append_double(out, e.time);
+      out += ",\"kind\":\"";
+      out += to_string(e.kind);
+      out += "\",\"arr\":";
+      append_double(out, e.arrival);
+      out += ",\"lax\":";
+      append_double(out, e.laxity);
+      out += ",\"ch\":" + std::to_string(e.channel);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,129 @@
+// Packet flight recorder: deterministically sampled per-packet lifecycle
+// capture for the per-slot kernels. A recorder owns named segments (one
+// per captured simulation run, e.g. one per sweep); each segment holds a
+// bounded ring of FlightEvents tracing a sampled packet from arrival
+// through channel routing, window admission, probes/collisions, to
+// success or deadline expiry, with the remaining laxity at every hop.
+//
+// Sampling is a pure hash of (arrival time, channel) against a seed
+// plane derived from the run's base seed with recorder-private SplitMix64
+// constants: which packets are recorded is reproducible across thread
+// counts and worker layouts, and deciding consumes ZERO draws from any
+// simulation RNG stream -- the recorder is a strict overlay and every
+// CSV is byte-identical with it attached or not.
+//
+// The obs library is a dependency-free leaf, so the 64-bit mix is
+// reimplemented locally instead of including sim/rng.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/ring.hpp"
+
+namespace tcw::obs {
+
+/// Lifecycle hops of one packet. Order is the natural lifecycle order;
+/// the numeric values are stable (used as array indices for counts).
+enum class FlightEventKind : std::uint8_t {
+  kArrival = 0,    ///< packet entered the system
+  kRoute = 1,      ///< multi-channel: arrival routed to a channel lane
+  kAdmit = 2,      ///< first time the packet is inside a probed window /
+                   ///< selected to transmit
+  kCollision = 3,  ///< packet transmitted into a collided slot
+  kSuccess = 4,    ///< packet's successful transmission started
+  kExpiry = 5,     ///< packet discarded at the sender (deadline dead)
+};
+inline constexpr std::size_t kFlightEventKinds = 6;
+
+const char* to_string(FlightEventKind kind);
+
+struct FlightEvent {
+  double time = 0.0;     ///< slot time of the hop
+  double arrival = 0.0;  ///< the packet's arrival stamp (its identity)
+  double laxity = 0.0;   ///< remaining deadline slack at this hop (slots)
+  std::uint32_t channel = 0;
+  FlightEventKind kind = FlightEventKind::kArrival;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    std::uint64_t base_seed = 0;  ///< the run's base seed; the sampling
+                                  ///< plane is derived from it
+    double sample_rate = 1.0;     ///< fraction of packets recorded
+    std::size_t capacity = 65536; ///< events kept per segment (ring)
+  };
+
+  explicit FlightRecorder(const Options& options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// One captured run's event stream. Thread-compatible, not thread-safe:
+  /// each segment is fed by exactly one simulation run (runs are single-
+  /// threaded); distinct segments may be fed concurrently.
+  class Segment {
+   public:
+    /// Pure-hash sampling decision; consumes no RNG draws anywhere.
+    bool sampled(double arrival, std::uint32_t channel) const;
+
+    void record(double time, FlightEventKind kind, double arrival,
+                double laxity, std::uint32_t channel) {
+      ring_.push(FlightEvent{time, arrival, laxity, channel, kind});
+      ++kind_counts_[static_cast<std::size_t>(kind)];
+    }
+
+    std::uint64_t count(FlightEventKind kind) const {
+      return kind_counts_[static_cast<std::size_t>(kind)];
+    }
+    std::uint64_t total() const { return ring_.total(); }
+    std::uint64_t dropped() const { return ring_.dropped(); }
+    std::vector<FlightEvent> events() const { return ring_.snapshot(); }
+
+   private:
+    friend class FlightRecorder;
+    Segment(std::uint64_t plane, std::uint64_t threshold, bool sample_all,
+            std::size_t capacity)
+        : plane_(plane),
+          threshold_(threshold),
+          sample_all_(sample_all),
+          ring_(capacity) {}
+
+    std::uint64_t plane_;
+    std::uint64_t threshold_;
+    bool sample_all_;
+    BoundedRing<FlightEvent> ring_;
+    std::uint64_t kind_counts_[kFlightEventKinds] = {};
+  };
+
+  /// The segment named `tag`, created on first request. Returned pointers
+  /// stay valid for the recorder's lifetime. Creation is mutex-guarded;
+  /// use from one thread per tag after that.
+  Segment* segment(const std::string& tag);
+
+  double sample_rate() const { return options_.sample_rate; }
+
+  /// All segments as one JSON object, tag-sorted (deterministic for a
+  /// deterministic set of captured runs):
+  /// {"sample_rate":...,"segments":[{"tag":...,"counts":{...},
+  ///   "recorded":N,"dropped":N,"events":[...]}]}
+  std::string to_json() const;
+
+  /// Write to_json() (plus a trailing newline) to `path`; false on I/O
+  /// failure.
+  bool write(const std::string& path) const;
+
+ private:
+  Options options_;
+  std::uint64_t plane_;
+  std::uint64_t threshold_;
+  bool sample_all_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Segment>> segments_;
+};
+
+}  // namespace tcw::obs

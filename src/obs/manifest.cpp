@@ -48,6 +48,7 @@ void ManifestCollector::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   sweeps_.clear();
   caches_.clear();
+  merged_registry_.clear();
 }
 
 void ManifestCollector::add_sweep(ManifestSweep sweep) {
@@ -70,6 +71,19 @@ std::vector<ManifestSweep> ManifestCollector::sweeps() const {
 std::vector<ManifestCacheStats> ManifestCollector::caches() const {
   std::lock_guard<std::mutex> lock(mu_);
   return caches_;
+}
+
+void ManifestCollector::set_merged_registry(
+    std::map<std::string, std::uint64_t> totals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  merged_registry_ = std::move(totals);
+}
+
+std::map<std::string, std::uint64_t> ManifestCollector::merged_registry()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_registry_;
 }
 
 std::string render_run_manifest(const RunManifestInfo& info) {
@@ -117,6 +131,18 @@ std::string render_run_manifest(const RunManifestInfo& info) {
 
   if (!info.scheduler_report_json.empty()) {
     out += ",\"scheduler_report\":" + info.scheduler_report_json;
+  }
+  const std::map<std::string, std::uint64_t> merged =
+      collector.merged_registry();
+  if (!merged.empty()) {
+    out += ",\"merged_registry\":{";
+    bool first = true;
+    for (const auto& [name, value] : merged) {
+      if (!first) out += ',';
+      first = false;
+      out += json_quote(name) + ':' + std::to_string(value);
+    }
+    out += '}';
   }
   out += ",\"registry\":" + Registry::global().snapshot().to_json();
   out += '}';

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -53,8 +54,14 @@ class ManifestCollector {
   void add_sweep(ManifestSweep sweep);
   void add_cache(ManifestCacheStats stats);
 
+  /// Distributed merge: the summed per-worker registry deltas (from the
+  /// worker sidecars), rendered as a "merged_registry" manifest section.
+  /// Empty map = section omitted. No-op when disabled.
+  void set_merged_registry(std::map<std::string, std::uint64_t> totals);
+
   std::vector<ManifestSweep> sweeps() const;
   std::vector<ManifestCacheStats> caches() const;
+  std::map<std::string, std::uint64_t> merged_registry() const;
 
  private:
   ManifestCollector() = default;
@@ -62,6 +69,7 @@ class ManifestCollector {
   bool enabled_ = false;
   std::vector<ManifestSweep> sweeps_;
   std::vector<ManifestCacheStats> caches_;
+  std::map<std::string, std::uint64_t> merged_registry_;
 };
 
 struct RunManifestInfo {

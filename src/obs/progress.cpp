@@ -35,8 +35,10 @@ std::size_t sum_done(const std::vector<ProgressSource>& sources) {
 }  // namespace
 
 ProgressSampler::ProgressSampler(std::vector<ProgressSource> sources,
+                                 std::vector<ProgressStat> stats,
                                  std::chrono::milliseconds period)
     : sources_(std::move(sources)),
+      stats_(std::move(stats)),
       initial_done_(sum_done(sources_)),
       period_(period),
       start_(std::chrono::steady_clock::now()),
@@ -45,9 +47,11 @@ ProgressSampler::ProgressSampler(std::vector<ProgressSource> sources,
 
 ProgressSampler::ProgressSampler(std::vector<ProgressSource> sources,
                                  ProgressSource cluster,
+                                 std::vector<ProgressStat> stats,
                                  std::chrono::milliseconds period)
     : sources_(std::move(sources)),
       cluster_(std::move(cluster)),
+      stats_(std::move(stats)),
       initial_done_(source_done(*cluster_)),
       period_(period),
       start_(std::chrono::steady_clock::now()),
@@ -115,12 +119,19 @@ void ProgressSampler::render(bool final_line) {
   } else {
     eta[0] = '\0';
   }
+  // Cumulative kernel statistics (success/collision/discard counts):
+  // relaxed registry reads on this sampling thread, observation only.
+  std::string stats;
+  for (const ProgressStat& stat : stats_) {
+    stats += ' ' + stat.label + '=' + std::to_string(stat.value());
+  }
   // On a TTY, overwrite the previous line in place; in a pipe each sample
   // is its own line so logs stay greppable.
   const char* prefix = tty_ && wrote_line_ ? "\r\033[2K" : "";
   const char* suffix = tty_ && !final_line ? "" : "\n";
-  std::fprintf(stderr, "%sprogress: %zu/%zu shards [%s] %.1fs%s%s", prefix,
-               done, total, per_sweep.c_str(), elapsed, eta, suffix);
+  std::fprintf(stderr, "%sprogress: %zu/%zu shards [%s] %.1fs%s%s%s", prefix,
+               done, total, per_sweep.c_str(), elapsed, eta, stats.c_str(),
+               suffix);
   std::fflush(stderr);
   wrote_line_ = true;
 }

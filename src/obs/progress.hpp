@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace tcw::obs {
 
 /// One sweep's progress source: `done` is written by scheduler workers
@@ -27,10 +29,27 @@ struct ProgressSource {
   const std::atomic<std::size_t>* done = nullptr;
 };
 
+/// One cumulative registry statistic appended to the progress line as
+/// " label=value" (value = summed Counter::value() over `counters`).
+/// Sampling reads the same relaxed atomics the kernels were updating
+/// anyway, on the same sampling thread -- observation only.
+struct ProgressStat {
+  std::string label;
+  std::vector<Counter> counters;
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Counter& c : counters) total += c.value();
+    return total;
+  }
+};
+
 class ProgressSampler {
  public:
-  /// Starts the sampling thread. `sources` must outlive stop().
+  /// Starts the sampling thread. `sources` must outlive stop(). `stats`
+  /// are cumulative registry counters appended to the line.
   ProgressSampler(std::vector<ProgressSource> sources,
+                  std::vector<ProgressStat> stats = {},
                   std::chrono::milliseconds period =
                       std::chrono::milliseconds(250));
 
@@ -42,6 +61,7 @@ class ProgressSampler {
   /// so the ETA is extrapolated from the done-count DELTA since the
   /// sampler started, not from the absolute count.
   ProgressSampler(std::vector<ProgressSource> sources, ProgressSource cluster,
+                  std::vector<ProgressStat> stats = {},
                   std::chrono::milliseconds period =
                       std::chrono::milliseconds(250));
 
@@ -61,6 +81,7 @@ class ProgressSampler {
 
   std::vector<ProgressSource> sources_;
   std::optional<ProgressSource> cluster_;
+  std::vector<ProgressStat> stats_;
   std::size_t initial_done_ = 0;  // headline done at construction
   std::chrono::milliseconds period_;
   std::chrono::steady_clock::time_point start_;

@@ -55,6 +55,17 @@ class Counter {
         n, std::memory_order_relaxed);
   }
 
+  /// Current merged value (relaxed sum over the slots). Safe to call from
+  /// any thread, e.g. the progress sampler; inert handles read 0.
+  std::uint64_t value() const noexcept {
+    if (cells_ == nullptr) return 0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kRegistrySlots; ++i) {
+      total += cells_[i * detail::kCellStride].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
  private:
   friend class Registry;
   explicit Counter(std::atomic<std::uint64_t>* cells) : cells_(cells) {}

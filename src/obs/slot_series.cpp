@@ -1,0 +1,159 @@
+#include "obs/slot_series.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tcw::obs {
+
+namespace {
+
+// Upper bounds of the laxity bins (slots); values above the last bound
+// land in the overflow bin.
+constexpr double kLaxityBounds[SlotSeries::kLaxityBins - 1] = {
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+
+std::size_t laxity_bin(double laxity) {
+  for (std::size_t i = 0; i + 1 < SlotSeries::kLaxityBins; ++i) {
+    if (laxity <= kLaxityBounds[i]) return i;
+  }
+  return SlotSeries::kLaxityBins - 1;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+SlotSeries::SlotSeries(std::uint64_t bucket_slots)
+    : bucket_slots_(bucket_slots == 0 ? 1 : bucket_slots) {}
+
+std::int64_t SlotSeries::bucket_index(double t) const {
+  // Slot times are integral on the kernels' slot clock; floor + integer
+  // floor-division keeps boundary slots exact (no quotient rounding).
+  const std::int64_t k = static_cast<std::int64_t>(std::floor(t));
+  const std::int64_t w = static_cast<std::int64_t>(bucket_slots_);
+  return k >= 0 ? k / w : -((-k + w - 1) / w);
+}
+
+void SlotSeries::add_idle(double t, double backlog) {
+  Bucket& b = bucket(t);
+  ++b.idle;
+  sample_backlog(b, t, backlog);
+}
+
+void SlotSeries::add_idle_run(double t0, std::uint64_t n, double backlog) {
+  // Equivalent to add_idle(t0 + i, backlog) for i in [0, n), in closed
+  // form per bucket. Certified stretches have integral t0, so
+  // floor(t0) + i == floor(t0 + i) exactly.
+  double t = t0;
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    const std::int64_t idx = bucket_index(t);
+    // First slot time of the NEXT bucket.
+    const double next_edge =
+        static_cast<double>((idx + 1) *
+                            static_cast<std::int64_t>(bucket_slots_));
+    const double span = next_edge - t;  // integral, >= 1
+    std::uint64_t here = remaining;
+    if (span < static_cast<double>(remaining)) {
+      here = static_cast<std::uint64_t>(span);
+    }
+    Bucket& b = buckets_[idx];
+    b.idle += here;
+    sample_backlog(b, t + static_cast<double>(here - 1), backlog);
+    t += static_cast<double>(here);
+    remaining -= here;
+  }
+}
+
+void SlotSeries::add_collision(double t, double backlog) {
+  Bucket& b = bucket(t);
+  ++b.collision;
+  sample_backlog(b, t, backlog);
+}
+
+void SlotSeries::add_success(double t, double laxity, double backlog) {
+  Bucket& b = bucket(t);
+  ++b.success;
+  ++b.laxity[laxity_bin(laxity)];
+  sample_backlog(b, t, backlog);
+}
+
+void SlotSeries::add_arrival(double t, double laxity) {
+  Bucket& b = bucket(t);
+  ++b.arrivals;
+  (void)laxity;  // arrival laxity is always K; recorded per-packet by the
+                 // flight recorder instead of re-binned here
+}
+
+void SlotSeries::add_discard(double t) { ++bucket(t).discards; }
+
+std::string SlotSeries::csv_header() {
+  std::string h = "tag,bucket,t0,idle,success,collision,arrivals,discards";
+  for (std::size_t i = 0; i < kLaxityBins; ++i) {
+    h += ",lax_bin_" + std::to_string(i);
+  }
+  h += ",backlog,backlog_t";
+  return h;
+}
+
+std::string SlotSeries::to_csv_rows(const std::string& tag) const {
+  std::string out;
+  for (const auto& [idx, b] : buckets_) {
+    out += tag;
+    out += ',';
+    out += std::to_string(idx);
+    out += ',';
+    out += std::to_string(idx * static_cast<std::int64_t>(bucket_slots_));
+    out += ',' + std::to_string(b.idle);
+    out += ',' + std::to_string(b.success);
+    out += ',' + std::to_string(b.collision);
+    out += ',' + std::to_string(b.arrivals);
+    out += ',' + std::to_string(b.discards);
+    for (std::size_t i = 0; i < kLaxityBins; ++i) {
+      out += ',' + std::to_string(b.laxity[i]);
+    }
+    out += ',';
+    append_double(out, b.backlog);
+    out += ',';
+    append_double(out, b.backlog_t);
+    out += '\n';
+  }
+  return out;
+}
+
+void SlotSeries::append_counter_events(const std::string& tag, int pid,
+                                       std::string* out) const {
+  // Label the pid so the viewer shows the captured run's name on the
+  // counter track group.
+  if (!out->empty()) *out += ',';
+  *out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+          std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" + tag +
+          "\"}}";
+  const char* metrics[] = {"idle", "success", "collision", "arrivals",
+                           "discards", "backlog"};
+  for (const auto& [idx, b] : buckets_) {
+    const double ts =
+        static_cast<double>(idx * static_cast<std::int64_t>(bucket_slots_));
+    const double values[] = {static_cast<double>(b.idle),
+                             static_cast<double>(b.success),
+                             static_cast<double>(b.collision),
+                             static_cast<double>(b.arrivals),
+                             static_cast<double>(b.discards), b.backlog};
+    for (std::size_t m = 0; m < 6; ++m) {
+      *out += ",{\"name\":\"";
+      *out += metrics[m];
+      *out += "\",\"ph\":\"C\",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":0,\"ts\":";
+      append_double(*out, ts);
+      *out += ",\"args\":{\"value\":";
+      append_double(*out, values[m]);
+      *out += "}}";
+    }
+  }
+}
+
+}  // namespace tcw::obs

@@ -1,0 +1,82 @@
+// Windowed per-slot time series for one captured simulation run: slot
+// outcomes (idle / success / collision), arrivals and sender discards,
+// a laxity-at-success histogram, and a point-sampled backlog estimate,
+// aggregated into fixed-width buckets of the slot clock.
+//
+// Two properties make the series usable as a conformance surface:
+//   * Everything except the backlog sample is an integer count, and the
+//     backlog sample is "latest slot time in the bucket wins" -- so
+//     add_idle_run(t0, n, backlog) (the event-skip kernel's closed-form
+//     synthesis for a quiescent stretch) produces output bit-identical
+//     to n consecutive add_idle calls (the per-slot kernel's path).
+//   * It is a strict overlay: recording never touches RNG state and the
+//     kernels' CSVs are byte-identical with a series attached or not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tcw::obs {
+
+class SlotSeries {
+ public:
+  /// Laxity histogram upper bounds (slots): <=0, <=1, <=2, <=4, ... <=64,
+  /// plus an overflow bin.
+  static constexpr std::size_t kLaxityBins = 9;
+
+  /// `bucket_slots` is the aggregation window width in slots (integer,
+  /// >= 1).
+  explicit SlotSeries(std::uint64_t bucket_slots = 256);
+
+  void add_idle(double t, double backlog);
+  /// Closed-form equivalent of add_idle(t0 + i, backlog) for
+  /// i in [0, n): used by the event-skip stepper for certified quiescent
+  /// stretches (slot times t0 .. t0+n-1 are exact integral doubles).
+  void add_idle_run(double t0, std::uint64_t n, double backlog);
+  void add_collision(double t, double backlog);
+  void add_success(double t, double laxity, double backlog);
+  void add_arrival(double t, double laxity);
+  void add_discard(double t);
+
+  std::uint64_t bucket_slots() const { return bucket_slots_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// CSV rows for this series, one per non-empty bucket, ascending bucket
+  /// order. Every row starts with `tag` (the captured run's name).
+  /// Columns: tag,bucket,t0,idle,success,collision,arrivals,discards,
+  /// lax_bin_0..lax_bin_8,backlog,backlog_t
+  std::string to_csv_rows(const std::string& tag) const;
+  static std::string csv_header();
+
+  /// Chrome trace-event counter samples (ph "C") for the series, one
+  /// process-counter track per metric, appended to `out` as
+  /// comma-separated JSON objects (caller owns surrounding array/commas).
+  /// `pid` namespaces this series' tracks in the viewer.
+  void append_counter_events(const std::string& tag, int pid,
+                             std::string* out) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t idle = 0;
+    std::uint64_t success = 0;
+    std::uint64_t collision = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t discards = 0;
+    std::uint64_t laxity[kLaxityBins] = {};
+    double backlog = 0.0;
+    double backlog_t = -1.0;  ///< slot time of the sample; <0 = no sample
+  };
+
+  std::int64_t bucket_index(double t) const;
+  Bucket& bucket(double t) { return buckets_[bucket_index(t)]; }
+  void sample_backlog(Bucket& b, double t, double backlog) {
+    b.backlog = backlog;
+    b.backlog_t = t;
+  }
+
+  std::uint64_t bucket_slots_;
+  std::map<std::int64_t, Bucket> buckets_;
+};
+
+}  // namespace tcw::obs

@@ -35,10 +35,21 @@ std::vector<TimelineSpan> Timeline::snapshot() const {
 void Timeline::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  extra_events_.clear();
+}
+
+void Timeline::set_extra_events(std::string events_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  extra_events_ = std::move(events_json);
 }
 
 std::string Timeline::to_chrome_trace_json() const {
   const std::vector<TimelineSpan> spans = snapshot();
+  std::string extra;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    extra = extra_events_;
+  }
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[96];
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -58,6 +69,10 @@ std::string Timeline::to_chrome_trace_json() const {
     out += ",\"shard\":" + std::to_string(s.shard);
     out += ",\"worker\":" + std::to_string(s.worker);
     out += s.stolen ? ",\"stolen\":true}}" : ",\"stolen\":false}}";
+  }
+  if (!extra.empty()) {
+    if (!spans.empty()) out += ',';
+    out += extra;
   }
   out += "]}";
   return out;

@@ -40,6 +40,11 @@ class Timeline {
   std::vector<TimelineSpan> snapshot() const;
   void clear();
 
+  /// Extra pre-rendered trace events (comma-separated JSON objects, e.g.
+  /// SlotSeries counter tracks) emitted into the traceEvents array after
+  /// the spans. Thread-safe; replaces any previous extra events.
+  void set_extra_events(std::string events_json);
+
   /// The recorded spans as a Chrome trace-event JSON document: one
   /// complete ("ph":"X") event per span, ts/dur in microseconds relative
   /// to the timeline's construction, tid = worker id. Loadable in
@@ -54,6 +59,7 @@ class Timeline {
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<TimelineSpan> spans_;
+  std::string extra_events_;
 };
 
 }  // namespace tcw::obs

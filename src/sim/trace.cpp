@@ -25,37 +25,17 @@ std::string to_string(TraceKind kind) {
   return kKindNames[index];
 }
 
-TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+TraceLog::TraceLog(std::size_t capacity) : ring_(capacity) {
   TCW_EXPECTS(capacity > 0);
-  ring_.reserve(capacity);
 }
 
 void TraceLog::record(double time, TraceKind kind, double lo, double hi) {
-  ++total_;
   ++kind_counts_[static_cast<std::size_t>(kind)];
-  if (ring_.size() < capacity_) {
-    ring_.push_back(TraceRecord{time, kind, lo, hi});
-    return;
-  }
-  ring_[head_] = TraceRecord{time, kind, lo, hi};
-  head_ = (head_ + 1) % capacity_;
-}
-
-std::uint64_t TraceLog::dropped() const {
-  return total_ - static_cast<std::uint64_t>(ring_.size());
+  ring_.push(TraceRecord{time, kind, lo, hi});
 }
 
 std::uint64_t TraceLog::count(TraceKind kind) const {
   return kind_counts_[static_cast<std::size_t>(kind)];
-}
-
-std::vector<TraceRecord> TraceLog::snapshot() const {
-  std::vector<TraceRecord> out;
-  out.reserve(ring_.size());
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
-  }
-  return out;
 }
 
 void TraceLog::write(std::ostream& os) const {
@@ -72,8 +52,6 @@ void TraceLog::write(std::ostream& os) const {
 
 void TraceLog::clear() {
   ring_.clear();
-  head_ = 0;
-  total_ = 0;
   for (auto& c : kind_counts_) c = 0;
 }
 

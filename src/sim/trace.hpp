@@ -2,12 +2,18 @@
 // simulators fill when a TraceLog is attached. Useful for debugging
 // protocol dynamics and for the examples' visualizations; cheap enough to
 // leave compiled in (a branch on a null pointer when disabled).
+//
+// Storage rides on obs::BoundedRing, the overwrite-oldest ring shared
+// with the flight recorder, so the tiny-capacity wraparound behaviour is
+// pinned in one place.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "obs/ring.hpp"
 
 namespace tcw::sim {
 
@@ -41,13 +47,13 @@ class TraceLog {
 
   void record(double time, TraceKind kind, double lo = 0.0, double hi = 0.0);
 
-  std::size_t capacity() const { return capacity_; }
-  std::uint64_t total_recorded() const { return total_; }
-  std::uint64_t dropped() const;
+  std::size_t capacity() const { return ring_.capacity(); }
+  std::uint64_t total_recorded() const { return ring_.total(); }
+  std::uint64_t dropped() const { return ring_.dropped(); }
   std::uint64_t count(TraceKind kind) const;
 
   /// The retained records, oldest first.
-  std::vector<TraceRecord> snapshot() const;
+  std::vector<TraceRecord> snapshot() const { return ring_.snapshot(); }
 
   /// Human-readable dump of the retained records.
   void write(std::ostream& os) const;
@@ -55,10 +61,7 @@ class TraceLog {
   void clear();
 
  private:
-  std::size_t capacity_;
-  std::vector<TraceRecord> ring_;
-  std::size_t head_ = 0;  // next write position once the ring is full
-  std::uint64_t total_ = 0;
+  obs::BoundedRing<TraceRecord> ring_;
   std::uint64_t kind_counts_[static_cast<std::size_t>(TraceKind::kCount)] =
       {};
 };

@@ -6,8 +6,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -392,6 +394,80 @@ TEST(DistExec, CrashedWorkerLeasesReclaimedMergeByteIdentical) {
   EXPECT_EQ(slurp(dir + "/merged.csv"), reference);
   // Merge swept the stale leases away with the segments.
   EXPECT_EQ(exec::count_live_leases(cache_dir + "/leases", 1e9), 0u);
+}
+
+/// Parse the flat {"name":count,...} object that follows `marker` in
+/// `text` (worker sidecar "registry" / merge manifest "merged_registry").
+std::map<std::string, std::uint64_t> parse_counter_object(
+    const std::string& text, const std::string& marker) {
+  std::map<std::string, std::uint64_t> out;
+  std::size_t at = text.find(marker);
+  EXPECT_NE(at, std::string::npos) << marker;
+  if (at == std::string::npos) return out;
+  std::size_t i = text.find('{', at + marker.size());
+  EXPECT_NE(i, std::string::npos);
+  ++i;
+  while (i < text.size() && text[i] != '}') {
+    const std::size_t q0 = text.find('"', i);
+    const std::size_t q1 = text.find('"', q0 + 1);
+    const std::size_t colon = text.find(':', q1 + 1);
+    if (q0 == std::string::npos || q1 == std::string::npos ||
+        colon == std::string::npos) {
+      ADD_FAILURE() << "malformed counter object after " << marker;
+      break;
+    }
+    const std::string name = text.substr(q0 + 1, q1 - q0 - 1);
+    out[name] = std::strtoull(text.c_str() + colon + 1, nullptr, 10);
+    const std::size_t next = text.find_first_of(",}", colon + 1);
+    if (next == std::string::npos) break;
+    i = text[next] == ',' ? next + 1 : next;
+  }
+  return out;
+}
+
+TEST(DistExec, MergedRegistryEqualsSidecarSums) {
+  const std::string dir = scratch_dir("dist_registry");
+  const std::string study = "ablation_window_size";
+  const std::string cache_dir = dir + "/cache";
+
+  // Two partitioned workers, each leaving a sidecar with its registry
+  // delta (counters its shards incremented, baseline-subtracted so
+  // in-process test runs don't bleed into each other).
+  std::map<std::string, std::uint64_t> expected;
+  for (unsigned idx : {0u, 1u}) {
+    bench::StudyCommonOptions common;
+    common.threads = 2;
+    common.cache_dir = cache_dir;
+    bench::DistOptions dist;
+    dist.index = idx;
+    dist.total = 2;
+    dist.steal = false;
+    dist.worker_id = "rw" + std::to_string(idx);
+    dist.heartbeat_seconds = 0;
+    ASSERT_EQ(bench::run_study_workers(common, dist, {study}, kWindowArgs),
+              0);
+    const std::string sidecar =
+        slurp(cache_dir + "/workers/rw" + std::to_string(idx) + ".json");
+    for (const auto& [name, value] :
+         parse_counter_object(sidecar, "\"registry\":")) {
+      expected[name] += value;
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  EXPECT_GT(expected["net.aggregate.probe_slots"], 0u);
+
+  // The merge manifest's merged_registry must equal the sidecar sums
+  // exactly -- the cluster-wide totals are a pure fold of the deltas.
+  bench::StudyCommonOptions merge_common;
+  merge_common.cache_dir = cache_dir;
+  merge_common.csv = dir + "/merged.csv";
+  merge_common.obs.manifest_out = dir + "/manifest.json";
+  ASSERT_EQ(bench::run_study_merge(merge_common, bench::DistOptions{},
+                                   {study}, kWindowArgs),
+            0);
+  const std::map<std::string, std::uint64_t> merged = parse_counter_object(
+      slurp(dir + "/manifest.json"), "\"merged_registry\":");
+  EXPECT_EQ(merged, expected);
 }
 
 TEST(DistExec, ConcurrentWorkersMergeByteIdentical) {

@@ -1,0 +1,218 @@
+// The windowed per-slot time series and the deadline-loss attribution
+// invariant. The hard guarantees under test:
+//   * add_idle_run (the event-skip kernel's closed-form synthesis for a
+//     quiescent stretch) is bit-identical to the equivalent sequence of
+//     per-slot add_idle calls, including across bucket boundaries;
+//   * attaching a capture to a kernel perturbs nothing (strict overlay);
+//   * per-slot and event-skip network runs render identical series rows;
+//   * every engine's ChannelTally attribution categories sum exactly to
+//     its sender discards.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/splitting.hpp"
+#include "chan/arrivals.hpp"
+#include "net/aggregate_sim.hpp"
+#include "net/network.hpp"
+#include "obs/capture.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slot_series.hpp"
+
+namespace tcw {
+namespace {
+
+using obs::SlotSeries;
+
+// ------------------------------------------------------- bucket math
+
+TEST(SlotSeries, IdleRunMatchesPerSlotIdlesAcrossBucketBoundaries) {
+  // Runs that start mid-bucket, span several buckets, and end mid-bucket
+  // must render exactly like the per-slot loop.
+  for (const std::uint64_t bucket_slots : {1u, 4u, 256u}) {
+    for (const std::uint64_t start : {0u, 3u, 255u}) {
+      for (const std::uint64_t n : {1u, 5u, 1000u}) {
+        SlotSeries per_slot(bucket_slots);
+        SlotSeries run(bucket_slots);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          per_slot.add_idle(static_cast<double>(start + i), 2.5);
+        }
+        run.add_idle_run(static_cast<double>(start), n, 2.5);
+        EXPECT_EQ(run.to_csv_rows("x"), per_slot.to_csv_rows("x"))
+            << "bucket_slots=" << bucket_slots << " start=" << start
+            << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SlotSeries, BacklogSampleLatestSlotWins) {
+  SlotSeries series(16);
+  series.add_idle(3.0, 10.0);
+  series.add_idle(7.0, 20.0);   // later slot in the same bucket wins
+  series.add_idle(21.0, 30.0);  // next bucket samples independently
+  const std::string rows = series.to_csv_rows("t");
+  // Columns: ...,backlog,backlog_t -- bucket 0 keeps (20, 7).
+  EXPECT_NE(rows.find(",20,7\n"), std::string::npos) << rows;
+  EXPECT_NE(rows.find(",30,21\n"), std::string::npos) << rows;
+}
+
+TEST(SlotSeries, HeaderAndRowsRenderAllColumns) {
+  SlotSeries series(8);
+  series.add_arrival(1.0, 12.0);
+  series.add_success(2.0, 3.0, 1.0);
+  series.add_collision(3.0, 2.0);
+  series.add_discard(4.0);
+  const std::string header = SlotSeries::csv_header();
+  EXPECT_EQ(header.find("tag,bucket,t0,idle,success,collision"), 0u);
+  const std::string rows = series.to_csv_rows("mytag");
+  EXPECT_EQ(rows.find("mytag,0,0,0,1,1,1,1,"), 0u) << rows;
+  // One laxity-histogram sample from the success at laxity 3 (bin <=4).
+  EXPECT_EQ(series.bucket_count(), 1u);
+}
+
+TEST(SlotSeries, EmptySeriesRendersNoRows) {
+  SlotSeries series;
+  EXPECT_EQ(series.to_csv_rows("x"), "");
+  EXPECT_EQ(series.bucket_count(), 0u);
+}
+
+// --------------------------------------------- kernels + attribution
+
+net::AggregateConfig aggregate_config(net::EngineKind kind, double* lambda) {
+  const double message_length = 25.0;
+  const double rho = 0.7;
+  const double k = 2.0 * message_length;
+  *lambda = rho / message_length;
+  net::AggregateConfig cfg;
+  cfg.policy = core::ControlPolicy::optimal(
+      k, analysis::optimal_window_load() / *lambda);
+  cfg.mac.engine.kind = kind;
+  if (kind == net::EngineKind::DynamicAloha) {
+    cfg.mac.engine.arrival_rate = *lambda;
+  }
+  cfg.message_length = message_length;
+  cfg.t_end = 20000.0;
+  cfg.warmup = 2000.0;
+  cfg.seed = 20261983u;
+  return cfg;
+}
+
+const net::EngineKind kEngines[] = {net::EngineKind::Window,
+                                    net::EngineKind::SlottedAloha,
+                                    net::EngineKind::DynamicAloha};
+
+TEST(SlotSeries, CaptureIsStrictOverlayOnAggregateKernel) {
+  for (const net::EngineKind kind : kEngines) {
+    double lambda = 0.0;
+    net::AggregateConfig plain_cfg = aggregate_config(kind, &lambda);
+    net::AggregateSimulator plain(
+        plain_cfg, std::make_unique<chan::PoissonProcess>(lambda));
+    const net::SimMetrics base = plain.run();
+
+    obs::FlightRecorder recorder({plain_cfg.seed, 1.0, 4096});
+    SlotSeries series;
+    net::AggregateConfig cfg = aggregate_config(kind, &lambda);
+    cfg.capture.flight = recorder.segment("run");
+    cfg.capture.series = &series;
+    net::AggregateSimulator captured(
+        cfg, std::make_unique<chan::PoissonProcess>(lambda));
+    const net::SimMetrics with = captured.run();
+
+    EXPECT_EQ(with.arrivals, base.arrivals) << to_string(kind);
+    EXPECT_EQ(with.delivered, base.delivered) << to_string(kind);
+    EXPECT_EQ(with.lost_sender, base.lost_sender) << to_string(kind);
+    EXPECT_EQ(with.wait_all.sum(), base.wait_all.sum()) << to_string(kind);
+    // The capture actually observed the run.
+    EXPECT_GT(series.bucket_count(), 0u) << to_string(kind);
+    EXPECT_GT(recorder.segment("run")->total(), 0u) << to_string(kind);
+  }
+}
+
+TEST(SlotSeries, EventSkipAndPerSlotNetworkRenderIdenticalRows) {
+  for (const net::EngineKind kind : kEngines) {
+    const double lambda = 0.5 / 25.0;
+    net::NetworkConfig cfg;
+    cfg.policy = core::ControlPolicy::optimal(
+        75.0, analysis::optimal_window_load() / lambda);
+    cfg.mac.engine.kind = kind;
+    if (kind == net::EngineKind::DynamicAloha) {
+      cfg.mac.engine.arrival_rate = lambda;
+    }
+    cfg.message_length = 25.0;
+    cfg.t_end = 20000.0;
+    cfg.warmup = 2000.0;
+    cfg.seed = 20261983u;
+
+    SlotSeries per_slot_series;
+    net::NetworkConfig per_slot_cfg = cfg;
+    per_slot_cfg.capture.series = &per_slot_series;
+    auto per_slot =
+        net::Network::homogeneous_poisson_batched(per_slot_cfg, 10, lambda);
+    per_slot.run();
+
+    SlotSeries skip_series;
+    net::NetworkConfig skip_cfg = cfg;
+    skip_cfg.event_skip = true;
+    skip_cfg.capture.series = &skip_series;
+    auto skip =
+        net::Network::homogeneous_poisson_batched(skip_cfg, 10, lambda);
+    skip.run();
+
+    EXPECT_GT(skip.skipped_slots(), 0u) << to_string(kind);
+    EXPECT_EQ(skip_series.to_csv_rows("x"), per_slot_series.to_csv_rows("x"))
+        << to_string(kind);
+  }
+}
+
+TEST(SlotSeries, AttributionCategoriesSumToSenderDiscards) {
+  // Aggregate kernel, all engines: every discard lands in exactly one
+  // category, and a lossy configuration actually produces some.
+  for (const net::EngineKind kind : kEngines) {
+    double lambda = 0.0;
+    net::AggregateConfig cfg = aggregate_config(kind, &lambda);
+    net::AggregateSimulator sim(
+        cfg, std::make_unique<chan::PoissonProcess>(lambda));
+    sim.run();
+    std::uint64_t discards = 0;
+    for (const obs::ChannelTally& t : sim.channel_tallies()) {
+      EXPECT_EQ(t.admission_starved + t.collision_killed + t.queue_expired,
+                t.sender_discards)
+          << to_string(kind);
+      discards += t.sender_discards;
+    }
+    EXPECT_GT(discards, 0u) << to_string(kind);
+  }
+}
+
+TEST(SlotSeries, AttributionSumHoldsOnNetworkKernel) {
+  for (const net::EngineKind kind : kEngines) {
+    const double lambda = 0.9 / 25.0;
+    net::NetworkConfig cfg;
+    cfg.policy = core::ControlPolicy::optimal(
+        50.0, analysis::optimal_window_load() / lambda);
+    cfg.mac.engine.kind = kind;
+    if (kind == net::EngineKind::DynamicAloha) {
+      cfg.mac.engine.arrival_rate = lambda;
+    }
+    cfg.message_length = 25.0;
+    cfg.t_end = 20000.0;
+    cfg.warmup = 2000.0;
+    cfg.seed = 20261983u;
+    auto net = net::Network::homogeneous_poisson(cfg, 20, lambda);
+    net.run();
+    std::uint64_t discards = 0;
+    for (const obs::ChannelTally& t : net.channel_tallies()) {
+      EXPECT_EQ(t.admission_starved + t.collision_killed + t.queue_expired,
+                t.sender_discards)
+          << to_string(kind);
+      discards += t.sender_discards;
+    }
+    EXPECT_GT(discards, 0u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace tcw
